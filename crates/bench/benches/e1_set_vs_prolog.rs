@@ -1,0 +1,94 @@
+//! E1 — claim C1: recursive queries evaluate more efficiently
+//! set-at-a-time (fixpoint) than by tuple-oriented proof methods.
+//!
+//! Series: full `ahead` closure on chains and diamond ladders, under
+//! four engines — constructor/naive, constructor/semi-naive (the
+//! set-oriented side), SLD resolution and tabled resolution (the
+//! proof-oriented side). Expected shape: semi-naive ≤ naive ≪ SLD,
+//! with the gap exploding on ladders (exponentially many proofs).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dc_bench::{ahead_db, ahead_goal, ahead_program, ahead_query};
+use dc_core::Strategy;
+use dc_prolog::sld::{self, SldConfig};
+use dc_prolog::tabled;
+
+fn bench_chains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_chain");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    for n in [16usize, 32, 64] {
+        let base = dc_workload::chain(n);
+        let db_naive = ahead_db(&base, Strategy::Naive);
+        let db_semi = ahead_db(&base, Strategy::SemiNaive);
+        let program = ahead_program(&base);
+        let q = ahead_query();
+
+        if n <= 32 {
+            // Naive re-evaluation is quadratic in rounds; keep its
+            // series to the small inputs.
+            g.bench_with_input(BenchmarkId::new("constructor_naive", n), &n, |b, _| {
+                b.iter(|| {
+                    db_naive.clear_solved_cache();
+                    let mut ev = dc_calculus::Evaluator::new(&db_naive);
+                    ev.eval(&q).unwrap()
+                })
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("constructor_seminaive", n), &n, |b, _| {
+            b.iter(|| {
+                db_semi.clear_solved_cache();
+                let mut ev = dc_calculus::Evaluator::new(&db_semi);
+                ev.eval(&q).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("prolog_sld", n), &n, |b, _| {
+            b.iter(|| sld::solve(&program, &ahead_goal(), &SldConfig::default()).unwrap())
+        });
+        let ctor = dc_core::paper::ahead();
+        let shape = dc_optimizer::capture::detect_tc(&ctor).unwrap();
+        let plan = dc_optimizer::capture::full_plan(&ctor, &shape, base.clone());
+        g.bench_with_input(BenchmarkId::new("compiled_plan", n), &n, |b, _| {
+            b.iter(|| plan.execute().unwrap().0.len())
+        });
+        g.bench_with_input(BenchmarkId::new("prolog_tabled", n), &n, |b, _| {
+            b.iter(|| tabled::solve(&program, &ahead_goal()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_ladders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_ladder");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    for k in [6usize, 8, 10] {
+        let base = dc_workload::diamond_ladder(k);
+        let db_semi = ahead_db(&base, Strategy::SemiNaive);
+        let program = ahead_program(&base);
+        let q = ahead_query();
+
+        g.bench_with_input(BenchmarkId::new("constructor_seminaive", k), &k, |b, _| {
+            b.iter(|| {
+                db_semi.clear_solved_cache();
+                let mut ev = dc_calculus::Evaluator::new(&db_semi);
+                ev.eval(&q).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("prolog_sld", k), &k, |b, _| {
+            b.iter(|| sld::solve(&program, &ahead_goal(), &SldConfig::default()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("prolog_tabled", k), &k, |b, _| {
+            b.iter(|| tabled::solve(&program, &ahead_goal()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e1, bench_chains, bench_ladders);
+criterion_main!(e1);

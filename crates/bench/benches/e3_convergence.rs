@@ -1,0 +1,80 @@
+//! E3 — claim C3: monotone constructors converge to the LFP in
+//! finitely many steps, and `Infront{ahead} = lim Infront{ahead_n}`
+//! (§3.1/§3.2).
+//!
+//! Series: fixpoint wall-time and iteration counts as a function of
+//! chain depth, plus the bounded `ahead_n` sequence (via `iterate_n`)
+//! against the limit. Expected shape: naive iterations ≈ depth,
+//! semi-naive time grows roughly with output size, and `ahead_n`
+//! equals the limit exactly at n ≥ depth.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dc_bench::{ahead_db, ahead_query};
+use dc_core::options::{ahead_step, iterate_n};
+use dc_core::Strategy;
+
+fn bench_depth_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_depth");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    for depth in [16usize, 48, 96] {
+        let base = dc_workload::chain(depth);
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            if strategy == Strategy::Naive && depth > 48 {
+                continue; // quadratic; covered by the smaller points
+            }
+            let db = ahead_db(&base, strategy);
+            let q = ahead_query();
+            let label = format!("{strategy:?}");
+            g.bench_with_input(BenchmarkId::new(label, depth), &depth, |b, _| {
+                b.iter(|| {
+                    db.clear_solved_cache();
+                    let mut ev = dc_calculus::Evaluator::new(&db);
+                    ev.eval(&q).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_ahead_n(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_ahead_n");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    let depth = 64usize;
+    let base = dc_workload::chain(depth);
+    // Correctness of the limit claim, checked once outside timing.
+    let limit = iterate_n(
+        base.schema().clone(),
+        |cur| ahead_step(&base, cur, 0, 1),
+        depth + 1,
+    )
+    .unwrap();
+    let at_depth = iterate_n(
+        base.schema().clone(),
+        |cur| ahead_step(&base, cur, 0, 1),
+        depth,
+    )
+    .unwrap();
+    assert_eq!(limit, at_depth, "the limit is reached at n = longest path");
+
+    for n in [8usize, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("iterate_n", n), &n, |b, &n| {
+            b.iter(|| {
+                iterate_n(base.schema().clone(), |cur| ahead_step(&base, cur, 0, 1), n)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e3, bench_depth_scaling, bench_ahead_n);
+criterion_main!(e3);

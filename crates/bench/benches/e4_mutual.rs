@@ -1,0 +1,60 @@
+//! E4 — claim C4: mutual recursion (`ahead`/`above`, §3.1) is
+//! expressible and converges via joint iteration of the equation
+//! system.
+//!
+//! Series: joint fixpoint time on generated scenes (rows × depth with
+//! stacked items) as scene size grows, for both strategies. Expected
+//! shape: both converge; semi-naive scales better; the instantiated
+//! system always has exactly two equations.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dc_calculus::builder::rel;
+use dc_core::{paper, Database, Strategy};
+
+fn scene_db(rows: usize, depth: usize, strategy: Strategy) -> Database {
+    let scene = dc_workload::scene(rows, depth, 3, 7);
+    let mut db = Database::new();
+    db.set_strategy(strategy);
+    db.create_relation("Infront", paper::infrontrel()).unwrap();
+    db.create_relation("Ontop", paper::ontoprel()).unwrap();
+    for t in scene.infront.iter() {
+        db.insert("Infront", t.clone()).unwrap();
+    }
+    for t in scene.ontop.iter() {
+        db.insert("Ontop", t.clone()).unwrap();
+    }
+    db.define_constructors(vec![paper::ahead_mutual(), paper::above()]).unwrap();
+    db
+}
+
+fn bench_mutual(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_mutual");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    let q = rel("Ontop").construct("above", vec![rel("Infront")]);
+    for (rows, depth) in [(2usize, 8usize), (4, 12), (6, 16)] {
+        let size = rows * depth;
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let db = scene_db(rows, depth, strategy);
+            // Sanity: two equations in the joint system.
+            db.eval(&q).unwrap();
+            assert_eq!(db.last_fixpoint_stats().unwrap().equations, 2);
+            let label = format!("above_{strategy:?}");
+            g.bench_with_input(BenchmarkId::new(label, size), &size, |b, _| {
+                b.iter(|| {
+                    db.clear_solved_cache();
+                    let mut ev = dc_calculus::Evaluator::new(&db);
+                    ev.eval(&q).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(e4, bench_mutual);
+criterion_main!(e4);

@@ -1,0 +1,81 @@
+//! E5 — claim C7: of the §3.4 fixpoint-enhancement options, the
+//! constructor mechanism admits optimization (capture rules,
+//! semi-naive) that raw program iteration and recursive
+//! relation-valued functions do not; a specialised TC operator ties
+//! only on the one shape it hard-codes.
+//!
+//! Engines compared on the same transitive closure:
+//! 1. program iteration (the §3.1 REPEAT loop, naive re-join),
+//! 2. recursive relation-valued function (§3.4's FUNCTION ahead),
+//! 3. specialised TC operator (QBE/QUEL* style),
+//! 4. constructor + naive strategy,
+//! 5. constructor + semi-naive strategy,
+//! 6. compiled FixpointLinear plan (capture rule output).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dc_bench::{ahead_db, ahead_query};
+use dc_core::options::{ahead_step, program_iteration, recursive_function, transitive_closure};
+use dc_core::{paper, Strategy};
+use dc_optimizer::capture;
+use dc_relation::Relation;
+
+fn bench_options(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_options");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    for n in [24usize, 48] {
+        let base = dc_workload::chain(n);
+
+        g.bench_with_input(BenchmarkId::new("program_iteration", n), &n, |b, _| {
+            b.iter(|| {
+                program_iteration(base.schema().clone(), |cur| ahead_step(&base, cur, 0, 1))
+                    .unwrap()
+                    .0
+                    .len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("recursive_function", n), &n, |b, _| {
+            b.iter(|| {
+                recursive_function(Relation::new(base.schema().clone()), &mut |cur| {
+                    ahead_step(&base, cur, 0, 1)
+                })
+                .unwrap()
+                .len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tc_operator", n), &n, |b, _| {
+            b.iter(|| transitive_closure(&base, 0, 1).unwrap().len())
+        });
+        let db_naive = ahead_db(&base, Strategy::Naive);
+        let db_semi = ahead_db(&base, Strategy::SemiNaive);
+        let q = ahead_query();
+        g.bench_with_input(BenchmarkId::new("constructor_naive", n), &n, |b, _| {
+            b.iter(|| {
+                db_naive.clear_solved_cache();
+                let mut ev = dc_calculus::Evaluator::new(&db_naive);
+                ev.eval(&q).unwrap().len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("constructor_seminaive", n), &n, |b, _| {
+            b.iter(|| {
+                db_semi.clear_solved_cache();
+                let mut ev = dc_calculus::Evaluator::new(&db_semi);
+                ev.eval(&q).unwrap().len()
+            })
+        });
+        let ctor = paper::ahead();
+        let shape = capture::detect_tc(&ctor).unwrap();
+        let plan = capture::full_plan(&ctor, &shape, base.clone());
+        g.bench_with_input(BenchmarkId::new("compiled_plan", n), &n, |b, _| {
+            b.iter(|| plan.execute().unwrap().0.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e5, bench_options);
+criterion_main!(e5);

@@ -1,0 +1,49 @@
+//! E6 — claim C6: the positivity constraint and the type-check-level
+//! analyses (§4 level 1) are cheap static passes.
+//!
+//! Series: positivity checking, name-based partitioning, and
+//! system-graph SCC detection over generated programs of m mutually
+//! recursive constructors. Expected shape: near-linear in m — these
+//! run at compile time in the paper's architecture, so they must be
+//! negligible next to evaluation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dc_bench::constructor_ring;
+use dc_calculus::positivity::{check_range, Tracked};
+use dc_calculus::RangeExpr;
+use dc_optimizer::partition::partition_by_names;
+use dc_optimizer::QuantGraph;
+
+fn bench_static_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_analysis");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(1));
+    g.warm_up_time(Duration::from_millis(200));
+    for m in [4usize, 16, 64] {
+        let ring = constructor_ring(m);
+
+        g.bench_with_input(BenchmarkId::new("positivity", m), &m, |b, _| {
+            b.iter(|| {
+                ring.iter()
+                    .map(|ctor| {
+                        let body = RangeExpr::SetFormer(ctor.body.clone());
+                        check_range(&body, &Tracked::AllConstructed).len()
+                    })
+                    .sum::<usize>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("partition", m), &m, |b, _| {
+            b.iter(|| partition_by_names(&ring).len())
+        });
+        g.bench_with_input(BenchmarkId::new("system_sccs", m), &m, |b, _| {
+            b.iter(|| QuantGraph::system(&ring).sccs().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(e6, bench_static_analysis);
+criterion_main!(e6);

@@ -1,0 +1,201 @@
+//! Shared setup for the experiment benches and the harness binary.
+//!
+//! Each experiment (E1–E7, see `EXPERIMENTS.md`) gets one Criterion
+//! bench target plus one section in the `harness` binary's text
+//! report. This crate holds the common fixtures so that benches and
+//! harness measure exactly the same configurations.
+
+use dc_core::{paper, Constructor, Database, Strategy};
+use dc_prolog::program::Clause;
+use dc_prolog::{Program, Term};
+use dc_relation::Relation;
+use dc_value::{tuple, Value};
+
+/// `k` disjoint chains of `depth` edges each: the E2 workload (the
+/// selected cone is one chain; the full closure covers all of them).
+pub fn many_chains(k: usize, depth: usize) -> Relation {
+    let mut rel = Relation::new(dc_workload::graphs::edge_schema());
+    for c in 0..k {
+        for i in 0..depth {
+            rel.insert(tuple![format!("c{c}_{i}"), format!("c{c}_{}", i + 1)])
+                .expect("distinct chain edges");
+        }
+    }
+    rel
+}
+
+/// A database holding `base` under the name `Infront` with the §3.1
+/// `ahead` constructor registered, using the given strategy.
+pub fn ahead_db(base: &Relation, strategy: Strategy) -> Database {
+    let mut db = Database::new();
+    db.set_strategy(strategy);
+    db.create_relation("Infront", base.schema().clone()).expect("fresh database");
+    for t in base.iter() {
+        db.insert("Infront", t.clone()).expect("valid tuple");
+    }
+    db.define_constructor(ahead_for(base)).expect("ahead is positive and well-typed");
+    db
+}
+
+/// The `ahead` constructor retargeted at `base`'s schema (attribute
+/// names may differ from the paper's `infrontrel`).
+pub fn ahead_for(base: &Relation) -> Constructor {
+    let mut c = paper::ahead();
+    if base.schema().union_compatible(&paper::infrontrel()) {
+        c.base_param.1 = base.schema().clone();
+    }
+    c
+}
+
+/// The `ahead` query expression.
+pub fn ahead_query() -> dc_calculus::RangeExpr {
+    dc_calculus::builder::rel("Infront").construct("ahead", vec![])
+}
+
+/// The Horn-clause program for `ahead` over `base` (facts `infront/2`,
+/// the two textbook rules), via the §3.4 translation.
+pub fn ahead_program(base: &Relation) -> Program {
+    let mut names = dc_value::FxHashMap::default();
+    names.insert("Rel".to_string(), "infront".to_string());
+    names.insert("ahead".to_string(), "ahead".to_string());
+    let clauses = dc_prolog::translate::translate_constructor(
+        &paper::ahead(),
+        &names,
+        &dc_value::FxHashMap::default(),
+    )
+    .expect("ahead is Horn-expressible");
+    let mut p = Program::new();
+    p.add_relation("infront", base);
+    for c in clauses {
+        p.add_rule(c).expect("translated clauses are safe");
+    }
+    p
+}
+
+/// The open query `ahead(X, Y)`.
+pub fn ahead_goal() -> dc_prolog::Atom {
+    dc_prolog::Atom::new("ahead", vec![Term::var("X"), Term::var("Y")])
+}
+
+/// The bound query `ahead(seed, Y)`.
+pub fn ahead_goal_bound(seed: &str) -> dc_prolog::Atom {
+    dc_prolog::Atom::new("ahead", vec![Term::val(seed), Term::var("Y")])
+}
+
+/// Generate `m` mutually recursive constructors `c0 … c{m-1}` where
+/// `c_i` applies `c_{(i+1) % m}` — the E6 static-analysis workload.
+pub fn constructor_ring(m: usize) -> Vec<Constructor> {
+    use dc_calculus::ast::{Branch, SetFormer};
+    use dc_calculus::builder::*;
+    (0..m)
+        .map(|i| {
+            let next = format!("c{}", (i + 1) % m);
+            Constructor {
+                name: format!("c{i}"),
+                base_param: ("Rel".into(), paper::infrontrel()),
+                rel_params: vec![],
+                scalar_params: vec![],
+                result: paper::infrontrel(),
+                body: SetFormer {
+                    branches: vec![
+                        Branch::each("r", rel("Rel"), tru()),
+                        Branch::projecting(
+                            vec![attr("f", "front"), attr("b", "back")],
+                            vec![
+                                ("f".into(), rel("Rel")),
+                                ("b".into(), rel("Rel").construct(next, vec![])),
+                            ],
+                            eq(attr("f", "back"), attr("b", "front")),
+                        ),
+                    ],
+                },
+            }
+        })
+        .collect()
+}
+
+/// Same-generation Horn program over parent facts from a complete
+/// binary tree — the second E7 workload.
+pub fn same_generation_program(depth: usize) -> Program {
+    let tree = dc_workload::complete_binary_tree(depth);
+    let mut p = Program::new();
+    p.add_relation("parent", &tree);
+    use dc_prolog::atom;
+    // sg(X, X) is unsafe (head var not bound); ground it through
+    // parent: sg(X, Y) :- parent(P, X), parent(P, Y).
+    p.add_rule(Clause::rule(
+        atom!("sg"; var "X", var "Y"),
+        vec![atom!("parent"; var "P", var "X"), atom!("parent"; var "P", var "Y")],
+    ))
+    .expect("safe");
+    p.add_rule(Clause::rule(
+        atom!("sg"; var "X", var "Y"),
+        vec![
+            atom!("parent"; var "PX", var "X"),
+            atom!("sg"; var "PX", var "PY"),
+            atom!("parent"; var "PY", var "Y"),
+        ],
+    ))
+    .expect("safe");
+    p
+}
+
+/// The `Value` of a chain node name.
+pub fn node(prefix: &str, i: usize) -> Value {
+    Value::str(format!("{prefix}{i}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_prolog::sld::{self, SldConfig};
+
+    #[test]
+    fn many_chains_shape() {
+        let r = many_chains(3, 4);
+        assert_eq!(r.len(), 12);
+    }
+
+    #[test]
+    fn ahead_db_round_trip() {
+        let base = dc_workload::chain(6);
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let db = ahead_db(&base, strategy);
+            let out = db.eval(&ahead_query()).unwrap();
+            assert_eq!(out.len(), 21);
+        }
+    }
+
+    #[test]
+    fn ahead_program_matches_engine() {
+        let base = dc_workload::chain(5);
+        let db = ahead_db(&base, Strategy::SemiNaive);
+        let engine = db.eval(&ahead_query()).unwrap();
+        let p = ahead_program(&base);
+        let s = sld::solve(&p, &ahead_goal(), &SldConfig::default()).unwrap();
+        assert_eq!(s.answers.len(), engine.len());
+    }
+
+    #[test]
+    fn constructor_ring_registers() {
+        let mut db = Database::new();
+        db.create_relation("Infront", paper::infrontrel()).unwrap();
+        db.define_constructors(constructor_ring(5)).unwrap();
+        assert_eq!(db.constructor_names().len(), 5);
+    }
+
+    #[test]
+    fn same_generation_has_answers() {
+        let p = same_generation_program(4);
+        let t = dc_prolog::tabled::solve(
+            &p,
+            &dc_prolog::Atom::new("sg", vec![Term::var("X"), Term::var("Y")]),
+        )
+        .unwrap();
+        assert!(!t.answers.is_empty());
+        // Siblings are same-generation.
+        assert!(t
+            .answers
+            .contains(&vec![Value::str("t2"), Value::str("t3")]));
+    }
+}

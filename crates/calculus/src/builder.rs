@@ -1,0 +1,150 @@
+//! Ergonomic constructors for writing calculus ASTs in Rust.
+//!
+//! Examples and tests build the paper's expressions with these helpers;
+//! programs in DBPL concrete syntax go through `dc-lang` instead.
+
+use dc_value::Value;
+
+use crate::ast::{
+    ArithOp, Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SetFormer,
+};
+
+/// Named relation range: `rel("Infront")`.
+pub fn rel(name: impl Into<String>) -> RangeExpr {
+    RangeExpr::Rel(name.into())
+}
+
+/// Set former from branches.
+pub fn set_former(branches: Vec<Branch>) -> RangeExpr {
+    RangeExpr::SetFormer(SetFormer { branches })
+}
+
+/// Attribute reference: `attr("r", "front")` is `r.front`.
+pub fn attr(var: impl Into<String>, name: impl Into<String>) -> ScalarExpr {
+    ScalarExpr::Attr(var.into(), name.into())
+}
+
+/// Constant: `cnst(1i64)`, `cnst("table")`.
+pub fn cnst(v: impl Into<Value>) -> ScalarExpr {
+    ScalarExpr::Const(v.into())
+}
+
+/// Scalar parameter reference: `param("Obj")`.
+pub fn param(name: impl Into<String>) -> ScalarExpr {
+    ScalarExpr::Param(name.into())
+}
+
+/// `l + r`
+pub fn add(l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Arith(Box::new(l), ArithOp::Add, Box::new(r))
+}
+
+/// `l - r`
+pub fn sub(l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Arith(Box::new(l), ArithOp::Sub, Box::new(r))
+}
+
+/// `l * r`
+pub fn mul(l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Arith(Box::new(l), ArithOp::Mul, Box::new(r))
+}
+
+/// `l DIV r`
+pub fn div(l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Arith(Box::new(l), ArithOp::Div, Box::new(r))
+}
+
+/// `l MOD r`
+pub fn modulo(l: ScalarExpr, r: ScalarExpr) -> ScalarExpr {
+    ScalarExpr::Arith(Box::new(l), ArithOp::Mod, Box::new(r))
+}
+
+/// `TRUE`
+pub fn tru() -> Formula {
+    Formula::True
+}
+
+/// `FALSE`
+pub fn fals() -> Formula {
+    Formula::False
+}
+
+/// `l = r`
+pub fn eq(l: ScalarExpr, r: ScalarExpr) -> Formula {
+    Formula::Cmp(l, CmpOp::Eq, r)
+}
+
+/// `l # r`
+pub fn ne(l: ScalarExpr, r: ScalarExpr) -> Formula {
+    Formula::Cmp(l, CmpOp::Ne, r)
+}
+
+/// `l < r`
+pub fn lt(l: ScalarExpr, r: ScalarExpr) -> Formula {
+    Formula::Cmp(l, CmpOp::Lt, r)
+}
+
+/// `l <= r`
+pub fn le(l: ScalarExpr, r: ScalarExpr) -> Formula {
+    Formula::Cmp(l, CmpOp::Le, r)
+}
+
+/// `l > r`
+pub fn gt(l: ScalarExpr, r: ScalarExpr) -> Formula {
+    Formula::Cmp(l, CmpOp::Gt, r)
+}
+
+/// `l >= r`
+pub fn ge(l: ScalarExpr, r: ScalarExpr) -> Formula {
+    Formula::Cmp(l, CmpOp::Ge, r)
+}
+
+/// `NOT f`
+pub fn not(f: Formula) -> Formula {
+    f.negate()
+}
+
+/// `SOME v IN range (body)`
+pub fn some(v: impl Into<String>, range: RangeExpr, body: Formula) -> Formula {
+    Formula::Some(v.into(), range, Box::new(body))
+}
+
+/// `ALL v IN range (body)`
+pub fn all(v: impl Into<String>, range: RangeExpr, body: Formula) -> Formula {
+    Formula::All(v.into(), range, Box::new(body))
+}
+
+/// `v IN range`
+pub fn member(v: impl Into<String>, range: RangeExpr) -> Formula {
+    Formula::Member(v.into(), range)
+}
+
+/// `<exprs> IN range`
+pub fn tuple_in(exprs: Vec<ScalarExpr>, range: RangeExpr) -> Formula {
+    Formula::TupleIn(exprs, range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_ast() {
+        assert_eq!(rel("R"), RangeExpr::Rel("R".into()));
+        assert_eq!(attr("r", "a"), ScalarExpr::Attr("r".into(), "a".into()));
+        assert_eq!(cnst(3i64), ScalarExpr::Const(Value::Int(3)));
+        assert!(matches!(eq(cnst(1i64), cnst(1i64)), Formula::Cmp(_, CmpOp::Eq, _)));
+        assert!(matches!(add(cnst(1i64), cnst(2i64)), ScalarExpr::Arith(_, ArithOp::Add, _)));
+        assert!(matches!(some("x", rel("R"), tru()), Formula::Some(..)));
+        assert!(matches!(all("x", rel("R"), fals()), Formula::All(..)));
+        assert!(matches!(member("x", rel("R")), Formula::Member(..)));
+        assert!(matches!(tuple_in(vec![cnst(1i64)], rel("R")), Formula::TupleIn(..)));
+        assert!(matches!(not(tru()), Formula::False));
+        for f in [sub, mul, div, modulo] {
+            assert!(matches!(f(cnst(1i64), cnst(2i64)), ScalarExpr::Arith(..)));
+        }
+        for f in [ne, lt, le, gt, ge] {
+            assert!(matches!(f(cnst(1i64), cnst(2i64)), Formula::Cmp(..)));
+        }
+    }
+}

@@ -1,0 +1,842 @@
+//! The reference evaluator: direct nested-loop semantics for the
+//! calculus.
+//!
+//! This evaluator is deliberately simple — it is the executable
+//! *definition* of expression meaning, against which the optimizer's
+//! plans (`dc-optimizer`) are differentially tested. It is also the
+//! "unoptimized database programming language" baseline of the paper's
+//! §1: queries written with constructors but evaluated without any of
+//! the §4 machinery.
+
+use dc_relation::Relation;
+use dc_value::{Attribute, Domain, FxHashMap, FxHashSet, Schema, Tuple, Value};
+
+use crate::ast::{Branch, Formula, RangeExpr, ScalarExpr, SetFormer, Target, Var};
+use crate::env::Catalog;
+use crate::error::EvalError;
+
+/// A bound tuple variable: name, current tuple, and the schema used to
+/// resolve `var.attr` references.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Variable name.
+    pub var: Var,
+    /// Bound tuple.
+    pub tuple: Tuple,
+    /// Schema of the range the variable iterates over.
+    pub schema: Schema,
+}
+
+/// Infer the base domain of a value (for target-schema synthesis).
+pub fn value_domain(v: &Value) -> Domain {
+    match v {
+        Value::Int(_) => Domain::Int,
+        Value::Card(_) => Domain::Card,
+        Value::Str(_) => Domain::Str,
+        Value::Bool(_) => Domain::Bool,
+    }
+}
+
+/// The nested-loop reference evaluator.
+///
+/// An `Evaluator` caches binding-free range values (e.g. a base relation
+/// referenced inside a quantifier) for the duration of its lifetime;
+/// create a fresh evaluator whenever the underlying relations may have
+/// changed (the fixpoint engine creates one per iteration).
+pub struct Evaluator<'a> {
+    catalog: &'a dyn Catalog,
+    /// Stack of selector-application parameter frames.
+    param_frames: Vec<FxHashMap<String, Value>>,
+    /// Cache of binding-free range values.
+    range_cache: FxHashMap<RangeExpr, Relation>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator over a catalog.
+    pub fn new(catalog: &'a dyn Catalog) -> Evaluator<'a> {
+        Evaluator { catalog, param_frames: Vec::new(), range_cache: FxHashMap::default() }
+    }
+
+    /// Evaluate a closed range expression (a query).
+    pub fn eval(&mut self, range: &RangeExpr) -> Result<Relation, EvalError> {
+        let mut bindings = Vec::new();
+        self.eval_range(range, &mut bindings)
+    }
+
+    /// Evaluate a range expression under the given bindings.
+    pub fn eval_range(
+        &mut self,
+        range: &RangeExpr,
+        bindings: &mut Vec<Binding>,
+    ) -> Result<Relation, EvalError> {
+        let cacheable = self.param_frames.is_empty() && is_binding_free(range);
+        if cacheable {
+            if let Some(hit) = self.range_cache.get(range) {
+                return Ok(hit.clone());
+            }
+        }
+        let out = self.eval_range_uncached(range, bindings)?;
+        if cacheable {
+            self.range_cache.insert(range.clone(), out.clone());
+        }
+        Ok(out)
+    }
+
+    fn eval_range_uncached(
+        &mut self,
+        range: &RangeExpr,
+        bindings: &mut Vec<Binding>,
+    ) -> Result<Relation, EvalError> {
+        match range {
+            RangeExpr::Rel(name) => Ok(self.catalog.relation(name)?.into_owned()),
+            RangeExpr::Selected { base, selector, args } => {
+                let base_rel = self.eval_range(base, bindings)?;
+                self.apply_selector(base_rel, selector, args, bindings)
+            }
+            RangeExpr::Constructed { base, constructor, args, scalar_args } => {
+                let base_rel = self.eval_range(base, bindings)?;
+                let mut arg_rels = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_rels.push(self.eval_range(a, bindings)?);
+                }
+                let mut scalars = Vec::with_capacity(scalar_args.len());
+                for s in scalar_args {
+                    scalars.push(self.eval_scalar(s, bindings)?);
+                }
+                self.catalog.apply_constructor(base_rel, constructor, arg_rels, scalars)
+            }
+            RangeExpr::SetFormer(sf) => self.eval_set_former(sf, bindings),
+        }
+    }
+
+    /// Selector application `base[sel(args)]`: filter `base` by the
+    /// selector predicate with the element variable bound to each tuple
+    /// and the formal parameters bound to the evaluated arguments.
+    pub fn apply_selector(
+        &mut self,
+        base: Relation,
+        selector: &str,
+        args: &[ScalarExpr],
+        bindings: &mut Vec<Binding>,
+    ) -> Result<Relation, EvalError> {
+        let def = self.catalog.selector(selector)?.clone();
+        if args.len() != def.params.len() {
+            return Err(EvalError::ArityMismatch {
+                name: def.name.clone(),
+                expected: def.params.len(),
+                actual: args.len(),
+            });
+        }
+        let mut frame = FxHashMap::default();
+        for ((pname, pdom), arg) in def.params.iter().zip(args) {
+            let v = self.eval_scalar(arg, bindings)?;
+            pdom.check(&v)?;
+            frame.insert(pname.clone(), v);
+        }
+        self.param_frames.push(frame);
+        // The selector body is evaluated in its own scope: only the
+        // element variable is visible (plus catalog relations).
+        let mut inner: Vec<Binding> = Vec::with_capacity(1);
+        let mut out = Relation::new(base.schema().clone());
+        let result: Result<(), EvalError> = (|| {
+            for t in base.iter() {
+                inner.push(Binding {
+                    var: def.element_var.clone(),
+                    tuple: t.clone(),
+                    schema: base.schema().clone(),
+                });
+                let keep = self.eval_formula(&def.predicate, &mut inner);
+                inner.pop();
+                if keep? {
+                    out.insert_unchecked(t.clone())?;
+                }
+            }
+            Ok(())
+        })();
+        self.param_frames.pop();
+        result?;
+        Ok(out)
+    }
+
+    fn eval_set_former(
+        &mut self,
+        sf: &SetFormer,
+        bindings: &mut Vec<Binding>,
+    ) -> Result<Relation, EvalError> {
+        if sf.branches.is_empty() {
+            return Err(EvalError::Other("set former with no branches".into()));
+        }
+        let mut result: Option<Relation> = None;
+        for branch in &sf.branches {
+            // Ranges are evaluated in the enclosing scope, once per
+            // branch (not per combination).
+            let mut ranges = Vec::with_capacity(branch.bindings.len());
+            for (_, r) in &branch.bindings {
+                ranges.push(self.eval_range(r, bindings)?);
+            }
+            let schema = self.branch_schema(branch, &ranges, bindings)?;
+            let out = match &mut result {
+                None => {
+                    result = Some(Relation::new(schema));
+                    result.as_mut().unwrap()
+                }
+                Some(rel) => {
+                    if !rel.schema().union_compatible(&schema) {
+                        return Err(EvalError::Type(dc_value::TypeError::SchemaMismatch {
+                            context: "set-former branches are not union-compatible".into(),
+                        }));
+                    }
+                    rel
+                }
+            };
+            // `out` cannot be borrowed across the recursive loop that
+            // needs `&mut self`; collect into a scratch relation.
+            let mut scratch = Relation::new(out.schema().clone());
+            self.loop_branch(branch, &ranges, 0, bindings, &mut scratch)?;
+            dc_relation::algebra::union_into(out, &scratch)?;
+        }
+        Ok(result.unwrap())
+    }
+
+    fn loop_branch(
+        &mut self,
+        branch: &Branch,
+        ranges: &[Relation],
+        depth: usize,
+        bindings: &mut Vec<Binding>,
+        out: &mut Relation,
+    ) -> Result<(), EvalError> {
+        if depth == branch.bindings.len() {
+            if self.eval_formula(&branch.predicate, bindings)? {
+                let tuple = match &branch.target {
+                    Target::Var(v) => lookup(bindings, v)?.tuple.clone(),
+                    Target::Tuple(exprs) => {
+                        let mut fields = Vec::with_capacity(exprs.len());
+                        for e in exprs {
+                            fields.push(self.eval_scalar(e, bindings)?);
+                        }
+                        Tuple::new(fields)
+                    }
+                };
+                out.insert(tuple)?;
+            }
+            return Ok(());
+        }
+        let (var, _) = &branch.bindings[depth];
+        let rel = &ranges[depth];
+        let schema = rel.schema().clone();
+        for t in rel.iter() {
+            bindings.push(Binding { var: var.clone(), tuple: t.clone(), schema: schema.clone() });
+            let r = self.loop_branch(branch, ranges, depth + 1, bindings, out);
+            bindings.pop();
+            r?;
+        }
+        Ok(())
+    }
+
+    /// Synthesise the output schema of a branch.
+    fn branch_schema(
+        &mut self,
+        branch: &Branch,
+        ranges: &[Relation],
+        bindings: &Vec<Binding>,
+    ) -> Result<Schema, EvalError> {
+        match &branch.target {
+            Target::Var(v) => {
+                let idx = branch
+                    .bindings
+                    .iter()
+                    .position(|(bv, _)| bv == v)
+                    .ok_or_else(|| EvalError::UnboundVariable(v.clone()))?;
+                Ok(ranges[idx].schema().clone())
+            }
+            Target::Tuple(exprs) => {
+                let mut attrs: Vec<Attribute> = Vec::with_capacity(exprs.len());
+                let mut used: FxHashSet<String> = FxHashSet::default();
+                for (i, e) in exprs.iter().enumerate() {
+                    let (name, domain) = self.target_field(e, branch, ranges, bindings, i)?;
+                    let mut name = name;
+                    while !used.insert(name.clone()) {
+                        name.push('_');
+                    }
+                    attrs.push(Attribute::new(name, domain));
+                }
+                Ok(Schema::new(attrs))
+            }
+        }
+    }
+
+    fn target_field(
+        &mut self,
+        e: &ScalarExpr,
+        branch: &Branch,
+        ranges: &[Relation],
+        bindings: &Vec<Binding>,
+        i: usize,
+    ) -> Result<(String, Domain), EvalError> {
+        match e {
+            ScalarExpr::Attr(v, attr) => {
+                // Prefer the branch's own bindings; fall back to outer
+                // bindings (correlated targets).
+                if let Some(idx) = branch.bindings.iter().position(|(bv, _)| bv == v) {
+                    let schema = ranges[idx].schema();
+                    let pos = schema.position(attr)?;
+                    Ok((attr.clone(), schema.domain(pos).base()))
+                } else {
+                    let b = lookup(bindings, v)?;
+                    let pos = b.schema.position(attr)?;
+                    Ok((attr.clone(), b.schema.domain(pos).base()))
+                }
+            }
+            ScalarExpr::Const(v) => Ok((format!("f{i}"), value_domain(v))),
+            ScalarExpr::Param(p) => {
+                let v = self.resolve_param(p)?;
+                Ok((p.clone(), value_domain(&v)))
+            }
+            ScalarExpr::Arith(l, _, _) => {
+                let (_, d) = self.target_field(l, branch, ranges, bindings, i)?;
+                Ok((format!("f{i}"), d))
+            }
+        }
+    }
+
+    /// Evaluate a formula under the given bindings.
+    pub fn eval_formula(
+        &mut self,
+        f: &Formula,
+        bindings: &mut Vec<Binding>,
+    ) -> Result<bool, EvalError> {
+        match f {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Cmp(l, op, r) => {
+                let lv = self.eval_scalar(l, bindings)?;
+                let rv = self.eval_scalar(r, bindings)?;
+                let ord = lv.try_cmp(&rv).ok_or_else(|| EvalError::CrossTypeComparison {
+                    lhs: lv.to_string(),
+                    rhs: rv.to_string(),
+                })?;
+                Ok(op.eval(ord))
+            }
+            Formula::And(a, b) => Ok(self.eval_formula(a, bindings)? && self.eval_formula(b, bindings)?),
+            Formula::Or(a, b) => Ok(self.eval_formula(a, bindings)? || self.eval_formula(b, bindings)?),
+            Formula::Not(inner) => Ok(!self.eval_formula(inner, bindings)?),
+            Formula::Some(v, range, body) => {
+                let rel = self.eval_range(range, bindings)?;
+                let schema = rel.schema().clone();
+                for t in rel.iter() {
+                    bindings.push(Binding {
+                        var: v.clone(),
+                        tuple: t.clone(),
+                        schema: schema.clone(),
+                    });
+                    let r = self.eval_formula(body, bindings);
+                    bindings.pop();
+                    if r? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::All(v, range, body) => {
+                let rel = self.eval_range(range, bindings)?;
+                let schema = rel.schema().clone();
+                for t in rel.iter() {
+                    bindings.push(Binding {
+                        var: v.clone(),
+                        tuple: t.clone(),
+                        schema: schema.clone(),
+                    });
+                    let r = self.eval_formula(body, bindings);
+                    bindings.pop();
+                    if !r? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Member(v, range) => {
+                let tuple = lookup(bindings, v)?.tuple.clone();
+                let rel = self.eval_range(range, bindings)?;
+                Ok(rel.contains(&tuple))
+            }
+            Formula::TupleIn(exprs, range) => {
+                let mut fields = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    fields.push(self.eval_scalar(e, bindings)?);
+                }
+                let tuple = Tuple::new(fields);
+                let rel = self.eval_range(range, bindings)?;
+                Ok(rel.contains(&tuple))
+            }
+        }
+    }
+
+    /// Evaluate a scalar expression under the given bindings.
+    pub fn eval_scalar(
+        &mut self,
+        e: &ScalarExpr,
+        bindings: &Vec<Binding>,
+    ) -> Result<Value, EvalError> {
+        match e {
+            ScalarExpr::Const(v) => Ok(v.clone()),
+            ScalarExpr::Attr(var, attr) => {
+                let b = lookup(bindings, var)?;
+                let pos = b.schema.position(attr)?;
+                Ok(b.tuple.get(pos).clone())
+            }
+            ScalarExpr::Param(p) => self.resolve_param(p),
+            ScalarExpr::Arith(l, op, r) => {
+                let lv = self.eval_scalar(l, bindings)?;
+                let rv = self.eval_scalar(r, bindings)?;
+                use crate::ast::ArithOp::*;
+                Ok(match op {
+                    Add => lv.add(&rv)?,
+                    Sub => lv.sub(&rv)?,
+                    Mul => lv.mul(&rv)?,
+                    Div => lv.div(&rv)?,
+                    Mod => lv.rem(&rv)?,
+                })
+            }
+        }
+    }
+
+    fn resolve_param(&self, name: &str) -> Result<Value, EvalError> {
+        for frame in self.param_frames.iter().rev() {
+            if let Some(v) = frame.get(name) {
+                return Ok(v.clone());
+            }
+        }
+        self.catalog.scalar_param(name)
+    }
+}
+
+/// Find the innermost binding of `var`.
+fn lookup<'b>(bindings: &'b [Binding], var: &str) -> Result<&'b Binding, EvalError> {
+    bindings
+        .iter()
+        .rev()
+        .find(|b| b.var == var)
+        .ok_or_else(|| EvalError::UnboundVariable(var.to_string()))
+}
+
+/// Is the range expression free of references to outer tuple variables
+/// and parameters (and therefore safe to cache by syntax)?
+pub fn is_binding_free(range: &RangeExpr) -> bool {
+    fn scalar_free(e: &ScalarExpr, local: &mut Vec<String>) -> bool {
+        match e {
+            ScalarExpr::Const(_) => true,
+            ScalarExpr::Param(_) => false,
+            ScalarExpr::Attr(v, _) => local.iter().any(|l| l == v),
+            ScalarExpr::Arith(l, _, r) => scalar_free(l, local) && scalar_free(r, local),
+        }
+    }
+    fn formula_free(f: &Formula, local: &mut Vec<String>) -> bool {
+        match f {
+            Formula::True | Formula::False => true,
+            Formula::Cmp(l, _, r) => scalar_free(l, local) && scalar_free(r, local),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                formula_free(a, local) && formula_free(b, local)
+            }
+            Formula::Not(inner) => formula_free(inner, local),
+            Formula::Some(v, range, body) | Formula::All(v, range, body) => {
+                if !range_free(range, local) {
+                    return false;
+                }
+                local.push(v.clone());
+                let ok = formula_free(body, local);
+                local.pop();
+                ok
+            }
+            Formula::Member(v, range) => {
+                local.iter().any(|l| l == v) && range_free(range, local)
+            }
+            Formula::TupleIn(exprs, range) => {
+                exprs.iter().all(|e| scalar_free(e, local)) && range_free(range, local)
+            }
+        }
+    }
+    fn range_free(r: &RangeExpr, local: &mut Vec<String>) -> bool {
+        match r {
+            RangeExpr::Rel(_) => true,
+            RangeExpr::Selected { base, args, .. } => {
+                range_free(base, local) && args.iter().all(|a| scalar_free(a, local))
+            }
+            RangeExpr::Constructed { base, args, scalar_args, .. } => {
+                range_free(base, local)
+                    && args.iter().all(|a| range_free(a, local))
+                    && scalar_args.iter().all(|s| scalar_free(s, local))
+            }
+            RangeExpr::SetFormer(sf) => sf.branches.iter().all(|b| {
+                let mark = local.len();
+                for (v, range) in &b.bindings {
+                    if !range_free(range, local) {
+                        local.truncate(mark);
+                        return false;
+                    }
+                    local.push(v.clone());
+                }
+                let ok = formula_free(&b.predicate, local)
+                    && match &b.target {
+                        Target::Var(v) => local.iter().any(|l| l == v),
+                        Target::Tuple(exprs) => exprs.iter().all(|e| scalar_free(e, local)),
+                    };
+                local.truncate(mark);
+                ok
+            }),
+        }
+    }
+    range_free(range, &mut Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, SelectorDef};
+    use crate::builder::*;
+    use crate::env::MapCatalog;
+    use dc_value::tuple;
+
+    fn infront(ts: &[(&str, &str)]) -> Relation {
+        Relation::from_tuples(
+            Schema::of(&[("front", Domain::Str), ("back", Domain::Str)]),
+            ts.iter().map(|(a, b)| tuple![*a, *b]),
+        )
+        .unwrap()
+    }
+
+    fn catalog() -> MapCatalog {
+        MapCatalog::new().with_relation(
+            "Infront",
+            infront(&[("vase", "table"), ("table", "chair"), ("chair", "wall")]),
+        )
+    }
+
+    /// The paper's ahead-2 body (§2.3):
+    /// `{ EACH r IN Infront: TRUE,
+    ///    <f.front, b.back> OF EACH f, b IN Infront: f.back = b.front }`
+    fn ahead2_expr() -> RangeExpr {
+        set_former(vec![
+            Branch::each("r", rel("Infront"), tru()),
+            Branch::projecting(
+                vec![attr("f", "front"), attr("b", "back")],
+                vec![
+                    ("f".into(), rel("Infront")),
+                    ("b".into(), rel("Infront")),
+                ],
+                eq(attr("f", "back"), attr("b", "front")),
+            ),
+        ])
+    }
+
+    #[test]
+    fn ahead2_from_the_paper() {
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        let out = ev.eval(&ahead2_expr()).unwrap();
+        // Base pairs plus two-step pairs.
+        assert_eq!(out.len(), 5);
+        assert!(out.contains(&tuple!["vase", "chair"]));
+        assert!(out.contains(&tuple!["table", "wall"]));
+        assert!(!out.contains(&tuple!["vase", "wall"])); // three steps
+    }
+
+    #[test]
+    fn branch_schema_names_from_attrs() {
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        let out = ev.eval(&ahead2_expr()).unwrap();
+        let names: Vec<&str> =
+            out.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["front", "back"]);
+    }
+
+    #[test]
+    fn selector_hidden_by() {
+        // SELECTOR hidden_by(Obj) FOR Rel; EACH r IN Rel: r.front = Obj
+        let def = SelectorDef {
+            name: "hidden_by".into(),
+            element_var: "r".into(),
+            params: vec![("Obj".into(), Domain::Str)],
+            predicate: eq(attr("r", "front"), param("Obj")),
+        };
+        let cat = catalog().with_selector(def);
+        let mut ev = Evaluator::new(&cat);
+        let e = rel("Infront").select("hidden_by", vec![cnst("table")]);
+        let out = ev.eval(&e).unwrap();
+        assert_eq!(out.sorted_tuples(), vec![tuple!["table", "chair"]]);
+    }
+
+    #[test]
+    fn selector_arity_mismatch() {
+        let def = SelectorDef {
+            name: "s".into(),
+            element_var: "r".into(),
+            params: vec![("Obj".into(), Domain::Str)],
+            predicate: tru(),
+        };
+        let cat = catalog().with_selector(def);
+        let mut ev = Evaluator::new(&cat);
+        let e = rel("Infront").select("s", vec![]);
+        assert!(matches!(ev.eval(&e), Err(EvalError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn selector_param_domain_checked() {
+        let def = SelectorDef {
+            name: "s".into(),
+            element_var: "r".into(),
+            params: vec![("Obj".into(), Domain::Int)],
+            predicate: tru(),
+        };
+        let cat = catalog().with_selector(def);
+        let mut ev = Evaluator::new(&cat);
+        let e = rel("Infront").select("s", vec![cnst("table")]);
+        assert!(matches!(ev.eval(&e), Err(EvalError::Type(_))));
+    }
+
+    #[test]
+    fn referential_integrity_selector() {
+        // §2.3: EACH r IN Rel: SOME o1 IN Objects (r.front = o1.part)
+        let objects = Relation::from_tuples(
+            Schema::of(&[("part", Domain::Str)]),
+            vec![tuple!["vase"], tuple!["table"], tuple!["chair"]],
+        )
+        .unwrap();
+        let def = SelectorDef {
+            name: "refint".into(),
+            element_var: "r".into(),
+            params: vec![],
+            predicate: some(
+                "o1",
+                rel("Objects"),
+                eq(attr("r", "front"), attr("o1", "part")),
+            )
+            .and(some(
+                "o2",
+                rel("Objects"),
+                eq(attr("r", "back"), attr("o2", "part")),
+            )),
+        };
+        let cat = catalog().with_relation("Objects", objects).with_selector(def);
+        let mut ev = Evaluator::new(&cat);
+        let out = ev.eval(&rel("Infront").select("refint", vec![])).unwrap();
+        // ("chair","wall") fails: "wall" is not an object.
+        assert_eq!(out.len(), 2);
+        assert!(!out.contains(&tuple!["chair", "wall"]));
+    }
+
+    #[test]
+    fn quantifiers_some_all() {
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        // EACH r IN Infront: ALL x IN Infront (x.front # r.back)
+        // keeps tuples whose back never appears as a front — sinks.
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            all("x", rel("Infront"), ne(attr("x", "front"), attr("r", "back"))),
+        )]);
+        let out = ev.eval(&e).unwrap();
+        assert_eq!(out.sorted_tuples(), vec![tuple!["chair", "wall"]]);
+        // SOME dual: tuples whose back does appear as a front.
+        let e2 = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some("x", rel("Infront"), eq(attr("x", "front"), attr("r", "back"))),
+        )]);
+        let out2 = ev.eval(&e2).unwrap();
+        assert_eq!(out2.len(), 2);
+    }
+
+    #[test]
+    fn membership_predicates() {
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        // EACH r IN Infront: NOT (<r.back, r.front> IN Infront)
+        // (keeps tuples with no reverse pair — all of them here).
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            Formula::TupleIn(
+                vec![attr("r", "back"), attr("r", "front")],
+                rel("Infront"),
+            )
+            .negate(),
+        )]);
+        let out = ev.eval(&e).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn member_var_in_range() {
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        // EACH r IN Infront: r IN Infront — trivially all.
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            Formula::Member("r".into(), rel("Infront")),
+        )]);
+        assert_eq!(ev.eval(&e).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn arithmetic_in_targets() {
+        let nums = Relation::from_tuples(
+            Schema::of(&[("n", Domain::Int)]),
+            vec![tuple![1i64], tuple![2i64]],
+        )
+        .unwrap();
+        let cat = MapCatalog::new().with_relation("N", nums);
+        let mut ev = Evaluator::new(&cat);
+        // <r.n + 10> OF EACH r IN N: TRUE
+        let e = set_former(vec![Branch::projecting(
+            vec![add(attr("r", "n"), cnst(10i64))],
+            vec![("r".into(), rel("N"))],
+            tru(),
+        )]);
+        let out = ev.eval(&e).unwrap();
+        assert!(out.contains(&tuple![11i64]));
+        assert!(out.contains(&tuple![12i64]));
+    }
+
+    #[test]
+    fn cross_type_comparison_is_error() {
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            eq(attr("r", "front"), cnst(1i64)),
+        )]);
+        assert!(matches!(
+            ev.eval(&e),
+            Err(EvalError::CrossTypeComparison { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_variable_error() {
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            eq(attr("zz", "front"), cnst("x")),
+        )]);
+        assert!(matches!(ev.eval(&e), Err(EvalError::UnboundVariable(_))));
+    }
+
+    #[test]
+    fn union_of_incompatible_branches_rejected() {
+        let nums = Relation::from_tuples(
+            Schema::of(&[("n", Domain::Int)]),
+            vec![tuple![1i64]],
+        )
+        .unwrap();
+        let cat = catalog().with_relation("N", nums);
+        let mut ev = Evaluator::new(&cat);
+        let e = set_former(vec![
+            Branch::each("r", rel("Infront"), tru()),
+            Branch::each("x", rel("N"), tru()),
+        ]);
+        assert!(ev.eval(&e).is_err());
+    }
+
+    #[test]
+    fn correlated_subquery_not_cached() {
+        // The inner set former references the outer variable `r`; its
+        // value must be recomputed per outer tuple.
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        // EACH r IN Infront:
+        //   SOME x IN {EACH y IN Infront: y.front = r.back} (TRUE)
+        let inner = set_former(vec![Branch::each(
+            "y",
+            rel("Infront"),
+            eq(attr("y", "front"), attr("r", "back")),
+        )]);
+        assert!(!is_binding_free(&inner));
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some("x", inner, tru()),
+        )]);
+        let out = ev.eval(&e).unwrap();
+        // Same result as the SOME formulation above.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn binding_free_detection() {
+        assert!(is_binding_free(&rel("R")));
+        assert!(is_binding_free(
+            &rel("R").select("s", vec![cnst(1i64)])
+        ));
+        assert!(!is_binding_free(
+            &rel("R").select("s", vec![attr("r", "a")])
+        ));
+        assert!(!is_binding_free(&rel("R").select("s", vec![param("P")])));
+        // A closed set former is binding-free even though it binds its
+        // own variables.
+        let closed = set_former(vec![Branch::each("x", rel("R"), tru())]);
+        assert!(is_binding_free(&closed));
+    }
+
+    #[test]
+    fn constructed_range_delegates_to_catalog() {
+        let cat = catalog().with_constructor_fn(
+            "identity",
+            Box::new(|base, _| Ok(base)),
+        );
+        let mut ev = Evaluator::new(&cat);
+        let out = ev.eval(&rel("Infront").construct("identity", vec![])).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_target_names_disambiguated() {
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        // <f.front, b.front> OF … — two `front` columns.
+        let e = set_former(vec![Branch::projecting(
+            vec![attr("f", "front"), attr("b", "front")],
+            vec![
+                ("f".into(), rel("Infront")),
+                ("b".into(), rel("Infront")),
+            ],
+            eq(attr("f", "back"), attr("b", "front")),
+        )]);
+        let out = ev.eval(&e).unwrap();
+        let names: Vec<&str> =
+            out.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["front", "front_"]);
+    }
+
+    #[test]
+    fn cmp_op_comparisons() {
+        let nums = Relation::from_tuples(
+            Schema::of(&[("n", Domain::Int)]),
+            (0..5).map(|i| tuple![i as i64]),
+        )
+        .unwrap();
+        let cat = MapCatalog::new().with_relation("N", nums);
+        let mut ev = Evaluator::new(&cat);
+        for (op, expect) in [
+            (CmpOp::Lt, 2usize),
+            (CmpOp::Le, 3),
+            (CmpOp::Gt, 2),
+            (CmpOp::Ge, 3),
+            (CmpOp::Eq, 1),
+            (CmpOp::Ne, 4),
+        ] {
+            let e = set_former(vec![Branch::each(
+                "r",
+                rel("N"),
+                Formula::Cmp(attr("r", "n"), op, cnst(2i64)),
+            )]);
+            assert_eq!(ev.eval(&e).unwrap().len(), expect, "{op:?}");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Tuple relational calculus with set formers, selectors, and
+//! constructor applications — the expression language of the paper.
+//!
+//! The paper's central example (§2.3) is expressible directly:
+//!
+//! ```text
+//! aheadrel { EACH r IN Infront: TRUE,
+//!            <f.front, b.back> OF EACH f, b IN Infront: f.back = b.front }
+//! ```
+//!
+//! Crate layout:
+//!
+//! * [`ast`] — the expression types: [`ast::RangeExpr`] (relation-valued),
+//!   [`ast::Formula`] (truth-valued), [`ast::ScalarExpr`] (value-valued),
+//!   plus [`ast::SelectorDef`], the named-predicate abstraction of §2.3.
+//! * [`builder`] — ergonomic constructors for writing ASTs in Rust.
+//! * [`env`] — the [`env::Catalog`] trait through which evaluation
+//!   resolves relation names, scalar parameters, selectors, and
+//!   constructor applications (implemented by `dc-core`'s database).
+//! * [`eval`] — the reference evaluator: direct nested-loop semantics,
+//!   the baseline every optimized plan must agree with.
+//! * [`positivity`] — §3.3's positivity constraint, implemented exactly
+//!   as defined (parity of enclosing `NOT`s and `ALL`-range positions).
+//! * [`rewrite`] — the one-sorted/De Morgan normalisation used in the
+//!   paper's monotonicity lemma, plus substitution utilities.
+//! * [`typeck`] — static checking of attribute references, comparability,
+//!   and union compatibility across set-former branches.
+
+pub mod ast;
+pub mod builder;
+pub mod env;
+pub mod error;
+pub mod eval;
+pub mod positivity;
+pub mod rewrite;
+pub mod typeck;
+
+pub use ast::{Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SelectorDef, SetFormer, Target};
+pub use env::Catalog;
+pub use error::EvalError;
+pub use eval::Evaluator;

@@ -1,0 +1,98 @@
+//! Errors of the engine core.
+
+use std::fmt;
+
+use dc_calculus::EvalError;
+use dc_relation::RelationError;
+use dc_value::Tuple;
+
+/// Errors raised by database/catalog operations and fixpoint
+/// evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Expression evaluation or static analysis failed.
+    Eval(EvalError),
+    /// Relation-level failure (key violation, schema mismatch).
+    Relation(RelationError),
+    /// A name was defined twice.
+    Duplicate {
+        /// What kind of object (`"relation"`, `"selector"`, …).
+        kind: &'static str,
+        /// The clashing name.
+        name: String,
+    },
+    /// A name was not found.
+    Unknown {
+        /// What kind of object was looked up.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// Assignment through a selected relation variable
+    /// (`Rel[s(args)] := rex`, §2.3) found a tuple violating the
+    /// selector predicate — the paper's `<exception>` branch.
+    SelectorViolation {
+        /// The selector name.
+        selector: String,
+        /// The offending tuple.
+        tuple: Tuple,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Eval(e) => write!(f, "{e}"),
+            CoreError::Relation(e) => write!(f, "{e}"),
+            CoreError::Duplicate { kind, name } => write!(f, "duplicate {kind} `{name}`"),
+            CoreError::Unknown { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            CoreError::SelectorViolation { selector, tuple } => {
+                write!(f, "tuple {tuple} violates selector `{selector}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Eval(e) => Some(e),
+            CoreError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EvalError> for CoreError {
+    fn from(e: EvalError) -> Self {
+        CoreError::Eval(e)
+    }
+}
+
+impl From<RelationError> for CoreError {
+    fn from(e: RelationError) -> Self {
+        CoreError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_value::tuple;
+
+    #[test]
+    fn display() {
+        let e = CoreError::Duplicate { kind: "relation", name: "Infront".into() };
+        assert!(e.to_string().contains("Infront"));
+        let v = CoreError::SelectorViolation { selector: "refint".into(), tuple: tuple!["a"] };
+        assert!(v.to_string().contains("refint"));
+        let u = CoreError::Unknown { kind: "constructor", name: "ahead".into() };
+        assert!(u.to_string().contains("ahead"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = EvalError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, CoreError::Eval(_)));
+    }
+}

@@ -1,0 +1,1101 @@
+//! The least-fixpoint semantics of constructor application (§3.2).
+//!
+//! Given an application `Actrel{c(args)}`, the engine instantiates the
+//! system of equations the paper describes: every (possibly mutually)
+//! recursive constructor application reachable from it becomes one
+//! equation variable `applyⱼ`, identified by its *actual values* —
+//! constructor name, base relation value, relation-argument values, and
+//! scalar-argument values ([`AppKey`]). All variables start at ∅ and the
+//! system iterates
+//!
+//! ```text
+//! applyᵢᵏ⁺¹ = gᵢ(apply₀ᵏ, …, applyₗᵏ)        (Jacobi / simultaneous)
+//! ```
+//!
+//! until nothing changes — the paper's
+//! `REPEAT Oldahead := Ahead; … UNTIL Ahead = Oldahead` generalised to
+//! `m` equations, exactly as in the mutual-recursion loop of §3.1.
+//!
+//! Two strategies are provided:
+//!
+//! * [`Strategy::Naive`] — each round fully re-evaluates each body; the
+//!   literal reading of the paper's loop.
+//! * [`Strategy::SemiNaive`] — differential evaluation: branches whose
+//!   recursive references occur only as whole binding ranges are
+//!   re-evaluated with one recursive range restricted to the previous
+//!   round's *delta* (per recursive position), which turns the O(n)
+//!   redundant rediscovery of the naive loop into work proportional to
+//!   new tuples. Branches with recursive references in other positions
+//!   (e.g. under quantifiers) fall back to naive re-evaluation — the
+//!   differential rewrite is applied only where it is sound.
+//!
+//! Convergence: positive (monotone) systems reach the LFP in finitely
+//! many steps (§3.3 lemma + Tarski). For non-positive systems admitted
+//! through the unchecked API the engine detects period-2 oscillation
+//! (the paper's `nonsense`) and reports [`EvalError::NonConvergent`];
+//! genuinely convergent non-monotone systems (the paper's `strange`)
+//! simply converge.
+
+use std::cell::RefCell;
+
+use dc_calculus::ast::{Branch, Name, RangeExpr, SetFormer};
+use dc_calculus::env::Overlay;
+use dc_calculus::rewrite;
+use dc_calculus::{Catalog, EvalError, Evaluator};
+use dc_relation::{algebra, Relation};
+use dc_value::{FxHashMap, Tuple, Value};
+
+use crate::constructor::Constructor;
+
+/// Fixpoint evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Full re-evaluation per round (the paper's REPEAT loop).
+    Naive,
+    /// Differential (delta-driven) evaluation where sound.
+    #[default]
+    SemiNaive,
+}
+
+/// Configuration of a fixpoint run.
+#[derive(Debug, Clone)]
+pub struct FixpointConfig {
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// Hard bound on rounds, for non-convergent (unchecked) systems.
+    pub max_iterations: usize,
+}
+
+impl Default for FixpointConfig {
+    fn default() -> FixpointConfig {
+        FixpointConfig { strategy: Strategy::SemiNaive, max_iterations: 100_000 }
+    }
+}
+
+/// Statistics of a completed fixpoint run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Number of iteration rounds until convergence.
+    pub iterations: usize,
+    /// Number of equations in the instantiated system.
+    pub equations: usize,
+    /// Total tuples across all equation values at the fixpoint.
+    pub total_tuples: usize,
+}
+
+/// Where the solver finds constructor definitions and base data.
+pub trait ConstructorSource {
+    /// The catalog resolving base relations and selectors.
+    fn base_catalog(&self) -> &dyn Catalog;
+    /// Look up a constructor definition.
+    fn constructor_def(&self, name: &str) -> Result<Constructor, EvalError>;
+}
+
+/// Identity of an instantiated application: §3.2's `applyⱼ`, keyed by
+/// actual values so that textually different but semantically identical
+/// applications share one equation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AppKey {
+    constructor: Name,
+    base: Vec<Tuple>,
+    args: Vec<Vec<Tuple>>,
+    scalar_args: Vec<Value>,
+}
+
+impl AppKey {
+    /// Build a key from actual values (canonicalised by sorting).
+    pub fn new(constructor: &str, base: &Relation, args: &[Relation], scalar_args: &[Value]) -> AppKey {
+        AppKey {
+            constructor: constructor.to_string(),
+            base: base.sorted_tuples(),
+            args: args.iter().map(Relation::sorted_tuples).collect(),
+            scalar_args: scalar_args.to_vec(),
+        }
+    }
+
+    /// The constructor name.
+    pub fn constructor(&self) -> &str {
+        &self.constructor
+    }
+}
+
+/// How a branch participates in semi-naive evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BranchClass {
+    /// No constructor application anywhere: evaluate once.
+    Static,
+    /// Constructor applications occur *only* as whole binding ranges
+    /// (the listed positions), with application base/args themselves
+    /// application-free: differential evaluation is sound.
+    Linear(Vec<usize>),
+    /// Anything else: re-evaluate naively each round.
+    Fallback,
+}
+
+fn range_has_app(r: &RangeExpr) -> bool {
+    !rewrite::collect_constructed(r).is_empty()
+}
+
+fn classify_branch(b: &Branch) -> BranchClass {
+    // Applications in the predicate (or in selector args of binding
+    // ranges) force fallback.
+    let mut pred_apps = Vec::new();
+    {
+        // Wrap the predicate in a throwaway branch to reuse the
+        // collector.
+        let probe = RangeExpr::SetFormer(SetFormer {
+            branches: vec![Branch {
+                target: b.target.clone(),
+                bindings: vec![],
+                predicate: b.predicate.clone(),
+            }],
+        });
+        pred_apps.extend(rewrite::collect_constructed(&probe));
+    }
+    if !pred_apps.is_empty() {
+        return BranchClass::Fallback;
+    }
+    let mut recursive = Vec::new();
+    for (i, (_, range)) in b.bindings.iter().enumerate() {
+        match range {
+            RangeExpr::Constructed { base, args, .. } => {
+                if range_has_app(base) || args.iter().any(range_has_app) {
+                    return BranchClass::Fallback;
+                }
+                recursive.push(i);
+            }
+            other => {
+                if range_has_app(other) {
+                    return BranchClass::Fallback;
+                }
+            }
+        }
+    }
+    if recursive.is_empty() {
+        BranchClass::Static
+    } else {
+        BranchClass::Linear(recursive)
+    }
+}
+
+/// One instantiated equation of the system.
+struct Equation {
+    /// The application identity (kept for debugging/explain output).
+    #[allow(dead_code)]
+    key: AppKey,
+    /// Body with the constructor's scalar parameters substituted.
+    body: SetFormer,
+    /// Formal-name → actual-value overlay entries (base + rel params).
+    overrides: Vec<(Name, Relation)>,
+    /// Declared result schema (values are conformed to it).
+    result: dc_value::Schema,
+    /// Per-branch semi-naive classification.
+    classes: Vec<BranchClass>,
+    /// Has the Static-branch contribution been computed yet?
+    initialized: bool,
+}
+
+/// Mutable solver state shared with the evaluation catalog.
+struct State {
+    equations: Vec<Equation>,
+    index: FxHashMap<AppKey, usize>,
+    current: Vec<Relation>,
+    delta: Vec<Relation>,
+}
+
+impl State {
+    /// Register an application, returning its equation index (existing
+    /// or new).
+    fn register(
+        &mut self,
+        source: &dyn ConstructorSource,
+        key: AppKey,
+        base: Relation,
+        args: Vec<Relation>,
+        scalar_args: Vec<Value>,
+    ) -> Result<usize, EvalError> {
+        if let Some(&i) = self.index.get(&key) {
+            return Ok(i);
+        }
+        let ctor = source.constructor_def(&key.constructor)?;
+        if args.len() != ctor.rel_params.len() {
+            return Err(EvalError::ArityMismatch {
+                name: ctor.name.clone(),
+                expected: ctor.rel_params.len(),
+                actual: args.len(),
+            });
+        }
+        if scalar_args.len() != ctor.scalar_params.len() {
+            return Err(EvalError::ArityMismatch {
+                name: ctor.name.clone(),
+                expected: ctor.scalar_params.len(),
+                actual: scalar_args.len(),
+            });
+        }
+        // Substitute scalar parameters into the body (§3.2: "replacing
+        // all formal parameters by their actual values").
+        let mut param_map = FxHashMap::default();
+        for ((pname, pdom), v) in ctor.scalar_params.iter().zip(&scalar_args) {
+            pdom.check(v)?;
+            param_map.insert(pname.clone(), v.clone());
+        }
+        let body_range =
+            rewrite::substitute_params_range(&RangeExpr::SetFormer(ctor.body.clone()), &param_map);
+        let body = match body_range {
+            RangeExpr::SetFormer(sf) => sf,
+            _ => unreachable!("substitution preserves the set-former shape"),
+        };
+        let mut overrides = vec![(ctor.base_param.0.clone(), base)];
+        for ((pname, _), actual) in ctor.rel_params.iter().zip(args) {
+            overrides.push((pname.clone(), actual));
+        }
+        let classes = body.branches.iter().map(classify_branch).collect();
+        let i = self.equations.len();
+        self.current.push(Relation::new(ctor.result.clone()));
+        self.delta.push(Relation::new(ctor.result.clone()));
+        self.equations.push(Equation {
+            key: key.clone(),
+            body,
+            overrides,
+            result: ctor.result,
+            classes,
+            initialized: false,
+        });
+        self.index.insert(key, i);
+        Ok(i)
+    }
+}
+
+/// The catalog visible while evaluating equation bodies: formal names
+/// resolve through per-equation overrides, and constructor applications
+/// resolve to the *current iterate* (registering new equations on first
+/// sight — dynamic instantiation of the §3.2 system).
+struct SolverCatalog<'a> {
+    source: &'a dyn ConstructorSource,
+    state: &'a RefCell<State>,
+}
+
+impl Catalog for SolverCatalog<'_> {
+    fn relation(&self, name: &str) -> Result<std::borrow::Cow<'_, Relation>, EvalError> {
+        self.source.base_catalog().relation(name)
+    }
+
+    fn selector(&self, name: &str) -> Result<&dc_calculus::ast::SelectorDef, EvalError> {
+        self.source.base_catalog().selector(name)
+    }
+
+    fn apply_constructor(
+        &self,
+        base: Relation,
+        name: &str,
+        args: Vec<Relation>,
+        scalar_args: Vec<Value>,
+    ) -> Result<Relation, EvalError> {
+        let key = AppKey::new(name, &base, &args, &scalar_args);
+        let existing = {
+            let st = self.state.borrow();
+            st.index.get(&key).copied()
+        };
+        if let Some(i) = existing {
+            return Ok(self.state.borrow().current[i].clone());
+        }
+        let i = {
+            let mut st = self.state.borrow_mut();
+            st.register(self.source, key, base, args, scalar_args)?
+        };
+        // Eagerly instantiate the applications in the new body so that
+        // mutually recursive peers exist from the first round (§3.2
+        // instantiates the whole system up front).
+        seed_equation(self.source, self.state, i)?;
+        Ok(self.state.borrow().current[i].clone())
+    }
+
+    fn scalar_param(&self, name: &str) -> Result<Value, EvalError> {
+        self.source.base_catalog().scalar_param(name)
+    }
+}
+
+/// Conform a computed relation to the declared result schema (attribute
+/// names of equation values must match the declared result type, since
+/// other bodies reference them by name).
+fn conform(rel: Relation, schema: &dc_value::Schema) -> Result<Relation, EvalError> {
+    if !rel.schema().union_compatible(schema) {
+        return Err(EvalError::Type(dc_value::TypeError::SchemaMismatch {
+            context: "constructor body value does not match declared result type".into(),
+        }));
+    }
+    let mut out = Relation::new(schema.clone());
+    for t in rel.iter() {
+        out.insert_unchecked(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// Internal marker name for delta injection; not expressible in DBPL
+/// source, so it cannot clash with user names.
+const DELTA_MARKER: &str = "\u{394}delta";
+
+/// Register every constructor application appearing in equation `i`'s
+/// body whose base/args are themselves application-free — the up-front
+/// instantiation of the §3.2 equation system. Recursive through
+/// registration (idempotent by key, so mutual recursion terminates).
+fn seed_equation(
+    source: &dyn ConstructorSource,
+    state: &RefCell<State>,
+    i: usize,
+) -> Result<(), EvalError> {
+    let (body, overrides) = {
+        let st = state.borrow();
+        (st.equations[i].body.clone(), st.equations[i].overrides.clone())
+    };
+    let catalog = SolverCatalog { source, state };
+    let apps = rewrite::collect_constructed(&RangeExpr::SetFormer(body));
+    for app in apps {
+        let RangeExpr::Constructed { base, constructor, args, scalar_args } = &app else {
+            unreachable!("collect_constructed returns Constructed nodes");
+        };
+        if range_has_app(base) || args.iter().any(range_has_app) {
+            // Value-dependent key; registers dynamically during
+            // evaluation instead.
+            continue;
+        }
+        let overlay = Overlay::new(&catalog, overrides.clone());
+        let mut ev = Evaluator::new(&overlay);
+        let mut bindings = Vec::new();
+        let base_val = ev.eval_range(base, &mut bindings)?;
+        let mut arg_vals = Vec::with_capacity(args.len());
+        for a in args {
+            arg_vals.push(ev.eval_range(a, &mut bindings)?);
+        }
+        let mut scalar_vals = Vec::with_capacity(scalar_args.len());
+        for s in scalar_args {
+            scalar_vals.push(ev.eval_scalar(s, &bindings)?);
+        }
+        let key = AppKey::new(constructor, &base_val, &arg_vals, &scalar_vals);
+        let fresh = {
+            let mut st = state.borrow_mut();
+            if st.index.contains_key(&key) {
+                None
+            } else {
+                Some(st.register(source, key, base_val, arg_vals, scalar_vals)?)
+            }
+        };
+        if let Some(j) = fresh {
+            seed_equation(source, state, j)?;
+        }
+    }
+    Ok(())
+}
+
+/// Solve the system rooted at `constructor(base, args, scalar_args)`;
+/// returns the application value and run statistics.
+pub fn solve(
+    source: &dyn ConstructorSource,
+    constructor: &str,
+    base: Relation,
+    args: Vec<Relation>,
+    scalar_args: Vec<Value>,
+    cfg: &FixpointConfig,
+) -> Result<(Relation, FixpointStats), EvalError> {
+    let state = RefCell::new(State {
+        equations: Vec::new(),
+        index: FxHashMap::default(),
+        current: Vec::new(),
+        delta: Vec::new(),
+    });
+    let root_key = AppKey::new(constructor, &base, &args, &scalar_args);
+    state
+        .borrow_mut()
+        .register(source, root_key.clone(), base, args, scalar_args)?;
+    seed_equation(source, &state, 0)?;
+    let catalog = SolverCatalog { source, state: &state };
+
+    let mut iterations = 0usize;
+    let mut prev: Option<Vec<Relation>> = None;
+    let mut prev2: Option<Vec<Relation>> = None;
+
+    loop {
+        iterations += 1;
+        if iterations > cfg.max_iterations {
+            return Err(EvalError::NonConvergent { steps: iterations - 1 });
+        }
+        let n = state.borrow().equations.len();
+        // Staged results: Jacobi-style simultaneous update, matching the
+        // paper's Oldahead/Oldabove loop.
+        let mut staged: Vec<Option<Relation>> = Vec::with_capacity(n);
+        for i in 0..n {
+            staged.push(Some(evaluate_equation(&catalog, &state, i, cfg.strategy)?));
+        }
+        // Commit.
+        let mut changed = false;
+        {
+            let mut st = state.borrow_mut();
+            for (i, new_val) in staged.into_iter().enumerate() {
+                let new_val = new_val.expect("staged all equations");
+                let added = algebra::difference(&new_val, &st.current[i])
+                    .map_err(EvalError::from)?;
+                let removed_any = match cfg.strategy {
+                    // Non-monotone (unchecked) systems can shrink; the
+                    // naive strategy replaces wholesale.
+                    Strategy::Naive => st.current[i] != new_val,
+                    // Semi-naive only ever grows.
+                    Strategy::SemiNaive => false,
+                };
+                if !added.is_empty() || removed_any {
+                    changed = true;
+                }
+                match cfg.strategy {
+                    Strategy::Naive => {
+                        st.delta[i] = added;
+                        st.current[i] = new_val;
+                    }
+                    Strategy::SemiNaive => {
+                        st.delta[i] = added.clone();
+                        algebra::union_into(&mut st.current[i], &added)
+                            .map_err(EvalError::from)?;
+                    }
+                }
+            }
+        }
+        let grew = state.borrow().equations.len() > n;
+        if !changed && !grew {
+            break;
+        }
+        // Oscillation detection for non-monotone systems (the paper's
+        // `nonsense`): state equals the state two rounds ago but not the
+        // previous one ⇒ period-2 cycle, no limit exists.
+        let snapshot = state.borrow().current.clone();
+        if let (Some(p), Some(p2)) = (&prev, &prev2) {
+            if &snapshot == p2 && &snapshot != p {
+                return Err(EvalError::NonConvergent { steps: iterations });
+            }
+        }
+        prev2 = prev.take();
+        prev = Some(snapshot);
+    }
+
+    let st = state.into_inner();
+    let root_idx = st.index[&root_key];
+    let stats = FixpointStats {
+        strategy: cfg.strategy,
+        iterations,
+        equations: st.equations.len(),
+        total_tuples: st.current.iter().map(Relation::len).sum(),
+    };
+    Ok((st.current[root_idx].clone(), stats))
+}
+
+/// Evaluate one equation body for the current round.
+fn evaluate_equation(
+    catalog: &SolverCatalog<'_>,
+    state: &RefCell<State>,
+    i: usize,
+    strategy: Strategy,
+) -> Result<Relation, EvalError> {
+    // Clone out what the evaluation needs; the state must stay
+    // borrowable by `apply_constructor` during evaluation.
+    let (body, overrides, result_schema, classes, initialized, current_i) = {
+        let st = state.borrow();
+        let eq = &st.equations[i];
+        (
+            eq.body.clone(),
+            eq.overrides.clone(),
+            eq.result.clone(),
+            eq.classes.clone(),
+            eq.initialized,
+            st.current[i].clone(),
+        )
+    };
+
+    let value = match strategy {
+        Strategy::Naive => {
+            let overlay = Overlay::new(catalog, overrides);
+            let mut ev = Evaluator::new(&overlay);
+            ev.eval(&RangeExpr::SetFormer(body.clone()))?
+        }
+        Strategy::SemiNaive => {
+            let mut acc = current_i;
+            for (b_idx, branch) in body.branches.iter().enumerate() {
+                match &classes[b_idx] {
+                    BranchClass::Static => {
+                        if !initialized {
+                            let part = eval_single_branch(catalog, &overrides, branch, None)?;
+                            acc = algebra::union(&acc_conform(&acc, &result_schema)?, &part)
+                                .map_err(EvalError::from)?;
+                        }
+                    }
+                    BranchClass::Fallback => {
+                        let part = eval_single_branch(catalog, &overrides, branch, None)?;
+                        acc = algebra::union(&acc_conform(&acc, &result_schema)?, &part)
+                            .map_err(EvalError::from)?;
+                    }
+                    BranchClass::Linear(positions) => {
+                        for &pos in positions {
+                            // An equation's first differential round
+                            // reads the peers' *full* current values —
+                            // equations registered after their peers
+                            // would otherwise miss deltas emitted before
+                            // they existed.
+                            let part = eval_single_branch(
+                                catalog,
+                                &overrides,
+                                branch,
+                                Some((pos, state, !initialized)),
+                            )?;
+                            acc = algebra::union(&acc_conform(&acc, &result_schema)?, &part)
+                                .map_err(EvalError::from)?;
+                        }
+                    }
+                }
+            }
+            state.borrow_mut().equations[i].initialized = true;
+            acc
+        }
+    };
+    conform(value, &result_schema)
+}
+
+/// `acc` may still carry an inferred schema; keep it conformed so that
+/// unions succeed.
+fn acc_conform(acc: &Relation, schema: &dc_value::Schema) -> Result<Relation, EvalError> {
+    if acc.schema() == schema {
+        Ok(acc.clone())
+    } else {
+        conform(acc.clone(), schema)
+    }
+}
+
+/// Evaluate one branch, optionally substituting the binding at
+/// `delta_at` with the delta of the application it refers to.
+fn eval_single_branch(
+    catalog: &SolverCatalog<'_>,
+    overrides: &[(Name, Relation)],
+    branch: &Branch,
+    delta_at: Option<(usize, &RefCell<State>, bool)>,
+) -> Result<Relation, EvalError> {
+    let mut branch = branch.clone();
+    let mut extra_overrides: Vec<(Name, Relation)> = Vec::new();
+
+    if let Some((pos, state, full)) = delta_at {
+        // Resolve the delta of the application bound at `pos`.
+        let (_, range) = &branch.bindings[pos];
+        let RangeExpr::Constructed { base, constructor, args, scalar_args } = range else {
+            unreachable!("Linear classification guarantees a Constructed range");
+        };
+        // Evaluate base/args (application-free by classification) under
+        // the equation overlay.
+        let overlay = Overlay::new(catalog, overrides.to_vec());
+        let mut ev = Evaluator::new(&overlay);
+        let mut bindings = Vec::new();
+        let base_val = ev.eval_range(base, &mut bindings)?;
+        let mut arg_vals = Vec::with_capacity(args.len());
+        for a in args {
+            arg_vals.push(ev.eval_range(a, &mut bindings)?);
+        }
+        let mut scalar_vals = Vec::with_capacity(scalar_args.len());
+        for s in scalar_args {
+            scalar_vals.push(ev.eval_scalar(s, &bindings)?);
+        }
+        let key = AppKey::new(constructor, &base_val, &arg_vals, &scalar_vals);
+        let delta = {
+            let mut st = state.borrow_mut();
+            match st.index.get(&key) {
+                Some(&idx) => {
+                    if full {
+                        st.current[idx].clone()
+                    } else {
+                        st.delta[idx].clone()
+                    }
+                }
+                None => {
+                    // First sighting: register; its delta is its (empty)
+                    // current value.
+                    let idx = st.register(
+                        catalog.source,
+                        key,
+                        base_val,
+                        arg_vals,
+                        scalar_vals,
+                    )?;
+                    st.delta[idx].clone()
+                }
+            }
+        };
+        let marker = format!("{DELTA_MARKER}{pos}");
+        branch.bindings[pos].1 = RangeExpr::Rel(marker.clone());
+        extra_overrides.push((marker, delta));
+    }
+
+    let mut all_overrides = overrides.to_vec();
+    all_overrides.extend(extra_overrides);
+    let overlay = Overlay::new(catalog, all_overrides);
+    let mut ev = Evaluator::new(&overlay);
+    ev.eval(&RangeExpr::SetFormer(SetFormer { branches: vec![branch] }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_calculus::builder::*;
+    use dc_calculus::env::MapCatalog;
+    use dc_value::{tuple, Domain, Schema};
+
+    fn infrontrel() -> Schema {
+        Schema::of(&[("front", Domain::Str), ("back", Domain::Str)])
+    }
+
+    fn aheadrel() -> Schema {
+        Schema::of(&[("head", Domain::Str), ("tail", Domain::Str)])
+    }
+
+    fn chain(n: usize) -> Relation {
+        Relation::from_tuples(
+            infrontrel(),
+            (0..n).map(|i| tuple![format!("o{i}"), format!("o{}", i + 1)]),
+        )
+        .unwrap()
+    }
+
+    /// `ahead` exactly as in §3.1.
+    fn ahead() -> Constructor {
+        Constructor {
+            name: "ahead".into(),
+            base_param: ("Rel".into(), infrontrel()),
+            rel_params: vec![],
+            scalar_params: vec![],
+            result: aheadrel(),
+            body: SetFormer {
+                branches: vec![
+                    Branch::each("r", rel("Rel"), tru()),
+                    Branch::projecting(
+                        vec![attr("f", "front"), attr("b", "tail")],
+                        vec![
+                            ("f".into(), rel("Rel")),
+                            ("b".into(), rel("Rel").construct("ahead", vec![])),
+                        ],
+                        eq(attr("f", "back"), attr("b", "head")),
+                    ),
+                ],
+            },
+        }
+    }
+
+    struct TestSource {
+        catalog: MapCatalog,
+        ctors: Vec<Constructor>,
+    }
+
+    impl ConstructorSource for TestSource {
+        fn base_catalog(&self) -> &dyn Catalog {
+            &self.catalog
+        }
+        fn constructor_def(&self, name: &str) -> Result<Constructor, EvalError> {
+            self.ctors
+                .iter()
+                .find(|c| c.name == name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnknownConstructor(name.to_string()))
+        }
+    }
+
+    fn cfg(strategy: Strategy) -> FixpointConfig {
+        FixpointConfig { strategy, max_iterations: 10_000 }
+    }
+
+    #[test]
+    fn transitive_closure_naive_and_seminaive_agree() {
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let (out, stats) =
+                solve(&src, "ahead", chain(5), vec![], vec![], &cfg(strategy)).unwrap();
+            // closure of a 5-edge chain: 5+4+3+2+1 = 15 pairs
+            assert_eq!(out.len(), 15, "{strategy:?}");
+            assert!(out.contains(&tuple!["o0", "o5"]));
+            assert_eq!(stats.equations, 1);
+        }
+    }
+
+    #[test]
+    fn result_schema_attribute_names_conformed() {
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        let (out, _) =
+            solve(&src, "ahead", chain(2), vec![], vec![], &cfg(Strategy::SemiNaive)).unwrap();
+        let names: Vec<&str> =
+            out.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["head", "tail"]);
+    }
+
+    #[test]
+    fn empty_base_converges_immediately() {
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        let (out, stats) = solve(
+            &src,
+            "ahead",
+            Relation::new(infrontrel()),
+            vec![],
+            vec![],
+            &cfg(Strategy::SemiNaive),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+        assert!(stats.iterations <= 2);
+    }
+
+    #[test]
+    fn iteration_counts_scale_with_longest_path() {
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        let (_, s8) =
+            solve(&src, "ahead", chain(8), vec![], vec![], &cfg(Strategy::Naive)).unwrap();
+        let (_, s16) =
+            solve(&src, "ahead", chain(16), vec![], vec![], &cfg(Strategy::Naive)).unwrap();
+        assert!(s16.iterations > s8.iterations);
+        // Naive TC with the right-linear rule closes a chain of n edges
+        // in ~n rounds.
+        assert!(s8.iterations >= 8 && s8.iterations <= 10, "{}", s8.iterations);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let mut edges = chain(4);
+        edges.insert(tuple!["o4", "o0"]).unwrap(); // close the cycle
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let (out, _) =
+                solve(&src, "ahead", edges.clone(), vec![], vec![], &cfg(strategy)).unwrap();
+            // Complete closure of a 5-cycle: 25 pairs.
+            assert_eq!(out.len(), 25, "{strategy:?}");
+        }
+    }
+
+    /// The paper's `strange` example (§3.3): non-monotone but
+    /// convergent. Rel = {0,…,6} ⇒ limit {0,2,4,6}. Only the naive
+    /// strategy is sound for non-monotone bodies.
+    #[test]
+    fn strange_converges_to_even_numbers() {
+        let cardrel = Schema::of(&[("number", Domain::Card)]);
+        let strange = Constructor {
+            name: "strange".into(),
+            base_param: ("Baserel".into(), cardrel.clone()),
+            rel_params: vec![],
+            scalar_params: vec![],
+            result: cardrel.clone(),
+            body: SetFormer {
+                branches: vec![Branch::each(
+                    "r",
+                    rel("Baserel"),
+                    not(some(
+                        "s",
+                        rel("Baserel").construct("strange", vec![]),
+                        eq(attr("r", "number"), add(attr("s", "number"), cnst(1u64))),
+                    )),
+                )],
+            },
+        };
+        let base =
+            Relation::from_tuples(cardrel, (0u64..=6).map(|i| tuple![i])).unwrap();
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![strange] };
+        let (out, _) =
+            solve(&src, "strange", base, vec![], vec![], &cfg(Strategy::Naive)).unwrap();
+        let nums: Vec<u64> =
+            out.sorted_tuples().iter().map(|t| t.get(0).as_card().unwrap()).collect();
+        assert_eq!(nums, vec![0, 2, 4, 6]);
+    }
+
+    /// The paper's `nonsense` example (§3.3): the iteration oscillates
+    /// `∅, Rel, ∅, Rel, …` and has no limit — detected as
+    /// non-convergent.
+    #[test]
+    fn nonsense_detected_as_non_convergent() {
+        let anyrel = Schema::of(&[("x", Domain::Int)]);
+        let nonsense = Constructor {
+            name: "nonsense".into(),
+            base_param: ("Rel".into(), anyrel.clone()),
+            rel_params: vec![],
+            scalar_params: vec![],
+            result: anyrel.clone(),
+            body: SetFormer {
+                branches: vec![Branch::each(
+                    "r",
+                    rel("Rel"),
+                    not(member("r", rel("Rel").construct("nonsense", vec![]))),
+                )],
+            },
+        };
+        let base = Relation::from_tuples(anyrel, vec![tuple![1i64], tuple![2i64]]).unwrap();
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![nonsense] };
+        let err =
+            solve(&src, "nonsense", base, vec![], vec![], &cfg(Strategy::Naive)).unwrap_err();
+        assert!(matches!(err, EvalError::NonConvergent { .. }));
+    }
+
+    /// Mutual recursion exactly as §3.1: `ahead` and `above` defined
+    /// over Infront and Ontop.
+    #[test]
+    fn mutual_recursion_ahead_above() {
+        let ontoprel = Schema::of(&[("top", Domain::Str), ("base", Domain::Str)]);
+        let aboverel = Schema::of(&[("high", Domain::Str), ("low", Domain::Str)]);
+
+        // CONSTRUCTOR ahead FOR Rel: infrontrel (Ontop: ontoprel): aheadrel
+        let ahead_m = Constructor {
+            name: "ahead".into(),
+            base_param: ("Rel".into(), infrontrel()),
+            rel_params: vec![("Ontop".into(), ontoprel.clone())],
+            scalar_params: vec![],
+            result: aheadrel(),
+            body: SetFormer {
+                branches: vec![
+                    Branch::each("r", rel("Rel"), tru()),
+                    Branch::projecting(
+                        vec![attr("r", "front"), attr("ah", "tail")],
+                        vec![
+                            ("r".into(), rel("Rel")),
+                            (
+                                "ah".into(),
+                                rel("Rel").construct("ahead", vec![rel("Ontop")]),
+                            ),
+                        ],
+                        eq(attr("r", "back"), attr("ah", "head")),
+                    ),
+                    Branch::projecting(
+                        vec![attr("r", "front"), attr("ab", "low")],
+                        vec![
+                            ("r".into(), rel("Rel")),
+                            (
+                                "ab".into(),
+                                rel("Ontop").construct("above", vec![rel("Rel")]),
+                            ),
+                        ],
+                        eq(attr("r", "back"), attr("ab", "high")),
+                    ),
+                ],
+            },
+        };
+        // CONSTRUCTOR above FOR Rel: ontoprel (Infront: infrontrel): aboverel
+        let above_m = Constructor {
+            name: "above".into(),
+            base_param: ("Rel".into(), ontoprel.clone()),
+            rel_params: vec![("Infront".into(), infrontrel())],
+            scalar_params: vec![],
+            result: aboverel.clone(),
+            body: SetFormer {
+                branches: vec![
+                    Branch::each("r", rel("Rel"), tru()),
+                    Branch::projecting(
+                        vec![attr("r", "top"), attr("ab", "low")],
+                        vec![
+                            ("r".into(), rel("Rel")),
+                            (
+                                "ab".into(),
+                                rel("Rel").construct("above", vec![rel("Infront")]),
+                            ),
+                        ],
+                        eq(attr("r", "base"), attr("ab", "high")),
+                    ),
+                    Branch::projecting(
+                        vec![attr("r", "top"), attr("ah", "tail")],
+                        vec![
+                            ("r".into(), rel("Rel")),
+                            (
+                                "ah".into(),
+                                rel("Infront").construct("ahead", vec![rel("Rel")]),
+                            ),
+                        ],
+                        eq(attr("r", "base"), attr("ah", "head")),
+                    ),
+                ],
+            },
+        };
+
+        // Scene: vase on table; table in front of chair; lamp in front
+        // of the vase.
+        let infront = Relation::from_tuples(
+            infrontrel(),
+            vec![tuple!["table", "chair"], tuple!["lamp", "vase"]],
+        )
+        .unwrap();
+        let ontop =
+            Relation::from_tuples(ontoprel, vec![tuple!["vase", "table"]]).unwrap();
+
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead_m, above_m],
+        };
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            // Ontop{above(Infront)}: the vase (on the table, which is in
+            // front of the chair) is above/ahead of the chair — the
+            // paper's motivating example.
+            let (above_out, stats) = solve(
+                &src,
+                "above",
+                ontop.clone(),
+                vec![infront.clone()],
+                vec![],
+                &cfg(strategy),
+            )
+            .unwrap();
+            assert!(above_out.contains(&tuple!["vase", "table"]), "{strategy:?}");
+            assert!(above_out.contains(&tuple!["vase", "chair"]), "{strategy:?}");
+            assert_eq!(stats.equations, 2, "{strategy:?}");
+
+            // Infront{ahead(Ontop)}: the lamp (in front of the vase,
+            // which is above the chair) is ahead of the chair — needs
+            // the `above` equation, i.e. genuine mutual recursion.
+            let (ahead_out, stats) = solve(
+                &src,
+                "ahead",
+                infront.clone(),
+                vec![ontop.clone()],
+                vec![],
+                &cfg(strategy),
+            )
+            .unwrap();
+            assert!(ahead_out.contains(&tuple!["table", "chair"]), "{strategy:?}");
+            assert!(ahead_out.contains(&tuple!["lamp", "table"]), "{strategy:?}");
+            assert!(ahead_out.contains(&tuple!["lamp", "chair"]), "{strategy:?}");
+            assert!(!ahead_out.contains(&tuple!["vase", "chair"]), "{strategy:?}");
+            assert_eq!(stats.equations, 2, "{strategy:?}");
+        }
+    }
+
+    /// Scalar parameters: bounded closure `ahead_k` via a CARDINAL
+    /// step-count encoded as constant in the body.
+    #[test]
+    fn scalar_params_partial_evaluated() {
+        let numrel = Schema::of(&[("n", Domain::Int)]);
+        // CONSTRUCTOR below(K: INTEGER) FOR Rel: numrel: numrel
+        //   EACH r IN Rel: r.n < K
+        let below = Constructor {
+            name: "below".into(),
+            base_param: ("Rel".into(), numrel.clone()),
+            rel_params: vec![],
+            scalar_params: vec![("K".into(), Domain::Int)],
+            result: numrel.clone(),
+            body: SetFormer {
+                branches: vec![Branch::each("r", rel("Rel"), lt(attr("r", "n"), param("K")))],
+            },
+        };
+        let base =
+            Relation::from_tuples(numrel, (0..10).map(|i| tuple![i as i64])).unwrap();
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![below] };
+        let (out, _) = solve(
+            &src,
+            "below",
+            base.clone(),
+            vec![],
+            vec![Value::Int(4)],
+            &cfg(Strategy::SemiNaive),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 4);
+        // Different scalar args are different applications.
+        let (out7, _) = solve(
+            &src,
+            "below",
+            base,
+            vec![],
+            vec![Value::Int(7)],
+            &cfg(Strategy::SemiNaive),
+        )
+        .unwrap();
+        assert_eq!(out7.len(), 7);
+    }
+
+    #[test]
+    fn scalar_param_domain_checked() {
+        let numrel = Schema::of(&[("n", Domain::Int)]);
+        let below = Constructor {
+            name: "below".into(),
+            base_param: ("Rel".into(), numrel.clone()),
+            rel_params: vec![],
+            scalar_params: vec![("K".into(), Domain::Int)],
+            result: numrel.clone(),
+            body: SetFormer {
+                branches: vec![Branch::each("r", rel("Rel"), lt(attr("r", "n"), param("K")))],
+            },
+        };
+        let base = Relation::new(numrel);
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![below] };
+        let err = solve(
+            &src,
+            "below",
+            base,
+            vec![],
+            vec![Value::str("oops")],
+            &cfg(Strategy::SemiNaive),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::Type(_)));
+    }
+
+    #[test]
+    fn arity_mismatches_rejected() {
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        // `ahead` takes no relation args.
+        let err = solve(
+            &src,
+            "ahead",
+            chain(2),
+            vec![chain(1)],
+            vec![],
+            &cfg(Strategy::Naive),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_constructor_errors() {
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![] };
+        let err = solve(
+            &src,
+            "ghost",
+            chain(1),
+            vec![],
+            vec![],
+            &cfg(Strategy::Naive),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::UnknownConstructor(_)));
+    }
+
+    #[test]
+    fn semi_naive_fewer_or_equal_iterations_than_naive() {
+        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        let (out_n, s_n) =
+            solve(&src, "ahead", chain(12), vec![], vec![], &cfg(Strategy::Naive)).unwrap();
+        let (out_s, s_s) =
+            solve(&src, "ahead", chain(12), vec![], vec![], &cfg(Strategy::SemiNaive))
+                .unwrap();
+        assert_eq!(out_n, out_s);
+        assert!(s_s.iterations <= s_n.iterations + 1);
+    }
+
+    #[test]
+    fn branch_classification() {
+        let a = ahead();
+        assert_eq!(classify_branch(&a.body.branches[0]), BranchClass::Static);
+        assert_eq!(classify_branch(&a.body.branches[1]), BranchClass::Linear(vec![1]));
+        // Application under a quantifier ⇒ fallback.
+        let fb = Branch::each(
+            "r",
+            rel("Rel"),
+            some("x", rel("Rel").construct("c", vec![]), tru()),
+        );
+        assert_eq!(classify_branch(&fb), BranchClass::Fallback);
+    }
+
+    #[test]
+    fn app_key_order_independent() {
+        let r1 = Relation::from_tuples(
+            infrontrel(),
+            vec![tuple!["a", "b"], tuple!["b", "c"]],
+        )
+        .unwrap();
+        let mut r2 = Relation::new(infrontrel());
+        r2.insert(tuple!["b", "c"]).unwrap();
+        r2.insert(tuple!["a", "b"]).unwrap();
+        assert_eq!(AppKey::new("c", &r1, &[], &[]), AppKey::new("c", &r2, &[], &[]));
+    }
+}

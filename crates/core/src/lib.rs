@@ -1,0 +1,36 @@
+//! The paper's primary contribution: **relation constructors** with
+//! least-fixpoint semantics, integrated with selectors and a typed
+//! relational catalog.
+//!
+//! * [`selector`] — named parameterised predicates over relations
+//!   (§2.3): query-side filtering (`Rel[s(args)]`) and assignment
+//!   guarding (`Rel[s] := rex` raises on violation).
+//! * [`constructor`] — constructor definitions (§3): a formal base
+//!   relation (`FOR Rel: reltype`), relation and scalar parameters, a
+//!   result type, and a set-former body that may apply constructors
+//!   (including itself and mutually recursive ones).
+//! * [`fixpoint`] — the §3.2 semantics: instantiate the system of
+//!   equations `applyᵢᵏ⁺¹ = gᵢ(apply₀ᵏ, …)` and iterate from ∅ to the
+//!   joint least fixpoint, naively (the paper's REPEAT loop) or
+//!   semi-naively (differential evaluation).
+//! * [`options`] — the §3.4 spectrum of fixpoint-enhancement options
+//!   (program iteration, recursive relation-valued functions, a
+//!   specialised transitive-closure operator) implemented as baselines
+//!   for the ablation experiments.
+//! * [`database`] — the catalog façade tying everything together and
+//!   implementing `dc_calculus::Catalog`, so that queries mixing base,
+//!   selected, and constructed relations evaluate transparently.
+
+pub mod constructor;
+pub mod database;
+pub mod error;
+pub mod fixpoint;
+pub mod options;
+pub mod paper;
+pub mod selector;
+
+pub use constructor::Constructor;
+pub use database::Database;
+pub use error::CoreError;
+pub use fixpoint::{FixpointStats, Strategy};
+pub use selector::Selector;

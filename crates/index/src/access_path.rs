@@ -1,0 +1,177 @@
+//! Physical access paths (§4 of the paper).
+//!
+//! > "A physical access path actually materializes a relation
+//! > corresponding to the query with the constants used as variables,
+//! > and partitions it according to the different constant values.
+//! > Obviously, a physical access path would be generated only in case
+//! > of heavy query usage since unrestricted constructed relations may
+//! > be very large."
+//!
+//! [`PhysicalAccessPath`] materialises a (typically constructed)
+//! relation once and partitions it by the parameter positions, so that
+//! repeated queries with different constants become hash lookups.
+
+use dc_value::{FxHashMap, Tuple};
+
+use dc_relation::{Relation, RelationError};
+
+/// A materialised relation partitioned on parameter positions.
+#[derive(Debug, Clone)]
+pub struct PhysicalAccessPath {
+    /// Positions of the "constants used as variables".
+    positions: Vec<usize>,
+    /// Schema shared by all partitions.
+    schema: dc_value::Schema,
+    /// Constant values → partition.
+    partitions: FxHashMap<Tuple, Relation>,
+    /// Total tuple count across partitions.
+    len: usize,
+    /// How many times this path has been probed (usage statistics; the
+    /// paper generates physical paths "only in case of heavy query
+    /// usage", so usage must be observable).
+    probes: std::cell::Cell<u64>,
+}
+
+impl PhysicalAccessPath {
+    /// Materialise `rel`, partitioning on `positions`.
+    pub fn materialize(rel: &Relation, positions: Vec<usize>) -> Result<PhysicalAccessPath, RelationError> {
+        let mut path = PhysicalAccessPath {
+            positions,
+            schema: rel.schema().clone(),
+            partitions: FxHashMap::default(),
+            len: 0,
+            probes: std::cell::Cell::new(0),
+        };
+        for t in rel.iter() {
+            path.add(t.clone())?;
+        }
+        Ok(path)
+    }
+
+    /// Incremental maintenance: add a tuple to its partition (cf. the
+    /// paper's reference to [ShTZ 84] for access-path maintenance).
+    pub fn add(&mut self, tuple: Tuple) -> Result<bool, RelationError> {
+        let key = tuple.project(&self.positions);
+        let part = self
+            .partitions
+            .entry(key)
+            .or_insert_with(|| Relation::new(self.schema.clone()));
+        let added = part.insert_unchecked(tuple)?;
+        if added {
+            self.len += 1;
+        }
+        Ok(added)
+    }
+
+    /// Incremental maintenance: remove a tuple from its partition.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        let key = tuple.project(&self.positions);
+        if let Some(part) = self.partitions.get_mut(&key) {
+            if part.remove(tuple) {
+                self.len -= 1;
+                if part.is_empty() {
+                    self.partitions.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The partition for the given constants (empty relation if none).
+    pub fn lookup(&self, constants: &Tuple) -> Relation {
+        self.probes.set(self.probes.get() + 1);
+        self.partitions
+            .get(constants)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(self.schema.clone()))
+    }
+
+    /// Borrowing variant of [`PhysicalAccessPath::lookup`].
+    pub fn lookup_ref(&self, constants: &Tuple) -> Option<&Relation> {
+        self.probes.set(self.probes.get() + 1);
+        self.partitions.get(constants)
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total tuples across all partitions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the access path empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// How often the path has been probed.
+    pub fn probe_count(&self) -> u64 {
+        self.probes.get()
+    }
+
+    /// The partition key positions.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_value::{tuple, Domain, Schema};
+
+    fn ahead() -> Relation {
+        Relation::from_tuples(
+            Schema::of(&[("head", Domain::Str), ("tail", Domain::Str)]),
+            vec![
+                tuple!["table", "chair"],
+                tuple!["table", "wall"],
+                tuple!["vase", "chair"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn materialize_partitions_by_constant() {
+        let path = PhysicalAccessPath::materialize(&ahead(), vec![0]).unwrap();
+        assert_eq!(path.partition_count(), 2);
+        assert_eq!(path.len(), 3);
+        let table = path.lookup(&tuple!["table"]);
+        assert_eq!(table.len(), 2);
+        let none = path.lookup(&tuple!["lamp"]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn maintenance_add_remove() {
+        let mut path = PhysicalAccessPath::materialize(&ahead(), vec![0]).unwrap();
+        assert!(path.add(tuple!["lamp", "sofa"]).unwrap());
+        assert!(!path.add(tuple!["lamp", "sofa"]).unwrap());
+        assert_eq!(path.partition_count(), 3);
+        assert!(path.remove(&tuple!["lamp", "sofa"]));
+        assert!(!path.remove(&tuple!["lamp", "sofa"]));
+        assert_eq!(path.partition_count(), 2);
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn probe_statistics() {
+        let path = PhysicalAccessPath::materialize(&ahead(), vec![0]).unwrap();
+        assert_eq!(path.probe_count(), 0);
+        path.lookup(&tuple!["table"]);
+        path.lookup_ref(&tuple!["vase"]);
+        assert_eq!(path.probe_count(), 2);
+    }
+
+    #[test]
+    fn multi_column_partitioning() {
+        let path = PhysicalAccessPath::materialize(&ahead(), vec![0, 1]).unwrap();
+        assert_eq!(path.partition_count(), 3);
+        assert_eq!(path.lookup(&tuple!["table", "chair"]).len(), 1);
+    }
+}

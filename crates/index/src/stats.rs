@@ -1,0 +1,104 @@
+//! Simple per-relation statistics for the optimizer.
+//!
+//! The paper's three-level strategy (§4) moves analysis work to
+//! compilation; the runtime level still needs cheap cardinality facts to
+//! pick hash-join build sides. These are the 1985-appropriate
+//! statistics: cardinality and per-attribute distinct counts.
+
+use dc_value::{FxHashSet, Value};
+
+use dc_relation::Relation;
+
+/// Cardinality statistics of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Number of tuples.
+    pub cardinality: usize,
+    /// Distinct value count per attribute position.
+    pub distinct: Vec<usize>,
+}
+
+impl RelationStats {
+    /// Collect statistics in one pass over the relation.
+    pub fn collect(rel: &Relation) -> RelationStats {
+        let arity = rel.schema().arity();
+        let mut seen: Vec<FxHashSet<&Value>> = (0..arity).map(|_| FxHashSet::default()).collect();
+        for t in rel.iter() {
+            for (i, v) in t.iter().enumerate() {
+                seen[i].insert(v);
+            }
+        }
+        RelationStats {
+            cardinality: rel.len(),
+            distinct: seen.into_iter().map(|s| s.len()).collect(),
+        }
+    }
+
+    /// Estimated selectivity of an equality predicate `attr = const`:
+    /// `1 / distinct(attr)`, the classic System-R assumption.
+    pub fn eq_selectivity(&self, position: usize) -> f64 {
+        match self.distinct.get(position) {
+            Some(&d) if d > 0 => 1.0 / d as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Estimated output cardinality of an equi-join between `self` on
+    /// `left_pos` and `other` on `right_pos`.
+    pub fn join_cardinality(&self, left_pos: usize, other: &RelationStats, right_pos: usize) -> f64 {
+        let d = self
+            .distinct
+            .get(left_pos)
+            .copied()
+            .max(other.distinct.get(right_pos).copied())
+            .unwrap_or(1)
+            .max(1);
+        (self.cardinality as f64) * (other.cardinality as f64) / d as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_value::{tuple, Domain, Schema};
+
+    fn rel() -> Relation {
+        Relation::from_tuples(
+            Schema::of(&[("front", Domain::Str), ("back", Domain::Str)]),
+            vec![tuple!["a", "b"], tuple!["a", "c"], tuple!["b", "c"]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn collect_counts() {
+        let s = RelationStats::collect(&rel());
+        assert_eq!(s.cardinality, 3);
+        assert_eq!(s.distinct, vec![2, 2]);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::new(Schema::of(&[("x", Domain::Int)]));
+        let s = RelationStats::collect(&r);
+        assert_eq!(s.cardinality, 0);
+        assert_eq!(s.distinct, vec![0]);
+        assert_eq!(s.eq_selectivity(0), 1.0);
+    }
+
+    #[test]
+    fn selectivity() {
+        let s = RelationStats::collect(&rel());
+        assert!((s.eq_selectivity(0) - 0.5).abs() < 1e-9);
+        // Out-of-range position defaults to 1.0 (no information).
+        assert_eq!(s.eq_selectivity(9), 1.0);
+    }
+
+    #[test]
+    fn join_estimate() {
+        let s = RelationStats::collect(&rel());
+        let est = s.join_cardinality(1, &s, 0);
+        // 3 * 3 / max(2,2) = 4.5
+        assert!((est - 4.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,72 @@
+//! Errors of the DBPL front end.
+
+use std::fmt;
+
+use dc_core::CoreError;
+
+/// Errors raised while lexing, parsing, or executing DBPL scripts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexical error with source position.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Description.
+        msg: String,
+    },
+    /// Parse error with source position.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Description.
+        msg: String,
+    },
+    /// A type name did not resolve.
+    UnknownType(String),
+    /// Engine-level failure during lowering/execution.
+    Core(CoreError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, col, msg } => write!(f, "lex error at {line}:{col}: {msg}"),
+            LangError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            LangError::UnknownType(n) => write!(f, "unknown type `{n}`"),
+            LangError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LangError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for LangError {
+    fn from(e: CoreError) -> Self {
+        LangError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LangError::Parse { line: 3, col: 7, msg: "expected `;`".into() };
+        assert!(e.to_string().contains("3:7"));
+        assert!(LangError::UnknownType("foo".into()).to_string().contains("foo"));
+    }
+}

@@ -1,0 +1,370 @@
+//! Tokenizer for the DBPL fragment.
+
+use crate::error::LangError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (case-sensitive).
+    Ident(String),
+    /// Integer literal (`42`).
+    Int(i64),
+    /// Cardinal literal (`42C`).
+    Card(u64),
+    /// String literal.
+    Str(String),
+    /// Keyword (uppercase reserved words).
+    Kw(Kw),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `#`
+    Ne,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `...`
+    Ellipsis,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Type, Var, Selector, Constructor, For, Begin, End, Each, In, Some, All,
+    And, Or, Not, True, False, Of, Record, Relation, Range, Div, Mod,
+    Integer, Cardinal, Boolean, StringKw, Insert, Query,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "TYPE" => Kw::Type,
+        "VAR" => Kw::Var,
+        "SELECTOR" => Kw::Selector,
+        "CONSTRUCTOR" => Kw::Constructor,
+        "FOR" => Kw::For,
+        "BEGIN" => Kw::Begin,
+        "END" => Kw::End,
+        "EACH" => Kw::Each,
+        "IN" => Kw::In,
+        "SOME" => Kw::Some,
+        "ALL" => Kw::All,
+        "AND" => Kw::And,
+        "OR" => Kw::Or,
+        "NOT" => Kw::Not,
+        "TRUE" => Kw::True,
+        "FALSE" => Kw::False,
+        "OF" => Kw::Of,
+        "RECORD" => Kw::Record,
+        "RELATION" => Kw::Relation,
+        "RANGE" => Kw::Range,
+        "DIV" => Kw::Div,
+        "MOD" => Kw::Mod,
+        "INTEGER" => Kw::Integer,
+        "CARDINAL" => Kw::Cardinal,
+        "BOOLEAN" => Kw::Boolean,
+        "STRING" => Kw::StringKw,
+        "INSERT" => Kw::Insert,
+        "QUERY" => Kw::Query,
+        _ => return None,
+    })
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Tokenize a source string. Comments run `(*` … `*)` (MODULA-2 style)
+/// and `--` to end of line.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            c if c.is_whitespace() => {
+                bump!();
+            }
+            '(' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                // Block comment.
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= chars.len() {
+                        return Err(LangError::Lex {
+                            line: tline,
+                            col: tcol,
+                            msg: "unterminated comment".into(),
+                        });
+                    }
+                    if chars[i] == '*' && chars[i + 1] == ')' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '-' if i + 1 < chars.len() && chars[i + 1] == '-' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(LangError::Lex {
+                            line: tline,
+                            col: tcol,
+                            msg: "unterminated string".into(),
+                        });
+                    }
+                    if chars[i] == '"' {
+                        bump!();
+                        break;
+                    }
+                    s.push(chars[i]);
+                    bump!();
+                }
+                out.push(Token { tok: Tok::Str(s), line: tline, col: tcol });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|x| x.checked_add((chars[i] as u8 - b'0') as i64))
+                        .ok_or(LangError::Lex {
+                            line: tline,
+                            col: tcol,
+                            msg: "integer literal overflow".into(),
+                        })?;
+                    bump!();
+                }
+                if i < chars.len() && chars[i] == 'C' {
+                    bump!();
+                    out.push(Token { tok: Tok::Card(n as u64), line: tline, col: tcol });
+                } else {
+                    out.push(Token { tok: Tok::Int(n), line: tline, col: tcol });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    bump!();
+                }
+                let tok = match keyword(&s) {
+                    Some(kw) => Tok::Kw(kw),
+                    None => Tok::Ident(s),
+                };
+                out.push(Token { tok, line: tline, col: tcol });
+            }
+            _ => {
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '<' => {
+                        if i + 1 < chars.len() && chars[i + 1] == '=' {
+                            bump!();
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if i + 1 < chars.len() && chars[i + 1] == '=' {
+                            bump!();
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    '=' => Tok::Eq,
+                    '#' => Tok::Ne,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    ':' => Tok::Colon,
+                    '.' => {
+                        if i + 2 < chars.len() && chars[i + 1] == '.' && chars[i + 2] == '.' {
+                            bump!();
+                            bump!();
+                            Tok::Ellipsis
+                        } else if i + 1 < chars.len() && chars[i + 1] == '.' {
+                            bump!();
+                            Tok::DotDot
+                        } else {
+                            Tok::Dot
+                        }
+                    }
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    other => {
+                        return Err(LangError::Lex {
+                            line: tline,
+                            col: tcol,
+                            msg: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                bump!();
+                out.push(Token { tok, line: tline, col: tcol });
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let t = toks("TYPE foo = STRING;");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Kw(Kw::Type),
+                Tok::Ident("foo".into()),
+                Tok::Eq,
+                Tok::Kw(Kw::StringKw),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_families() {
+        assert_eq!(
+            toks(". .. ... < <= > >= = #"),
+            vec![
+                Tok::Dot,
+                Tok::DotDot,
+                Tok::Ellipsis,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            toks("42 7C \"table\""),
+            vec![Tok::Int(42), Tok::Card(7), Tok::Str("table".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("a (* block\ncomment *) b -- line comment\nc");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let tokens = tokenize("a\n  b").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(tokenize("\"open"), Err(LangError::Lex { .. })));
+        assert!(matches!(tokenize("(* open"), Err(LangError::Lex { .. })));
+        assert!(matches!(tokenize("?"), Err(LangError::Lex { .. })));
+    }
+
+    #[test]
+    fn paren_not_comment() {
+        assert_eq!(
+            toks("(a)"),
+            vec![Tok::LParen, Tok::Ident("a".into()), Tok::RParen, Tok::Eof]
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! Runtime level (§4, level 3): logical and physical access paths for
+//! parameterised queries.
+//!
+//! > "A logical access path is a compiled procedure with dummy
+//! > constants. A physical access path actually materializes a relation
+//! > corresponding to the query with the constants used as variables,
+//! > and partitions it according to the different constant values.
+//! > Obviously, a physical access path would be generated only in case
+//! > of heavy query usage."
+//!
+//! [`LogicalAccessPath`] is the compiled-procedure form: a [`Plan`]
+//! with parameter holes, executed afresh per invocation.
+//! [`AccessPathManager`] adds the §4 usage policy: after `threshold`
+//! invocations it materialises the unrestricted relation once,
+//! partitions it on the parameter columns
+//! ([`dc_index::PhysicalAccessPath`]), and serves subsequent
+//! invocations by hash lookup.
+
+use std::cell::{Cell, RefCell};
+
+use dc_calculus::EvalError;
+use dc_index::PhysicalAccessPath;
+use dc_relation::Relation;
+use dc_value::{Tuple, Value};
+
+use crate::plan::{Plan, PlanStats};
+
+/// A compiled plan with parameter holes (§4's "compiled procedure with
+/// dummy constants").
+#[derive(Debug, Clone)]
+pub struct LogicalAccessPath {
+    plan: Plan,
+    param_count: usize,
+    invocations: Cell<u64>,
+}
+
+impl LogicalAccessPath {
+    /// Wrap a plan expecting `param_count` parameters.
+    pub fn new(plan: Plan, param_count: usize) -> LogicalAccessPath {
+        LogicalAccessPath { plan, param_count, invocations: Cell::new(0) }
+    }
+
+    /// Execute with actual constants substituted for the dummies.
+    pub fn bind(&self, args: &[Value]) -> Result<(Relation, PlanStats), EvalError> {
+        if args.len() != self.param_count {
+            return Err(EvalError::ArityMismatch {
+                name: "access path".into(),
+                expected: self.param_count,
+                actual: args.len(),
+            });
+        }
+        self.invocations.set(self.invocations.get() + 1);
+        self.plan.execute_with(args)
+    }
+
+    /// Number of invocations so far (usage statistics drive the §4
+    /// materialisation policy).
+    pub fn invocations(&self) -> u64 {
+        self.invocations.get()
+    }
+
+    /// Expected parameter count.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+}
+
+/// The access-path policy of §4: serve lookups logically until usage
+/// justifies materialising a physical path.
+pub struct AccessPathManager {
+    /// Per-invocation plan (parameterised).
+    logical: LogicalAccessPath,
+    /// Plan computing the *unrestricted* relation, used once to build
+    /// the physical path.
+    full_plan: Plan,
+    /// Columns of the unrestricted relation that correspond to the
+    /// parameters (partition key).
+    param_positions: Vec<usize>,
+    /// Invocation count at which to materialise.
+    threshold: u64,
+    physical: RefCell<Option<PhysicalAccessPath>>,
+}
+
+impl AccessPathManager {
+    /// Create a manager.
+    pub fn new(
+        logical: LogicalAccessPath,
+        full_plan: Plan,
+        param_positions: Vec<usize>,
+        threshold: u64,
+    ) -> AccessPathManager {
+        AccessPathManager { logical, full_plan, param_positions, threshold, physical: RefCell::new(None) }
+    }
+
+    /// Is the physical path materialised yet?
+    pub fn is_materialized(&self) -> bool {
+        self.physical.borrow().is_some()
+    }
+
+    /// Look up the answer for the given parameter constants, applying
+    /// the materialisation policy.
+    pub fn lookup(&self, args: &[Value]) -> Result<Relation, EvalError> {
+        if let Some(path) = self.physical.borrow().as_ref() {
+            return Ok(path.lookup(&Tuple::new(args.to_vec())));
+        }
+        let (rel, _) = self.logical.bind(args)?;
+        if self.logical.invocations() >= self.threshold {
+            // Heavy usage: materialise once, partition by constants.
+            let (full, _) = self.full_plan.execute()?;
+            let path = PhysicalAccessPath::materialize(&full, self.param_positions.clone())
+                .map_err(EvalError::from)?;
+            *self.physical.borrow_mut() = Some(path);
+        }
+        Ok(rel)
+    }
+
+    /// Maintenance hook: add a tuple to the materialised path (if any),
+    /// cf. the paper's reference to [ShTZ 84].
+    pub fn maintain_add(&self, tuple: Tuple) -> Result<(), EvalError> {
+        if let Some(path) = self.physical.borrow_mut().as_mut() {
+            path.add(tuple).map_err(EvalError::from)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Cond, SeedValue};
+    use dc_calculus::CmpOp;
+    use dc_value::{tuple, Domain, Schema};
+
+    fn edges_schema() -> Schema {
+        Schema::of(&[("head", Domain::Str), ("tail", Domain::Str)])
+    }
+
+    fn chain(n: usize) -> Relation {
+        Relation::from_tuples(
+            Schema::of(&[("front", Domain::Str), ("back", Domain::Str)]),
+            (0..n).map(|i| tuple![format!("o{i}"), format!("o{}", i + 1)]),
+        )
+        .unwrap()
+    }
+
+    fn reach_param_plan(n: usize) -> Plan {
+        Plan::Reachability {
+            base: Box::new(Plan::Input(chain(n))),
+            from: 0,
+            to: 1,
+            seed: SeedValue::Param(0),
+            schema: edges_schema(),
+        }
+    }
+
+    fn full_tc_plan(n: usize) -> Plan {
+        use crate::plan::ProjExpr;
+        Plan::FixpointLinear {
+            init: Box::new(Plan::Input(chain(n))),
+            base: Box::new(Plan::Input(chain(n))),
+            base_keys: vec![1],
+            rec_keys: vec![0],
+            conds: vec![],
+            exprs: vec![ProjExpr::Col(0), ProjExpr::Col(3)],
+            schema: edges_schema(),
+        }
+    }
+
+    #[test]
+    fn logical_path_binds_constants() {
+        let lap = LogicalAccessPath::new(reach_param_plan(6), 1);
+        let (out, _) = lap.bind(&[Value::str("o2")]).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(lap.invocations(), 1);
+        // Wrong arity rejected.
+        assert!(lap.bind(&[]).is_err());
+    }
+
+    #[test]
+    fn manager_materializes_after_threshold() {
+        let mgr = AccessPathManager::new(
+            LogicalAccessPath::new(reach_param_plan(6), 1),
+            full_tc_plan(6),
+            vec![0],
+            3,
+        );
+        for i in 0..3 {
+            assert!(!mgr.is_materialized(), "not yet at call {i}");
+            let out = mgr.lookup(&[Value::str("o1")]).unwrap();
+            assert_eq!(out.len(), 5);
+        }
+        assert!(mgr.is_materialized());
+        // Post-materialisation lookups agree with the logical results.
+        let out = mgr.lookup(&[Value::str("o3")]).unwrap();
+        assert_eq!(out.len(), 3);
+        let none = mgr.lookup(&[Value::str("nope")]).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn physical_and_logical_agree_on_all_seeds() {
+        let mgr = AccessPathManager::new(
+            LogicalAccessPath::new(reach_param_plan(8), 1),
+            full_tc_plan(8),
+            vec![0],
+            1,
+        );
+        // Force materialisation with one call.
+        let first_logical = mgr.lookup(&[Value::str("o0")]).unwrap();
+        assert!(mgr.is_materialized());
+        assert_eq!(first_logical.len(), 8);
+        for i in 0..8 {
+            let out = mgr.lookup(&[Value::str(format!("o{i}"))]).unwrap();
+            assert_eq!(out.len(), 8 - i, "seed o{i}");
+        }
+    }
+
+    #[test]
+    fn maintenance_updates_partitions() {
+        let mgr = AccessPathManager::new(
+            LogicalAccessPath::new(reach_param_plan(4), 1),
+            full_tc_plan(4),
+            vec![0],
+            1,
+        );
+        mgr.lookup(&[Value::str("o0")]).unwrap();
+        assert!(mgr.is_materialized());
+        mgr.maintain_add(tuple!["o0", "extra"]).unwrap();
+        let out = mgr.lookup(&[Value::str("o0")]).unwrap();
+        assert!(out.contains(&tuple!["o0", "extra"]));
+    }
+
+    #[test]
+    fn param_filter_plan_as_logical_path() {
+        // A filter-based logical path (not reachability).
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Input(chain(5))),
+            conds: vec![Cond::Param(0, CmpOp::Eq, 0)],
+        };
+        let lap = LogicalAccessPath::new(plan, 1);
+        let (out, _) = lap.bind(&[Value::str("o3")]).unwrap();
+        assert_eq!(out.sorted_tuples(), vec![tuple!["o3", "o4"]]);
+    }
+}

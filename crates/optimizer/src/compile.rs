@@ -1,0 +1,479 @@
+//! Query-compilation level (§4, level 2): compile calculus queries into
+//! executable set-oriented plans.
+//!
+//! Pipeline per query form:
+//!
+//! 1. apply the range-nesting rewrites ([`crate::nesting`]) — inline
+//!    selectors and non-recursive constructors, push predicates in;
+//! 2. recognise special cases by capture rules ([`crate::capture`]) —
+//!    recursive TC-shaped constructors become
+//!    [`Plan::FixpointLinear`]/[`Plan::Reachability`] operators;
+//! 3. compile remaining set formers into hash-join trees with greedy
+//!    join ordering over equality conjuncts;
+//! 4. anything outside the compilable fragment falls back to the
+//!    reference evaluator and enters the plan as a materialised input —
+//!    correctness never depends on the optimizer.
+
+use dc_calculus::ast::{Branch, Formula, RangeExpr, ScalarExpr, SetFormer, Target};
+use dc_calculus::{CmpOp, EvalError};
+use dc_core::Database;
+use dc_relation::Relation;
+use dc_value::{FxHashMap, Schema, Value};
+
+use crate::capture;
+use crate::nesting;
+use crate::plan::{Cond, Plan, ProjExpr};
+
+/// Compile a query into a plan (with rewrites applied).
+pub fn compile_query(db: &Database, query: &RangeExpr) -> Result<Plan, EvalError> {
+    let rewritten = nesting::rewrite_query(db, query)?;
+    compile_range(db, &rewritten)
+}
+
+/// Compile a range expression without further rewriting.
+pub fn compile_range(db: &Database, range: &RangeExpr) -> Result<Plan, EvalError> {
+    match range {
+        RangeExpr::Rel(n) => {
+            let rel = dc_calculus::Catalog::relation(db, n)?.into_owned();
+            Ok(Plan::Input(rel))
+        }
+        RangeExpr::Constructed { base, constructor, args, scalar_args } => {
+            // Capture rule: TC shape with no arguments.
+            if args.is_empty() && scalar_args.is_empty() {
+                if let Ok(ctor) = db.constructor_ref(constructor) {
+                    if let Some(shape) = capture::detect_tc(ctor) {
+                        let base_rel = materialize(db, base)?;
+                        return Ok(capture::full_plan(ctor, &shape, base_rel));
+                    }
+                }
+            }
+            // General recursion: delegate to the fixpoint engine and
+            // enter the result as a materialised input.
+            Ok(Plan::Input(materialize(db, range)?))
+        }
+        RangeExpr::Selected { .. } => Ok(Plan::Input(materialize(db, range)?)),
+        RangeExpr::SetFormer(sf) => {
+            let mut parts = Vec::with_capacity(sf.branches.len());
+            for b in &sf.branches {
+                parts.push(compile_branch(db, b)?);
+            }
+            if parts.len() == 1 {
+                Ok(parts.pop().unwrap())
+            } else {
+                Ok(Plan::Union(parts))
+            }
+        }
+    }
+}
+
+fn materialize(db: &Database, range: &RangeExpr) -> Result<Relation, EvalError> {
+    let mut ev = dc_calculus::Evaluator::new(db);
+    ev.eval(range)
+}
+
+/// A conjunct extracted from a branch predicate.
+enum Conjunct {
+    /// `v1.a = v2.b` between two different variables: a join term.
+    Join(String, usize, String, usize),
+    /// `v.a op const`.
+    Local(String, usize, CmpOp, Value),
+    /// `v1.a op v2.b` (non-equality, or same variable): residual.
+    Residual(String, usize, CmpOp, String, usize),
+}
+
+/// Flatten an AND-tree of comparisons; `None` if the predicate is
+/// outside the compilable fragment (quantifiers, OR, NOT, arithmetic,
+/// membership).
+fn conjuncts(
+    f: &Formula,
+    schemas: &FxHashMap<String, Schema>,
+    out: &mut Vec<Conjunct>,
+) -> Option<()> {
+    match f {
+        Formula::True => Some(()),
+        Formula::And(a, b) => {
+            conjuncts(a, schemas, out)?;
+            conjuncts(b, schemas, out)
+        }
+        Formula::Cmp(l, op, r) => {
+            match (l, r) {
+                (ScalarExpr::Attr(lv, la), ScalarExpr::Attr(rv, ra)) => {
+                    let lp = schemas.get(lv)?.position(la).ok()?;
+                    let rp = schemas.get(rv)?.position(ra).ok()?;
+                    if lv != rv && *op == CmpOp::Eq {
+                        out.push(Conjunct::Join(lv.clone(), lp, rv.clone(), rp));
+                    } else {
+                        out.push(Conjunct::Residual(lv.clone(), lp, *op, rv.clone(), rp));
+                    }
+                }
+                (ScalarExpr::Attr(v, a), ScalarExpr::Const(c)) => {
+                    let p = schemas.get(v)?.position(a).ok()?;
+                    out.push(Conjunct::Local(v.clone(), p, *op, c.clone()));
+                }
+                (ScalarExpr::Const(c), ScalarExpr::Attr(v, a)) => {
+                    let p = schemas.get(v)?.position(a).ok()?;
+                    // Mirror the operator.
+                    let op = match op {
+                        CmpOp::Lt => CmpOp::Gt,
+                        CmpOp::Gt => CmpOp::Lt,
+                        CmpOp::Le => CmpOp::Ge,
+                        CmpOp::Ge => CmpOp::Le,
+                        o => *o,
+                    };
+                    out.push(Conjunct::Local(v.clone(), p, op, c.clone()));
+                }
+                _ => return None,
+            }
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+/// Compile one branch into a join tree; falls back to the reference
+/// evaluator when the branch is outside the compilable fragment.
+pub fn compile_branch(db: &Database, branch: &Branch) -> Result<Plan, EvalError> {
+    // Materialise each binding's range (inputs may themselves be
+    // compiled recursively; a materialised relation is always sound).
+    let mut inputs: Vec<(String, Relation)> = Vec::with_capacity(branch.bindings.len());
+    let mut schemas: FxHashMap<String, Schema> = FxHashMap::default();
+    for (v, r) in &branch.bindings {
+        let plan = compile_range(db, r)?;
+        let (rel, _) = plan.execute()?;
+        schemas.insert(v.clone(), rel.schema().clone());
+        inputs.push((v.clone(), rel));
+    }
+
+    let fallback = |db: &Database| -> Result<Plan, EvalError> {
+        let rel = materialize(
+            db,
+            &RangeExpr::SetFormer(SetFormer { branches: vec![branch.clone()] }),
+        )?;
+        Ok(Plan::Input(rel))
+    };
+
+    let mut cs = Vec::new();
+    if conjuncts(&branch.predicate, &schemas, &mut cs).is_none() {
+        return fallback(db);
+    }
+
+    // Push local filters onto their inputs.
+    let mut plans: FxHashMap<String, Plan> = FxHashMap::default();
+    for (v, rel) in &inputs {
+        plans.insert(v.clone(), Plan::Input(rel.clone()));
+    }
+    for c in &cs {
+        if let Conjunct::Local(v, p, op, val) = c {
+            let prev = plans.remove(v).expect("bound variable");
+            plans.insert(
+                v.clone(),
+                Plan::Filter {
+                    input: Box::new(prev),
+                    conds: vec![Cond::Const(*p, *op, val.clone())],
+                },
+            );
+        }
+    }
+
+    // Left-deep joins in binding order; joins whose both sides are
+    // placed become hash-join keys, the rest become residual filters.
+    let mut offsets: FxHashMap<String, usize> = FxHashMap::default();
+    let mut current: Option<Plan> = None;
+    let mut width = 0usize;
+    for (v, rel) in &inputs {
+        let rhs = plans.remove(v).expect("each var compiled once");
+        let arity = rel.schema().arity();
+        match current.take() {
+            None => {
+                offsets.insert(v.clone(), 0);
+                width = arity;
+                current = Some(rhs);
+            }
+            Some(lhs) => {
+                // Join keys: equality conjuncts between placed vars and v.
+                let mut lk = Vec::new();
+                let mut rk = Vec::new();
+                for c in &cs {
+                    if let Conjunct::Join(v1, p1, v2, p2) = c {
+                        if v2 == v && offsets.contains_key(v1) {
+                            lk.push(offsets[v1] + p1);
+                            rk.push(*p2);
+                        } else if v1 == v && offsets.contains_key(v2) {
+                            lk.push(offsets[v2] + p2);
+                            rk.push(*p1);
+                        }
+                    }
+                }
+                current = Some(Plan::HashJoin {
+                    left: Box::new(lhs),
+                    right: Box::new(rhs),
+                    left_keys: lk,
+                    right_keys: rk,
+                });
+                offsets.insert(v.clone(), width);
+                width += arity;
+            }
+        }
+    }
+    let Some(mut plan) = current else {
+        return fallback(db);
+    };
+
+    // Residual conditions (non-equi or same-var comparisons, and join
+    // conjuncts not consumed — consumed ones are harmless to re-check,
+    // so re-apply everything that is not Local).
+    let mut residual = Vec::new();
+    for c in &cs {
+        match c {
+            Conjunct::Residual(v1, p1, op, v2, p2) => {
+                residual.push(Cond::Cols(offsets[v1] + p1, *op, offsets[v2] + p2));
+            }
+            Conjunct::Join(v1, p1, v2, p2) => {
+                residual.push(Cond::Cols(offsets[v1] + p1, CmpOp::Eq, offsets[v2] + p2));
+            }
+            Conjunct::Local(..) => {}
+        }
+    }
+    if !residual.is_empty() {
+        plan = Plan::Filter { input: Box::new(plan), conds: residual };
+    }
+
+    // Target projection.
+    let (exprs, schema) = match &branch.target {
+        Target::Var(v) => {
+            let off = *offsets.get(v).ok_or_else(|| EvalError::UnboundVariable(v.clone()))?;
+            let schema = schemas[v].clone();
+            let exprs = (0..schema.arity()).map(|i| ProjExpr::Col(off + i)).collect();
+            (exprs, schema)
+        }
+        Target::Tuple(texprs) => {
+            let mut exprs = Vec::with_capacity(texprs.len());
+            let mut attrs = Vec::with_capacity(texprs.len());
+            for (i, e) in texprs.iter().enumerate() {
+                match e {
+                    ScalarExpr::Attr(v, a) => {
+                        let off = *offsets
+                            .get(v)
+                            .ok_or_else(|| EvalError::UnboundVariable(v.clone()))?;
+                        let p = schemas[v].position(a)?;
+                        exprs.push(ProjExpr::Col(off + p));
+                        attrs.push(dc_value::Attribute::new(
+                            a.clone(),
+                            schemas[v].domain(p).base(),
+                        ));
+                    }
+                    ScalarExpr::Const(c) => {
+                        exprs.push(ProjExpr::Const(c.clone()));
+                        attrs.push(dc_value::Attribute::new(
+                            format!("f{i}"),
+                            dc_calculus::eval::value_domain(c),
+                        ));
+                    }
+                    _ => return fallback(db),
+                }
+            }
+            // Disambiguate names.
+            let mut seen = dc_value::FxHashSet::default();
+            for a in &mut attrs {
+                while !seen.insert(a.name.clone()) {
+                    a.name.push('_');
+                }
+            }
+            (exprs, Schema::new(attrs))
+        }
+    };
+    Ok(Plan::Project { input: Box::new(plan), exprs, schema })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_calculus::ast::SelectorDef;
+    use dc_calculus::builder::*;
+    use dc_core::Constructor;
+    use dc_value::{tuple, Domain};
+
+    fn infrontrel() -> Schema {
+        Schema::of(&[("front", Domain::Str), ("back", Domain::Str)])
+    }
+
+    fn aheadrel() -> Schema {
+        Schema::of(&[("head", Domain::Str), ("tail", Domain::Str)])
+    }
+
+    fn ahead_ctor() -> Constructor {
+        Constructor {
+            name: "ahead".into(),
+            base_param: ("Rel".into(), infrontrel()),
+            rel_params: vec![],
+            scalar_params: vec![],
+            result: aheadrel(),
+            body: dc_calculus::ast::SetFormer {
+                branches: vec![
+                    Branch::each("r", rel("Rel"), tru()),
+                    Branch::projecting(
+                        vec![attr("f", "front"), attr("b", "tail")],
+                        vec![
+                            ("f".into(), rel("Rel")),
+                            ("b".into(), rel("Rel").construct("ahead", vec![])),
+                        ],
+                        eq(attr("f", "back"), attr("b", "head")),
+                    ),
+                ],
+            },
+        }
+    }
+
+    fn scene_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation("Infront", infrontrel()).unwrap();
+        db.insert_all(
+            "Infront",
+            (0..8).map(|i| tuple![format!("o{i}"), format!("o{}", i + 1)]),
+        )
+        .unwrap();
+        db.define_constructor(ahead_ctor()).unwrap();
+        db.define_selector(
+            SelectorDef {
+                name: "hidden_by".into(),
+                element_var: "r".into(),
+                params: vec![("Obj".into(), Domain::Str)],
+                predicate: eq(attr("r", "front"), param("Obj")),
+            },
+            infrontrel(),
+        )
+        .unwrap();
+        db
+    }
+
+    /// Differential test: compiled plans agree with the reference
+    /// evaluator on every query below.
+    fn check_agrees(db: &Database, q: &RangeExpr) {
+        let reference = db.eval(q).unwrap();
+        let plan = compile_query(db, q).unwrap();
+        let (compiled, _) = plan.execute().unwrap();
+        assert_eq!(
+            reference.sorted_tuples(),
+            compiled.sorted_tuples(),
+            "plan:\n{}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn base_scan() {
+        let db = scene_db();
+        check_agrees(&db, &rel("Infront"));
+    }
+
+    #[test]
+    fn filter_query() {
+        let db = scene_db();
+        let q = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            eq(attr("r", "front"), cnst("o3")),
+        )]);
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn join_query_compiles_to_hash_join() {
+        let db = scene_db();
+        // Two-step pairs.
+        let q = set_former(vec![Branch::projecting(
+            vec![attr("f", "front"), attr("b", "back")],
+            vec![
+                ("f".into(), rel("Infront")),
+                ("b".into(), rel("Infront")),
+            ],
+            eq(attr("f", "back"), attr("b", "front")),
+        )]);
+        let plan = compile_query(&db, &q).unwrap();
+        assert!(plan.explain().contains("HashJoin"));
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn three_way_join() {
+        let db = scene_db();
+        let q = set_former(vec![Branch::projecting(
+            vec![attr("a", "front"), attr("c", "back")],
+            vec![
+                ("a".into(), rel("Infront")),
+                ("b".into(), rel("Infront")),
+                ("c".into(), rel("Infront")),
+            ],
+            eq(attr("a", "back"), attr("b", "front"))
+                .and(eq(attr("b", "back"), attr("c", "front"))),
+        )]);
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn tc_constructor_captured_as_fixpoint_plan() {
+        let db = scene_db();
+        let q = rel("Infront").construct("ahead", vec![]);
+        let plan = compile_query(&db, &q).unwrap();
+        assert!(plan.explain().contains("FixpointLinear"), "{}", plan.explain());
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn selected_then_constructed() {
+        let db = scene_db();
+        let q = rel("Infront")
+            .select("hidden_by", vec![cnst("o2")])
+            .construct("ahead", vec![]);
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn union_of_branches() {
+        let db = scene_db();
+        let q = set_former(vec![
+            Branch::each("r", rel("Infront"), eq(attr("r", "front"), cnst("o1"))),
+            Branch::each("r", rel("Infront"), eq(attr("r", "front"), cnst("o2"))),
+        ]);
+        let plan = compile_query(&db, &q).unwrap();
+        let (out, _) = plan.execute().unwrap();
+        assert_eq!(out.len(), 2);
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn quantified_predicates_fall_back() {
+        let db = scene_db();
+        // Sinks: no successor edge.
+        let q = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            all("x", rel("Infront"), ne(attr("x", "front"), attr("r", "back"))),
+        )]);
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn non_equi_conditions_residual() {
+        let mut db = Database::new();
+        db.create_relation("N", Schema::of(&[("n", Domain::Int)])).unwrap();
+        db.insert_all("N", (0..6).map(|i| tuple![i as i64])).unwrap();
+        let q = set_former(vec![Branch::projecting(
+            vec![attr("a", "n"), attr("b", "n")],
+            vec![("a".into(), rel("N")), ("b".into(), rel("N"))],
+            lt(attr("a", "n"), attr("b", "n")),
+        )]);
+        check_agrees(&db, &q);
+    }
+
+    #[test]
+    fn constant_in_target() {
+        let db = scene_db();
+        let q = set_former(vec![Branch::projecting(
+            vec![attr("r", "front"), cnst("marker")],
+            vec![("r".into(), rel("Infront"))],
+            tru(),
+        )]);
+        check_agrees(&db, &q);
+    }
+}

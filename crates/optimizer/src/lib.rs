@@ -1,0 +1,32 @@
+//! §4 of the paper: compilation and optimization of constructors.
+//!
+//! The paper organises constructor optimization as a **three-level
+//! strategy**:
+//!
+//! 1. **Type-checking level** — analyse the individual constructor
+//!    definitions and their relationships: positivity (in
+//!    `dc-calculus`), and a *partitioning of the set of constructor
+//!    definitions into disconnected graphs* ([`partition`]).
+//! 2. **Query-compilation level** — instantiate the constructor
+//!    definition graphs for each query form: build **augmented quant
+//!    graphs** ([`quantgraph`], regenerating the paper's Fig. 3),
+//!    detect recursive cycles, apply the range-nesting rewrites N1–N3
+//!    and the Case 1/2/3 analysis ([`nesting`]), recognise special
+//!    cases by **capture rules** ([`capture`], e.g. transitive-closure
+//!    shape with a bound argument), and emit executable plans
+//!    ([`plan`], [`compile`]).
+//! 3. **Runtime level** — execute compiled plans; **logical access
+//!    paths** (plans with parameter holes) and **physical access
+//!    paths** (materialised, partitioned relations) live in [`access`].
+
+pub mod access;
+pub mod capture;
+pub mod compile;
+pub mod nesting;
+pub mod partition;
+pub mod plan;
+pub mod quantgraph;
+
+pub use capture::TcShape;
+pub use plan::{Plan, PlanStats};
+pub use quantgraph::QuantGraph;

@@ -1,0 +1,517 @@
+//! Executable plan IR: the set-oriented operator tree that queries
+//! compile to (§4's "set-oriented constructive fashion rather than
+//! tuple-oriented theorem proving").
+//!
+//! Operators are deliberately 1985-scale: scan, filter, project,
+//! hash equi-join, union, and two recursion operators — a general
+//! semi-naive fixpoint over a linear rule, and the bound-argument
+//! reachability operator emitted by the capture rules.
+
+use dc_calculus::{CmpOp, EvalError};
+use dc_index::HashIndex;
+use dc_relation::{algebra, Relation};
+use dc_value::{Schema, Tuple, Value};
+
+/// A per-tuple condition over column positions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `col(i) op col(j)`
+    Cols(usize, CmpOp, usize),
+    /// `col(i) op const`
+    Const(usize, CmpOp, Value),
+    /// `col(i) op param(k)` — a logical-access-path hole (§4), filled
+    /// in by [`crate::access::LogicalAccessPath::bind`].
+    Param(usize, CmpOp, usize),
+}
+
+impl Cond {
+    /// Evaluate against a tuple, with parameter values supplied.
+    pub fn eval(&self, t: &Tuple, params: &[Value]) -> Result<bool, EvalError> {
+        let (l, op, r) = match self {
+            Cond::Cols(i, op, j) => (t.get(*i), *op, t.get(*j).clone()),
+            Cond::Const(i, op, v) => (t.get(*i), *op, v.clone()),
+            Cond::Param(i, op, k) => {
+                let v = params
+                    .get(*k)
+                    .cloned()
+                    .ok_or_else(|| EvalError::UnknownParam(format!("${k}")))?;
+                (t.get(*i), *op, v)
+            }
+        };
+        let ord = l.try_cmp(&r).ok_or_else(|| EvalError::CrossTypeComparison {
+            lhs: l.to_string(),
+            rhs: r.to_string(),
+        })?;
+        Ok(op.eval(ord))
+    }
+}
+
+/// A projection expression over an input tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjExpr {
+    /// Copy column `i`.
+    Col(usize),
+    /// Emit a constant.
+    Const(Value),
+}
+
+/// Execution statistics, for the experiments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Tuples produced across all operators.
+    pub tuples_produced: usize,
+    /// Hash-join probe operations.
+    pub probes: usize,
+    /// Fixpoint rounds executed (summed over recursion operators).
+    pub fixpoint_rounds: usize,
+}
+
+/// The plan operator tree.
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// A materialised input relation.
+    Input(Relation),
+    /// Filter by a conjunction of conditions.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Conjuncts.
+        conds: Vec<Cond>,
+    },
+    /// Project to a new schema.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output expressions.
+        exprs: Vec<ProjExpr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Hash equi-join; output is the concatenation left ++ right.
+    HashJoin {
+        /// Left (probe) side.
+        left: Box<Plan>,
+        /// Right (build) side.
+        right: Box<Plan>,
+        /// Join key positions on the left.
+        left_keys: Vec<usize>,
+        /// Join key positions on the right.
+        right_keys: Vec<usize>,
+    },
+    /// Union of plans (set semantics; schemas must be union-compatible).
+    Union(Vec<Plan>),
+    /// Semi-naive linear fixpoint:
+    /// `R = init ∪ π(σ(base ⋈ R))` iterated to convergence. `base` is
+    /// joined on `base_keys` against the recursive relation's
+    /// `rec_keys`; each result row `base ++ rec` is filtered and
+    /// projected into the recursive relation's schema.
+    FixpointLinear {
+        /// Non-recursive initialisation.
+        init: Box<Plan>,
+        /// The (static) joined relation.
+        base: Box<Plan>,
+        /// Join key positions on the base side.
+        base_keys: Vec<usize>,
+        /// Join key positions on the recursive side.
+        rec_keys: Vec<usize>,
+        /// Residual conditions over `base ++ rec` rows.
+        conds: Vec<Cond>,
+        /// Projection from `base ++ rec` into the result schema.
+        exprs: Vec<ProjExpr>,
+        /// Result schema.
+        schema: Schema,
+    },
+    /// Bound-argument reachability (emitted by capture rules, §4):
+    /// starting from the seed values of `base` column `from` equal to a
+    /// parameter/constant, follow `base` edges `from → to`, emitting
+    /// `(seed, reached)` pairs in `schema`.
+    Reachability {
+        /// The edge relation.
+        base: Box<Plan>,
+        /// Source column of the edge relation.
+        from: usize,
+        /// Target column of the edge relation.
+        to: usize,
+        /// The seed: a constant or a parameter hole.
+        seed: SeedValue,
+        /// Result schema (binary).
+        schema: Schema,
+    },
+}
+
+/// The seed of a [`Plan::Reachability`] operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedValue {
+    /// A constant seed.
+    Const(Value),
+    /// A parameter hole (logical access path).
+    Param(usize),
+}
+
+impl Plan {
+    /// Execute with no parameters.
+    pub fn execute(&self) -> Result<(Relation, PlanStats), EvalError> {
+        self.execute_with(&[])
+    }
+
+    /// Execute with parameter values for `Cond::Param` /
+    /// `SeedValue::Param` holes.
+    pub fn execute_with(&self, params: &[Value]) -> Result<(Relation, PlanStats), EvalError> {
+        let mut stats = PlanStats::default();
+        let rel = self.run(params, &mut stats)?;
+        Ok((rel, stats))
+    }
+
+    fn run(&self, params: &[Value], stats: &mut PlanStats) -> Result<Relation, EvalError> {
+        match self {
+            Plan::Input(rel) => Ok(rel.clone()),
+            Plan::Filter { input, conds } => {
+                let rel = input.run(params, stats)?;
+                let mut out = Relation::new(rel.schema().clone());
+                for t in rel.iter() {
+                    let mut keep = true;
+                    for c in conds {
+                        if !c.eval(t, params)? {
+                            keep = false;
+                            break;
+                        }
+                    }
+                    if keep {
+                        out.insert_unchecked(t.clone())?;
+                        stats.tuples_produced += 1;
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Project { input, exprs, schema } => {
+                let rel = input.run(params, stats)?;
+                let mut out = Relation::new(schema.clone());
+                for t in rel.iter() {
+                    out.insert_unchecked(project(t, exprs))?;
+                    stats.tuples_produced += 1;
+                }
+                Ok(out)
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys } => {
+                let l = left.run(params, stats)?;
+                let r = right.run(params, stats)?;
+                let index = HashIndex::build(&r, right_keys.clone());
+                let mut attrs = l.schema().attributes().to_vec();
+                attrs.extend(r.schema().attributes().iter().cloned());
+                // Concatenated schemas may repeat names; positions are
+                // what matter downstream.
+                let mut seen = dc_value::FxHashSet::default();
+                for a in &mut attrs {
+                    while !seen.insert(a.name.clone()) {
+                        a.name.push('_');
+                    }
+                }
+                let schema = Schema::new(attrs);
+                let mut out = Relation::new(schema);
+                for lt in l.iter() {
+                    stats.probes += 1;
+                    for rt in index.probe_with(lt, left_keys) {
+                        out.insert_unchecked(lt.concat(rt))?;
+                        stats.tuples_produced += 1;
+                    }
+                }
+                Ok(out)
+            }
+            Plan::Union(parts) => {
+                let mut out: Option<Relation> = None;
+                for p in parts {
+                    let rel = p.run(params, stats)?;
+                    match &mut out {
+                        None => out = Some(rel),
+                        Some(acc) => {
+                            algebra::union_into(acc, &rel).map_err(EvalError::from)?;
+                        }
+                    }
+                }
+                out.ok_or_else(|| EvalError::Other("empty union".into()))
+            }
+            Plan::FixpointLinear {
+                init,
+                base,
+                base_keys,
+                rec_keys,
+                conds,
+                exprs,
+                schema,
+            } => {
+                let init_rel = init.run(params, stats)?;
+                let base_rel = base.run(params, stats)?;
+                let base_index = HashIndex::build(&base_rel, base_keys.clone());
+                let mut acc = Relation::new(schema.clone());
+                for t in init_rel.iter() {
+                    acc.insert_unchecked(t.clone())?;
+                }
+                let mut delta: Vec<Tuple> = acc.iter().cloned().collect();
+                while !delta.is_empty() {
+                    stats.fixpoint_rounds += 1;
+                    let mut next_delta = Vec::new();
+                    for rec_t in &delta {
+                        stats.probes += 1;
+                        let key = rec_t.project(rec_keys);
+                        for base_t in base_index.probe(&key) {
+                            let joined = base_t.concat(rec_t);
+                            let mut keep = true;
+                            for c in conds {
+                                if !c.eval(&joined, params)? {
+                                    keep = false;
+                                    break;
+                                }
+                            }
+                            if keep {
+                                let out_t = project(&joined, exprs);
+                                if acc.insert_unchecked(out_t.clone())? {
+                                    stats.tuples_produced += 1;
+                                    next_delta.push(out_t);
+                                }
+                            }
+                        }
+                    }
+                    delta = next_delta;
+                }
+                Ok(acc)
+            }
+            Plan::Reachability { base, from, to, seed, schema } => {
+                let base_rel = base.run(params, stats)?;
+                let index = HashIndex::build(&base_rel, vec![*from]);
+                let seed_val = match seed {
+                    SeedValue::Const(v) => v.clone(),
+                    SeedValue::Param(k) => params
+                        .get(*k)
+                        .cloned()
+                        .ok_or_else(|| EvalError::UnknownParam(format!("${k}")))?,
+                };
+                let mut out = Relation::new(schema.clone());
+                let mut frontier = vec![seed_val.clone()];
+                let mut visited = dc_value::FxHashSet::default();
+                visited.insert(seed_val.clone());
+                while let Some(node) = frontier.pop() {
+                    stats.probes += 1;
+                    stats.fixpoint_rounds += 1;
+                    for edge in index.probe(&Tuple::new(vec![node.clone()])) {
+                        let target = edge.get(*to).clone();
+                        out.insert_unchecked(Tuple::new(vec![
+                            seed_val.clone(),
+                            target.clone(),
+                        ]))?;
+                        stats.tuples_produced += 1;
+                        if visited.insert(target.clone()) {
+                            frontier.push(target);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// One-line operator summary, indented per level (EXPLAIN-style).
+    pub fn explain(&self) -> String {
+        fn go(p: &Plan, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            match p {
+                Plan::Input(r) => {
+                    out.push_str(&format!("{pad}Input[{} tuples]\n", r.len()));
+                }
+                Plan::Filter { input, conds } => {
+                    out.push_str(&format!("{pad}Filter[{} conds]\n", conds.len()));
+                    go(input, depth + 1, out);
+                }
+                Plan::Project { input, exprs, .. } => {
+                    out.push_str(&format!("{pad}Project[{} cols]\n", exprs.len()));
+                    go(input, depth + 1, out);
+                }
+                Plan::HashJoin { left, right, left_keys, right_keys } => {
+                    out.push_str(&format!("{pad}HashJoin[{left_keys:?} = {right_keys:?}]\n"));
+                    go(left, depth + 1, out);
+                    go(right, depth + 1, out);
+                }
+                Plan::Union(parts) => {
+                    out.push_str(&format!("{pad}Union[{}]\n", parts.len()));
+                    for q in parts {
+                        go(q, depth + 1, out);
+                    }
+                }
+                Plan::FixpointLinear { init, base, .. } => {
+                    out.push_str(&format!("{pad}FixpointLinear\n"));
+                    go(init, depth + 1, out);
+                    go(base, depth + 1, out);
+                }
+                Plan::Reachability { base, seed, .. } => {
+                    out.push_str(&format!("{pad}Reachability[seed={seed:?}]\n"));
+                    go(base, depth + 1, out);
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+}
+
+fn project(t: &Tuple, exprs: &[ProjExpr]) -> Tuple {
+    Tuple::new(
+        exprs
+            .iter()
+            .map(|e| match e {
+                ProjExpr::Col(i) => t.get(*i).clone(),
+                ProjExpr::Const(v) => v.clone(),
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_value::{tuple, Domain};
+
+    fn edges_schema() -> Schema {
+        Schema::of(&[("front", Domain::Str), ("back", Domain::Str)])
+    }
+
+    fn chain(n: usize) -> Relation {
+        Relation::from_tuples(
+            edges_schema(),
+            (0..n).map(|i| tuple![format!("o{i}"), format!("o{}", i + 1)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let plan = Plan::Project {
+            input: Box::new(Plan::Filter {
+                input: Box::new(Plan::Input(chain(3))),
+                conds: vec![Cond::Const(0, CmpOp::Eq, Value::str("o1"))],
+            }),
+            exprs: vec![ProjExpr::Col(1), ProjExpr::Const(Value::Int(9))],
+            schema: Schema::of(&[("b", Domain::Str), ("k", Domain::Int)]),
+        };
+        let (out, stats) = plan.execute().unwrap();
+        assert_eq!(out.sorted_tuples(), vec![tuple!["o2", 9i64]]);
+        assert!(stats.tuples_produced >= 2);
+    }
+
+    #[test]
+    fn hash_join_composes_paths() {
+        // edges ⋈ edges on back = front: two-step pairs.
+        let plan = Plan::HashJoin {
+            left: Box::new(Plan::Input(chain(3))),
+            right: Box::new(Plan::Input(chain(3))),
+            left_keys: vec![1],
+            right_keys: vec![0],
+        };
+        let (out, stats) = plan.execute().unwrap();
+        assert_eq!(out.len(), 2); // (o0..o2), (o1..o3) joined rows
+        assert_eq!(out.schema().arity(), 4);
+        assert_eq!(stats.probes, 3);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let plan = Plan::Union(vec![Plan::Input(chain(3)), Plan::Input(chain(3))]);
+        let (out, _) = plan.execute().unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn fixpoint_linear_computes_closure() {
+        // TC: acc = edges ∪ π_{base.front, rec.tail}(edges ⋈_{back=head} acc)
+        let schema = Schema::of(&[("head", Domain::Str), ("tail", Domain::Str)]);
+        let plan = Plan::FixpointLinear {
+            init: Box::new(Plan::Input(chain(6))),
+            base: Box::new(Plan::Input(chain(6))),
+            base_keys: vec![1],
+            rec_keys: vec![0],
+            conds: vec![],
+            exprs: vec![ProjExpr::Col(0), ProjExpr::Col(3)],
+            schema,
+        };
+        let (out, stats) = plan.execute().unwrap();
+        assert_eq!(out.len(), 21); // 6*7/2
+        assert!(out.contains(&tuple!["o0", "o6"]));
+        assert!(stats.fixpoint_rounds >= 5);
+    }
+
+    #[test]
+    fn fixpoint_on_cycle_terminates() {
+        let mut edges = chain(4);
+        edges.insert(tuple!["o4", "o0"]).unwrap();
+        let schema = Schema::of(&[("head", Domain::Str), ("tail", Domain::Str)]);
+        let plan = Plan::FixpointLinear {
+            init: Box::new(Plan::Input(edges.clone())),
+            base: Box::new(Plan::Input(edges)),
+            base_keys: vec![1],
+            rec_keys: vec![0],
+            conds: vec![],
+            exprs: vec![ProjExpr::Col(0), ProjExpr::Col(3)],
+            schema,
+        };
+        let (out, _) = plan.execute().unwrap();
+        assert_eq!(out.len(), 25);
+    }
+
+    #[test]
+    fn reachability_bounds_work_to_the_cone() {
+        // Two disjoint chains; reachability from the first touches only
+        // its own chain.
+        let mut edges = chain(8);
+        for i in 0..8 {
+            edges.insert(tuple![format!("x{i}"), format!("x{}", i + 1)]).unwrap();
+        }
+        let schema = Schema::of(&[("head", Domain::Str), ("tail", Domain::Str)]);
+        let plan = Plan::Reachability {
+            base: Box::new(Plan::Input(edges)),
+            from: 0,
+            to: 1,
+            seed: SeedValue::Const(Value::str("o3")),
+            schema,
+        };
+        let (out, stats) = plan.execute().unwrap();
+        assert_eq!(out.len(), 5); // o4..o8 reachable from o3
+        assert!(out.contains(&tuple!["o3", "o8"]));
+        // Probes bounded by the cone, not the whole graph.
+        assert!(stats.probes <= 7);
+    }
+
+    #[test]
+    fn param_holes_bind_at_execution() {
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Input(chain(4))),
+            conds: vec![Cond::Param(0, CmpOp::Eq, 0)],
+        };
+        let (out, _) = plan.execute_with(&[Value::str("o2")]).unwrap();
+        assert_eq!(out.sorted_tuples(), vec![tuple!["o2", "o3"]]);
+        // Missing parameter is an error.
+        assert!(plan.execute().is_err());
+    }
+
+    #[test]
+    fn cond_semantics() {
+        let t = tuple![2i64, 3i64];
+        assert!(Cond::Cols(0, CmpOp::Lt, 1).eval(&t, &[]).unwrap());
+        assert!(Cond::Const(1, CmpOp::Eq, Value::Int(3)).eval(&t, &[]).unwrap());
+        assert!(!Cond::Const(0, CmpOp::Gt, Value::Int(5)).eval(&t, &[]).unwrap());
+        assert!(Cond::Param(0, CmpOp::Eq, 0).eval(&t, &[Value::Int(2)]).unwrap());
+        assert!(matches!(
+            Cond::Const(0, CmpOp::Eq, Value::str("x")).eval(&t, &[]),
+            Err(EvalError::CrossTypeComparison { .. })
+        ));
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Input(chain(2))),
+            conds: vec![],
+        };
+        let e = plan.explain();
+        assert!(e.contains("Filter"));
+        assert!(e.contains("Input"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Errors of the Horn-clause engine.
+
+use std::fmt;
+
+/// Errors raised by the Prolog-style engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrologError {
+    /// Resolution exceeded the configured step budget; the answer set
+    /// may be incomplete (tuple-at-a-time engines have no termination
+    /// guarantee on recursive programs — the paper's point in §3.4:
+    /// "the problem of endless loops is eliminated" on the constructor
+    /// side).
+    StepBudgetExceeded {
+        /// Steps performed before giving up.
+        steps: u64,
+    },
+    /// A constructor definition could not be translated to function-free
+    /// Horn clauses (it uses negation, universal quantification, or
+    /// non-equality comparisons — outside the §3.4 lemma's fragment).
+    NotHornExpressible(String),
+    /// A clause is unsafe: a head variable does not occur in the body
+    /// (would denote an infinite relation).
+    UnsafeClause(String),
+}
+
+impl fmt::Display for PrologError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrologError::StepBudgetExceeded { steps } => {
+                write!(f, "resolution exceeded {steps} steps")
+            }
+            PrologError::NotHornExpressible(why) => {
+                write!(f, "not expressible in function-free Horn clauses: {why}")
+            }
+            PrologError::UnsafeClause(c) => write!(f, "unsafe clause: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for PrologError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(PrologError::StepBudgetExceeded { steps: 10 }.to_string().contains("10"));
+        assert!(PrologError::NotHornExpressible("NOT".into()).to_string().contains("NOT"));
+        assert!(PrologError::UnsafeClause("p(X)".into()).to_string().contains("p(X)"));
+    }
+}

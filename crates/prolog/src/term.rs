@@ -1,0 +1,157 @@
+//! Terms and atoms of the function-free Horn-clause language.
+
+use std::fmt;
+
+use dc_value::Value;
+
+/// A term: a variable or a constant. Function symbols are excluded by
+/// design — the §3.4 lemma concerns *function-free* PROLOG, which is
+/// exactly Datalog.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A logic variable.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Convenience: variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Convenience: constant term.
+    pub fn val(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// Is this a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Rename a variable with a standardisation-apart suffix.
+    pub fn rename(&self, suffix: usize) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(format!("{v}#{suffix}")),
+            c => c.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An atom `pred(t1, …, tk)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(pred: impl Into<String>, args: Vec<Term>) -> Atom {
+        Atom { pred: pred.into(), args }
+    }
+
+    /// Rename all variables with a standardisation-apart suffix.
+    pub fn rename(&self, suffix: usize) -> Atom {
+        Atom {
+            pred: self.pred.clone(),
+            args: self.args.iter().map(|t| t.rename(suffix)).collect(),
+        }
+    }
+
+    /// The distinct variable names occurring in the atom, in order of
+    /// first occurrence.
+    pub fn vars(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                if !out.contains(&v.as_str()) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is the atom ground (variable-free)?
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| !t.is_var())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro: `atom!("ahead"; var "X", val "table")`.
+#[macro_export]
+macro_rules! atom {
+    ($pred:expr $(; $($kind:ident $arg:expr),*)?) => {
+        $crate::Atom::new(
+            $pred,
+            vec![$($($crate::atom!(@term $kind $arg)),*)?],
+        )
+    };
+    (@term var $v:expr) => { $crate::Term::var($v) };
+    (@term val $v:expr) => { $crate::Term::val($v) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let a = Atom::new("infront", vec![Term::var("X"), Term::val("table")]);
+        assert_eq!(a.to_string(), "infront(X, \"table\")");
+        assert!(!a.is_ground());
+        let g = Atom::new("infront", vec![Term::val("a"), Term::val("b")]);
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    fn renaming_standardises_apart() {
+        let a = Atom::new("p", vec![Term::var("X"), Term::val(1i64), Term::var("X")]);
+        let r = a.rename(7);
+        assert_eq!(r.args[0], Term::var("X#7"));
+        assert_eq!(r.args[1], Term::val(1i64));
+        assert_eq!(r.args[2], Term::var("X#7"));
+    }
+
+    #[test]
+    fn vars_deduped_in_order() {
+        let a = Atom::new("p", vec![Term::var("Y"), Term::var("X"), Term::var("Y")]);
+        assert_eq!(a.vars(), vec!["Y", "X"]);
+    }
+
+    #[test]
+    fn atom_macro() {
+        let a = atom!("ahead"; var "X", val "chair");
+        assert_eq!(a.pred, "ahead");
+        assert_eq!(a.args.len(), 2);
+        let n = atom!("nullary");
+        assert!(n.args.is_empty());
+    }
+}

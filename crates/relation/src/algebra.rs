@@ -1,0 +1,173 @@
+//! Set algebra over relations.
+//!
+//! These are the primitive operations the fixpoint loop of §3.1 is
+//! written in: the `REPEAT … UNTIL Ahead = Oldahead` loop needs union
+//! (to accumulate), difference (for semi-naive deltas), and equality
+//! (for the convergence test, supplied by `Relation: PartialEq`).
+
+use dc_value::Tuple;
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+
+/// `left ∪ right`. The result carries `left`'s schema; schemas must be
+/// union-compatible. Key constraints of the result schema are enforced.
+pub fn union(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
+    if !left.schema().union_compatible(right.schema()) {
+        return Err(RelationError::Incompatible { context: "union".into() });
+    }
+    let mut out = left.clone();
+    for t in right.iter() {
+        out.insert_unchecked(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// In-place union: add every tuple of `right` into `left`, returning the
+/// number of genuinely new tuples. This is the hot path of naive
+/// fixpoint iteration.
+pub fn union_into(left: &mut Relation, right: &Relation) -> Result<usize, RelationError> {
+    if !left.schema().union_compatible(right.schema()) {
+        return Err(RelationError::Incompatible { context: "union".into() });
+    }
+    let mut added = 0;
+    for t in right.iter() {
+        if left.insert_unchecked(t.clone())? {
+            added += 1;
+        }
+    }
+    Ok(added)
+}
+
+/// `left ∖ right` (difference). Used to compute semi-naive deltas.
+pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
+    if !left.schema().union_compatible(right.schema()) {
+        return Err(RelationError::Incompatible { context: "difference".into() });
+    }
+    let mut out = Relation::new(left.schema().clone());
+    for t in left.iter() {
+        if !right.contains(t) {
+            out.insert_unchecked(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// `left ∩ right` (intersection).
+pub fn intersection(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
+    if !left.schema().union_compatible(right.schema()) {
+        return Err(RelationError::Incompatible { context: "intersection".into() });
+    }
+    let (small, large) = if left.len() <= right.len() { (left, right) } else { (right, left) };
+    let mut out = Relation::new(left.schema().clone());
+    for t in small.iter() {
+        if large.contains(t) {
+            out.insert_unchecked(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Is `left ⊆ right`?
+pub fn is_subset(left: &Relation, right: &Relation) -> bool {
+    left.len() <= right.len() && left.iter().all(|t| right.contains(t))
+}
+
+/// Filter by a tuple predicate, keeping the schema. This is the
+/// engine-level form of selector application `Rel[s]`.
+pub fn filter<F>(rel: &Relation, mut pred: F) -> Result<Relation, RelationError>
+where
+    F: FnMut(&Tuple) -> bool,
+{
+    let mut out = Relation::new(rel.schema().clone());
+    for t in rel.iter() {
+        if pred(t) {
+            out.insert_unchecked(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_value::{tuple, Domain, Schema};
+
+    fn pairs(ts: &[(&str, &str)]) -> Relation {
+        Relation::from_tuples(
+            Schema::of(&[("front", Domain::Str), ("back", Domain::Str)]),
+            ts.iter().map(|(a, b)| tuple![*a, *b]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = pairs(&[("a", "b"), ("b", "c")]);
+        let b = pairs(&[("b", "c"), ("c", "d")]);
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(&tuple!["c", "d"]));
+    }
+
+    #[test]
+    fn union_into_counts_new() {
+        let mut a = pairs(&[("a", "b")]);
+        let b = pairs(&[("a", "b"), ("b", "c")]);
+        assert_eq!(union_into(&mut a, &b).unwrap(), 1);
+        assert_eq!(union_into(&mut a, &b).unwrap(), 0);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn difference_removes() {
+        let a = pairs(&[("a", "b"), ("b", "c")]);
+        let b = pairs(&[("a", "b")]);
+        let d = difference(&a, &b).unwrap();
+        assert_eq!(d.sorted_tuples(), vec![tuple!["b", "c"]]);
+        assert!(difference(&b, &a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn intersection_keeps_common() {
+        let a = pairs(&[("a", "b"), ("b", "c")]);
+        let b = pairs(&[("b", "c"), ("c", "d")]);
+        let i = intersection(&a, &b).unwrap();
+        assert_eq!(i.sorted_tuples(), vec![tuple!["b", "c"]]);
+    }
+
+    #[test]
+    fn subset_checks() {
+        let a = pairs(&[("a", "b")]);
+        let b = pairs(&[("a", "b"), ("b", "c")]);
+        assert!(is_subset(&a, &b));
+        assert!(!is_subset(&b, &a));
+        assert!(is_subset(&a, &a));
+    }
+
+    #[test]
+    fn filter_selects() {
+        let a = pairs(&[("a", "b"), ("table", "c")]);
+        let f = filter(&a, |t| t.get(0).as_str() == Some("table")).unwrap();
+        assert_eq!(f.sorted_tuples(), vec![tuple!["table", "c"]]);
+    }
+
+    #[test]
+    fn incompatible_schemas_rejected() {
+        let a = pairs(&[("a", "b")]);
+        let b = Relation::new(Schema::of(&[("n", Domain::Int)]));
+        assert!(union(&a, &b).is_err());
+        assert!(difference(&a, &b).is_err());
+        assert!(intersection(&a, &b).is_err());
+    }
+
+    #[test]
+    fn union_laws() {
+        // Commutativity and idempotence on small fixed inputs (the
+        // property-based version lives in the proptest suite).
+        let a = pairs(&[("a", "b"), ("b", "c")]);
+        let b = pairs(&[("c", "d")]);
+        assert_eq!(union(&a, &b).unwrap(), union(&b, &a).unwrap());
+        assert_eq!(union(&a, &a).unwrap(), a);
+    }
+}

@@ -1,0 +1,78 @@
+//! Errors of the relation layer.
+
+use std::fmt;
+
+use dc_value::{Tuple, TypeError};
+
+/// Errors raised by relation operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A tuple failed the schema check (arity/domain/range).
+    Type(TypeError),
+    /// Inserting `incoming` would violate key uniqueness against the
+    /// already-present `existing` tuple (§2.2's key constraint — the
+    /// paper's `<exception>` branch of checked assignment).
+    KeyViolation {
+        /// The key projection shared by the two tuples.
+        key: Tuple,
+        /// Tuple already present.
+        existing: Tuple,
+        /// Tuple being inserted.
+        incoming: Tuple,
+    },
+    /// Two relations combined by a set operation have incompatible
+    /// schemas.
+    Incompatible {
+        /// Human-readable context, e.g. `"union"`.
+        context: String,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::Type(e) => write!(f, "{e}"),
+            RelationError::KeyViolation { key, existing, incoming } => write!(
+                f,
+                "key violation: key {key} maps to both {existing} and {incoming}"
+            ),
+            RelationError::Incompatible { context } => {
+                write!(f, "incompatible relation schemas in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelationError::Type(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeError> for RelationError {
+    fn from(e: TypeError) -> Self {
+        RelationError::Type(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_value::tuple;
+
+    #[test]
+    fn display() {
+        let e = RelationError::KeyViolation {
+            key: tuple!["k"],
+            existing: tuple!["k", 1i64],
+            incoming: tuple!["k", 2i64],
+        };
+        assert!(e.to_string().contains("key violation"));
+        let t: RelationError =
+            TypeError::ArityMismatch { expected: 1, actual: 2 }.into();
+        assert!(t.to_string().contains("arity"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Relation layer: sets of tuples with key constraints.
+//!
+//! The paper (§2.2) characterises a relation type as an annotated set
+//! type:
+//!
+//! ```text
+//! reltype = SET OF elementtype ||
+//!     WHERE rel IN reltype ==>
+//!         ALL r1, r2 IN rel ( r1.key = r2.key ==> r1 = r2 )
+//! ```
+//!
+//! [`Relation`] implements exactly this: a set of [`dc_value::Tuple`]s
+//! over a [`dc_value::Schema`], with the key-uniqueness constraint
+//! enforced on every insertion and on whole-relation assignment (the
+//! paper's `IF ALL x1,x2 IN rex (...) THEN rel := rex ELSE <exception>`).
+//!
+//! The [`algebra`] module supplies the set operations (`∪`, `∖`, `∩`,
+//! `=`, `⊆`) the fixpoint engine is built from.
+
+pub mod algebra;
+pub mod error;
+pub mod relation;
+
+pub use error::RelationError;
+pub use relation::Relation;

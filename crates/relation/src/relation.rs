@@ -1,0 +1,343 @@
+//! The [`Relation`] type: a keyed set of tuples.
+
+use std::fmt;
+
+use dc_value::{FxHashMap, FxHashSet, Schema, Tuple};
+
+use crate::error::RelationError;
+
+/// A relation value: a set of tuples over a schema, with key uniqueness
+/// maintained as an invariant (§2.2 of the paper).
+///
+/// # Semantics
+///
+/// * Pure set semantics: inserting a duplicate tuple is a no-op.
+/// * If the schema designates a proper key, two *distinct* tuples with
+///   equal key projections cannot coexist; [`Relation::insert`] reports
+///   a [`RelationError::KeyViolation`], which is the engine-level
+///   equivalent of the paper's `<exception>` branch.
+/// * Iteration order of [`Relation::iter`] is unspecified;
+///   [`Relation::sorted_tuples`] gives a deterministic order for display
+///   and test assertions.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    tuples: FxHashSet<Tuple>,
+    /// Key projection → tuple, maintained only for schemas with a proper
+    /// key. `None` ⇔ whole tuple is the key, so `tuples` suffices.
+    key_map: Option<FxHashMap<Tuple, Tuple>>,
+}
+
+impl Relation {
+    /// The empty relation over `schema`.
+    pub fn new(schema: Schema) -> Relation {
+        let key_map = schema.has_proper_key().then(FxHashMap::default);
+        Relation { schema, tuples: FxHashSet::default(), key_map }
+    }
+
+    /// Build a relation from tuples, checking each against the schema
+    /// and the key constraint.
+    pub fn from_tuples<I>(schema: Schema, tuples: I) -> Result<Relation, RelationError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut rel = Relation::new(schema);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The schema of this relation.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test (`r IN Rel`).
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Look up the tuple with the given key projection, if the schema
+    /// has a proper key.
+    pub fn get_by_key(&self, key: &Tuple) -> Option<&Tuple> {
+        self.key_map.as_ref()?.get(key)
+    }
+
+    /// Insert a tuple. Returns `Ok(true)` if it was new, `Ok(false)` if
+    /// already present, and an error on schema or key violations.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool, RelationError> {
+        self.schema.check_tuple(&tuple)?;
+        if self.tuples.contains(&tuple) {
+            return Ok(false);
+        }
+        if let Some(map) = &mut self.key_map {
+            let key = self.schema.key_of(&tuple);
+            if let Some(existing) = map.get(&key) {
+                return Err(RelationError::KeyViolation {
+                    key,
+                    existing: existing.clone(),
+                    incoming: tuple,
+                });
+            }
+            map.insert(key, tuple.clone());
+        }
+        self.tuples.insert(tuple);
+        Ok(true)
+    }
+
+    /// Insert without schema checking — used by the fixpoint engine on
+    /// tuples it constructed itself from already-checked inputs. Still
+    /// maintains the key invariant.
+    pub fn insert_unchecked(&mut self, tuple: Tuple) -> Result<bool, RelationError> {
+        if self.tuples.contains(&tuple) {
+            return Ok(false);
+        }
+        if let Some(map) = &mut self.key_map {
+            let key = self.schema.key_of(&tuple);
+            if let Some(existing) = map.get(&key) {
+                return Err(RelationError::KeyViolation {
+                    key,
+                    existing: existing.clone(),
+                    incoming: tuple,
+                });
+            }
+            map.insert(key, tuple.clone());
+        }
+        self.tuples.insert(tuple);
+        Ok(true)
+    }
+
+    /// Remove a tuple; returns whether it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        let removed = self.tuples.remove(tuple);
+        if removed {
+            if let Some(map) = &mut self.key_map {
+                map.remove(&self.schema.key_of(tuple));
+            }
+        }
+        removed
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        if let Some(map) = &mut self.key_map {
+            map.clear();
+        }
+    }
+
+    /// Whole-relation assignment with constraint checking: the paper's
+    /// `rel := rex` compiles to a key-constraint test over `rex` followed
+    /// by the assignment, or an exception (§2.2). `source` keeps its own
+    /// schema's attribute names; only arity/domain compatibility and this
+    /// relation's key constraint are enforced.
+    pub fn assign(&mut self, source: &Relation) -> Result<(), RelationError> {
+        if !self.schema.union_compatible(source.schema()) {
+            return Err(RelationError::Incompatible { context: "assignment".into() });
+        }
+        let mut staged = Relation::new(self.schema.clone());
+        for t in source.iter() {
+            staged.insert(t.clone())?;
+        }
+        *self = staged;
+        Ok(())
+    }
+
+    /// Iterate over the tuples (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Tuples in sorted order (deterministic; for display and tests).
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Direct access to the underlying set (read-only).
+    pub fn as_set(&self) -> &FxHashSet<Tuple> {
+        &self.tuples
+    }
+}
+
+/// Set equality: same tuples, regardless of schema attribute names (the
+/// paper compares `Ahead = Oldahead` inside the fixpoint loop where the
+/// two sides share a type).
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.sorted_tuples().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_value::{tuple, Attribute, Domain};
+
+    fn infrontrel() -> Schema {
+        Schema::of(&[("front", Domain::Str), ("back", Domain::Str)])
+    }
+
+    fn keyed() -> Schema {
+        Schema::with_key(
+            vec![
+                Attribute::new("part", Domain::Str),
+                Attribute::new("weight", Domain::Int),
+            ],
+            &["part"],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_membership() {
+        let mut r = Relation::new(infrontrel());
+        assert!(r.insert(tuple!["vase", "table"]).unwrap());
+        assert!(!r.insert(tuple!["vase", "table"]).unwrap());
+        assert!(r.contains(&tuple!["vase", "table"]));
+        assert!(!r.contains(&tuple!["table", "vase"]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut r = Relation::new(infrontrel());
+        assert!(r.insert(tuple!["a"]).is_err());
+        assert!(r.insert(tuple![1i64, "b"]).is_err());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn key_constraint_enforced() {
+        let mut r = Relation::new(keyed());
+        r.insert(tuple!["bolt", 5i64]).unwrap();
+        let err = r.insert(tuple!["bolt", 9i64]).unwrap_err();
+        assert!(matches!(err, RelationError::KeyViolation { .. }));
+        // Same tuple again is fine (set semantics).
+        assert!(!r.insert(tuple!["bolt", 5i64]).unwrap());
+        assert_eq!(r.get_by_key(&tuple!["bolt"]), Some(&tuple!["bolt", 5i64]));
+    }
+
+    #[test]
+    fn remove_updates_key_index() {
+        let mut r = Relation::new(keyed());
+        r.insert(tuple!["bolt", 5i64]).unwrap();
+        assert!(r.remove(&tuple!["bolt", 5i64]));
+        assert!(!r.remove(&tuple!["bolt", 5i64]));
+        // Key slot is free again.
+        r.insert(tuple!["bolt", 9i64]).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn assign_checks_key_constraint() {
+        let src_schema = infrontrel(); // no key
+        let mut src = Relation::new(src_schema);
+        src.insert(tuple!["bolt", "x"]).unwrap();
+        src.insert(tuple!["bolt", "y"]).unwrap();
+
+        // Target schema: key on first attribute over strings.
+        let target_schema = Schema::with_key(
+            vec![
+                Attribute::new("part", Domain::Str),
+                Attribute::new("note", Domain::Str),
+            ],
+            &["part"],
+        )
+        .unwrap();
+        let mut target = Relation::new(target_schema);
+        let err = target.assign(&src).unwrap_err();
+        assert!(matches!(err, RelationError::KeyViolation { .. }));
+        // Failed assignment leaves the target untouched.
+        assert!(target.is_empty());
+    }
+
+    #[test]
+    fn assign_replaces_contents() {
+        let mut a = Relation::new(infrontrel());
+        a.insert(tuple!["a", "b"]).unwrap();
+        let mut b = Relation::new(infrontrel());
+        b.insert(tuple!["c", "d"]).unwrap();
+        a.assign(&b).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.contains(&tuple!["a", "b"]));
+    }
+
+    #[test]
+    fn assign_incompatible_schema() {
+        let mut a = Relation::new(infrontrel());
+        let b = Relation::new(Schema::of(&[("n", Domain::Int)]));
+        assert!(matches!(
+            a.assign(&b),
+            Err(RelationError::Incompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let mut a = Relation::new(infrontrel());
+        let mut b = Relation::new(Schema::of(&[("head", Domain::Str), ("tail", Domain::Str)]));
+        a.insert(tuple!["x", "y"]).unwrap();
+        b.insert(tuple!["x", "y"]).unwrap();
+        assert_eq!(a, b);
+        b.insert(tuple!["y", "z"]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sorted_and_display_deterministic() {
+        let mut r = Relation::new(infrontrel());
+        r.insert(tuple!["b", "c"]).unwrap();
+        r.insert(tuple!["a", "b"]).unwrap();
+        let s = r.sorted_tuples();
+        assert_eq!(s[0], tuple!["a", "b"]);
+        assert_eq!(r.to_string(), "{<\"a\", \"b\">, <\"b\", \"c\">}");
+    }
+
+    #[test]
+    fn clear_empties_and_reuses() {
+        let mut r = Relation::new(keyed());
+        r.insert(tuple!["bolt", 1i64]).unwrap();
+        r.clear();
+        assert!(r.is_empty());
+        r.insert(tuple!["bolt", 2i64]).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn from_tuples_builder() {
+        let r = Relation::from_tuples(
+            infrontrel(),
+            vec![tuple!["a", "b"], tuple!["b", "c"], tuple!["a", "b"]],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+}

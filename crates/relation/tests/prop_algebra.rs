@@ -1,0 +1,112 @@
+//! Property-based tests: the set-algebra laws the fixpoint engine
+//! relies on (monotone accumulation via union, delta via difference).
+
+use proptest::prelude::*;
+
+use dc_relation::{algebra, Relation};
+use dc_value::{tuple, Domain, Schema};
+
+fn schema() -> Schema {
+    Schema::of(&[("a", Domain::Int), ("b", Domain::Int)])
+}
+
+fn rel_strategy() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0i64..8, 0i64..8), 0..24).prop_map(|pairs| {
+        Relation::from_tuples(schema(), pairs.into_iter().map(|(a, b)| tuple![a, b]))
+            .expect("valid tuples")
+    })
+}
+
+proptest! {
+    #[test]
+    fn union_commutative_associative_idempotent(
+        a in rel_strategy(), b in rel_strategy(), c in rel_strategy()
+    ) {
+        let ab = algebra::union(&a, &b).unwrap();
+        let ba = algebra::union(&b, &a).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        let ab_c = algebra::union(&ab, &c).unwrap();
+        let a_bc = algebra::union(&a, &algebra::union(&b, &c).unwrap()).unwrap();
+        prop_assert_eq!(ab_c, a_bc);
+        prop_assert_eq!(algebra::union(&a, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn difference_laws(a in rel_strategy(), b in rel_strategy()) {
+        let d = algebra::difference(&a, &b).unwrap();
+        // d ⊆ a and d ∩ b = ∅.
+        prop_assert!(algebra::is_subset(&d, &a));
+        prop_assert!(algebra::intersection(&d, &b).unwrap().is_empty());
+        // a = (a ∖ b) ∪ (a ∩ b).
+        let back = algebra::union(&d, &algebra::intersection(&a, &b).unwrap()).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn intersection_laws(a in rel_strategy(), b in rel_strategy()) {
+        let i = algebra::intersection(&a, &b).unwrap();
+        prop_assert_eq!(&i, &algebra::intersection(&b, &a).unwrap());
+        prop_assert!(algebra::is_subset(&i, &a));
+        prop_assert!(algebra::is_subset(&i, &b));
+    }
+
+    #[test]
+    fn inclusion_exclusion_cardinality(a in rel_strategy(), b in rel_strategy()) {
+        let u = algebra::union(&a, &b).unwrap();
+        let i = algebra::intersection(&a, &b).unwrap();
+        prop_assert_eq!(u.len() + i.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn union_into_counts(a in rel_strategy(), b in rel_strategy()) {
+        let mut acc = a.clone();
+        let added = algebra::union_into(&mut acc, &b).unwrap();
+        prop_assert_eq!(acc.len(), a.len() + added);
+        prop_assert_eq!(acc, algebra::union(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn filter_is_a_subset_homomorphism(a in rel_strategy(), b in rel_strategy()) {
+        let pred = |t: &dc_value::Tuple| t.get(0).as_int().unwrap() % 2 == 0;
+        let fa = algebra::filter(&a, pred).unwrap();
+        let fb = algebra::filter(&b, pred).unwrap();
+        // σ(a ∪ b) = σ(a) ∪ σ(b): selection distributes over union —
+        // the identity behind delta-filtering in semi-naive evaluation.
+        let lhs = algebra::filter(&algebra::union(&a, &b).unwrap(), pred).unwrap();
+        let rhs = algebra::union(&fa, &fb).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn subset_is_a_partial_order(a in rel_strategy(), b in rel_strategy()) {
+        prop_assert!(algebra::is_subset(&a, &a));
+        if algebra::is_subset(&a, &b) && algebra::is_subset(&b, &a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Insert/remove round-trip preserves the original relation.
+    #[test]
+    fn insert_remove_roundtrip(a in rel_strategy(), x in 0i64..8, y in 0i64..8) {
+        let mut r = a.clone();
+        let t = tuple![x, y];
+        let was_new = r.insert(t.clone()).unwrap();
+        if was_new {
+            prop_assert!(r.remove(&t));
+            prop_assert_eq!(r, a);
+        } else {
+            prop_assert_eq!(&r, &a);
+        }
+    }
+
+    /// Sorted tuples are sorted and complete.
+    #[test]
+    fn sorted_tuples_sorted(a in rel_strategy()) {
+        let s = a.sorted_tuples();
+        prop_assert_eq!(s.len(), a.len());
+        prop_assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        for t in &s {
+            prop_assert!(a.contains(t));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Value substrate for the Data Constructors engine.
+//!
+//! This crate provides the scalar layer that every other crate builds on:
+//!
+//! * [`Domain`] — the DBPL-style scalar type system, including subrange
+//!   domains (`RANGE 1..100` in the paper's §2.1 example),
+//! * [`Value`] — dynamically typed scalar values with total ordering,
+//! * [`Tuple`] — immutable fixed-arity rows,
+//! * [`Schema`] / [`Attribute`] — named, typed attribute lists with an
+//!   optional key (the paper's `RELATION key OF elementtype`, §2.2),
+//! * [`fxhash`] — a small FxHash-style hasher so that tuple-heavy hash
+//!   joins and set semantics do not pay for SipHash.
+//!
+//! The paper's examples (`parttype`, `infrontrel`, …) are expressible
+//! directly with these types; see `dc-relation` for the relation layer.
+
+pub mod domain;
+pub mod error;
+pub mod fxhash;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use domain::Domain;
+pub use error::{TypeError, ValueError};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use schema::{Attribute, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,258 @@
+//! Relation schemas: named, typed attribute lists with an optional key.
+//!
+//! Corresponds to the paper's relation type definitions (§2.2/§2.3):
+//!
+//! ```text
+//! TYPE infrontrel = RELATION ... OF RECORD front, back: parttype END;
+//! TYPE objectrel  = RELATION part OF objecttype;
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::domain::Domain;
+use crate::error::TypeError;
+use crate::tuple::Tuple;
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name (e.g. `front`).
+    pub name: String,
+    /// Attribute domain (e.g. `parttype`).
+    pub domain: Domain,
+}
+
+impl Attribute {
+    /// Build an attribute.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Attribute {
+        Attribute { name: name.into(), domain }
+    }
+}
+
+/// Inner data of a schema; schemas are shared immutably via `Arc`.
+#[derive(Debug, PartialEq, Eq)]
+struct SchemaInner {
+    attributes: Vec<Attribute>,
+    /// Positions of key attributes; empty means "whole tuple is the key"
+    /// (pure set semantics, the `RELATION ... OF` of the paper where no
+    /// key is spelled out).
+    key: Vec<usize>,
+}
+
+/// A relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+impl Schema {
+    /// Build a schema with no designated key (set semantics: the whole
+    /// tuple identifies the element).
+    pub fn new(attributes: Vec<Attribute>) -> Schema {
+        Schema { inner: Arc::new(SchemaInner { attributes, key: Vec::new() }) }
+    }
+
+    /// Build a schema with the named key attributes
+    /// (`RELATION part OF objecttype`).
+    pub fn with_key(attributes: Vec<Attribute>, key_names: &[&str]) -> Result<Schema, TypeError> {
+        let mut key = Vec::with_capacity(key_names.len());
+        for name in key_names {
+            let pos = attributes
+                .iter()
+                .position(|a| a.name == *name)
+                .ok_or_else(|| TypeError::UnknownAttribute { name: (*name).to_string() })?;
+            key.push(pos);
+        }
+        Ok(Schema { inner: Arc::new(SchemaInner { attributes, key }) })
+    }
+
+    /// Convenience constructor: attributes from `(name, domain)` pairs.
+    pub fn of(pairs: &[(&str, Domain)]) -> Schema {
+        Schema::new(pairs.iter().map(|(n, d)| Attribute::new(*n, d.clone())).collect())
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.inner.attributes.len()
+    }
+
+    /// The attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.inner.attributes
+    }
+
+    /// Positions of the key attributes; empty ⇒ whole tuple is key.
+    pub fn key(&self) -> &[usize] {
+        &self.inner.key
+    }
+
+    /// Does the schema designate a proper key (a strict subset of the
+    /// attributes)?
+    pub fn has_proper_key(&self) -> bool {
+        !self.inner.key.is_empty() && self.inner.key.len() < self.arity()
+    }
+
+    /// Resolve an attribute name to its position.
+    pub fn position(&self, name: &str) -> Result<usize, TypeError> {
+        self.inner
+            .attributes
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| TypeError::UnknownAttribute { name: name.to_string() })
+    }
+
+    /// Domain of the attribute at `pos`.
+    pub fn domain(&self, pos: usize) -> &Domain {
+        &self.inner.attributes[pos].domain
+    }
+
+    /// Extract the key projection of a tuple. With no designated key the
+    /// whole tuple is returned.
+    pub fn key_of(&self, tuple: &Tuple) -> Tuple {
+        if self.inner.key.is_empty() {
+            tuple.clone()
+        } else {
+            tuple.project(&self.inner.key)
+        }
+    }
+
+    /// Check a tuple against the schema: arity and per-field domains.
+    pub fn check_tuple(&self, tuple: &Tuple) -> Result<(), TypeError> {
+        if tuple.arity() != self.arity() {
+            return Err(TypeError::ArityMismatch { expected: self.arity(), actual: tuple.arity() });
+        }
+        for (i, attr) in self.inner.attributes.iter().enumerate() {
+            attr.domain.check(tuple.get(i))?;
+        }
+        Ok(())
+    }
+
+    /// Are two schemas union-compatible (same arity and pairwise
+    /// comparable domains)? Attribute names may differ: the paper unions
+    /// `<f.front, b.back>` projections with `Infront` tuples.
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.arity() == other.arity()
+            && self
+                .attributes()
+                .iter()
+                .zip(other.attributes())
+                .all(|(a, b)| a.domain.comparable_with(&b.domain))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RELATION ")?;
+        if self.inner.key.is_empty() {
+            write!(f, "...")?;
+        } else {
+            for (i, &k) in self.inner.key.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.inner.attributes[k].name)?;
+            }
+        }
+        write!(f, " OF RECORD ")?;
+        for (i, a) in self.inner.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{}: {}", a.name, a.domain)?;
+        }
+        write!(f, " END")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn infrontrel() -> Schema {
+        Schema::of(&[("front", Domain::Str), ("back", Domain::Str)])
+    }
+
+    #[test]
+    fn positions_and_domains() {
+        let s = infrontrel();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.position("front").unwrap(), 0);
+        assert_eq!(s.position("back").unwrap(), 1);
+        assert!(matches!(
+            s.position("top"),
+            Err(TypeError::UnknownAttribute { .. })
+        ));
+        assert_eq!(s.domain(0), &Domain::Str);
+    }
+
+    #[test]
+    fn key_handling() {
+        let s = Schema::with_key(
+            vec![
+                Attribute::new("part", Domain::Str),
+                Attribute::new("weight", Domain::Int),
+            ],
+            &["part"],
+        )
+        .unwrap();
+        assert!(s.has_proper_key());
+        let t = tuple!["bolt", 5i64];
+        assert_eq!(s.key_of(&t), tuple!["bolt"]);
+
+        let no_key = infrontrel();
+        assert!(!no_key.has_proper_key());
+        let t2 = tuple!["a", "b"];
+        assert_eq!(no_key.key_of(&t2), t2);
+    }
+
+    #[test]
+    fn with_key_unknown_attribute() {
+        let r = Schema::with_key(vec![Attribute::new("a", Domain::Int)], &["b"]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn tuple_checking() {
+        let s = infrontrel();
+        assert!(s.check_tuple(&tuple!["a", "b"]).is_ok());
+        assert!(matches!(
+            s.check_tuple(&tuple!["a"]),
+            Err(TypeError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_tuple(&tuple!["a", 3i64]),
+            Err(TypeError::DomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn range_domains_checked_in_tuples() {
+        let s = Schema::of(&[("id", Domain::IntRange(1, 100))]);
+        assert!(s.check_tuple(&tuple![5i64]).is_ok());
+        assert!(s.check_tuple(&tuple![500i64]).is_err());
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let a = infrontrel();
+        let b = Schema::of(&[("head", Domain::Str), ("tail", Domain::Str)]);
+        let c = Schema::of(&[("x", Domain::Int), ("y", Domain::Str)]);
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+        assert!(!a.union_compatible(&Schema::of(&[("z", Domain::Str)])));
+    }
+
+    #[test]
+    fn display_contains_names() {
+        let s = Schema::with_key(
+            vec![Attribute::new("part", Domain::Str), Attribute::new("w", Domain::Int)],
+            &["part"],
+        )
+        .unwrap();
+        let d = s.to_string();
+        assert!(d.contains("RELATION part OF"));
+        assert!(d.contains("w: INTEGER"));
+    }
+}

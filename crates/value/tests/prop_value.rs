@@ -1,0 +1,96 @@
+//! Property-based tests for the value layer.
+
+use proptest::prelude::*;
+
+use dc_value::fxhash::hash_one;
+use dc_value::{Domain, Tuple, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<u64>().prop_map(Value::Card),
+        "[a-z]{0,8}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+proptest! {
+    /// Hash/Eq consistency: equal values hash equally.
+    #[test]
+    fn hash_eq_consistent(v in value_strategy()) {
+        let w = v.clone();
+        prop_assert_eq!(&v, &w);
+        prop_assert_eq!(hash_one(&v), hash_one(&w));
+    }
+
+    /// The total order is antisymmetric and total.
+    #[test]
+    fn total_order(a in value_strategy(), b in value_strategy()) {
+        use std::cmp::Ordering;
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    /// try_cmp agrees with the total order within a base type.
+    #[test]
+    fn try_cmp_within_type(a in any::<i64>(), b in any::<i64>()) {
+        let (va, vb) = (Value::Int(a), Value::Int(b));
+        prop_assert_eq!(va.try_cmp(&vb), Some(a.cmp(&b)));
+        prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+    }
+
+    /// Addition is commutative when defined; sub inverts add.
+    #[test]
+    fn arithmetic_laws(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let (va, vb) = (Value::Int(a), Value::Int(b));
+        prop_assert_eq!(va.add(&vb).unwrap(), vb.add(&va).unwrap());
+        let sum = va.add(&vb).unwrap();
+        prop_assert_eq!(sum.sub(&vb).unwrap(), va);
+    }
+
+    /// MOD result is always in [0, n) for positive n (MODULA-2
+    /// semantics).
+    #[test]
+    fn mod_range(a in any::<i64>(), n in 1i64..1000) {
+        let r = Value::Int(a).rem(&Value::Int(n)).unwrap();
+        let r = r.as_int().unwrap();
+        prop_assert!((0..n).contains(&r));
+    }
+
+    /// Domain admission: a range domain admits exactly its interval.
+    #[test]
+    fn range_domain_admission(lo in -100i64..100, width in 0i64..100, v in -300i64..300) {
+        let hi = lo + width;
+        let d = Domain::IntRange(lo, hi);
+        let ok = d.check(&Value::Int(v)).is_ok();
+        prop_assert_eq!(ok, (lo..=hi).contains(&v));
+    }
+
+    /// Tuple projection then arity agrees; concat arity adds.
+    #[test]
+    fn tuple_laws(fields in prop::collection::vec(value_strategy(), 0..6),
+                  other in prop::collection::vec(value_strategy(), 0..6)) {
+        let t = Tuple::new(fields.clone());
+        prop_assert_eq!(t.arity(), fields.len());
+        let u = Tuple::new(other.clone());
+        let c = t.concat(&u);
+        prop_assert_eq!(c.arity(), fields.len() + other.len());
+        // Projection onto all positions is the identity.
+        let all: Vec<usize> = (0..t.arity()).collect();
+        prop_assert_eq!(t.project(&all), t.clone());
+        // Tuple equality follows field equality.
+        prop_assert_eq!(Tuple::new(fields.clone()), t);
+    }
+
+    /// Tuples hash consistently with equality.
+    #[test]
+    fn tuple_hash_eq(fields in prop::collection::vec(value_strategy(), 0..5)) {
+        let a = Tuple::new(fields.clone());
+        let b = Tuple::new(fields);
+        prop_assert_eq!(hash_one(&a), hash_one(&b));
+    }
+}

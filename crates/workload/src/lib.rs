@@ -1,0 +1,13 @@
+//! Deterministic workload generators for the experiments.
+//!
+//! The paper's motivating domain is CAD-flavoured object scenes
+//! (`Infront`, `Ontop`); no machine-readable data accompanied the
+//! paper, so these generators synthesise graphs with controlled shape
+//! parameters (depth, fan-out, cycle structure) that exercise the same
+//! predicates. All generators are seeded and reproducible.
+
+pub mod graphs;
+pub mod scenes;
+
+pub use graphs::{chain, complete_binary_tree, cycle, diamond_ladder, grid, random_graph};
+pub use scenes::{bill_of_materials, scene, Scene};

@@ -1,0 +1,244 @@
+//! Property tests over the calculus: the NNF rewrite preserves
+//! semantics (the mechanised §3.3 monotonicity-lemma rewrite), and the
+//! DBPL surface syntax round-trips through the parser.
+
+use proptest::prelude::*;
+
+use dc_calculus::ast::{Branch, CmpOp, Formula, RangeExpr, ScalarExpr};
+use dc_calculus::builder::*;
+use dc_calculus::env::MapCatalog;
+use dc_calculus::rewrite::to_nnf;
+use dc_calculus::Evaluator;
+use dc_relation::Relation;
+use dc_value::tuple;
+
+/// Formulas over one free variable `r` (edge schema) plus quantified
+/// variables over `Infront`, generated with correct scoping.
+fn formula_strategy(scope: Vec<String>, depth: u32) -> BoxedStrategy<Formula> {
+    let attrs = ["front", "back"];
+    let leaf = {
+        let scope_cmp = scope.clone();
+        let scope_const = scope.clone();
+        let scope_member = scope.clone();
+        prop_oneof![
+            Just(Formula::True),
+            Just(Formula::False),
+            // var.attr op var.attr
+            (0..scope_cmp.len(), 0..2usize, 0..scope_cmp.len(), 0..2usize, 0..6usize).prop_map(
+                move |(v1, a1, v2, a2, op)| {
+                    let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+                    Formula::Cmp(
+                        attr(scope_cmp[v1].clone(), attrs[a1]),
+                        ops[op],
+                        attr(scope_cmp[v2].clone(), attrs[a2]),
+                    )
+                }
+            ),
+            // var.attr = const
+            (0..scope_const.len(), 0..2usize, 0u8..4).prop_map(move |(v, a, c)| {
+                Formula::Cmp(
+                    attr(scope_const[v].clone(), attrs[a]),
+                    CmpOp::Eq,
+                    cnst(format!("n{c}")),
+                )
+            }),
+            // membership of a bound var
+            (0..scope_member.len()).prop_map(move |v| member(scope_member[v].clone(), rel("Infront"))),
+        ]
+    };
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let scope2 = scope.clone();
+    let scope3 = scope.clone();
+    prop_oneof![
+        3 => leaf,
+        1 => (formula_strategy(scope.clone(), depth - 1), formula_strategy(scope.clone(), depth - 1))
+            .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+        1 => (formula_strategy(scope.clone(), depth - 1), formula_strategy(scope.clone(), depth - 1))
+            .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+        1 => formula_strategy(scope.clone(), depth - 1)
+            .prop_map(|f| Formula::Not(Box::new(f))),
+        1 => {
+            let mut inner_scope = scope2.clone();
+            let var = format!("q{depth}");
+            inner_scope.push(var.clone());
+            formula_strategy(inner_scope, depth - 1)
+                .prop_map(move |f| Formula::Some(var.clone(), rel("Infront"), Box::new(f)))
+        },
+        1 => {
+            let mut inner_scope = scope3.clone();
+            let var = format!("u{depth}");
+            inner_scope.push(var.clone());
+            formula_strategy(inner_scope, depth - 1)
+                .prop_map(move |f| Formula::All(var.clone(), rel("Infront"), Box::new(f)))
+        },
+    ]
+    .boxed()
+}
+
+fn edges_strategy() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0u8..4, 0u8..4), 0..8).prop_map(|pairs| {
+        Relation::from_tuples(
+            dc_workload::graphs::edge_schema(),
+            pairs
+                .into_iter()
+                .map(|(a, b)| tuple![format!("n{a}"), format!("n{b}")]),
+        )
+        .expect("valid edges")
+    })
+}
+
+fn eval_query(base: &Relation, f: &Formula) -> Result<Relation, dc_calculus::EvalError> {
+    let cat = MapCatalog::new().with_relation("Infront", base.clone());
+    let mut ev = Evaluator::new(&cat);
+    ev.eval(&set_former(vec![Branch::each("r", rel("Infront"), f.clone())]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NNF preserves the truth value of every formula on every small
+    /// database — the semantic core of the §3.3 lemma's rewrite.
+    #[test]
+    fn nnf_preserves_semantics(
+        base in edges_strategy(),
+        f in formula_strategy(vec!["r".to_string()], 3),
+    ) {
+        let original = eval_query(&base, &f);
+        let rewritten = eval_query(&base, &to_nnf(f));
+        match (original, rewritten) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {} // both fail the same way (cross-type)
+            (a, b) => prop_assert!(false, "divergent: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Double negation is the identity semantically.
+    #[test]
+    fn double_negation_identity(
+        base in edges_strategy(),
+        f in formula_strategy(vec!["r".to_string()], 2),
+    ) {
+        let neg2 = Formula::Not(Box::new(Formula::Not(Box::new(f.clone()))));
+        let original = eval_query(&base, &f);
+        let doubled = eval_query(&base, &neg2);
+        match (original, doubled) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergent: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The range-coupled quantifier duality used by the lemma:
+    /// NOT SOME ≡ ALL NOT and NOT ALL ≡ SOME NOT.
+    #[test]
+    fn quantifier_duality(
+        base in edges_strategy(),
+        f in formula_strategy(vec!["r".to_string(), "x".to_string()], 2),
+    ) {
+        let not_some = Formula::Not(Box::new(Formula::Some(
+            "x".into(), rel("Infront"), Box::new(f.clone()),
+        )));
+        let all_not = Formula::All(
+            "x".into(), rel("Infront"),
+            Box::new(Formula::Not(Box::new(f.clone()))),
+        );
+        let a = eval_query(&base, &not_some);
+        let b = eval_query(&base, &all_not);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "divergent: {x:?} vs {y:?}"),
+        }
+    }
+
+    /// Parser round-trip: the display form of a generated query parses
+    /// back to the identical AST.
+    #[test]
+    fn parser_roundtrip(f in formula_strategy(vec!["r".to_string()], 3)) {
+        let query = set_former(vec![Branch::each("r", rel("Infront"), f)]);
+        let shown = query.to_string();
+        let reparsed = dc_lang::parser::parse_expr(&shown)
+            .unwrap_or_else(|e| panic!("`{shown}` failed to parse: {e}"));
+        prop_assert_eq!(reparsed, query);
+    }
+
+    /// Positivity parity: wrapping in NOT twice never introduces
+    /// violations; wrapping once flips every tracked occurrence.
+    #[test]
+    fn positivity_parity(f in formula_strategy(vec!["r".to_string()], 3)) {
+        use dc_calculus::positivity::{check_formula, Tracked};
+        let tracked = Tracked::name("Infront");
+        let base_violations = check_formula(&f, &tracked).len();
+        let neg2 = Formula::Not(Box::new(Formula::Not(Box::new(f.clone()))));
+        prop_assert_eq!(check_formula(&neg2, &tracked).len(), base_violations);
+    }
+}
+
+/// ScalarExpr displays round-trip too (separate, non-proptest check of
+/// representative fixtures with arithmetic).
+#[test]
+fn scalar_display_roundtrip_fixtures() {
+    for src in [
+        "{EACH r IN Infront: r.front = \"x\"}",
+        "{EACH r IN Infront: (r.front = \"a\" OR r.back = \"b\") AND NOT (r IN Infront)}",
+        "{<r.front, r.back> OF EACH r IN Infront: TRUE}",
+        "{EACH r IN Infront: SOME x IN Infront (ALL y IN Infront (x.front = y.back))}",
+        "{EACH r IN Infront: <r.back, r.front> IN Infront}",
+    ] {
+        let e = dc_lang::parser::parse_expr(src).unwrap();
+        let shown = e.to_string();
+        let again = dc_lang::parser::parse_expr(&shown).unwrap();
+        assert_eq!(e, again, "{src}");
+    }
+}
+
+/// Scalar arithmetic expressions round-trip through display/parse.
+#[test]
+fn arith_roundtrip_fixtures() {
+    let exprs = [
+        add(attr("r", "n"), cnst(1i64)),
+        mul(sub(attr("r", "n"), cnst(2i64)), cnst(3i64)),
+        modulo(attr("r", "n"), cnst(5i64)),
+        div(cnst(10i64), attr("r", "n")),
+    ];
+    for e in exprs {
+        let query = set_former(vec![Branch::projecting(
+            vec![e.clone()],
+            vec![("r".into(), rel("N"))],
+            tru(),
+        )]);
+        let again = dc_lang::parser::parse_expr(&query.to_string()).unwrap();
+        assert_eq!(again, query, "{e}");
+    }
+}
+
+/// A ScalarExpr::Param in scalar position round-trips as well.
+#[test]
+fn param_roundtrip() {
+    let query = set_former(vec![Branch::each(
+        "r",
+        rel("Infront"),
+        eq(attr("r", "front"), ScalarExpr::Param("Obj".into())),
+    )]);
+    let again = dc_lang::parser::parse_expr(&query.to_string()).unwrap();
+    assert_eq!(again, query);
+}
+
+/// Selected/constructed application syntax round-trips.
+#[test]
+fn application_roundtrip() {
+    let exprs: Vec<RangeExpr> = vec![
+        rel("Infront").select("hidden_by", vec![cnst("table")]),
+        rel("Infront").construct("ahead", vec![]),
+        rel("Infront").construct("ahead", vec![rel("Ontop")]),
+        rel("Infront")
+            .select("s", vec![cnst(1i64), cnst("x")])
+            .construct("c", vec![rel("A"), rel("B")]),
+    ];
+    for e in exprs {
+        let again = dc_lang::parser::parse_expr(&e.to_string()).unwrap();
+        assert_eq!(again, e);
+    }
+}

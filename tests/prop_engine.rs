@@ -1,0 +1,157 @@
+//! Cross-crate property tests: all engines compute the same transitive
+//! closure, on arbitrary graphs.
+//!
+//! This is the load-bearing correctness property of the reproduction:
+//! the §3.2 fixpoint (both strategies), the §3.4 options, the compiled
+//! §4 plans, and the translated Horn-clause engines must agree
+//! tuple-for-tuple.
+
+use proptest::prelude::*;
+
+use dc_calculus::builder::rel;
+use dc_core::options::{ahead_step, program_iteration, transitive_closure};
+use dc_core::{paper, Database, Strategy as FixpointStrategy};
+use dc_optimizer::capture;
+use dc_prolog::{tabled, Atom, Term};
+use dc_relation::Relation;
+use dc_value::{tuple, Value};
+
+fn edges_strategy() -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0u8..10, 0u8..10), 0..30).prop_map(|pairs| {
+        Relation::from_tuples(
+            dc_workload::graphs::edge_schema(),
+            pairs
+                .into_iter()
+                .map(|(a, b)| tuple![format!("n{a}"), format!("n{b}")]),
+        )
+        .expect("valid edges")
+    })
+}
+
+fn engine_closure(base: &Relation, strategy: FixpointStrategy) -> Relation {
+    let mut db = Database::new();
+    db.set_strategy(strategy);
+    db.create_relation("Infront", base.schema().clone()).unwrap();
+    for t in base.iter() {
+        db.insert("Infront", t.clone()).unwrap();
+    }
+    db.define_constructor(paper::ahead()).unwrap();
+    db.eval(&rel("Infront").construct("ahead", vec![])).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Naive and semi-naive strategies compute the same LFP.
+    #[test]
+    fn strategies_agree(base in edges_strategy()) {
+        let naive = engine_closure(&base, FixpointStrategy::Naive);
+        let semi = engine_closure(&base, FixpointStrategy::SemiNaive);
+        prop_assert_eq!(naive, semi);
+    }
+
+    /// The §3.4 options agree with the constructor semantics.
+    #[test]
+    fn options_agree(base in edges_strategy()) {
+        let reference = engine_closure(&base, FixpointStrategy::SemiNaive);
+        let tc = transitive_closure(&base, 0, 1).unwrap();
+        prop_assert_eq!(&tc, &reference);
+        let (iter, _) = program_iteration(base.schema().clone(), |cur| {
+            ahead_step(&base, cur, 0, 1)
+        }).unwrap();
+        prop_assert_eq!(&iter, &reference);
+    }
+
+    /// The compiled FixpointLinear plan agrees with the engine.
+    #[test]
+    fn compiled_plan_agrees(base in edges_strategy()) {
+        let reference = engine_closure(&base, FixpointStrategy::SemiNaive);
+        let ctor = paper::ahead();
+        let shape = capture::detect_tc(&ctor).unwrap();
+        let (plan_out, _) = capture::full_plan(&ctor, &shape, base.clone())
+            .execute()
+            .unwrap();
+        prop_assert_eq!(plan_out.sorted_tuples(), reference.sorted_tuples());
+    }
+
+    /// The translated Horn program (tabled, which terminates on
+    /// cycles) computes the same answers — the §3.4 lemma as a
+    /// property.
+    #[test]
+    fn prolog_agrees(base in edges_strategy()) {
+        let reference = engine_closure(&base, FixpointStrategy::SemiNaive);
+        let mut names = dc_value::FxHashMap::default();
+        names.insert("Rel".to_string(), "infront".to_string());
+        names.insert("ahead".to_string(), "ahead".to_string());
+        let clauses = dc_prolog::translate::translate_constructor(
+            &paper::ahead(), &names, &dc_value::FxHashMap::default(),
+        ).unwrap();
+        let mut p = dc_prolog::Program::new();
+        p.add_relation("infront", &base);
+        for c in clauses {
+            p.add_rule(c).unwrap();
+        }
+        let goal = Atom::new("ahead", vec![Term::var("X"), Term::var("Y")]);
+        let t = tabled::solve(&p, &goal).unwrap();
+        let engine_set: dc_value::FxHashSet<Vec<Value>> =
+            reference.iter().map(|tup| tup.fields().to_vec()).collect();
+        prop_assert_eq!(t.answers, engine_set);
+    }
+
+    /// §4 constraint propagation is sound: the bound reachability plan
+    /// equals the filtered full closure, for every seed.
+    #[test]
+    fn pushdown_sound(base in edges_strategy(), seed in 0u8..10) {
+        let ctor = paper::ahead();
+        let shape = capture::detect_tc(&ctor).unwrap();
+        let (full, _) = capture::full_plan(&ctor, &shape, base.clone())
+            .execute()
+            .unwrap();
+        let seed_val = Value::str(format!("n{seed}"));
+        let filtered: Vec<_> = full
+            .sorted_tuples()
+            .into_iter()
+            .filter(|t| t.get(0) == &seed_val)
+            .collect();
+        let (bound, _) = capture::bound_plan(&ctor, &shape, base, seed_val)
+            .execute()
+            .unwrap();
+        prop_assert_eq!(bound.sorted_tuples(), filtered);
+    }
+
+    /// The closure is idempotent: closing the closure adds nothing.
+    #[test]
+    fn closure_idempotent(base in edges_strategy()) {
+        let once = transitive_closure(&base, 0, 1).unwrap();
+        let twice = transitive_closure(&once, 0, 1).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Monotonicity (the §3.3 lemma's consequence): adding a fact never
+    /// removes derived tuples.
+    #[test]
+    fn closure_monotone(base in edges_strategy(), a in 0u8..10, b in 0u8..10) {
+        let before = engine_closure(&base, FixpointStrategy::SemiNaive);
+        let mut larger = base.clone();
+        let _ = larger.insert(tuple![format!("n{a}"), format!("n{b}")]);
+        let after = engine_closure(&larger, FixpointStrategy::SemiNaive);
+        prop_assert!(dc_relation::algebra::is_subset(&before, &after));
+    }
+
+    /// Fixpoint iteration counts are bounded by the data (never exceed
+    /// tuples-in-result + 2, since every productive round adds a
+    /// tuple).
+    #[test]
+    fn iterations_bounded(base in edges_strategy()) {
+        let mut db = Database::new();
+        db.create_relation("Infront", base.schema().clone()).unwrap();
+        for t in base.iter() {
+            db.insert("Infront", t.clone()).unwrap();
+        }
+        db.define_constructor(paper::ahead()).unwrap();
+        let out = db.eval(&rel("Infront").construct("ahead", vec![])).unwrap();
+        let stats = db.last_fixpoint_stats().unwrap();
+        prop_assert!(stats.iterations <= out.len() + 2,
+            "{} rounds for {} tuples", stats.iterations, out.len());
+    }
+}
