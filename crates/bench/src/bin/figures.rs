@@ -25,7 +25,8 @@ fn main() {
         ],
     )
     .unwrap();
-    db.define_selector(paper::hidden_by(), paper::infrontrel()).unwrap();
+    db.define_selector(paper::hidden_by(), paper::infrontrel())
+        .unwrap();
     db.define_constructor(paper::ahead()).unwrap();
 
     use dc_calculus::builder::{cnst, rel};
@@ -43,14 +44,20 @@ fn main() {
     println!("  |   +------------------------------+   |");
     println!("  |   | Infront[hidden_by(\"table\")]  |   |");
     println!("  |   | selected sub-relation        |   |");
-    println!("  |   | ({} tuple(s))                 |   |", selected.len());
+    println!(
+        "  |   | ({} tuple(s))                 |   |",
+        selected.len()
+    );
     println!("  |   +------------------------------+   |");
     println!("  |                                      |");
     println!("  +--------------------------------------+\n");
 
     println!("Figure 2: Constructor and Relations");
     println!("-----------------------------------");
-    println!("  Constructed Relation: Infront{{ahead}} ({} tuples)", constructed.len());
+    println!(
+        "  Constructed Relation: Infront{{ahead}} ({} tuples)",
+        constructed.len()
+    );
     println!("  +--------------------------------------+");
     println!("  |                                      |");
     println!("  |   +------------------------------+   |");

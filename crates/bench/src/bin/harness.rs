@@ -41,6 +41,7 @@ fn main() {
     println!("Data Constructors (VLDB 1985) — experiment harness");
     println!("===================================================\n");
     e1();
+    e1b();
     e2();
     e3();
     e4();
@@ -48,6 +49,73 @@ fn main() {
     e6();
     e7();
     println!("\nAll experiment assertions passed.");
+}
+
+/// E1b: the index-nested-loop join path against the reference
+/// nested-loop evaluator, semi-naive strategy on both sides — the
+/// scan→probe speedup this engine's join planner is responsible for.
+/// Emits `BENCH_e1.json` next to the working directory so future
+/// changes have a perf trajectory to compare against.
+fn e1b() {
+    println!("E1b index-nested-loop joins vs reference nested loops (semi-naive)");
+    println!("  workload              nodes  edges  closure  indexed(ms)  nested(ms)  speedup");
+    let workloads: Vec<(&str, usize, Relation)> = vec![
+        (
+            "binary tree d=10",
+            1023,
+            dc_workload::complete_binary_tree(10),
+        ),
+        ("chain n=128", 129, dc_workload::chain(128)),
+        ("ladder k=24", 50, dc_workload::diamond_ladder(24)),
+    ];
+    let mut rows = Vec::new();
+    for (label, nodes, base) in workloads {
+        let q = ahead_query();
+        let db_idx = ahead_db(&base, Strategy::SemiNaive);
+        let (idx_len, idx_ms) = eval_ms(&db_idx, &q);
+        let mut db_scan = ahead_db(&base, Strategy::SemiNaive);
+        db_scan.set_use_indexes(false);
+        let (scan_len, scan_ms) = eval_ms(&db_scan, &q);
+        assert_eq!(
+            idx_len, scan_len,
+            "index path must agree with reference on {label}"
+        );
+        let speedup = scan_ms / idx_ms;
+        let stats = db_idx.last_fixpoint_stats().expect("fixpoint ran");
+        println!(
+            "  {label:<20} {nodes:>6} {:>6} {idx_len:>8} {idx_ms:>12.2} {scan_ms:>11.2} {speedup:>7.1}x",
+            base.len()
+        );
+        rows.push(format!(
+            concat!(
+                "  {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"closure\": {}, ",
+                "\"rounds\": {}, \"maintained_indexes\": {}, ",
+                "\"semi_indexed_ms\": {:.3}, \"semi_nested_loop_ms\": {:.3}, \"speedup\": {:.2}}}"
+            ),
+            label,
+            nodes,
+            base.len(),
+            idx_len,
+            stats.iterations,
+            stats.maintained_indexes,
+            idx_ms,
+            scan_ms,
+            speedup
+        ));
+        if label.contains("tree") {
+            assert!(
+                speedup >= 5.0,
+                "acceptance: ≥5× on the 1k-node workload, measured {speedup:.1}x"
+            );
+        }
+    }
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    if let Err(e) = std::fs::write("BENCH_e1.json", &json) {
+        eprintln!("  (could not write BENCH_e1.json: {e})");
+    } else {
+        println!("  baseline written to BENCH_e1.json");
+    }
+    println!();
 }
 
 fn e1() {
@@ -95,8 +163,10 @@ fn e2() {
         let full = capture::full_plan(&ctor, &shape, base.clone());
         let bound = capture::bound_plan(&ctor, &shape, base, Value::str("c0_0"));
         let ((full_rel, full_stats), full_ms) = time(|| full.execute().unwrap());
-        let filtered =
-            full_rel.iter().filter(|t| t.get(0).as_str() == Some("c0_0")).count();
+        let filtered = full_rel
+            .iter()
+            .filter(|t| t.get(0).as_str() == Some("c0_0"))
+            .count();
         let ((bound_rel, bound_stats), bound_ms) = time(|| bound.execute().unwrap());
         assert_eq!(bound_rel.len(), filtered, "propagation is sound");
         println!(
@@ -158,7 +228,8 @@ fn e4() {
         for t in scene.ontop.iter() {
             db.insert("Ontop", t.clone()).unwrap();
         }
-        db.define_constructors(vec![paper::ahead_mutual(), paper::above()]).unwrap();
+        db.define_constructors(vec![paper::ahead_mutual(), paper::above()])
+            .unwrap();
         let q = rel("Ontop").construct("above", vec![rel("Infront")]);
         let (len, ms) = eval_ms(&db, &q);
         let stats = db.last_fixpoint_stats().unwrap();
@@ -248,10 +319,8 @@ fn e7() {
         let (s, s_ms) =
             time(|| sld::solve(&program, &ahead_goal(), &SldConfig::default()).unwrap());
         let (t, t_ms) = time(|| tabled::solve(&program, &ahead_goal()).unwrap());
-        let engine_set: dc_value::FxHashSet<Vec<Value>> = engine
-            .iter()
-            .map(|tup| tup.fields().to_vec())
-            .collect();
+        let engine_set: dc_value::FxHashSet<Vec<Value>> =
+            engine.iter().map(|tup| tup.fields().to_vec()).collect();
         let equal = engine_set == s.answers && s.answers == t.answers;
         assert!(equal, "the §3.4 lemma holds on {label}");
         db.clear_solved_cache();

@@ -29,11 +29,13 @@ pub fn many_chains(k: usize, depth: usize) -> Relation {
 pub fn ahead_db(base: &Relation, strategy: Strategy) -> Database {
     let mut db = Database::new();
     db.set_strategy(strategy);
-    db.create_relation("Infront", base.schema().clone()).expect("fresh database");
+    db.create_relation("Infront", base.schema().clone())
+        .expect("fresh database");
     for t in base.iter() {
         db.insert("Infront", t.clone()).expect("valid tuple");
     }
-    db.define_constructor(ahead_for(base)).expect("ahead is positive and well-typed");
+    db.define_constructor(ahead_for(base))
+        .expect("ahead is positive and well-typed");
     db
 }
 
@@ -125,7 +127,10 @@ pub fn same_generation_program(depth: usize) -> Program {
     // parent: sg(X, Y) :- parent(P, X), parent(P, Y).
     p.add_rule(Clause::rule(
         atom!("sg"; var "X", var "Y"),
-        vec![atom!("parent"; var "P", var "X"), atom!("parent"; var "P", var "Y")],
+        vec![
+            atom!("parent"; var "P", var "X"),
+            atom!("parent"; var "P", var "Y"),
+        ],
     ))
     .expect("safe");
     p.add_rule(Clause::rule(

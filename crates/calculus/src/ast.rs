@@ -207,7 +207,11 @@ impl RangeExpr {
 
     /// Wrap in a selector application.
     pub fn select(self, selector: impl Into<Name>, args: Vec<ScalarExpr>) -> RangeExpr {
-        RangeExpr::Selected { base: Box::new(self), selector: selector.into(), args }
+        RangeExpr::Selected {
+            base: Box::new(self),
+            selector: selector.into(),
+            args,
+        }
     }
 
     /// Wrap in a constructor application with no scalar arguments.
@@ -269,7 +273,11 @@ impl Branch {
         bindings: Vec<(Var, RangeExpr)>,
         predicate: Formula,
     ) -> Branch {
-        Branch { target: Target::Tuple(target), bindings, predicate }
+        Branch {
+            target: Target::Tuple(target),
+            bindings,
+            predicate,
+        }
     }
 }
 
@@ -352,7 +360,11 @@ impl fmt::Display for RangeExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RangeExpr::Rel(n) => write!(f, "{n}"),
-            RangeExpr::Selected { base, selector, args } => {
+            RangeExpr::Selected {
+                base,
+                selector,
+                args,
+            } => {
                 write!(f, "{base}[{selector}(")?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
@@ -362,7 +374,12 @@ impl fmt::Display for RangeExpr {
                 }
                 write!(f, ")]")
             }
-            RangeExpr::Constructed { base, constructor, args, scalar_args } => {
+            RangeExpr::Constructed {
+                base,
+                constructor,
+                args,
+                scalar_args,
+            } => {
                 write!(f, "{base}{{{constructor}(")?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
@@ -442,7 +459,14 @@ mod tests {
 
     #[test]
     fn cmp_negate_involution() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }

@@ -5,9 +5,7 @@
 
 use dc_value::Value;
 
-use crate::ast::{
-    ArithOp, Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SetFormer,
-};
+use crate::ast::{ArithOp, Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SetFormer};
 
 /// Named relation range: `rel("Infront")`.
 pub fn rel(name: impl Into<String>) -> RangeExpr {
@@ -133,12 +131,21 @@ mod tests {
         assert_eq!(rel("R"), RangeExpr::Rel("R".into()));
         assert_eq!(attr("r", "a"), ScalarExpr::Attr("r".into(), "a".into()));
         assert_eq!(cnst(3i64), ScalarExpr::Const(Value::Int(3)));
-        assert!(matches!(eq(cnst(1i64), cnst(1i64)), Formula::Cmp(_, CmpOp::Eq, _)));
-        assert!(matches!(add(cnst(1i64), cnst(2i64)), ScalarExpr::Arith(_, ArithOp::Add, _)));
+        assert!(matches!(
+            eq(cnst(1i64), cnst(1i64)),
+            Formula::Cmp(_, CmpOp::Eq, _)
+        ));
+        assert!(matches!(
+            add(cnst(1i64), cnst(2i64)),
+            ScalarExpr::Arith(_, ArithOp::Add, _)
+        ));
         assert!(matches!(some("x", rel("R"), tru()), Formula::Some(..)));
         assert!(matches!(all("x", rel("R"), fals()), Formula::All(..)));
         assert!(matches!(member("x", rel("R")), Formula::Member(..)));
-        assert!(matches!(tuple_in(vec![cnst(1i64)], rel("R")), Formula::TupleIn(..)));
+        assert!(matches!(
+            tuple_in(vec![cnst(1i64)], rel("R")),
+            Formula::TupleIn(..)
+        ));
         assert!(matches!(not(tru()), Formula::False));
         for f in [sub, mul, div, modulo] {
             assert!(matches!(f(cnst(1i64), cnst(2i64)), ScalarExpr::Arith(..)));

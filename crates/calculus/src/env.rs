@@ -11,9 +11,12 @@
 //! paper's reading of `applyᵢᵏ⁺¹ = gᵢ(apply₀ᵏ, …, applyₗᵏ)`.
 
 use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::Arc;
 
+use dc_index::HashIndex;
 use dc_relation::Relation;
-use dc_value::Value;
+use dc_value::{FxHashMap, Value};
 
 use crate::ast::SelectorDef;
 use crate::error::EvalError;
@@ -47,6 +50,17 @@ pub trait Catalog {
     /// time.
     fn scalar_param(&self, name: &str) -> Result<Value, EvalError> {
         Err(EvalError::UnknownParam(name.to_string()))
+    }
+
+    /// A hash index over the relation `name` resolves to, keyed on
+    /// `positions` — if the catalog maintains (or is willing to build)
+    /// one. The evaluator's join executor consults this before building
+    /// a throwaway index, so catalogs that keep relations across many
+    /// evaluations (the fixpoint solver, most prominently) can amortise
+    /// index construction. Implementations must return an index that is
+    /// exactly consistent with [`Catalog::relation`] for `name`.
+    fn index(&self, _name: &str, _positions: &[usize]) -> Option<Arc<HashIndex>> {
+        None
     }
 }
 
@@ -147,18 +161,46 @@ impl Catalog for MapCatalog {
     }
 }
 
+/// Cache key for an index: (relation name, indexed positions).
+type IndexKey = (String, Vec<usize>);
+
 /// A catalog layered over another, overriding some relation names.
 /// Used to bind formal relation parameters (`FOR Rel: …(Ontop: …)`)
 /// without copying the base catalog.
 pub struct Overlay<'a> {
     base: &'a dyn Catalog,
     overrides: Vec<(String, Relation)>,
+    /// Indexes over override relations, built lazily on executor demand
+    /// (or preloaded by a caller that maintains them incrementally, see
+    /// `dc-core`'s fixpoint solver) and harvestable afterwards.
+    indexes: RefCell<FxHashMap<IndexKey, Arc<HashIndex>>>,
 }
 
 impl<'a> Overlay<'a> {
     /// Layer `overrides` over `base`.
     pub fn new(base: &'a dyn Catalog, overrides: Vec<(String, Relation)>) -> Overlay<'a> {
-        Overlay { base, overrides }
+        Overlay {
+            base,
+            overrides,
+            indexes: RefCell::new(FxHashMap::default()),
+        }
+    }
+
+    /// Install a prebuilt index for an override relation. The index must
+    /// describe exactly the relation registered under `name`.
+    pub fn preload_index(&mut self, name: impl Into<String>, idx: Arc<HashIndex>) {
+        let key = (name.into(), idx.positions().to_vec());
+        self.indexes.borrow_mut().insert(key, idx);
+    }
+
+    /// All indexes currently cached (preloaded or demand-built), so a
+    /// long-lived caller can carry them into the next evaluation round.
+    pub fn harvest_indexes(&self) -> Vec<(String, Arc<HashIndex>)> {
+        self.indexes
+            .borrow()
+            .iter()
+            .map(|((n, _), idx)| (n.clone(), idx.clone()))
+            .collect()
     }
 }
 
@@ -168,6 +210,22 @@ impl Catalog for Overlay<'_> {
             return Ok(Cow::Borrowed(r));
         }
         self.base.relation(name)
+    }
+
+    fn index(&self, name: &str, positions: &[usize]) -> Option<Arc<HashIndex>> {
+        match self.overrides.iter().find(|(n, _)| n == name) {
+            Some((_, rel)) => {
+                let key = (name.to_string(), positions.to_vec());
+                let mut cache = self.indexes.borrow_mut();
+                Some(
+                    cache
+                        .entry(key)
+                        .or_insert_with(|| Arc::new(HashIndex::build(rel, positions.to_vec())))
+                        .clone(),
+                )
+            }
+            None => self.base.index(name, positions),
+        }
     }
 
     fn selector(&self, name: &str) -> Result<&SelectorDef, EvalError> {
@@ -208,12 +266,13 @@ mod tests {
             .with_relation("R", rel())
             .with_param("P", Value::Int(9));
         assert_eq!(cat.relation("R").unwrap().len(), 2);
-        assert!(matches!(cat.relation("S"), Err(EvalError::UnknownRelation(_))));
+        assert!(matches!(
+            cat.relation("S"),
+            Err(EvalError::UnknownRelation(_))
+        ));
         assert_eq!(cat.scalar_param("P").unwrap(), Value::Int(9));
         assert!(cat.selector("s").is_err());
-        assert!(cat
-            .apply_constructor(rel(), "c", vec![], vec![])
-            .is_err());
+        assert!(cat.apply_constructor(rel(), "c", vec![], vec![]).is_err());
     }
 
     #[test]
@@ -231,16 +290,19 @@ mod tests {
         let ov = Overlay::new(&cat, vec![("R".into(), empty)]);
         assert!(ov.relation("R").unwrap().is_empty());
         // Non-overridden names fall through.
-        assert!(matches!(ov.relation("S"), Err(EvalError::UnknownRelation(_))));
+        assert!(matches!(
+            ov.relation("S"),
+            Err(EvalError::UnknownRelation(_))
+        ));
     }
 
     #[test]
     fn constructor_fn_hook() {
-        let cat = MapCatalog::new().with_constructor_fn(
-            "identity",
-            Box::new(|base, _args| Ok(base)),
-        );
-        let out = cat.apply_constructor(rel(), "identity", vec![], vec![]).unwrap();
+        let cat =
+            MapCatalog::new().with_constructor_fn("identity", Box::new(|base, _args| Ok(base)));
+        let out = cat
+            .apply_constructor(rel(), "identity", vec![], vec![])
+            .unwrap();
         assert_eq!(out.len(), 2);
     }
 }

@@ -73,7 +73,11 @@ impl fmt::Display for EvalError {
                 write!(f, "cannot compare {lhs} with {rhs}")
             }
             EvalError::NotBoolean(ctx) => write!(f, "non-boolean in predicate position: {ctx}"),
-            EvalError::ArityMismatch { name, expected, actual } => {
+            EvalError::ArityMismatch {
+                name,
+                expected,
+                actual,
+            } => {
                 write!(f, "`{name}` expects {expected} argument(s), got {actual}")
             }
             EvalError::PositivityViolation(d) => {
@@ -113,16 +117,28 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(EvalError::UnknownRelation("R".into()).to_string().contains("`R`"));
-        assert!(EvalError::NonConvergent { steps: 7 }.to_string().contains('7'));
-        assert!(EvalError::ArityMismatch { name: "ahead".into(), expected: 1, actual: 2 }
+        assert!(EvalError::UnknownRelation("R".into())
             .to_string()
-            .contains("ahead"));
+            .contains("`R`"));
+        assert!(EvalError::NonConvergent { steps: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(EvalError::ArityMismatch {
+            name: "ahead".into(),
+            expected: 1,
+            actual: 2
+        }
+        .to_string()
+        .contains("ahead"));
     }
 
     #[test]
     fn conversions() {
-        let e: EvalError = TypeError::ArityMismatch { expected: 1, actual: 2 }.into();
+        let e: EvalError = TypeError::ArityMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
         assert!(matches!(e, EvalError::Type(_)));
         let e: EvalError = ValueError::DivisionByZero.into();
         assert!(matches!(e, EvalError::Value(_)));

@@ -1,19 +1,39 @@
-//! The reference evaluator: direct nested-loop semantics for the
-//! calculus.
+//! The evaluator for the calculus.
 //!
-//! This evaluator is deliberately simple — it is the executable
-//! *definition* of expression meaning, against which the optimizer's
-//! plans (`dc-optimizer`) are differentially tested. It is also the
-//! "unoptimized database programming language" baseline of the paper's
-//! §1: queries written with constructors but evaluated without any of
-//! the §4 machinery.
+//! Two execution paths coexist:
+//!
+//! * **Reference nested loops** ([`Evaluator::force_nested_loop`]) — the
+//!   executable *definition* of expression meaning: every set-former
+//!   branch enumerates the cross product of its ranges and filters by
+//!   the predicate. The optimizer's plans (`dc-optimizer`) and the
+//!   index path below are differentially tested against it.
+//! * **Index-nested-loop joins** (the default) — branches whose
+//!   predicates carry conjunctive equality atoms are executed through
+//!   [`crate::joinplan`] plans: one range is scanned, the others are
+//!   probed through [`dc_index::HashIndex`]es keyed on the equality
+//!   columns, so work is proportional to *matching* combinations rather
+//!   than all combinations. The full predicate is re-checked on every
+//!   surviving combination, so both paths produce identical relations
+//!   and identical errors on every combination they both evaluate.
+//!   The one deliberate divergence, shared with every
+//!   predicate-pushdown engine: a runtime error (division by zero,
+//!   cross-type comparison) hiding in a conjunct of a combination that
+//!   an equality key already rejects is never raised on the index
+//!   path, because the rejected combination is skipped outright.
+//!   Equality atoms themselves never mask their own errors — keys that
+//!   cannot be realised safely (type-mismatched, unresolvable) are
+//!   demoted back to the residual.
 
+use std::sync::Arc;
+
+use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
 use dc_value::{Attribute, Domain, FxHashMap, FxHashSet, Schema, Tuple, Value};
 
 use crate::ast::{Branch, Formula, RangeExpr, ScalarExpr, SetFormer, Target, Var};
 use crate::env::Catalog;
 use crate::error::EvalError;
+use crate::joinplan::{self, Access, BranchPlan, KeySource};
 
 /// A bound tuple variable: name, current tuple, and the schema used to
 /// resolve `var.attr` references.
@@ -49,12 +69,33 @@ pub struct Evaluator<'a> {
     param_frames: Vec<FxHashMap<String, Value>>,
     /// Cache of binding-free range values.
     range_cache: FxHashMap<RangeExpr, Relation>,
+    /// Cache of indexes built over binding-free ranges.
+    index_cache: FxHashMap<(RangeExpr, Vec<usize>), Arc<HashIndex>>,
+    /// Per-plan-depth probe-key buffers, reused across probes.
+    probe_scratch: Vec<Vec<Value>>,
+    /// Disable the index-nested-loop path (reference semantics).
+    nested_loop_only: bool,
 }
 
 impl<'a> Evaluator<'a> {
     /// Create an evaluator over a catalog.
     pub fn new(catalog: &'a dyn Catalog) -> Evaluator<'a> {
-        Evaluator { catalog, param_frames: Vec::new(), range_cache: FxHashMap::default() }
+        Evaluator {
+            catalog,
+            param_frames: Vec::new(),
+            range_cache: FxHashMap::default(),
+            index_cache: FxHashMap::default(),
+            probe_scratch: Vec::new(),
+            nested_loop_only: false,
+        }
+    }
+
+    /// Force the reference nested-loop path for every branch (no join
+    /// planning, no index probes). Used by differential tests and as
+    /// the measured pre-optimization baseline.
+    pub fn force_nested_loop(mut self) -> Evaluator<'a> {
+        self.nested_loop_only = true;
+        self
     }
 
     /// Evaluate a closed range expression (a query).
@@ -89,11 +130,20 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Relation, EvalError> {
         match range {
             RangeExpr::Rel(name) => Ok(self.catalog.relation(name)?.into_owned()),
-            RangeExpr::Selected { base, selector, args } => {
+            RangeExpr::Selected {
+                base,
+                selector,
+                args,
+            } => {
                 let base_rel = self.eval_range(base, bindings)?;
                 self.apply_selector(base_rel, selector, args, bindings)
             }
-            RangeExpr::Constructed { base, constructor, args, scalar_args } => {
+            RangeExpr::Constructed {
+                base,
+                constructor,
+                args,
+                scalar_args,
+            } => {
                 let base_rel = self.eval_range(base, bindings)?;
                 let mut arg_rels = Vec::with_capacity(args.len());
                 for a in args {
@@ -103,7 +153,8 @@ impl<'a> Evaluator<'a> {
                 for s in scalar_args {
                     scalars.push(self.eval_scalar(s, bindings)?);
                 }
-                self.catalog.apply_constructor(base_rel, constructor, arg_rels, scalars)
+                self.catalog
+                    .apply_constructor(base_rel, constructor, arg_rels, scalars)
             }
             RangeExpr::SetFormer(sf) => self.eval_set_former(sf, bindings),
         }
@@ -192,10 +243,275 @@ impl<'a> Evaluator<'a> {
             // `out` cannot be borrowed across the recursive loop that
             // needs `&mut self`; collect into a scratch relation.
             let mut scratch = Relation::new(out.schema().clone());
-            self.loop_branch(branch, &ranges, 0, bindings, &mut scratch)?;
+            self.eval_branch(branch, &ranges, bindings, &mut scratch)?;
             dc_relation::algebra::union_into(out, &scratch)?;
         }
         Ok(result.unwrap())
+    }
+
+    /// Evaluate one branch: index-nested-loop when the predicate offers
+    /// equality atoms, reference nested loops otherwise.
+    fn eval_branch(
+        &mut self,
+        branch: &Branch,
+        ranges: &[Relation],
+        bindings: &mut Vec<Binding>,
+        out: &mut Relation,
+    ) -> Result<(), EvalError> {
+        // Zero combinations — both paths would emit nothing.
+        if ranges.iter().any(Relation::is_empty) && !branch.bindings.is_empty() {
+            return Ok(());
+        }
+        if !self.nested_loop_only && !branch.bindings.is_empty() {
+            // Cheap AST walk first: atom-free branches go straight to
+            // the reference loop without paying any stats scan.
+            let atoms = joinplan::extract_eq_atoms(branch);
+            if !atoms.is_empty() {
+                let schemas: Vec<&Schema> = ranges.iter().map(Relation::schema).collect();
+                // Distinct-value statistics (an O(|R|) pass) are only
+                // worth collecting for ranges the planner may probe;
+                // everything else needs just its cardinality.
+                let probed: FxHashSet<usize> = atoms.iter().map(|a| a.position).collect();
+                let stats: Vec<RelationStats> = ranges
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        if probed.contains(&i) {
+                            RelationStats::collect(r)
+                        } else {
+                            RelationStats {
+                                cardinality: r.len(),
+                                distinct: Vec::new(),
+                            }
+                        }
+                    })
+                    .collect();
+                let plan = joinplan::plan_branch(branch, &schemas, &stats);
+                if plan.has_probe() {
+                    if let Some(steps) = self.compile_plan(branch, &plan, ranges, bindings) {
+                        return self.exec_plan(branch, &steps, ranges, 0, bindings, out);
+                    }
+                }
+            }
+        }
+        self.loop_branch(branch, ranges, 0, bindings, out)
+    }
+
+    /// Lower a logical plan to executable steps: resolve attribute
+    /// positions, evaluate free key sources to values, bind probe
+    /// indexes. Atoms that cannot be realised safely — unknown
+    /// attributes, unresolvable parameters/outer variables, or keys
+    /// whose base type differs from the probed column (where hash
+    /// equality and `=` semantics diverge) — are demoted back to the
+    /// residual predicate. Returns `None` when no probe survives.
+    fn compile_plan(
+        &mut self,
+        branch: &Branch,
+        plan: &BranchPlan,
+        ranges: &[Relation],
+        bindings: &Vec<Binding>,
+    ) -> Option<Vec<CompiledStep>> {
+        let base_slot = bindings.len();
+        let mut slot_of = vec![usize::MAX; branch.bindings.len()];
+        let mut steps = Vec::with_capacity(plan.steps.len());
+        let mut any_probe = false;
+        for (i, step) in plan.steps.iter().enumerate() {
+            slot_of[step.position] = base_slot + i;
+            let access = match &step.access {
+                Access::Scan => CompiledAccess::Scan,
+                Access::Probe(atoms) => {
+                    let schema = ranges[step.position].schema();
+                    let mut positions = Vec::with_capacity(atoms.len());
+                    let mut keys = Vec::with_capacity(atoms.len());
+                    for atom in atoms {
+                        let Ok(probed_pos) = schema.position(&atom.attr) else {
+                            continue;
+                        };
+                        let probed_base = schema.domain(probed_pos).base();
+                        match &atom.source {
+                            KeySource::Free(expr) => {
+                                let Ok(v) = self.eval_scalar(expr, bindings) else {
+                                    continue;
+                                };
+                                if value_domain(&v) != probed_base {
+                                    continue;
+                                }
+                                positions.push(probed_pos);
+                                keys.push(CompiledKey::Fixed(v));
+                            }
+                            KeySource::Binding { position, attr } => {
+                                let source_schema = ranges[*position].schema();
+                                let Ok(source_pos) = source_schema.position(attr) else {
+                                    continue;
+                                };
+                                if source_schema.domain(source_pos).base() != probed_base {
+                                    continue;
+                                }
+                                positions.push(probed_pos);
+                                keys.push(CompiledKey::FromBinding {
+                                    slot: slot_of[*position],
+                                    attr_pos: source_pos,
+                                });
+                            }
+                        }
+                    }
+                    if keys.is_empty() {
+                        CompiledAccess::Scan
+                    } else {
+                        any_probe = true;
+                        let index = self.obtain_index(
+                            &branch.bindings[step.position].1,
+                            &ranges[step.position],
+                            &positions,
+                        );
+                        CompiledAccess::Probe { index, keys }
+                    }
+                }
+            };
+            steps.push(CompiledStep {
+                position: step.position,
+                access,
+            });
+        }
+        any_probe.then_some(steps)
+    }
+
+    /// Find or build a hash index over `rel` on `positions`. Catalogs
+    /// that maintain indexes (the fixpoint solver) are consulted first
+    /// for named ranges; binding-free ranges get an evaluator-lifetime
+    /// cache; anything else builds a throwaway index (still one O(|rel|)
+    /// pass — the same cost as the single scan it replaces).
+    fn obtain_index(
+        &mut self,
+        range: &RangeExpr,
+        rel: &Relation,
+        positions: &[usize],
+    ) -> Arc<HashIndex> {
+        if let RangeExpr::Rel(name) = range {
+            if let Some(idx) = self.catalog.index(name, positions) {
+                debug_assert_eq!(idx.len(), rel.len(), "catalog index out of sync for {name}");
+                return idx;
+            }
+        }
+        if self.param_frames.is_empty() && is_binding_free(range) {
+            let key = (range.clone(), positions.to_vec());
+            if let Some(hit) = self.index_cache.get(&key) {
+                return hit.clone();
+            }
+            let idx = Arc::new(HashIndex::build(rel, positions.to_vec()));
+            self.index_cache.insert(key, idx.clone());
+            return idx;
+        }
+        Arc::new(HashIndex::build(rel, positions.to_vec()))
+    }
+
+    /// Run the compiled steps depth-first. Each step reuses one binding
+    /// slot across its whole iteration (one `Var`/`Schema` clone per
+    /// step instead of per combination); probes touch only bucket
+    /// matches.
+    fn exec_plan(
+        &mut self,
+        branch: &Branch,
+        steps: &[CompiledStep],
+        ranges: &[Relation],
+        depth: usize,
+        bindings: &mut Vec<Binding>,
+        out: &mut Relation,
+    ) -> Result<(), EvalError> {
+        if depth == steps.len() {
+            return self.emit_if_selected(branch, bindings, out);
+        }
+        let step = &steps[depth];
+        let (var, _) = &branch.bindings[step.position];
+        let rel = &ranges[step.position];
+        let slot = bindings.len();
+        match &step.access {
+            CompiledAccess::Scan => {
+                let mut pushed = false;
+                for t in rel.iter() {
+                    if pushed {
+                        bindings[slot].tuple = t.clone();
+                    } else {
+                        bindings.push(Binding {
+                            var: var.clone(),
+                            tuple: t.clone(),
+                            schema: rel.schema().clone(),
+                        });
+                        pushed = true;
+                    }
+                    let r = self.exec_plan(branch, steps, ranges, depth + 1, bindings, out);
+                    if r.is_err() {
+                        bindings.truncate(slot);
+                        return r;
+                    }
+                }
+                bindings.truncate(slot);
+            }
+            CompiledAccess::Probe { index, keys } => {
+                // Reuse one key buffer per plan depth across all of
+                // this step's invocations — no allocation per probe
+                // (value clones are `Arc` bumps / plain copies).
+                if self.probe_scratch.len() <= depth {
+                    self.probe_scratch.resize_with(depth + 1, Vec::new);
+                }
+                let mut key_vals = std::mem::take(&mut self.probe_scratch[depth]);
+                key_vals.clear();
+                for k in keys {
+                    key_vals.push(match k {
+                        CompiledKey::Fixed(v) => v.clone(),
+                        CompiledKey::FromBinding { slot, attr_pos } => {
+                            bindings[*slot].tuple.get(*attr_pos).clone()
+                        }
+                    });
+                }
+                let hits = index.probe_slice(&key_vals);
+                self.probe_scratch[depth] = key_vals;
+                let mut pushed = false;
+                for t in hits {
+                    if pushed {
+                        bindings[slot].tuple = t.clone();
+                    } else {
+                        bindings.push(Binding {
+                            var: var.clone(),
+                            tuple: t.clone(),
+                            schema: rel.schema().clone(),
+                        });
+                        pushed = true;
+                    }
+                    let r = self.exec_plan(branch, steps, ranges, depth + 1, bindings, out);
+                    if r.is_err() {
+                        bindings.truncate(slot);
+                        return r;
+                    }
+                }
+                bindings.truncate(slot);
+            }
+        }
+        Ok(())
+    }
+
+    /// Leaf of both executors: check the (full) predicate, then emit the
+    /// target tuple.
+    fn emit_if_selected(
+        &mut self,
+        branch: &Branch,
+        bindings: &mut Vec<Binding>,
+        out: &mut Relation,
+    ) -> Result<(), EvalError> {
+        if self.eval_formula(&branch.predicate, bindings)? {
+            let tuple = match &branch.target {
+                Target::Var(v) => lookup(bindings, v)?.tuple.clone(),
+                Target::Tuple(exprs) => {
+                    let mut fields = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        fields.push(self.eval_scalar(e, bindings)?);
+                    }
+                    Tuple::new(fields)
+                }
+            };
+            out.insert(tuple)?;
+        }
+        Ok(())
     }
 
     fn loop_branch(
@@ -207,26 +523,17 @@ impl<'a> Evaluator<'a> {
         out: &mut Relation,
     ) -> Result<(), EvalError> {
         if depth == branch.bindings.len() {
-            if self.eval_formula(&branch.predicate, bindings)? {
-                let tuple = match &branch.target {
-                    Target::Var(v) => lookup(bindings, v)?.tuple.clone(),
-                    Target::Tuple(exprs) => {
-                        let mut fields = Vec::with_capacity(exprs.len());
-                        for e in exprs {
-                            fields.push(self.eval_scalar(e, bindings)?);
-                        }
-                        Tuple::new(fields)
-                    }
-                };
-                out.insert(tuple)?;
-            }
-            return Ok(());
+            return self.emit_if_selected(branch, bindings, out);
         }
         let (var, _) = &branch.bindings[depth];
         let rel = &ranges[depth];
         let schema = rel.schema().clone();
         for t in rel.iter() {
-            bindings.push(Binding { var: var.clone(), tuple: t.clone(), schema: schema.clone() });
+            bindings.push(Binding {
+                var: var.clone(),
+                tuple: t.clone(),
+                schema: schema.clone(),
+            });
             let r = self.loop_branch(branch, ranges, depth + 1, bindings, out);
             bindings.pop();
             r?;
@@ -312,14 +619,20 @@ impl<'a> Evaluator<'a> {
             Formula::Cmp(l, op, r) => {
                 let lv = self.eval_scalar(l, bindings)?;
                 let rv = self.eval_scalar(r, bindings)?;
-                let ord = lv.try_cmp(&rv).ok_or_else(|| EvalError::CrossTypeComparison {
-                    lhs: lv.to_string(),
-                    rhs: rv.to_string(),
-                })?;
+                let ord = lv
+                    .try_cmp(&rv)
+                    .ok_or_else(|| EvalError::CrossTypeComparison {
+                        lhs: lv.to_string(),
+                        rhs: rv.to_string(),
+                    })?;
                 Ok(op.eval(ord))
             }
-            Formula::And(a, b) => Ok(self.eval_formula(a, bindings)? && self.eval_formula(b, bindings)?),
-            Formula::Or(a, b) => Ok(self.eval_formula(a, bindings)? || self.eval_formula(b, bindings)?),
+            Formula::And(a, b) => {
+                Ok(self.eval_formula(a, bindings)? && self.eval_formula(b, bindings)?)
+            }
+            Formula::Or(a, b) => {
+                Ok(self.eval_formula(a, bindings)? || self.eval_formula(b, bindings)?)
+            }
             Formula::Not(inner) => Ok(!self.eval_formula(inner, bindings)?),
             Formula::Some(v, range, body) => {
                 let rel = self.eval_range(range, bindings)?;
@@ -411,6 +724,31 @@ impl<'a> Evaluator<'a> {
     }
 }
 
+/// An executable plan step: which binding position to enumerate, how.
+struct CompiledStep {
+    position: usize,
+    access: CompiledAccess,
+}
+
+enum CompiledAccess {
+    /// Iterate the whole range.
+    Scan,
+    /// Probe `index` with a key assembled from `keys`.
+    Probe {
+        index: Arc<HashIndex>,
+        keys: Vec<CompiledKey>,
+    },
+}
+
+/// One component of a probe key.
+enum CompiledKey {
+    /// Resolved before the loops started (constant, parameter, outer
+    /// variable attribute).
+    Fixed(Value),
+    /// Read from the binding at stack slot `slot`, field `attr_pos`.
+    FromBinding { slot: usize, attr_pos: usize },
+}
+
 /// Find the innermost binding of `var`.
 fn lookup<'b>(bindings: &'b [Binding], var: &str) -> Result<&'b Binding, EvalError> {
     bindings
@@ -448,9 +786,7 @@ pub fn is_binding_free(range: &RangeExpr) -> bool {
                 local.pop();
                 ok
             }
-            Formula::Member(v, range) => {
-                local.iter().any(|l| l == v) && range_free(range, local)
-            }
+            Formula::Member(v, range) => local.iter().any(|l| l == v) && range_free(range, local),
             Formula::TupleIn(exprs, range) => {
                 exprs.iter().all(|e| scalar_free(e, local)) && range_free(range, local)
             }
@@ -462,7 +798,12 @@ pub fn is_binding_free(range: &RangeExpr) -> bool {
             RangeExpr::Selected { base, args, .. } => {
                 range_free(base, local) && args.iter().all(|a| scalar_free(a, local))
             }
-            RangeExpr::Constructed { base, args, scalar_args, .. } => {
+            RangeExpr::Constructed {
+                base,
+                args,
+                scalar_args,
+                ..
+            } => {
                 range_free(base, local)
                     && args.iter().all(|a| range_free(a, local))
                     && scalar_args.iter().all(|s| scalar_free(s, local))
@@ -520,10 +861,7 @@ mod tests {
             Branch::each("r", rel("Infront"), tru()),
             Branch::projecting(
                 vec![attr("f", "front"), attr("b", "back")],
-                vec![
-                    ("f".into(), rel("Infront")),
-                    ("b".into(), rel("Infront")),
-                ],
+                vec![("f".into(), rel("Infront")), ("b".into(), rel("Infront"))],
                 eq(attr("f", "back"), attr("b", "front")),
             ),
         ])
@@ -546,8 +884,12 @@ mod tests {
         let cat = catalog();
         let mut ev = Evaluator::new(&cat);
         let out = ev.eval(&ahead2_expr()).unwrap();
-        let names: Vec<&str> =
-            out.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+        let names: Vec<&str> = out
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         assert_eq!(names, vec!["front", "back"]);
     }
 
@@ -618,7 +960,9 @@ mod tests {
                 eq(attr("r", "back"), attr("o2", "part")),
             )),
         };
-        let cat = catalog().with_relation("Objects", objects).with_selector(def);
+        let cat = catalog()
+            .with_relation("Objects", objects)
+            .with_selector(def);
         let mut ev = Evaluator::new(&cat);
         let out = ev.eval(&rel("Infront").select("refint", vec![])).unwrap();
         // ("chair","wall") fails: "wall" is not an object.
@@ -635,7 +979,11 @@ mod tests {
         let e = set_former(vec![Branch::each(
             "r",
             rel("Infront"),
-            all("x", rel("Infront"), ne(attr("x", "front"), attr("r", "back"))),
+            all(
+                "x",
+                rel("Infront"),
+                ne(attr("x", "front"), attr("r", "back")),
+            ),
         )]);
         let out = ev.eval(&e).unwrap();
         assert_eq!(out.sorted_tuples(), vec![tuple!["chair", "wall"]]);
@@ -643,7 +991,11 @@ mod tests {
         let e2 = set_former(vec![Branch::each(
             "r",
             rel("Infront"),
-            some("x", rel("Infront"), eq(attr("x", "front"), attr("r", "back"))),
+            some(
+                "x",
+                rel("Infront"),
+                eq(attr("x", "front"), attr("r", "back")),
+            ),
         )]);
         let out2 = ev.eval(&e2).unwrap();
         assert_eq!(out2.len(), 2);
@@ -658,11 +1010,7 @@ mod tests {
         let e = set_former(vec![Branch::each(
             "r",
             rel("Infront"),
-            Formula::TupleIn(
-                vec![attr("r", "back"), attr("r", "front")],
-                rel("Infront"),
-            )
-            .negate(),
+            Formula::TupleIn(vec![attr("r", "back"), attr("r", "front")], rel("Infront")).negate(),
         )]);
         let out = ev.eval(&e).unwrap();
         assert_eq!(out.len(), 3);
@@ -730,11 +1078,8 @@ mod tests {
 
     #[test]
     fn union_of_incompatible_branches_rejected() {
-        let nums = Relation::from_tuples(
-            Schema::of(&[("n", Domain::Int)]),
-            vec![tuple![1i64]],
-        )
-        .unwrap();
+        let nums =
+            Relation::from_tuples(Schema::of(&[("n", Domain::Int)]), vec![tuple![1i64]]).unwrap();
         let cat = catalog().with_relation("N", nums);
         let mut ev = Evaluator::new(&cat);
         let e = set_former(vec![
@@ -771,9 +1116,7 @@ mod tests {
     #[test]
     fn binding_free_detection() {
         assert!(is_binding_free(&rel("R")));
-        assert!(is_binding_free(
-            &rel("R").select("s", vec![cnst(1i64)])
-        ));
+        assert!(is_binding_free(&rel("R").select("s", vec![cnst(1i64)])));
         assert!(!is_binding_free(
             &rel("R").select("s", vec![attr("r", "a")])
         ));
@@ -786,12 +1129,11 @@ mod tests {
 
     #[test]
     fn constructed_range_delegates_to_catalog() {
-        let cat = catalog().with_constructor_fn(
-            "identity",
-            Box::new(|base, _| Ok(base)),
-        );
+        let cat = catalog().with_constructor_fn("identity", Box::new(|base, _| Ok(base)));
         let mut ev = Evaluator::new(&cat);
-        let out = ev.eval(&rel("Infront").construct("identity", vec![])).unwrap();
+        let out = ev
+            .eval(&rel("Infront").construct("identity", vec![]))
+            .unwrap();
         assert_eq!(out.len(), 3);
     }
 
@@ -802,16 +1144,106 @@ mod tests {
         // <f.front, b.front> OF … — two `front` columns.
         let e = set_former(vec![Branch::projecting(
             vec![attr("f", "front"), attr("b", "front")],
-            vec![
-                ("f".into(), rel("Infront")),
-                ("b".into(), rel("Infront")),
-            ],
+            vec![("f".into(), rel("Infront")), ("b".into(), rel("Infront"))],
             eq(attr("f", "back"), attr("b", "front")),
         )]);
         let out = ev.eval(&e).unwrap();
-        let names: Vec<&str> =
-            out.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+        let names: Vec<&str> = out
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         assert_eq!(names, vec!["front", "front_"]);
+    }
+
+    #[test]
+    fn index_path_agrees_with_nested_loop_reference() {
+        // The join branch of §2.3 runs through the index-nested-loop
+        // executor; the reference evaluator is the semantics oracle.
+        let cat = catalog();
+        let planned = Evaluator::new(&cat).eval(&ahead2_expr()).unwrap();
+        let reference = Evaluator::new(&cat)
+            .force_nested_loop()
+            .eval(&ahead2_expr())
+            .unwrap();
+        assert_eq!(planned, reference);
+        assert_eq!(planned.len(), 5);
+    }
+
+    #[test]
+    fn outer_variable_key_probes_correlated_branch() {
+        // The inner set former's equality key references the outer
+        // variable `r` — compiled as a Fixed key per outer binding.
+        let cat = catalog();
+        let inner = set_former(vec![Branch::each(
+            "y",
+            rel("Infront"),
+            eq(attr("y", "front"), attr("r", "back")),
+        )]);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some("x", inner, tru()),
+        )]);
+        let planned = Evaluator::new(&cat).eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        assert_eq!(planned.len(), 2);
+    }
+
+    #[test]
+    fn cross_type_key_demoted_to_residual_error() {
+        // `r.front = 1` would probe a STRING column with an INTEGER key;
+        // the compiler must demote the atom so the reference error
+        // semantics (CrossTypeComparison) survive.
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        let e = set_former(vec![Branch::projecting(
+            vec![attr("f", "front")],
+            vec![("f".into(), rel("Infront")), ("b".into(), rel("Infront"))],
+            eq(attr("f", "back"), attr("b", "front")).and(eq(attr("f", "front"), cnst(1i64))),
+        )]);
+        assert!(matches!(
+            ev.eval(&e),
+            Err(EvalError::CrossTypeComparison { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_param_key_demoted_not_planned_away() {
+        // An unresolvable parameter key falls back to the residual,
+        // which raises the same UnknownParam the reference path does.
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        let e = set_former(vec![Branch::projecting(
+            vec![attr("f", "front")],
+            vec![("f".into(), rel("Infront")), ("b".into(), rel("Infront"))],
+            eq(attr("f", "back"), attr("b", "front")).and(eq(attr("b", "back"), param("Ghost"))),
+        )]);
+        assert!(matches!(ev.eval(&e), Err(EvalError::UnknownParam(_))));
+    }
+
+    #[test]
+    fn three_way_join_chains_probes() {
+        // EACH a, b, c IN Infront: a.back = b.front AND b.back = c.front
+        // — two probe steps chained off one scan.
+        let cat = catalog();
+        let e = set_former(vec![Branch::projecting(
+            vec![attr("a", "front"), attr("c", "back")],
+            vec![
+                ("a".into(), rel("Infront")),
+                ("b".into(), rel("Infront")),
+                ("c".into(), rel("Infront")),
+            ],
+            eq(attr("a", "back"), attr("b", "front"))
+                .and(eq(attr("b", "back"), attr("c", "front"))),
+        )]);
+        let planned = Evaluator::new(&cat).eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        // The only 3-edge chain is vase→table→chair→wall ⇒ <vase, wall>.
+        assert_eq!(planned.sorted_tuples(), vec![tuple!["vase", "wall"]]);
     }
 
     #[test]

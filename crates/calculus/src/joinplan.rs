@@ -1,0 +1,504 @@
+//! Join planning for set-former branches: turn conjunctive equality
+//! predicates into indexed access paths.
+//!
+//! The paper's set-oriented evaluation claim (§3) assumes the engine
+//! evaluates a branch such as
+//!
+//! ```text
+//! <f.front, b.back> OF EACH f, b IN Infront: f.back = b.front
+//! ```
+//!
+//! as a *join*, not as a filtered cross product. The reference
+//! evaluator's nested loops enumerate `|Infront|²` combinations; this
+//! module recovers the join structure statically so the evaluator can
+//! run an **index-nested-loop join** instead: scan one range, and for
+//! every other range probe a [`dc_index::HashIndex`] keyed on the
+//! equality columns, touching only matching tuples.
+//!
+//! The pass has two halves:
+//!
+//! * [`extract_eq_atoms`] walks the branch predicate's top-level
+//!   conjunction and collects equality atoms `x.a = rhs` where `x` is a
+//!   branch-bound variable and `rhs` is a constant, a parameter, an
+//!   outer (enclosing-scope) attribute, or another branch variable's
+//!   attribute. Atoms under `OR` / `NOT` / quantifiers are *not*
+//!   extracted — they stay in the residual predicate.
+//! * [`plan_branch`] orders the branch's binding positions greedily by
+//!   estimated cost, using [`dc_index::RelationStats`] cardinalities and
+//!   the System-R `1/distinct` equality selectivity: at each step it
+//!   picks the cheapest position, preferring positions whose equality
+//!   atoms are fully bound by earlier steps (an index probe) over full
+//!   scans.
+//!
+//! The plan is *advisory*: the executor re-evaluates the full predicate
+//! for every surviving combination, so a plan can only skip
+//! combinations that equality atoms already reject — semantics
+//! (including error semantics for the residual) are unchanged. The
+//! executor also *demotes* atoms it cannot realise safely (unknown
+//! parameters, unresolvable outer variables, cross-type keys) back to
+//! the residual, so planning never has to be conservative about
+//! evaluation-time concerns.
+
+use dc_index::RelationStats;
+use dc_value::Schema;
+
+use crate::ast::{Branch, CmpOp, Formula, ScalarExpr, Var};
+
+/// The non-probed side of an equality atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeySource {
+    /// `attr` of the branch variable bound at `position` — a genuine
+    /// join key, usable once that position is bound.
+    Binding {
+        /// Binding position (index into `branch.bindings`).
+        position: usize,
+        /// Attribute name on that binding's range.
+        attr: String,
+    },
+    /// An expression free of *branch* variables: a constant, a
+    /// parameter, or an outer variable's attribute. Usable immediately.
+    Free(ScalarExpr),
+}
+
+/// One usable equality atom: `bindings[position].attr = source`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqAtom {
+    /// The probed binding position.
+    pub position: usize,
+    /// The probed attribute name.
+    pub attr: String,
+    /// The key-producing side.
+    pub source: KeySource,
+}
+
+/// How one binding position is enumerated by the executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Access {
+    /// Iterate every tuple of the range.
+    Scan,
+    /// Probe a hash index on the atoms' attributes with keys computed
+    /// from already-bound values.
+    Probe(Vec<EqAtom>),
+}
+
+/// One step of a branch plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// The binding position this step enumerates.
+    pub position: usize,
+    /// Scan or probe.
+    pub access: Access,
+}
+
+/// An ordered access plan covering every binding position of a branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchPlan {
+    /// Steps in execution order; each binding position appears exactly
+    /// once.
+    pub steps: Vec<PlanStep>,
+}
+
+impl BranchPlan {
+    /// Does the plan use at least one index probe? (A probe-free plan
+    /// in declaration order is exactly the reference nested loop.)
+    pub fn has_probe(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s.access, Access::Probe(_)))
+    }
+
+    /// The trivial plan: scan every position in declaration order.
+    pub fn all_scans(n: usize) -> BranchPlan {
+        BranchPlan {
+            steps: (0..n)
+                .map(|position| PlanStep {
+                    position,
+                    access: Access::Scan,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Does the expression avoid every branch variable? (Then it is
+/// evaluable before the branch loops start: constants, parameters,
+/// outer variables.)
+fn free_of_branch_vars(e: &ScalarExpr, branch_vars: &[&Var]) -> bool {
+    match e {
+        ScalarExpr::Const(_) | ScalarExpr::Param(_) => true,
+        ScalarExpr::Attr(v, _) => !branch_vars.contains(&v),
+        ScalarExpr::Arith(l, _, r) => {
+            free_of_branch_vars(l, branch_vars) && free_of_branch_vars(r, branch_vars)
+        }
+    }
+}
+
+/// `e` as `position.attr` of a branch variable, if it is exactly that.
+fn as_branch_attr(e: &ScalarExpr, branch: &Branch) -> Option<(usize, String)> {
+    if let ScalarExpr::Attr(v, a) = e {
+        // Innermost declaration wins, matching evaluator name lookup.
+        branch
+            .bindings
+            .iter()
+            .rposition(|(bv, _)| bv == v)
+            .map(|pos| (pos, a.clone()))
+    } else {
+        None
+    }
+}
+
+/// Flatten the top-level conjunction of a formula.
+fn conjuncts(f: &Formula) -> Vec<&Formula> {
+    let mut out = Vec::new();
+    let mut stack = vec![f];
+    while let Some(g) = stack.pop() {
+        match g {
+            Formula::And(a, b) => {
+                // Right child first, so popping yields left-to-right.
+                stack.push(b);
+                stack.push(a);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Extract the equality atoms of a branch usable as probe keys.
+///
+/// Only top-level conjuncts of the form `x.a = rhs` (or mirrored)
+/// qualify, where `x` is a branch variable and `rhs` is either free of
+/// branch variables ([`KeySource::Free`]) or another branch variable's
+/// attribute ([`KeySource::Binding`], emitted symmetrically for both
+/// directions). Branches with shadowed (duplicate) binding names yield
+/// no atoms: reordering their loops would change name resolution.
+pub fn extract_eq_atoms(branch: &Branch) -> Vec<EqAtom> {
+    let branch_vars: Vec<&Var> = branch.bindings.iter().map(|(v, _)| v).collect();
+    {
+        let mut seen = branch_vars.clone();
+        seen.sort();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Vec::new();
+        }
+    }
+    let mut atoms = Vec::new();
+    for c in conjuncts(&branch.predicate) {
+        let Formula::Cmp(l, CmpOp::Eq, r) = c else {
+            continue;
+        };
+        let lb = as_branch_attr(l, branch);
+        let rb = as_branch_attr(r, branch);
+        match (lb, rb) {
+            (Some((lp, la)), Some((rp, ra))) if lp != rp => {
+                atoms.push(EqAtom {
+                    position: lp,
+                    attr: la.clone(),
+                    source: KeySource::Binding {
+                        position: rp,
+                        attr: ra.clone(),
+                    },
+                });
+                atoms.push(EqAtom {
+                    position: rp,
+                    attr: ra,
+                    source: KeySource::Binding {
+                        position: lp,
+                        attr: la,
+                    },
+                });
+            }
+            (Some((lp, la)), None) if free_of_branch_vars(r, &branch_vars) => {
+                atoms.push(EqAtom {
+                    position: lp,
+                    attr: la,
+                    source: KeySource::Free(r.clone()),
+                });
+            }
+            (None, Some((rp, ra))) if free_of_branch_vars(l, &branch_vars) => {
+                atoms.push(EqAtom {
+                    position: rp,
+                    attr: ra,
+                    source: KeySource::Free(l.clone()),
+                });
+            }
+            _ => {}
+        }
+    }
+    atoms
+}
+
+/// Order the branch's binding positions into an index-nested-loop plan.
+///
+/// Greedy System-R-style ordering: repeatedly pick the unbound position
+/// with the lowest estimated enumeration cost, where a position whose
+/// equality atoms are all *available* (sources free, or bound by
+/// earlier steps) costs `cardinality × Π 1/distinct(attr)` and an
+/// unsupported position costs its full cardinality. Ties break toward
+/// declaration order, so plans are deterministic and the no-atom case
+/// degenerates to the reference scan order.
+pub fn plan_branch(branch: &Branch, schemas: &[&Schema], stats: &[RelationStats]) -> BranchPlan {
+    let n = branch.bindings.len();
+    debug_assert_eq!(schemas.len(), n);
+    debug_assert_eq!(stats.len(), n);
+    let atoms = extract_eq_atoms(branch);
+    if atoms.is_empty() {
+        return BranchPlan::all_scans(n);
+    }
+    let mut bound = vec![false; n];
+    let mut steps = Vec::with_capacity(n);
+    while steps.len() < n {
+        let mut best: Option<(f64, usize, Vec<EqAtom>)> = None;
+        for p in 0..n {
+            if bound[p] {
+                continue;
+            }
+            let usable: Vec<EqAtom> = atoms
+                .iter()
+                .filter(|a| {
+                    a.position == p
+                        && match &a.source {
+                            KeySource::Free(_) => true,
+                            KeySource::Binding { position, .. } => bound[*position],
+                        }
+                })
+                .cloned()
+                .collect();
+            let mut est = stats[p].cardinality as f64;
+            for a in &usable {
+                if let Ok(pos) = schemas[p].position(&a.attr) {
+                    est *= stats[p].eq_selectivity(pos);
+                }
+            }
+            // Prefer probes over scans at equal estimates.
+            let better = match &best {
+                None => true,
+                Some((best_est, _, best_atoms)) => {
+                    est < *best_est
+                        || (est == *best_est && best_atoms.is_empty() && !usable.is_empty())
+                }
+            };
+            if better {
+                best = Some((est, p, usable));
+            }
+        }
+        let (_, p, usable) = best.expect("an unbound position always exists");
+        bound[p] = true;
+        let access = if usable.is_empty() {
+            Access::Scan
+        } else {
+            Access::Probe(usable)
+        };
+        steps.push(PlanStep {
+            position: p,
+            access,
+        });
+    }
+    BranchPlan { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use dc_relation::Relation;
+    use dc_value::{tuple, Domain, Schema};
+
+    fn edge_schema() -> Schema {
+        Schema::of(&[("front", Domain::Str), ("back", Domain::Str)])
+    }
+
+    /// The paper's two-variable join branch:
+    /// `<f.front, b.back> OF EACH f, b IN Infront: f.back = b.front`.
+    fn join_branch() -> Branch {
+        Branch::projecting(
+            vec![attr("f", "front"), attr("b", "back")],
+            vec![("f".into(), rel("Infront")), ("b".into(), rel("Infront"))],
+            eq(attr("f", "back"), attr("b", "front")),
+        )
+    }
+
+    #[test]
+    fn extracts_symmetric_binding_atoms() {
+        let atoms = extract_eq_atoms(&join_branch());
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(
+            atoms[0],
+            EqAtom {
+                position: 0,
+                attr: "back".into(),
+                source: KeySource::Binding {
+                    position: 1,
+                    attr: "front".into()
+                },
+            }
+        );
+        assert_eq!(
+            atoms[1],
+            EqAtom {
+                position: 1,
+                attr: "front".into(),
+                source: KeySource::Binding {
+                    position: 0,
+                    attr: "back".into()
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn extracts_constant_and_param_atoms() {
+        let b = Branch::each(
+            "r",
+            rel("Infront"),
+            eq(attr("r", "front"), cnst("vase")).and(eq(param("Obj"), attr("r", "back"))),
+        );
+        let atoms = extract_eq_atoms(&b);
+        assert_eq!(atoms.len(), 2);
+        assert!(matches!(
+            &atoms[0].source,
+            KeySource::Free(ScalarExpr::Const(_))
+        ));
+        assert_eq!(atoms[1].attr, "back");
+        assert!(matches!(&atoms[1].source, KeySource::Free(ScalarExpr::Param(p)) if p == "Obj"));
+    }
+
+    #[test]
+    fn outer_variable_is_a_free_source() {
+        // `o` is not bound by this branch — its attribute is a free key.
+        let b = Branch::each(
+            "r",
+            rel("Infront"),
+            eq(attr("r", "front"), attr("o", "part")),
+        );
+        let atoms = extract_eq_atoms(&b);
+        assert_eq!(atoms.len(), 1);
+        assert!(matches!(&atoms[0].source, KeySource::Free(ScalarExpr::Attr(v, _)) if v == "o"));
+    }
+
+    #[test]
+    fn non_equality_and_disjunctive_atoms_ignored() {
+        // `<`, `OR`, `NOT`, and quantified equalities must not produce
+        // probe atoms — they stay residual.
+        let b = Branch::each(
+            "r",
+            rel("Infront"),
+            lt(attr("r", "front"), cnst("z"))
+                .and(eq(attr("r", "front"), cnst("a")).or(eq(attr("r", "back"), cnst("b"))))
+                .and(not(eq(attr("r", "front"), cnst("q"))))
+                .and(some(
+                    "x",
+                    rel("Infront"),
+                    eq(attr("x", "front"), attr("r", "back")),
+                )),
+        );
+        assert!(extract_eq_atoms(&b).is_empty());
+    }
+
+    #[test]
+    fn same_position_equality_is_not_a_join_key() {
+        let b = Branch::each(
+            "r",
+            rel("Infront"),
+            eq(attr("r", "front"), attr("r", "back")),
+        );
+        assert!(extract_eq_atoms(&b).is_empty());
+    }
+
+    #[test]
+    fn shadowed_binding_names_disable_extraction() {
+        let b = Branch {
+            target: crate::ast::Target::Var("x".into()),
+            bindings: vec![("x".into(), rel("Infront")), ("x".into(), rel("Infront"))],
+            predicate: eq(attr("x", "front"), cnst("a")),
+        };
+        assert!(extract_eq_atoms(&b).is_empty());
+        let plan = plan_branch(
+            &b,
+            &[&edge_schema(), &edge_schema()],
+            &[
+                RelationStats {
+                    cardinality: 1,
+                    distinct: vec![1, 1],
+                },
+                RelationStats {
+                    cardinality: 1,
+                    distinct: vec![1, 1],
+                },
+            ],
+        );
+        assert_eq!(plan, BranchPlan::all_scans(2));
+    }
+
+    #[test]
+    fn join_plan_scans_once_probes_rest() {
+        let rel_small =
+            Relation::from_tuples(edge_schema(), vec![tuple!["a", "b"], tuple!["b", "c"]]).unwrap();
+        let stats = RelationStats::collect(&rel_small);
+        let schema = edge_schema();
+        let plan = plan_branch(&join_branch(), &[&schema, &schema], &[stats.clone(), stats]);
+        assert_eq!(plan.steps.len(), 2);
+        assert!(matches!(plan.steps[0].access, Access::Scan));
+        let Access::Probe(atoms) = &plan.steps[1].access else {
+            panic!("second step must probe, got {plan:?}");
+        };
+        assert_eq!(atoms.len(), 1);
+    }
+
+    #[test]
+    fn constant_probe_ordered_before_unselective_scan() {
+        // `EACH big IN Big, EACH sel IN Sel: sel.front = "x" AND
+        //  big.back = sel.back` — the planner should start with the
+        // constant-keyed probe on Sel, then probe Big on the join key.
+        let b = Branch::projecting(
+            vec![attr("big", "front")],
+            vec![("big".into(), rel("Big")), ("sel".into(), rel("Sel"))],
+            eq(attr("sel", "front"), cnst("x")).and(eq(attr("big", "back"), attr("sel", "back"))),
+        );
+        let big = Relation::from_tuples(
+            edge_schema(),
+            (0..50).map(|i| tuple![format!("f{i}"), format!("b{i}")]),
+        )
+        .unwrap();
+        let sel = Relation::from_tuples(
+            edge_schema(),
+            (0..10).map(|i| tuple![format!("s{i}"), format!("b{i}")]),
+        )
+        .unwrap();
+        let schema = edge_schema();
+        let plan = plan_branch(
+            &b,
+            &[&schema, &schema],
+            &[RelationStats::collect(&big), RelationStats::collect(&sel)],
+        );
+        assert_eq!(plan.steps[0].position, 1, "{plan:?}");
+        assert!(matches!(plan.steps[0].access, Access::Probe(_)));
+        assert_eq!(plan.steps[1].position, 0);
+        assert!(matches!(plan.steps[1].access, Access::Probe(_)));
+    }
+
+    #[test]
+    fn no_atoms_degenerates_to_declaration_order() {
+        let b = Branch::projecting(
+            vec![attr("a", "front")],
+            vec![("a".into(), rel("R")), ("b".into(), rel("S"))],
+            tru(),
+        );
+        let schema = edge_schema();
+        let plan = plan_branch(
+            &b,
+            &[&schema, &schema],
+            &[
+                RelationStats {
+                    cardinality: 9,
+                    distinct: vec![3, 3],
+                },
+                RelationStats {
+                    cardinality: 1,
+                    distinct: vec![1, 1],
+                },
+            ],
+        );
+        assert_eq!(plan, BranchPlan::all_scans(2));
+        assert!(!plan.has_probe());
+    }
+}

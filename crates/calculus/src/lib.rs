@@ -17,8 +17,11 @@
 //! * [`env`] — the [`env::Catalog`] trait through which evaluation
 //!   resolves relation names, scalar parameters, selectors, and
 //!   constructor applications (implemented by `dc-core`'s database).
-//! * [`eval`] — the reference evaluator: direct nested-loop semantics,
-//!   the baseline every optimized plan must agree with.
+//! * [`eval`] — the evaluator: index-nested-loop execution of set-former
+//!   branches (via [`joinplan`]), with the original nested-loop semantics
+//!   kept as the reference path every plan must agree with.
+//! * [`joinplan`] — the predicate-analysis pass that extracts conjunctive
+//!   equality atoms and orders branch bindings into scan/probe plans.
 //! * [`positivity`] — §3.3's positivity constraint, implemented exactly
 //!   as defined (parity of enclosing `NOT`s and `ALL`-range positions).
 //! * [`rewrite`] — the one-sorted/De Morgan normalisation used in the
@@ -31,6 +34,7 @@ pub mod builder;
 pub mod env;
 pub mod error;
 pub mod eval;
+pub mod joinplan;
 pub mod positivity;
 pub mod rewrite;
 pub mod typeck;

@@ -141,7 +141,12 @@ impl Walker<'_> {
                 // Selection is monotone in its base: parity unchanged.
                 self.range(base);
             }
-            RangeExpr::Constructed { base, constructor, args, .. } => {
+            RangeExpr::Constructed {
+                base,
+                constructor,
+                args,
+                ..
+            } => {
                 if matches!(self.tracked, Tracked::AllConstructed) {
                     self.record(constructor);
                 }
@@ -168,14 +173,22 @@ impl Walker<'_> {
 /// Check a range expression against the positivity constraint,
 /// returning every violating occurrence.
 pub fn check_range(range: &RangeExpr, tracked: &Tracked) -> Vec<Violation> {
-    let mut w = Walker { tracked, violations: Vec::new(), trail: Vec::new() };
+    let mut w = Walker {
+        tracked,
+        violations: Vec::new(),
+        trail: Vec::new(),
+    };
     w.range(range);
     w.violations
 }
 
 /// Check a formula against the positivity constraint.
 pub fn check_formula(formula: &Formula, tracked: &Tracked) -> Vec<Violation> {
-    let mut w = Walker { tracked, violations: Vec::new(), trail: Vec::new() };
+    let mut w = Walker {
+        tracked,
+        violations: Vec::new(),
+        trail: Vec::new(),
+    };
     w.formula(formula);
     w.violations
 }
@@ -250,10 +263,7 @@ mod tests {
     /// `negate()` builder collapses `NOT NOT`.)
     #[test]
     fn double_negation_is_positive() {
-        let explicit = Formula::Not(Box::new(Formula::Not(Box::new(member(
-            "r",
-            rel("Rec"),
-        )))));
+        let explicit = Formula::Not(Box::new(Formula::Not(Box::new(member("r", rel("Rec"))))));
         assert!(check_formula(&explicit, &Tracked::name("Rec")).is_empty());
     }
 

@@ -58,19 +58,26 @@ fn negate_nnf(f: Formula) -> Formula {
 pub fn substitute_rel(range: &RangeExpr, map: &FxHashMap<Name, RangeExpr>) -> RangeExpr {
     match range {
         RangeExpr::Rel(n) => map.get(n).cloned().unwrap_or_else(|| range.clone()),
-        RangeExpr::Selected { base, selector, args } => RangeExpr::Selected {
+        RangeExpr::Selected {
+            base,
+            selector,
+            args,
+        } => RangeExpr::Selected {
             base: Box::new(substitute_rel(base, map)),
             selector: selector.clone(),
             args: args.clone(),
         },
-        RangeExpr::Constructed { base, constructor, args, scalar_args } => {
-            RangeExpr::Constructed {
-                base: Box::new(substitute_rel(base, map)),
-                constructor: constructor.clone(),
-                args: args.iter().map(|a| substitute_rel(a, map)).collect(),
-                scalar_args: scalar_args.clone(),
-            }
-        }
+        RangeExpr::Constructed {
+            base,
+            constructor,
+            args,
+            scalar_args,
+        } => RangeExpr::Constructed {
+            base: Box::new(substitute_rel(base, map)),
+            constructor: constructor.clone(),
+            args: args.iter().map(|a| substitute_rel(a, map)).collect(),
+            scalar_args: scalar_args.clone(),
+        },
         RangeExpr::SetFormer(sf) => RangeExpr::SetFormer(SetFormer {
             branches: sf
                 .branches
@@ -164,7 +171,10 @@ pub fn substitute_params_formula(f: &Formula, map: &FxHashMap<Name, Value>) -> F
         ),
         Formula::Member(v, r) => Formula::Member(v.clone(), substitute_params_range(r, map)),
         Formula::TupleIn(exprs, r) => Formula::TupleIn(
-            exprs.iter().map(|e| substitute_params_scalar(e, map)).collect(),
+            exprs
+                .iter()
+                .map(|e| substitute_params_scalar(e, map))
+                .collect(),
             substitute_params_range(r, map),
         ),
     }
@@ -175,22 +185,35 @@ pub fn substitute_params_formula(f: &Formula, map: &FxHashMap<Name, Value>) -> F
 pub fn substitute_params_range(r: &RangeExpr, map: &FxHashMap<Name, Value>) -> RangeExpr {
     match r {
         RangeExpr::Rel(_) => r.clone(),
-        RangeExpr::Selected { base, selector, args } => RangeExpr::Selected {
+        RangeExpr::Selected {
+            base,
+            selector,
+            args,
+        } => RangeExpr::Selected {
             base: Box::new(substitute_params_range(base, map)),
             selector: selector.clone(),
-            args: args.iter().map(|a| substitute_params_scalar(a, map)).collect(),
+            args: args
+                .iter()
+                .map(|a| substitute_params_scalar(a, map))
+                .collect(),
         },
-        RangeExpr::Constructed { base, constructor, args, scalar_args } => {
-            RangeExpr::Constructed {
-                base: Box::new(substitute_params_range(base, map)),
-                constructor: constructor.clone(),
-                args: args.iter().map(|a| substitute_params_range(a, map)).collect(),
-                scalar_args: scalar_args
-                    .iter()
-                    .map(|s| substitute_params_scalar(s, map))
-                    .collect(),
-            }
-        }
+        RangeExpr::Constructed {
+            base,
+            constructor,
+            args,
+            scalar_args,
+        } => RangeExpr::Constructed {
+            base: Box::new(substitute_params_range(base, map)),
+            constructor: constructor.clone(),
+            args: args
+                .iter()
+                .map(|a| substitute_params_range(a, map))
+                .collect(),
+            scalar_args: scalar_args
+                .iter()
+                .map(|s| substitute_params_scalar(s, map))
+                .collect(),
+        },
         RangeExpr::SetFormer(sf) => RangeExpr::SetFormer(SetFormer {
             branches: sf
                 .branches
@@ -199,7 +222,10 @@ pub fn substitute_params_range(r: &RangeExpr, map: &FxHashMap<Name, Value>) -> R
                     target: match &b.target {
                         Target::Var(v) => Target::Var(v.clone()),
                         Target::Tuple(exprs) => Target::Tuple(
-                            exprs.iter().map(|e| substitute_params_scalar(e, map)).collect(),
+                            exprs
+                                .iter()
+                                .map(|e| substitute_params_scalar(e, map))
+                                .collect(),
                         ),
                     },
                     bindings: b
@@ -323,9 +349,11 @@ mod tests {
     #[test]
     fn nnf_pushes_through_connectives() {
         // NOT (a = 1 AND SOME x IN R (TRUE))
-        let f = Formula::Not(Box::new(
-            eq(attr("r", "a"), cnst(1i64)).and(some("x", rel("R"), tru())),
-        ));
+        let f = Formula::Not(Box::new(eq(attr("r", "a"), cnst(1i64)).and(some(
+            "x",
+            rel("R"),
+            tru(),
+        ))));
         let nnf = to_nnf(f);
         // ⇒ a # 1 OR ALL x IN R (FALSE)
         match nnf {
@@ -378,7 +406,10 @@ mod tests {
             vec![attr("f", "front")],
             vec![
                 ("f".into(), rel("Rel")),
-                ("b".into(), rel("Rel").construct("ahead", vec![rel("Ontop")])),
+                (
+                    "b".into(),
+                    rel("Rel").construct("ahead", vec![rel("Ontop")]),
+                ),
             ],
             member("f", rel("Rel")),
         )]);

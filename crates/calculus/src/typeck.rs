@@ -115,7 +115,11 @@ fn check_range_scoped(
 ) -> Result<Schema, EvalError> {
     match range {
         RangeExpr::Rel(n) => cat.relation_schema(n),
-        RangeExpr::Selected { base, selector, args } => {
+        RangeExpr::Selected {
+            base,
+            selector,
+            args,
+        } => {
             let base_schema = check_range_scoped(base, cat, scope)?;
             let def = cat.selector_def(selector)?;
             if args.len() != def.params.len() {
@@ -137,7 +141,12 @@ fn check_range_scoped(
             // A selector yields a sub-relation of its base.
             Ok(base_schema)
         }
-        RangeExpr::Constructed { base, constructor, args, scalar_args } => {
+        RangeExpr::Constructed {
+            base,
+            constructor,
+            args,
+            scalar_args,
+        } => {
             let base_schema = check_range_scoped(base, cat, scope)?;
             let sig = cat.constructor_sig(constructor)?;
             if !base_schema.union_compatible(&sig.base_schema) {
@@ -353,17 +362,19 @@ pub fn check_scalar(
             let ld = check_scalar(l, cat, scope)?;
             let rd = check_scalar(r, cat, scope)?;
             if !ld.is_numeric() || !rd.is_numeric() || !ld.comparable_with(&rd) {
-                return Err(EvalError::Value(dc_value::ValueError::IncompatibleOperands {
-                    op: match op {
-                        crate::ast::ArithOp::Add => "+",
-                        crate::ast::ArithOp::Sub => "-",
-                        crate::ast::ArithOp::Mul => "*",
-                        crate::ast::ArithOp::Div => "DIV",
-                        crate::ast::ArithOp::Mod => "MOD",
+                return Err(EvalError::Value(
+                    dc_value::ValueError::IncompatibleOperands {
+                        op: match op {
+                            crate::ast::ArithOp::Add => "+",
+                            crate::ast::ArithOp::Sub => "-",
+                            crate::ast::ArithOp::Mul => "*",
+                            crate::ast::ArithOp::Div => "DIV",
+                            crate::ast::ArithOp::Mod => "MOD",
+                        },
+                        lhs: dc_value::Value::str(ld.to_string()),
+                        rhs: dc_value::Value::str(rd.to_string()),
                     },
-                    lhs: dc_value::Value::str(ld.to_string()),
-                    rhs: dc_value::Value::str(rd.to_string()),
-                }));
+                ));
             }
             Ok(ld.base())
         }
@@ -415,10 +426,7 @@ mod tests {
             Branch::each("r", rel("Infront"), tru()),
             Branch::projecting(
                 vec![attr("f", "front"), attr("b", "back")],
-                vec![
-                    ("f".into(), rel("Infront")),
-                    ("b".into(), rel("Infront")),
-                ],
+                vec![("f".into(), rel("Infront")), ("b".into(), rel("Infront"))],
                 eq(attr("f", "back"), attr("b", "front")),
             ),
         ]);
@@ -442,7 +450,9 @@ mod tests {
         )]);
         assert!(matches!(
             check_range(&e, &catalog()),
-            Err(EvalError::Type(dc_value::TypeError::UnknownAttribute { .. }))
+            Err(EvalError::Type(
+                dc_value::TypeError::UnknownAttribute { .. }
+            ))
         ));
     }
 

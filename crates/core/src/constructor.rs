@@ -74,10 +74,15 @@ impl Constructor {
             let body_range = RangeExpr::SetFormer(self.body.clone());
             let violations = positivity::check_range(&body_range, &Tracked::AllConstructed);
             if let Some(v) = violations.first() {
-                return Err(CoreError::Eval(EvalError::PositivityViolation(v.to_string())));
+                return Err(CoreError::Eval(EvalError::PositivityViolation(
+                    v.to_string(),
+                )));
             }
         }
-        let scope = FormalScope { base: cat, ctor: self };
+        let scope = FormalScope {
+            base: cat,
+            ctor: self,
+        };
         let body_range = RangeExpr::SetFormer(self.body.clone());
         let body_schema = check_range(&body_range, &scope)?;
         if !body_schema.union_compatible(&self.result) {

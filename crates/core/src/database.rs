@@ -66,6 +66,15 @@ impl Database {
         self.invalidate();
     }
 
+    /// Enable or disable index-nested-loop join execution (on by
+    /// default). Disabling forces the reference nested-loop evaluator
+    /// end to end — the pre-optimization baseline, kept for
+    /// differential tests and benchmark comparisons.
+    pub fn set_use_indexes(&mut self, on: bool) {
+        self.config.use_indexes = on;
+        self.invalidate();
+    }
+
     /// Current fixpoint configuration.
     pub fn config(&self) -> &FixpointConfig {
         &self.config
@@ -100,7 +109,10 @@ impl Database {
     ) -> Result<(), CoreError> {
         let name = name.into();
         if self.relations.contains_key(&name) {
-            return Err(CoreError::Duplicate { kind: "relation", name });
+            return Err(CoreError::Duplicate {
+                kind: "relation",
+                name,
+            });
         }
         self.relations.insert(name, Relation::new(schema));
         self.invalidate();
@@ -113,7 +125,10 @@ impl Database {
         let r = self
             .relations
             .get_mut(rel)
-            .ok_or_else(|| CoreError::Unknown { kind: "relation", name: rel.to_string() })?;
+            .ok_or_else(|| CoreError::Unknown {
+                kind: "relation",
+                name: rel.to_string(),
+            })?;
         Ok(r.insert(tuple)?)
     }
 
@@ -134,9 +149,10 @@ impl Database {
 
     /// Borrow a relation's current value.
     pub fn relation_ref(&self, name: &str) -> Result<&Relation, CoreError> {
-        self.relations
-            .get(name)
-            .ok_or_else(|| CoreError::Unknown { kind: "relation", name: name.to_string() })
+        self.relations.get(name).ok_or_else(|| CoreError::Unknown {
+            kind: "relation",
+            name: name.to_string(),
+        })
     }
 
     /// Whole-relation assignment (`rel := rex`, §2.2): key-checked.
@@ -145,7 +161,10 @@ impl Database {
         let r = self
             .relations
             .get_mut(rel)
-            .ok_or_else(|| CoreError::Unknown { kind: "relation", name: rel.to_string() })?;
+            .ok_or_else(|| CoreError::Unknown {
+                kind: "relation",
+                name: rel.to_string(),
+            })?;
         r.assign(source)?;
         Ok(())
     }
@@ -164,11 +183,17 @@ impl Database {
         let sel = self
             .selectors
             .get(selector)
-            .ok_or_else(|| CoreError::Unknown { kind: "selector", name: selector.to_string() })?
+            .ok_or_else(|| CoreError::Unknown {
+                kind: "selector",
+                name: selector.to_string(),
+            })?
             .clone();
         // Guard against a missing target before evaluating.
         if !self.relations.contains_key(rel) {
-            return Err(CoreError::Unknown { kind: "relation", name: rel.to_string() });
+            return Err(CoreError::Unknown {
+                kind: "relation",
+                name: rel.to_string(),
+            });
         }
         let mut staged = Relation::new(self.relations[rel].schema().clone());
         sel.guard_assign(&mut staged, source, args, self)?;
@@ -189,9 +214,16 @@ impl Database {
     // ------------------------------------------------------------------
 
     /// Define a selector (type-checked at registration, §2.3).
-    pub fn define_selector(&mut self, def: SelectorDef, for_schema: Schema) -> Result<(), CoreError> {
+    pub fn define_selector(
+        &mut self,
+        def: SelectorDef,
+        for_schema: Schema,
+    ) -> Result<(), CoreError> {
         if self.selectors.contains_key(&def.name) {
-            return Err(CoreError::Duplicate { kind: "selector", name: def.name });
+            return Err(CoreError::Duplicate {
+                kind: "selector",
+                name: def.name,
+            });
         }
         let sel = Selector::new(def, for_schema, self)?;
         self.selectors.insert(sel.name().to_string(), sel);
@@ -200,9 +232,10 @@ impl Database {
 
     /// Look up a selector.
     pub fn selector_ref(&self, name: &str) -> Result<&Selector, CoreError> {
-        self.selectors
-            .get(name)
-            .ok_or_else(|| CoreError::Unknown { kind: "selector", name: name.to_string() })
+        self.selectors.get(name).ok_or_else(|| CoreError::Unknown {
+            kind: "selector",
+            name: name.to_string(),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -239,7 +272,10 @@ impl Database {
     ) -> Result<(), CoreError> {
         for c in &cs {
             if self.constructors.contains_key(&c.name) {
-                return Err(CoreError::Duplicate { kind: "constructor", name: c.name.clone() });
+                return Err(CoreError::Duplicate {
+                    kind: "constructor",
+                    name: c.name.clone(),
+                });
             }
         }
         // Register all signatures first (mutual recursion), then
@@ -267,7 +303,10 @@ impl Database {
     pub fn constructor_ref(&self, name: &str) -> Result<&Constructor, CoreError> {
         self.constructors
             .get(name)
-            .ok_or_else(|| CoreError::Unknown { kind: "constructor", name: name.to_string() })
+            .ok_or_else(|| CoreError::Unknown {
+                kind: "constructor",
+                name: name.to_string(),
+            })
     }
 
     /// Names of all constructors, sorted.
@@ -284,15 +323,24 @@ impl Database {
     /// Type-check and evaluate a query expression.
     pub fn eval(&self, query: &RangeExpr) -> Result<Relation, CoreError> {
         typeck::check_range(query, self)?;
-        let mut ev = Evaluator::new(self);
-        Ok(ev.eval(query)?)
+        Ok(self.evaluator().eval(query)?)
     }
 
     /// Evaluate without static checking (used by the optimizer's
     /// differential tests, where the expression is machine-generated).
     pub fn eval_unchecked(&self, query: &RangeExpr) -> Result<Relation, CoreError> {
-        let mut ev = Evaluator::new(self);
-        Ok(ev.eval(query)?)
+        Ok(self.evaluator().eval(query)?)
+    }
+
+    /// An evaluator over this database honouring the index
+    /// configuration.
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        let ev = Evaluator::new(self);
+        if self.config.use_indexes {
+            ev
+        } else {
+            ev.force_nested_loop()
+        }
     }
 
     /// Statistics of the most recent fixpoint run, if any.
@@ -516,7 +564,9 @@ mod tests {
             },
         };
         db.define_constructor_unchecked(nonsense).unwrap();
-        let err = db.eval(&rel("R").construct("nonsense", vec![])).unwrap_err();
+        let err = db
+            .eval(&rel("R").construct("nonsense", vec![]))
+            .unwrap_err();
         assert!(matches!(
             err,
             CoreError::Eval(EvalError::NonConvergent { .. })
@@ -578,27 +628,25 @@ mod tests {
             infrontrel(),
         )
         .unwrap();
-        let good = Relation::from_tuples(
-            infrontrel(),
-            vec![tuple!["table", "chair"]],
-        )
-        .unwrap();
-        db.assign_selected("Infront", "from_table", &[], &good).unwrap();
+        let good = Relation::from_tuples(infrontrel(), vec![tuple!["table", "chair"]]).unwrap();
+        db.assign_selected("Infront", "from_table", &[], &good)
+            .unwrap();
         assert_eq!(db.relation_ref("Infront").unwrap().len(), 1);
 
-        let bad = Relation::from_tuples(
-            infrontrel(),
-            vec![tuple!["vase", "chair"]],
-        )
-        .unwrap();
-        let err = db.assign_selected("Infront", "from_table", &[], &bad).unwrap_err();
+        let bad = Relation::from_tuples(infrontrel(), vec![tuple!["vase", "chair"]]).unwrap();
+        let err = db
+            .assign_selected("Infront", "from_table", &[], &bad)
+            .unwrap_err();
         assert!(matches!(err, CoreError::SelectorViolation { .. }));
         // Target untouched by the failed assignment.
         assert_eq!(db.relation_ref("Infront").unwrap().len(), 1);
 
         // Plain assignment replaces.
         db.assign("Infront", &bad).unwrap();
-        assert!(db.relation_ref("Infront").unwrap().contains(&tuple!["vase", "chair"]));
+        assert!(db
+            .relation_ref("Infront")
+            .unwrap()
+            .contains(&tuple!["vase", "chair"]));
     }
 
     #[test]
@@ -618,7 +666,10 @@ mod tests {
                         vec![attr("r", "front"), attr("ah", "tail")],
                         vec![
                             ("r".into(), rel("Rel")),
-                            ("ah".into(), rel("Rel").construct("ahead", vec![rel("Ontop")])),
+                            (
+                                "ah".into(),
+                                rel("Rel").construct("ahead", vec![rel("Ontop")]),
+                            ),
                         ],
                         eq(attr("r", "back"), attr("ah", "head")),
                     ),
@@ -626,7 +677,10 @@ mod tests {
                         vec![attr("r", "front"), attr("ab", "low")],
                         vec![
                             ("r".into(), rel("Rel")),
-                            ("ab".into(), rel("Ontop").construct("above", vec![rel("Rel")])),
+                            (
+                                "ab".into(),
+                                rel("Ontop").construct("above", vec![rel("Rel")]),
+                            ),
                         ],
                         eq(attr("r", "back"), attr("ab", "high")),
                     ),
@@ -646,7 +700,10 @@ mod tests {
                         vec![attr("r", "top"), attr("ab", "low")],
                         vec![
                             ("r".into(), rel("Rel")),
-                            ("ab".into(), rel("Rel").construct("above", vec![rel("Infront")])),
+                            (
+                                "ab".into(),
+                                rel("Rel").construct("above", vec![rel("Infront")]),
+                            ),
                         ],
                         eq(attr("r", "base"), attr("ab", "high")),
                     ),
@@ -654,7 +711,10 @@ mod tests {
                         vec![attr("r", "top"), attr("ah", "tail")],
                         vec![
                             ("r".into(), rel("Rel")),
-                            ("ah".into(), rel("Infront").construct("ahead", vec![rel("Rel")])),
+                            (
+                                "ah".into(),
+                                rel("Infront").construct("ahead", vec![rel("Rel")]),
+                            ),
                         ],
                         eq(attr("r", "base"), attr("ah", "head")),
                     ),

@@ -82,11 +82,20 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = CoreError::Duplicate { kind: "relation", name: "Infront".into() };
+        let e = CoreError::Duplicate {
+            kind: "relation",
+            name: "Infront".into(),
+        };
         assert!(e.to_string().contains("Infront"));
-        let v = CoreError::SelectorViolation { selector: "refint".into(), tuple: tuple!["a"] };
+        let v = CoreError::SelectorViolation {
+            selector: "refint".into(),
+            tuple: tuple!["a"],
+        };
         assert!(v.to_string().contains("refint"));
-        let u = CoreError::Unknown { kind: "constructor", name: "ahead".into() };
+        let u = CoreError::Unknown {
+            kind: "constructor",
+            name: "ahead".into(),
+        };
         assert!(u.to_string().contains("ahead"));
     }
 

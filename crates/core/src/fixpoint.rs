@@ -37,11 +37,13 @@
 //! simply converge.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use dc_calculus::ast::{Branch, Name, RangeExpr, SetFormer};
 use dc_calculus::env::Overlay;
 use dc_calculus::rewrite;
 use dc_calculus::{Catalog, EvalError, Evaluator};
+use dc_index::HashIndex;
 use dc_relation::{algebra, Relation};
 use dc_value::{FxHashMap, Tuple, Value};
 
@@ -64,11 +66,20 @@ pub struct FixpointConfig {
     pub strategy: Strategy,
     /// Hard bound on rounds, for non-convergent (unchecked) systems.
     pub max_iterations: usize,
+    /// Execute equation bodies with index-nested-loop joins (default).
+    /// `false` forces the reference nested-loop evaluator everywhere —
+    /// the pre-optimization baseline, kept selectable for differential
+    /// tests and benchmark comparisons.
+    pub use_indexes: bool,
 }
 
 impl Default for FixpointConfig {
     fn default() -> FixpointConfig {
-        FixpointConfig { strategy: Strategy::SemiNaive, max_iterations: 100_000 }
+        FixpointConfig {
+            strategy: Strategy::SemiNaive,
+            max_iterations: 100_000,
+            use_indexes: true,
+        }
     }
 }
 
@@ -83,6 +94,10 @@ pub struct FixpointStats {
     pub equations: usize,
     /// Total tuples across all equation values at the fixpoint.
     pub total_tuples: usize,
+    /// Number of hash indexes the solver kept incrementally maintained
+    /// across rounds (equation values, equation overrides, and base
+    /// relations) — observability for the scan→probe architecture.
+    pub maintained_indexes: usize,
 }
 
 /// Where the solver finds constructor definitions and base data.
@@ -106,7 +121,12 @@ pub struct AppKey {
 
 impl AppKey {
     /// Build a key from actual values (canonicalised by sorting).
-    pub fn new(constructor: &str, base: &Relation, args: &[Relation], scalar_args: &[Value]) -> AppKey {
+    pub fn new(
+        constructor: &str,
+        base: &Relation,
+        args: &[Relation],
+        scalar_args: &[Value],
+    ) -> AppKey {
         AppKey {
             constructor: constructor.to_string(),
             base: base.sorted_tuples(),
@@ -195,7 +215,16 @@ struct Equation {
     classes: Vec<BranchClass>,
     /// Has the Static-branch contribution been computed yet?
     initialized: bool,
+    /// Cache: (branch index, recursive binding position) → equation
+    /// index. The application keys of Linear positions are value-stable
+    /// across rounds (their base/args derive from the static
+    /// overrides), so they are resolved (and their `AppKey` sorted)
+    /// exactly once.
+    resolved_apps: FxHashMap<(usize, usize), usize>,
 }
+
+/// Indexes over one relation, keyed by (name, indexed positions).
+type NamedIndexMap = FxHashMap<(Name, Vec<usize>), Arc<HashIndex>>;
 
 /// Mutable solver state shared with the evaluation catalog.
 struct State {
@@ -203,6 +232,18 @@ struct State {
     index: FxHashMap<AppKey, usize>,
     current: Vec<Relation>,
     delta: Vec<Relation>,
+    /// Per-equation hash indexes over the *accumulated* value, keyed by
+    /// indexed positions. Registered the first time the join executor
+    /// probes the value, then maintained incrementally: each committed
+    /// delta tuple is `add`ed instead of rebuilding the index.
+    current_indexes: Vec<FxHashMap<Vec<usize>, Arc<HashIndex>>>,
+    /// Per-equation indexes over the (immutable) override relations —
+    /// the formal base relation and relation parameters. Built on first
+    /// executor demand, reused for every later round.
+    override_indexes: Vec<NamedIndexMap>,
+    /// Indexes over base-catalog relations, shared by all equations
+    /// (base relations do not change during a solve).
+    base_indexes: NamedIndexMap,
 }
 
 impl State {
@@ -255,6 +296,8 @@ impl State {
         let i = self.equations.len();
         self.current.push(Relation::new(ctor.result.clone()));
         self.delta.push(Relation::new(ctor.result.clone()));
+        self.current_indexes.push(FxHashMap::default());
+        self.override_indexes.push(FxHashMap::default());
         self.equations.push(Equation {
             key: key.clone(),
             body,
@@ -262,6 +305,7 @@ impl State {
             result: ctor.result,
             classes,
             initialized: false,
+            resolved_apps: FxHashMap::default(),
         });
         self.index.insert(key, i);
         Ok(i)
@@ -275,6 +319,20 @@ impl State {
 struct SolverCatalog<'a> {
     source: &'a dyn ConstructorSource,
     state: &'a RefCell<State>,
+    /// See [`FixpointConfig::use_indexes`].
+    use_indexes: bool,
+}
+
+impl SolverCatalog<'_> {
+    /// An evaluator honouring the solver's index configuration.
+    fn evaluator<'e>(&self, overlay: &'e Overlay<'_>) -> Evaluator<'e> {
+        let ev = Evaluator::new(overlay);
+        if self.use_indexes {
+            ev
+        } else {
+            ev.force_nested_loop()
+        }
+    }
 }
 
 impl Catalog for SolverCatalog<'_> {
@@ -308,12 +366,29 @@ impl Catalog for SolverCatalog<'_> {
         // Eagerly instantiate the applications in the new body so that
         // mutually recursive peers exist from the first round (§3.2
         // instantiates the whole system up front).
-        seed_equation(self.source, self.state, i)?;
+        seed_equation(self.source, self.state, i, self.use_indexes)?;
         Ok(self.state.borrow().current[i].clone())
     }
 
     fn scalar_param(&self, name: &str) -> Result<Value, EvalError> {
         self.source.base_catalog().scalar_param(name)
+    }
+
+    /// Serve (and cache) indexes over base-catalog relations: those are
+    /// immutable for the duration of a solve, so one build amortises
+    /// over every equation, branch, and round that probes them.
+    fn index(&self, name: &str, positions: &[usize]) -> Option<Arc<HashIndex>> {
+        let key = (name.to_string(), positions.to_vec());
+        if let Some(idx) = self.state.borrow().base_indexes.get(&key) {
+            return Some(idx.clone());
+        }
+        let rel = self.source.base_catalog().relation(name).ok()?;
+        let idx = Arc::new(HashIndex::build(&rel, positions.to_vec()));
+        self.state
+            .borrow_mut()
+            .base_indexes
+            .insert(key, idx.clone());
+        Some(idx)
     }
 }
 
@@ -321,6 +396,11 @@ impl Catalog for SolverCatalog<'_> {
 /// names of equation values must match the declared result type, since
 /// other bodies reference them by name).
 fn conform(rel: Relation, schema: &dc_value::Schema) -> Result<Relation, EvalError> {
+    if rel.schema() == schema {
+        // Already exactly conformed (the semi-naive accumulator path):
+        // tuples were key-checked on insertion under this very schema.
+        return Ok(rel);
+    }
     if !rel.schema().union_compatible(schema) {
         return Err(EvalError::Type(dc_value::TypeError::SchemaMismatch {
             context: "constructor body value does not match declared result type".into(),
@@ -337,6 +417,11 @@ fn conform(rel: Relation, schema: &dc_value::Schema) -> Result<Relation, EvalErr
 /// source, so it cannot clash with user names.
 const DELTA_MARKER: &str = "\u{394}delta";
 
+/// Internal marker name binding a peer equation's *accumulated* value
+/// in differential rounds, so the executor can probe the solver's
+/// incrementally maintained indexes instead of rescanning.
+const CURRENT_MARKER: &str = "\u{394}cur";
+
 /// Register every constructor application appearing in equation `i`'s
 /// body whose base/args are themselves application-free — the up-front
 /// instantiation of the §3.2 equation system. Recursive through
@@ -345,15 +430,29 @@ fn seed_equation(
     source: &dyn ConstructorSource,
     state: &RefCell<State>,
     i: usize,
+    use_indexes: bool,
 ) -> Result<(), EvalError> {
     let (body, overrides) = {
         let st = state.borrow();
-        (st.equations[i].body.clone(), st.equations[i].overrides.clone())
+        (
+            st.equations[i].body.clone(),
+            st.equations[i].overrides.clone(),
+        )
     };
-    let catalog = SolverCatalog { source, state };
+    let catalog = SolverCatalog {
+        source,
+        state,
+        use_indexes,
+    };
     let apps = rewrite::collect_constructed(&RangeExpr::SetFormer(body));
     for app in apps {
-        let RangeExpr::Constructed { base, constructor, args, scalar_args } = &app else {
+        let RangeExpr::Constructed {
+            base,
+            constructor,
+            args,
+            scalar_args,
+        } = &app
+        else {
             unreachable!("collect_constructed returns Constructed nodes");
         };
         if range_has_app(base) || args.iter().any(range_has_app) {
@@ -362,7 +461,7 @@ fn seed_equation(
             continue;
         }
         let overlay = Overlay::new(&catalog, overrides.clone());
-        let mut ev = Evaluator::new(&overlay);
+        let mut ev = catalog.evaluator(&overlay);
         let mut bindings = Vec::new();
         let base_val = ev.eval_range(base, &mut bindings)?;
         let mut arg_vals = Vec::with_capacity(args.len());
@@ -383,7 +482,7 @@ fn seed_equation(
             }
         };
         if let Some(j) = fresh {
-            seed_equation(source, state, j)?;
+            seed_equation(source, state, j, use_indexes)?;
         }
     }
     Ok(())
@@ -404,13 +503,20 @@ pub fn solve(
         index: FxHashMap::default(),
         current: Vec::new(),
         delta: Vec::new(),
+        current_indexes: Vec::new(),
+        override_indexes: Vec::new(),
+        base_indexes: FxHashMap::default(),
     });
     let root_key = AppKey::new(constructor, &base, &args, &scalar_args);
     state
         .borrow_mut()
         .register(source, root_key.clone(), base, args, scalar_args)?;
-    seed_equation(source, &state, 0)?;
-    let catalog = SolverCatalog { source, state: &state };
+    seed_equation(source, &state, 0, cfg.use_indexes)?;
+    let catalog = SolverCatalog {
+        source,
+        state: &state,
+        use_indexes: cfg.use_indexes,
+    };
 
     let mut iterations = 0usize;
     let mut prev: Option<Vec<Relation>> = None;
@@ -419,42 +525,54 @@ pub fn solve(
     loop {
         iterations += 1;
         if iterations > cfg.max_iterations {
-            return Err(EvalError::NonConvergent { steps: iterations - 1 });
+            return Err(EvalError::NonConvergent {
+                steps: iterations - 1,
+            });
         }
         let n = state.borrow().equations.len();
         // Staged results: Jacobi-style simultaneous update, matching the
-        // paper's Oldahead/Oldabove loop.
-        let mut staged: Vec<Option<Relation>> = Vec::with_capacity(n);
+        // paper's Oldahead/Oldabove loop. Semi-naive evaluation returns
+        // the genuinely new tuples alongside the value, so the commit
+        // below does not re-diff the whole accumulated relation.
+        let mut staged: Vec<(Relation, Option<Relation>)> = Vec::with_capacity(n);
         for i in 0..n {
-            staged.push(Some(evaluate_equation(&catalog, &state, i, cfg.strategy)?));
+            staged.push(evaluate_equation(&catalog, &state, i, cfg.strategy)?);
         }
         // Commit.
         let mut changed = false;
         {
             let mut st = state.borrow_mut();
-            for (i, new_val) in staged.into_iter().enumerate() {
-                let new_val = new_val.expect("staged all equations");
-                let added = algebra::difference(&new_val, &st.current[i])
-                    .map_err(EvalError::from)?;
-                let removed_any = match cfg.strategy {
-                    // Non-monotone (unchecked) systems can shrink; the
-                    // naive strategy replaces wholesale.
-                    Strategy::Naive => st.current[i] != new_val,
-                    // Semi-naive only ever grows.
-                    Strategy::SemiNaive => false,
+            for (i, (new_val, fresh)) in staged.into_iter().enumerate() {
+                let added = match fresh {
+                    Some(f) => f,
+                    None => {
+                        algebra::difference(&new_val, &st.current[i]).map_err(EvalError::from)?
+                    }
                 };
-                if !added.is_empty() || removed_any {
-                    changed = true;
-                }
                 match cfg.strategy {
                     Strategy::Naive => {
+                        // Wholesale replacement: non-monotone (unchecked)
+                        // systems can shrink as well as grow, so any
+                        // accumulated-value indexes are invalidated and
+                        // rebuilt on demand. (Incremental maintenance is
+                        // a semi-naive affair — only differential rounds
+                        // register current-value indexes.)
+                        if st.current[i] != new_val {
+                            changed = true;
+                            st.current_indexes[i].clear();
+                        }
                         st.delta[i] = added;
                         st.current[i] = new_val;
                     }
                     Strategy::SemiNaive => {
+                        // Monotone growth: `added` is exactly the new
+                        // tuples, and maintained indexes absorb them.
+                        if !added.is_empty() {
+                            changed = true;
+                        }
                         st.delta[i] = added.clone();
-                        algebra::union_into(&mut st.current[i], &added)
-                            .map_err(EvalError::from)?;
+                        algebra::union_into(&mut st.current[i], &added).map_err(EvalError::from)?;
+                        maintain_indexes(&mut st.current_indexes[i], &added);
                     }
                 }
             }
@@ -465,15 +583,19 @@ pub fn solve(
         }
         // Oscillation detection for non-monotone systems (the paper's
         // `nonsense`): state equals the state two rounds ago but not the
-        // previous one ⇒ period-2 cycle, no limit exists.
-        let snapshot = state.borrow().current.clone();
-        if let (Some(p), Some(p2)) = (&prev, &prev2) {
-            if &snapshot == p2 && &snapshot != p {
-                return Err(EvalError::NonConvergent { steps: iterations });
+        // previous one ⇒ period-2 cycle, no limit exists. Semi-naive
+        // runs are monotone by construction, so the per-round snapshots
+        // are only taken under the naive strategy.
+        if cfg.strategy == Strategy::Naive {
+            let snapshot = state.borrow().current.clone();
+            if let (Some(p), Some(p2)) = (&prev, &prev2) {
+                if &snapshot == p2 && &snapshot != p {
+                    return Err(EvalError::NonConvergent { steps: iterations });
+                }
             }
+            prev2 = prev.take();
+            prev = Some(snapshot);
         }
-        prev2 = prev.take();
-        prev = Some(snapshot);
     }
 
     let st = state.into_inner();
@@ -483,17 +605,43 @@ pub fn solve(
         iterations,
         equations: st.equations.len(),
         total_tuples: st.current.iter().map(Relation::len).sum(),
+        maintained_indexes: st.current_indexes.iter().map(FxHashMap::len).sum::<usize>()
+            + st.override_indexes
+                .iter()
+                .map(NamedIndexMap::len)
+                .sum::<usize>()
+            + st.base_indexes.len(),
     };
     Ok((st.current[root_idx].clone(), stats))
 }
 
-/// Evaluate one equation body for the current round.
+/// Incremental index maintenance: `add` each newly committed tuple to
+/// every index registered over the equation's accumulated value —
+/// O(|delta| × indexes) instead of an O(|current|) rebuild per round.
+fn maintain_indexes(indexes: &mut FxHashMap<Vec<usize>, Arc<HashIndex>>, added: &Relation) {
+    if added.is_empty() || indexes.is_empty() {
+        return;
+    }
+    for idx in indexes.values_mut() {
+        // The executor only holds these `Arc`s transiently during a
+        // round, so `make_mut` almost never copies.
+        let idx = Arc::make_mut(idx);
+        for t in added.iter() {
+            idx.add(t.clone());
+        }
+    }
+}
+
+/// Evaluate one equation body for the current round. Returns the new
+/// value and, for the semi-naive strategy, the genuinely new tuples
+/// (the round's delta), collected during accumulation so the caller
+/// does not have to re-diff the whole relation.
 fn evaluate_equation(
     catalog: &SolverCatalog<'_>,
     state: &RefCell<State>,
     i: usize,
     strategy: Strategy,
-) -> Result<Relation, EvalError> {
+) -> Result<(Relation, Option<Relation>), EvalError> {
     // Clone out what the evaluation needs; the state must stay
     // borrowable by `apply_constructor` during evaluation.
     let (body, overrides, result_schema, classes, initialized, current_i) = {
@@ -509,27 +657,32 @@ fn evaluate_equation(
         )
     };
 
-    let value = match strategy {
+    match strategy {
         Strategy::Naive => {
-            let overlay = Overlay::new(catalog, overrides);
-            let mut ev = Evaluator::new(&overlay);
-            ev.eval(&RangeExpr::SetFormer(body.clone()))?
+            let overlay = equation_overlay(catalog, i, overrides);
+            let mut ev = catalog.evaluator(&overlay);
+            let out = ev.eval(&RangeExpr::SetFormer(body.clone()))?;
+            harvest_overlay(catalog, i, &overlay, &[]);
+            Ok((conform(out, &result_schema)?, None))
         }
         Strategy::SemiNaive => {
+            // `current[i]` is kept exactly conformed by the commit
+            // phase, so contributions accumulate in place — no
+            // clone-union-clone churn per branch per round.
             let mut acc = current_i;
+            let mut fresh = Relation::new(result_schema.clone());
             for (b_idx, branch) in body.branches.iter().enumerate() {
                 match &classes[b_idx] {
                     BranchClass::Static => {
                         if !initialized {
-                            let part = eval_single_branch(catalog, &overrides, branch, None)?;
-                            acc = algebra::union(&acc_conform(&acc, &result_schema)?, &part)
-                                .map_err(EvalError::from)?;
+                            let part =
+                                eval_single_branch(catalog, i, b_idx, &overrides, branch, None)?;
+                            absorb(&mut acc, &mut fresh, &part)?;
                         }
                     }
                     BranchClass::Fallback => {
-                        let part = eval_single_branch(catalog, &overrides, branch, None)?;
-                        acc = algebra::union(&acc_conform(&acc, &result_schema)?, &part)
-                            .map_err(EvalError::from)?;
+                        let part = eval_single_branch(catalog, i, b_idx, &overrides, branch, None)?;
+                        absorb(&mut acc, &mut fresh, &part)?;
                     }
                     BranchClass::Linear(positions) => {
                         for &pos in positions {
@@ -540,99 +693,200 @@ fn evaluate_equation(
                             // they existed.
                             let part = eval_single_branch(
                                 catalog,
+                                i,
+                                b_idx,
                                 &overrides,
                                 branch,
-                                Some((pos, state, !initialized)),
+                                Some((positions, pos, !initialized)),
                             )?;
-                            acc = algebra::union(&acc_conform(&acc, &result_schema)?, &part)
-                                .map_err(EvalError::from)?;
+                            absorb(&mut acc, &mut fresh, &part)?;
                         }
                     }
                 }
             }
             state.borrow_mut().equations[i].initialized = true;
-            acc
+            Ok((acc, Some(fresh)))
         }
-    };
-    conform(value, &result_schema)
-}
-
-/// `acc` may still carry an inferred schema; keep it conformed so that
-/// unions succeed.
-fn acc_conform(acc: &Relation, schema: &dc_value::Schema) -> Result<Relation, EvalError> {
-    if acc.schema() == schema {
-        Ok(acc.clone())
-    } else {
-        conform(acc.clone(), schema)
     }
 }
 
-/// Evaluate one branch, optionally substituting the binding at
-/// `delta_at` with the delta of the application it refers to.
+/// Fold a branch contribution into the accumulator, recording tuples
+/// not seen before into `fresh` (the round's delta). Union
+/// compatibility and the key constraint are enforced exactly as the
+/// conform-then-union path did.
+fn absorb(acc: &mut Relation, fresh: &mut Relation, part: &Relation) -> Result<(), EvalError> {
+    if !acc.schema().union_compatible(part.schema()) {
+        return Err(EvalError::Type(dc_value::TypeError::SchemaMismatch {
+            context: "constructor body value does not match declared result type".into(),
+        }));
+    }
+    for t in part.iter() {
+        if acc.insert_unchecked(t.clone()).map_err(EvalError::from)? {
+            fresh.insert_unchecked(t.clone()).map_err(EvalError::from)?;
+        }
+    }
+    Ok(())
+}
+
+/// Build the evaluation overlay for equation `eq_idx`, preloading every
+/// index already built over its override relations so later rounds
+/// probe instead of rebuilding.
+fn equation_overlay<'a>(
+    catalog: &'a SolverCatalog<'_>,
+    eq_idx: usize,
+    overrides: Vec<(Name, Relation)>,
+) -> Overlay<'a> {
+    let mut overlay = Overlay::new(catalog, overrides);
+    for ((name, _), idx) in catalog.state.borrow().override_indexes[eq_idx].iter() {
+        overlay.preload_index(name.clone(), idx.clone());
+    }
+    overlay
+}
+
+/// Carry the overlay's demand-built indexes into solver state:
+/// equation-value indexes (listed in `cur_markers`) become
+/// incrementally maintained; override-relation indexes are kept for
+/// every later round. Delta-marker indexes are discarded — deltas are
+/// replaced wholesale each round.
+fn harvest_overlay(
+    catalog: &SolverCatalog<'_>,
+    eq_idx: usize,
+    overlay: &Overlay<'_>,
+    cur_markers: &[(String, usize)],
+) {
+    let mut st = catalog.state.borrow_mut();
+    for (name, idx) in overlay.harvest_indexes() {
+        if name.starts_with(DELTA_MARKER) {
+            continue;
+        }
+        let positions = idx.positions().to_vec();
+        if let Some((_, eq)) = cur_markers.iter().find(|(m, _)| *m == name) {
+            st.current_indexes[*eq].entry(positions).or_insert(idx);
+        } else {
+            st.override_indexes[eq_idx]
+                .entry((name, positions))
+                .or_insert(idx);
+        }
+    }
+}
+
+/// Evaluate one branch of an equation body.
+///
+/// For a [`BranchClass::Linear`] branch, `rewrite = (positions,
+/// delta_pos, full)` substitutes **every** recursive binding position
+/// with an internal marker relation: `delta_pos` receives the referred
+/// application's per-round delta (its full current value on the
+/// equation's first differential round), every other recursive position
+/// receives the peer's accumulated current value. Marker names resolve
+/// through the evaluation overlay, which lets the join executor probe
+/// the solver's incrementally maintained indexes (preloaded here,
+/// harvested back after evaluation) instead of rescanning peers each
+/// round.
 fn eval_single_branch(
     catalog: &SolverCatalog<'_>,
+    eq_idx: usize,
+    branch_idx: usize,
     overrides: &[(Name, Relation)],
     branch: &Branch,
-    delta_at: Option<(usize, &RefCell<State>, bool)>,
+    rewrite: Option<(&[usize], usize, bool)>,
 ) -> Result<Relation, EvalError> {
     let mut branch = branch.clone();
     let mut extra_overrides: Vec<(Name, Relation)> = Vec::new();
+    let mut cur_markers: Vec<(String, usize)> = Vec::new();
+    let mut preload: Vec<(String, Arc<HashIndex>)> = Vec::new();
 
-    if let Some((pos, state, full)) = delta_at {
-        // Resolve the delta of the application bound at `pos`.
-        let (_, range) = &branch.bindings[pos];
-        let RangeExpr::Constructed { base, constructor, args, scalar_args } = range else {
-            unreachable!("Linear classification guarantees a Constructed range");
-        };
-        // Evaluate base/args (application-free by classification) under
-        // the equation overlay.
-        let overlay = Overlay::new(catalog, overrides.to_vec());
-        let mut ev = Evaluator::new(&overlay);
-        let mut bindings = Vec::new();
-        let base_val = ev.eval_range(base, &mut bindings)?;
-        let mut arg_vals = Vec::with_capacity(args.len());
-        for a in args {
-            arg_vals.push(ev.eval_range(a, &mut bindings)?);
-        }
-        let mut scalar_vals = Vec::with_capacity(scalar_args.len());
-        for s in scalar_args {
-            scalar_vals.push(ev.eval_scalar(s, &bindings)?);
-        }
-        let key = AppKey::new(constructor, &base_val, &arg_vals, &scalar_vals);
-        let delta = {
-            let mut st = state.borrow_mut();
-            match st.index.get(&key) {
-                Some(&idx) => {
-                    if full {
-                        st.current[idx].clone()
-                    } else {
-                        st.delta[idx].clone()
-                    }
+    if let Some((positions, delta_pos, full)) = rewrite {
+        for &pos in positions {
+            let app = resolve_recursive_app(catalog, eq_idx, branch_idx, overrides, &branch, pos)?;
+            let st = catalog.state.borrow();
+            if pos == delta_pos {
+                let rel = if full {
+                    st.current[app].clone()
+                } else {
+                    st.delta[app].clone()
+                };
+                drop(st);
+                let marker = format!("{DELTA_MARKER}{pos}");
+                branch.bindings[pos].1 = RangeExpr::Rel(marker.clone());
+                extra_overrides.push((marker, rel));
+            } else {
+                let marker = format!("{CURRENT_MARKER}{pos}");
+                let rel = st.current[app].clone();
+                for idx in st.current_indexes[app].values() {
+                    preload.push((marker.clone(), idx.clone()));
                 }
-                None => {
-                    // First sighting: register; its delta is its (empty)
-                    // current value.
-                    let idx = st.register(
-                        catalog.source,
-                        key,
-                        base_val,
-                        arg_vals,
-                        scalar_vals,
-                    )?;
-                    st.delta[idx].clone()
-                }
+                drop(st);
+                branch.bindings[pos].1 = RangeExpr::Rel(marker.clone());
+                extra_overrides.push((marker.clone(), rel));
+                cur_markers.push((marker, app));
             }
-        };
-        let marker = format!("{DELTA_MARKER}{pos}");
-        branch.bindings[pos].1 = RangeExpr::Rel(marker.clone());
-        extra_overrides.push((marker, delta));
+        }
     }
 
     let mut all_overrides = overrides.to_vec();
     all_overrides.extend(extra_overrides);
-    let overlay = Overlay::new(catalog, all_overrides);
-    let mut ev = Evaluator::new(&overlay);
-    ev.eval(&RangeExpr::SetFormer(SetFormer { branches: vec![branch] }))
+    let mut overlay = equation_overlay(catalog, eq_idx, all_overrides);
+    for (name, idx) in preload {
+        overlay.preload_index(name, idx);
+    }
+    let mut ev = catalog.evaluator(&overlay);
+    let out = ev.eval(&RangeExpr::SetFormer(SetFormer {
+        branches: vec![branch],
+    }));
+    harvest_overlay(catalog, eq_idx, &overlay, &cur_markers);
+    out
+}
+
+/// Resolve the constructor application bound at `pos` to its equation
+/// index, registering it on first sighting.
+fn resolve_recursive_app(
+    catalog: &SolverCatalog<'_>,
+    eq_idx: usize,
+    branch_idx: usize,
+    overrides: &[(Name, Relation)],
+    branch: &Branch,
+    pos: usize,
+) -> Result<usize, EvalError> {
+    if let Some(&hit) = catalog.state.borrow().equations[eq_idx]
+        .resolved_apps
+        .get(&(branch_idx, pos))
+    {
+        return Ok(hit);
+    }
+    let (_, range) = &branch.bindings[pos];
+    let RangeExpr::Constructed {
+        base,
+        constructor,
+        args,
+        scalar_args,
+    } = range
+    else {
+        unreachable!("Linear classification guarantees a Constructed range");
+    };
+    // Evaluate base/args (application-free by classification) under the
+    // equation overlay.
+    let overlay = Overlay::new(catalog, overrides.to_vec());
+    let mut ev = catalog.evaluator(&overlay);
+    let mut bindings = Vec::new();
+    let base_val = ev.eval_range(base, &mut bindings)?;
+    let mut arg_vals = Vec::with_capacity(args.len());
+    for a in args {
+        arg_vals.push(ev.eval_range(a, &mut bindings)?);
+    }
+    let mut scalar_vals = Vec::with_capacity(scalar_args.len());
+    for s in scalar_args {
+        scalar_vals.push(ev.eval_scalar(s, &bindings)?);
+    }
+    let key = AppKey::new(constructor, &base_val, &arg_vals, &scalar_vals);
+    let mut st = catalog.state.borrow_mut();
+    let resolved = match st.index.get(&key) {
+        Some(&idx) => idx,
+        None => st.register(catalog.source, key, base_val, arg_vals, scalar_vals)?,
+    };
+    st.equations[eq_idx]
+        .resolved_apps
+        .insert((branch_idx, pos), resolved);
+    Ok(resolved)
 }
 
 #[cfg(test)]
@@ -701,12 +955,19 @@ mod tests {
     }
 
     fn cfg(strategy: Strategy) -> FixpointConfig {
-        FixpointConfig { strategy, max_iterations: 10_000 }
+        FixpointConfig {
+            strategy,
+            max_iterations: 10_000,
+            use_indexes: true,
+        }
     }
 
     #[test]
     fn transitive_closure_naive_and_seminaive_agree() {
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead()],
+        };
         for strategy in [Strategy::Naive, Strategy::SemiNaive] {
             let (out, stats) =
                 solve(&src, "ahead", chain(5), vec![], vec![], &cfg(strategy)).unwrap();
@@ -719,17 +980,34 @@ mod tests {
 
     #[test]
     fn result_schema_attribute_names_conformed() {
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
-        let (out, _) =
-            solve(&src, "ahead", chain(2), vec![], vec![], &cfg(Strategy::SemiNaive)).unwrap();
-        let names: Vec<&str> =
-            out.schema().attributes().iter().map(|a| a.name.as_str()).collect();
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead()],
+        };
+        let (out, _) = solve(
+            &src,
+            "ahead",
+            chain(2),
+            vec![],
+            vec![],
+            &cfg(Strategy::SemiNaive),
+        )
+        .unwrap();
+        let names: Vec<&str> = out
+            .schema()
+            .attributes()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         assert_eq!(names, vec!["head", "tail"]);
     }
 
     #[test]
     fn empty_base_converges_immediately() {
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead()],
+        };
         let (out, stats) = solve(
             &src,
             "ahead",
@@ -745,22 +1023,46 @@ mod tests {
 
     #[test]
     fn iteration_counts_scale_with_longest_path() {
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
-        let (_, s8) =
-            solve(&src, "ahead", chain(8), vec![], vec![], &cfg(Strategy::Naive)).unwrap();
-        let (_, s16) =
-            solve(&src, "ahead", chain(16), vec![], vec![], &cfg(Strategy::Naive)).unwrap();
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead()],
+        };
+        let (_, s8) = solve(
+            &src,
+            "ahead",
+            chain(8),
+            vec![],
+            vec![],
+            &cfg(Strategy::Naive),
+        )
+        .unwrap();
+        let (_, s16) = solve(
+            &src,
+            "ahead",
+            chain(16),
+            vec![],
+            vec![],
+            &cfg(Strategy::Naive),
+        )
+        .unwrap();
         assert!(s16.iterations > s8.iterations);
         // Naive TC with the right-linear rule closes a chain of n edges
         // in ~n rounds.
-        assert!(s8.iterations >= 8 && s8.iterations <= 10, "{}", s8.iterations);
+        assert!(
+            s8.iterations >= 8 && s8.iterations <= 10,
+            "{}",
+            s8.iterations
+        );
     }
 
     #[test]
     fn cyclic_graph_terminates() {
         let mut edges = chain(4);
         edges.insert(tuple!["o4", "o0"]).unwrap(); // close the cycle
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead()],
+        };
         for strategy in [Strategy::Naive, Strategy::SemiNaive] {
             let (out, _) =
                 solve(&src, "ahead", edges.clone(), vec![], vec![], &cfg(strategy)).unwrap();
@@ -793,13 +1095,17 @@ mod tests {
                 )],
             },
         };
-        let base =
-            Relation::from_tuples(cardrel, (0u64..=6).map(|i| tuple![i])).unwrap();
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![strange] };
-        let (out, _) =
-            solve(&src, "strange", base, vec![], vec![], &cfg(Strategy::Naive)).unwrap();
-        let nums: Vec<u64> =
-            out.sorted_tuples().iter().map(|t| t.get(0).as_card().unwrap()).collect();
+        let base = Relation::from_tuples(cardrel, (0u64..=6).map(|i| tuple![i])).unwrap();
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![strange],
+        };
+        let (out, _) = solve(&src, "strange", base, vec![], vec![], &cfg(Strategy::Naive)).unwrap();
+        let nums: Vec<u64> = out
+            .sorted_tuples()
+            .iter()
+            .map(|t| t.get(0).as_card().unwrap())
+            .collect();
         assert_eq!(nums, vec![0, 2, 4, 6]);
     }
 
@@ -824,9 +1130,19 @@ mod tests {
             },
         };
         let base = Relation::from_tuples(anyrel, vec![tuple![1i64], tuple![2i64]]).unwrap();
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![nonsense] };
-        let err =
-            solve(&src, "nonsense", base, vec![], vec![], &cfg(Strategy::Naive)).unwrap_err();
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![nonsense],
+        };
+        let err = solve(
+            &src,
+            "nonsense",
+            base,
+            vec![],
+            vec![],
+            &cfg(Strategy::Naive),
+        )
+        .unwrap_err();
         assert!(matches!(err, EvalError::NonConvergent { .. }));
     }
 
@@ -915,8 +1231,7 @@ mod tests {
             vec![tuple!["table", "chair"], tuple!["lamp", "vase"]],
         )
         .unwrap();
-        let ontop =
-            Relation::from_tuples(ontoprel, vec![tuple!["vase", "table"]]).unwrap();
+        let ontop = Relation::from_tuples(ontoprel, vec![tuple!["vase", "table"]]).unwrap();
 
         let src = TestSource {
             catalog: MapCatalog::new(),
@@ -951,10 +1266,16 @@ mod tests {
                 &cfg(strategy),
             )
             .unwrap();
-            assert!(ahead_out.contains(&tuple!["table", "chair"]), "{strategy:?}");
+            assert!(
+                ahead_out.contains(&tuple!["table", "chair"]),
+                "{strategy:?}"
+            );
             assert!(ahead_out.contains(&tuple!["lamp", "table"]), "{strategy:?}");
             assert!(ahead_out.contains(&tuple!["lamp", "chair"]), "{strategy:?}");
-            assert!(!ahead_out.contains(&tuple!["vase", "chair"]), "{strategy:?}");
+            assert!(
+                !ahead_out.contains(&tuple!["vase", "chair"]),
+                "{strategy:?}"
+            );
             assert_eq!(stats.equations, 2, "{strategy:?}");
         }
     }
@@ -973,12 +1294,18 @@ mod tests {
             scalar_params: vec![("K".into(), Domain::Int)],
             result: numrel.clone(),
             body: SetFormer {
-                branches: vec![Branch::each("r", rel("Rel"), lt(attr("r", "n"), param("K")))],
+                branches: vec![Branch::each(
+                    "r",
+                    rel("Rel"),
+                    lt(attr("r", "n"), param("K")),
+                )],
             },
         };
-        let base =
-            Relation::from_tuples(numrel, (0..10).map(|i| tuple![i as i64])).unwrap();
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![below] };
+        let base = Relation::from_tuples(numrel, (0..10).map(|i| tuple![i as i64])).unwrap();
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![below],
+        };
         let (out, _) = solve(
             &src,
             "below",
@@ -1012,11 +1339,18 @@ mod tests {
             scalar_params: vec![("K".into(), Domain::Int)],
             result: numrel.clone(),
             body: SetFormer {
-                branches: vec![Branch::each("r", rel("Rel"), lt(attr("r", "n"), param("K")))],
+                branches: vec![Branch::each(
+                    "r",
+                    rel("Rel"),
+                    lt(attr("r", "n"), param("K")),
+                )],
             },
         };
         let base = Relation::new(numrel);
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![below] };
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![below],
+        };
         let err = solve(
             &src,
             "below",
@@ -1031,7 +1365,10 @@ mod tests {
 
     #[test]
     fn arity_mismatches_rejected() {
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead()],
+        };
         // `ahead` takes no relation args.
         let err = solve(
             &src,
@@ -1047,7 +1384,10 @@ mod tests {
 
     #[test]
     fn unknown_constructor_errors() {
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![] };
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![],
+        };
         let err = solve(
             &src,
             "ghost",
@@ -1062,12 +1402,28 @@ mod tests {
 
     #[test]
     fn semi_naive_fewer_or_equal_iterations_than_naive() {
-        let src = TestSource { catalog: MapCatalog::new(), ctors: vec![ahead()] };
-        let (out_n, s_n) =
-            solve(&src, "ahead", chain(12), vec![], vec![], &cfg(Strategy::Naive)).unwrap();
-        let (out_s, s_s) =
-            solve(&src, "ahead", chain(12), vec![], vec![], &cfg(Strategy::SemiNaive))
-                .unwrap();
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead()],
+        };
+        let (out_n, s_n) = solve(
+            &src,
+            "ahead",
+            chain(12),
+            vec![],
+            vec![],
+            &cfg(Strategy::Naive),
+        )
+        .unwrap();
+        let (out_s, s_s) = solve(
+            &src,
+            "ahead",
+            chain(12),
+            vec![],
+            vec![],
+            &cfg(Strategy::SemiNaive),
+        )
+        .unwrap();
         assert_eq!(out_n, out_s);
         assert!(s_s.iterations <= s_n.iterations + 1);
     }
@@ -1076,7 +1432,10 @@ mod tests {
     fn branch_classification() {
         let a = ahead();
         assert_eq!(classify_branch(&a.body.branches[0]), BranchClass::Static);
-        assert_eq!(classify_branch(&a.body.branches[1]), BranchClass::Linear(vec![1]));
+        assert_eq!(
+            classify_branch(&a.body.branches[1]),
+            BranchClass::Linear(vec![1])
+        );
         // Application under a quantifier ⇒ fallback.
         let fb = Branch::each(
             "r",
@@ -1088,14 +1447,14 @@ mod tests {
 
     #[test]
     fn app_key_order_independent() {
-        let r1 = Relation::from_tuples(
-            infrontrel(),
-            vec![tuple!["a", "b"], tuple!["b", "c"]],
-        )
-        .unwrap();
+        let r1 =
+            Relation::from_tuples(infrontrel(), vec![tuple!["a", "b"], tuple!["b", "c"]]).unwrap();
         let mut r2 = Relation::new(infrontrel());
         r2.insert(tuple!["b", "c"]).unwrap();
         r2.insert(tuple!["a", "b"]).unwrap();
-        assert_eq!(AppKey::new("c", &r1, &[], &[]), AppKey::new("c", &r2, &[], &[]));
+        assert_eq!(
+            AppKey::new("c", &r1, &[], &[]),
+            AppKey::new("c", &r2, &[], &[])
+        );
     }
 }

@@ -76,10 +76,7 @@ where
 /// Implemented with genuine recursion to preserve the cost profile the
 /// paper criticises ("functions are too general to be optimized
 /// efficiently").
-pub fn recursive_function<F>(
-    current: Relation,
-    step: &mut F,
-) -> Result<Relation, RelationError>
+pub fn recursive_function<F>(current: Relation, step: &mut F) -> Result<Relation, RelationError>
 where
     F: FnMut(&Relation) -> Result<Relation, RelationError>,
 {
@@ -172,10 +169,8 @@ mod tests {
     #[test]
     fn program_iteration_computes_closure() {
         let base = chain(6);
-        let (out, iters) = program_iteration(edges_schema(), |cur| {
-            ahead_step(&base, cur, 0, 1)
-        })
-        .unwrap();
+        let (out, iters) =
+            program_iteration(edges_schema(), |cur| ahead_step(&base, cur, 0, 1)).unwrap();
         assert_eq!(out.len(), closure_size_of_chain(6));
         assert!(iters >= 3);
     }

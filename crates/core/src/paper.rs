@@ -129,7 +129,10 @@ pub fn ahead_mutual() -> Constructor {
                     vec![attr("r", "front"), attr("ah", "tail")],
                     vec![
                         ("r".into(), rel("Rel")),
-                        ("ah".into(), rel("Rel").construct("ahead", vec![rel("Ontop")])),
+                        (
+                            "ah".into(),
+                            rel("Rel").construct("ahead", vec![rel("Ontop")]),
+                        ),
                     ],
                     eq(attr("r", "back"), attr("ah", "head")),
                 ),
@@ -137,7 +140,10 @@ pub fn ahead_mutual() -> Constructor {
                     vec![attr("r", "front"), attr("ab", "low")],
                     vec![
                         ("r".into(), rel("Rel")),
-                        ("ab".into(), rel("Ontop").construct("above", vec![rel("Rel")])),
+                        (
+                            "ab".into(),
+                            rel("Ontop").construct("above", vec![rel("Rel")]),
+                        ),
                     ],
                     eq(attr("r", "back"), attr("ab", "high")),
                 ),
@@ -171,7 +177,10 @@ pub fn above() -> Constructor {
                     vec![attr("r", "top"), attr("ab", "low")],
                     vec![
                         ("r".into(), rel("Rel")),
-                        ("ab".into(), rel("Rel").construct("above", vec![rel("Infront")])),
+                        (
+                            "ab".into(),
+                            rel("Rel").construct("above", vec![rel("Infront")]),
+                        ),
                     ],
                     eq(attr("r", "base"), attr("ab", "high")),
                 ),
@@ -179,7 +188,10 @@ pub fn above() -> Constructor {
                     vec![attr("r", "top"), attr("ah", "tail")],
                     vec![
                         ("r".into(), rel("Rel")),
-                        ("ah".into(), rel("Infront").construct("ahead", vec![rel("Rel")])),
+                        (
+                            "ah".into(),
+                            rel("Infront").construct("ahead", vec![rel("Rel")]),
+                        ),
                     ],
                     eq(attr("r", "base"), attr("ah", "head")),
                 ),
@@ -253,7 +265,8 @@ mod tests {
         db.create_relation("Ontop", ontoprel()).unwrap();
         db.define_selector(hidden_by(), infrontrel()).unwrap();
         db.define_constructor(ahead2()).unwrap();
-        db.define_constructors(vec![ahead_mutual(), above()]).unwrap();
+        db.define_constructors(vec![ahead_mutual(), above()])
+            .unwrap();
         db.define_constructor_unchecked(strange()).unwrap();
         db.define_constructor_unchecked(nonsense()).unwrap();
     }

@@ -41,7 +41,10 @@ impl Selector {
     ) -> Result<Selector, CoreError> {
         let scope = vec![(def.element_var.clone(), for_schema.clone())];
         // Parameters are visible inside the body; check with them bound.
-        let param_cat = ParamScope { base: cat, params: &def.params };
+        let param_cat = ParamScope {
+            base: cat,
+            params: &def.params,
+        };
         typeck::check_formula_in_scope(&def.predicate, &param_cat, &scope)?;
         Ok(Selector { def, for_schema })
     }
@@ -87,8 +90,7 @@ impl Selector {
             .map(|v| dc_calculus::ast::ScalarExpr::Const(v.clone()))
             .collect();
         let mut bindings = Vec::new();
-        let kept =
-            ev.apply_selector(source.clone(), &self.def.name, &arg_exprs, &mut bindings)?;
+        let kept = ev.apply_selector(source.clone(), &self.def.name, &arg_exprs, &mut bindings)?;
         if kept.len() != source.len() {
             // Find one offending tuple for the error message.
             let bad = source
@@ -223,7 +225,10 @@ mod tests {
             }
             other => panic!("expected SelectorViolation, got {other}"),
         }
-        assert!(target.is_empty(), "failed assignment must not mutate target");
+        assert!(
+            target.is_empty(),
+            "failed assignment must not mutate target"
+        );
     }
 
     #[test]

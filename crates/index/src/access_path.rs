@@ -34,7 +34,10 @@ pub struct PhysicalAccessPath {
 
 impl PhysicalAccessPath {
     /// Materialise `rel`, partitioning on `positions`.
-    pub fn materialize(rel: &Relation, positions: Vec<usize>) -> Result<PhysicalAccessPath, RelationError> {
+    pub fn materialize(
+        rel: &Relation,
+        positions: Vec<usize>,
+    ) -> Result<PhysicalAccessPath, RelationError> {
         let mut path = PhysicalAccessPath {
             positions,
             schema: rel.schema().clone(),
@@ -78,19 +81,25 @@ impl PhysicalAccessPath {
         false
     }
 
-    /// The partition for the given constants (empty relation if none).
-    pub fn lookup(&self, constants: &Tuple) -> Relation {
-        self.probes.set(self.probes.get() + 1);
-        self.partitions
-            .get(constants)
-            .cloned()
-            .unwrap_or_else(|| Relation::new(self.schema.clone()))
-    }
-
-    /// Borrowing variant of [`PhysicalAccessPath::lookup`].
-    pub fn lookup_ref(&self, constants: &Tuple) -> Option<&Relation> {
+    /// The partition for the given constants; `None` when no tuple
+    /// carries them. Borrowed — the hot path must not materialise a
+    /// fresh `Relation` per probe. (The old owning `lookup` and the
+    /// separate `lookup_ref` were merged into this.)
+    pub fn lookup(&self, constants: &Tuple) -> Option<&Relation> {
         self.probes.set(self.probes.get() + 1);
         self.partitions.get(constants)
+    }
+
+    /// Zero-allocation variant of [`PhysicalAccessPath::lookup`]: probe
+    /// with a value slice gathered by the caller.
+    pub fn lookup_slice(&self, constants: &[dc_value::Value]) -> Option<&Relation> {
+        self.probes.set(self.probes.get() + 1);
+        self.partitions.get(constants)
+    }
+
+    /// The schema shared by all partitions.
+    pub fn schema(&self) -> &dc_value::Schema {
+        &self.schema
     }
 
     /// Number of partitions.
@@ -141,10 +150,9 @@ mod tests {
         let path = PhysicalAccessPath::materialize(&ahead(), vec![0]).unwrap();
         assert_eq!(path.partition_count(), 2);
         assert_eq!(path.len(), 3);
-        let table = path.lookup(&tuple!["table"]);
+        let table = path.lookup(&tuple!["table"]).expect("partition exists");
         assert_eq!(table.len(), 2);
-        let none = path.lookup(&tuple!["lamp"]);
-        assert!(none.is_empty());
+        assert!(path.lookup(&tuple!["lamp"]).is_none());
     }
 
     #[test]
@@ -164,7 +172,7 @@ mod tests {
         let path = PhysicalAccessPath::materialize(&ahead(), vec![0]).unwrap();
         assert_eq!(path.probe_count(), 0);
         path.lookup(&tuple!["table"]);
-        path.lookup_ref(&tuple!["vase"]);
+        path.lookup_slice(tuple!["vase"].fields());
         assert_eq!(path.probe_count(), 2);
     }
 
@@ -172,6 +180,9 @@ mod tests {
     fn multi_column_partitioning() {
         let path = PhysicalAccessPath::materialize(&ahead(), vec![0, 1]).unwrap();
         assert_eq!(path.partition_count(), 3);
-        assert_eq!(path.lookup(&tuple!["table", "chair"]).len(), 1);
+        assert_eq!(
+            path.lookup(&tuple!["table", "chair"]).expect("hit").len(),
+            1
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Hash index over a subset of attribute positions.
 
-use dc_value::{FxHashMap, Tuple};
+use dc_value::{FxHashMap, Tuple, Value};
 
 use dc_relation::Relation;
 
@@ -19,7 +19,11 @@ pub struct HashIndex {
 impl HashIndex {
     /// An empty index on the given positions.
     pub fn new(positions: Vec<usize>) -> HashIndex {
-        HashIndex { positions, buckets: FxHashMap::default(), len: 0 }
+        HashIndex {
+            positions,
+            buckets: FxHashMap::default(),
+            len: 0,
+        }
     }
 
     /// Build an index over all tuples of a relation.
@@ -63,12 +67,27 @@ impl HashIndex {
         self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// All tuples whose projection equals the given value slice. The
+    /// zero-allocation probe used by the join executor's hot path: the
+    /// caller assembles the key in a scratch buffer instead of
+    /// materialising a `Tuple` per probe.
+    pub fn probe_slice(&self, key: &[Value]) -> &[Tuple] {
+        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Probe with the projection of `tuple` onto `other_positions`
     /// (equi-join convenience: probe this index with the join key of a
-    /// tuple from the other side).
+    /// tuple from the other side). Gathers the key into a plain value
+    /// buffer — unlike `Tuple::project` there is no shared-`Arc`
+    /// allocation per probe. Callers that can reuse a buffer across
+    /// probes should gather themselves and call
+    /// [`HashIndex::probe_slice`].
     pub fn probe_with(&self, tuple: &Tuple, other_positions: &[usize]) -> &[Tuple] {
-        let key = tuple.project(other_positions);
-        self.probe(&key)
+        let key: Vec<Value> = other_positions
+            .iter()
+            .map(|&p| tuple.get(p).clone())
+            .collect();
+        self.probe_slice(&key)
     }
 
     /// Iterate over `(key, bucket)` pairs.

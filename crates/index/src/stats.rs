@@ -45,7 +45,12 @@ impl RelationStats {
 
     /// Estimated output cardinality of an equi-join between `self` on
     /// `left_pos` and `other` on `right_pos`.
-    pub fn join_cardinality(&self, left_pos: usize, other: &RelationStats, right_pos: usize) -> f64 {
+    pub fn join_cardinality(
+        &self,
+        left_pos: usize,
+        other: &RelationStats,
+        right_pos: usize,
+    ) -> f64 {
         let d = self
             .distinct
             .get(left_pos)

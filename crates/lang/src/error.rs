@@ -65,8 +65,14 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = LangError::Parse { line: 3, col: 7, msg: "expected `;`".into() };
+        let e = LangError::Parse {
+            line: 3,
+            col: 7,
+            msg: "expected `;`".into(),
+        };
         assert!(e.to_string().contains("3:7"));
-        assert!(LangError::UnknownType("foo".into()).to_string().contains("foo"));
+        assert!(LangError::UnknownType("foo".into())
+            .to_string()
+            .contains("foo"));
     }
 }

@@ -65,9 +65,34 @@ pub enum Tok {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Kw {
-    Type, Var, Selector, Constructor, For, Begin, End, Each, In, Some, All,
-    And, Or, Not, True, False, Of, Record, Relation, Range, Div, Mod,
-    Integer, Cardinal, Boolean, StringKw, Insert, Query,
+    Type,
+    Var,
+    Selector,
+    Constructor,
+    For,
+    Begin,
+    End,
+    Each,
+    In,
+    Some,
+    All,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    Of,
+    Record,
+    Relation,
+    Range,
+    Div,
+    Mod,
+    Integer,
+    Cardinal,
+    Boolean,
+    StringKw,
+    Insert,
+    Query,
 }
 
 fn keyword(s: &str) -> Option<Kw> {
@@ -186,7 +211,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                     s.push(chars[i]);
                     bump!();
                 }
-                out.push(Token { tok: Tok::Str(s), line: tline, col: tcol });
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut n: i64 = 0;
@@ -203,9 +232,17 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                 }
                 if i < chars.len() && chars[i] == 'C' {
                     bump!();
-                    out.push(Token { tok: Tok::Card(n as u64), line: tline, col: tcol });
+                    out.push(Token {
+                        tok: Tok::Card(n as u64),
+                        line: tline,
+                        col: tcol,
+                    });
                 } else {
-                    out.push(Token { tok: Tok::Int(n), line: tline, col: tcol });
+                    out.push(Token {
+                        tok: Tok::Int(n),
+                        line: tline,
+                        col: tcol,
+                    });
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -218,7 +255,11 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                     Some(kw) => Tok::Kw(kw),
                     None => Tok::Ident(s),
                 };
-                out.push(Token { tok, line: tline, col: tcol });
+                out.push(Token {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
             }
             _ => {
                 let tok = match c {
@@ -273,11 +314,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LangError> {
                     }
                 };
                 bump!();
-                out.push(Token { tok, line: tline, col: tcol });
+                out.push(Token {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
             }
         }
     }
-    out.push(Token { tok: Tok::Eof, line, col });
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -328,7 +377,12 @@ mod tests {
     fn literals() {
         assert_eq!(
             toks("42 7C \"table\""),
-            vec![Tok::Int(42), Tok::Card(7), Tok::Str("table".into()), Tok::Eof]
+            vec![
+                Tok::Int(42),
+                Tok::Card(7),
+                Tok::Str("table".into()),
+                Tok::Eof
+            ]
         );
     }
 

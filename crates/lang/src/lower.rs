@@ -74,7 +74,12 @@ pub fn run_script(db: &mut Database, src: &str) -> Result<Vec<QueryResult>, Lang
                     pdomains.push((pname, scalar_domain(&pty, &types)?));
                 }
                 db.define_selector(
-                    SelectorDef { name, element_var, params: pdomains, predicate },
+                    SelectorDef {
+                        name,
+                        element_var,
+                        params: pdomains,
+                        predicate,
+                    },
                     for_schema,
                 )?;
             }
@@ -262,8 +267,7 @@ mod tests {
         "#,
         )
         .unwrap();
-        let results =
-            run_script(&mut db, "QUERY Ontop{above(Infront)};").unwrap();
+        let results = run_script(&mut db, "QUERY Ontop{above(Infront)};").unwrap();
         assert!(results[0].relation.contains(&tuple!["vase", "chair"]));
     }
 
@@ -341,11 +345,7 @@ mod tests {
         let mut db = Database::new();
         let err = run_script(&mut db, "VAR X: missing;").unwrap_err();
         assert!(matches!(err, LangError::UnknownType(_)));
-        let err2 = run_script(
-            &mut db,
-            "TYPE t = STRING;\nVAR X: t;",
-        )
-        .unwrap_err();
+        let err2 = run_script(&mut db, "TYPE t = STRING;\nVAR X: t;").unwrap_err();
         assert!(err2.to_string().contains("scalar type"));
     }
 

@@ -1,8 +1,6 @@
 //! Recursive-descent parser for DBPL scripts.
 
-use dc_calculus::ast::{
-    ArithOp, Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SetFormer, Target,
-};
+use dc_calculus::ast::{ArithOp, Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SetFormer, Target};
 use dc_value::Value;
 
 use crate::error::LangError;
@@ -12,7 +10,11 @@ use crate::stmt::{Stmt, TypeExpr};
 /// Parse a whole script.
 pub fn parse_script(src: &str) -> Result<Vec<Stmt>, LangError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0, src };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src,
+    };
     let mut out = Vec::new();
     while !p.at(Tok::Eof) {
         out.push(p.statement()?);
@@ -23,7 +25,11 @@ pub fn parse_script(src: &str) -> Result<Vec<Stmt>, LangError> {
 /// Parse a single query expression (no trailing `;`).
 pub fn parse_expr(src: &str) -> Result<RangeExpr, LangError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0, src };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src,
+    };
     let e = p.range_expr()?;
     p.expect(Tok::Eof)?;
     Ok(e)
@@ -60,7 +66,11 @@ impl Parser<'_> {
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, LangError> {
         let t = &self.tokens[self.pos];
-        Err(LangError::Parse { line: t.line, col: t.col, msg: msg.into() })
+        Err(LangError::Parse {
+            line: t.line,
+            col: t.col,
+            msg: msg.into(),
+        })
     }
 
     fn expect(&mut self, t: Tok) -> Result<(), LangError> {
@@ -405,7 +415,11 @@ impl Parser<'_> {
                         self.expect(Tok::RParen)?;
                     }
                     self.expect(Tok::RBracket)?;
-                    e = RangeExpr::Selected { base: Box::new(e), selector: name, args };
+                    e = RangeExpr::Selected {
+                        base: Box::new(e),
+                        selector: name,
+                        args,
+                    };
                 }
                 // Constructor application: `{` immediately followed by
                 // an identifier (a set former starts with EACH or `<`).
@@ -486,13 +500,21 @@ impl Parser<'_> {
         self.expect(Tok::Colon)?;
         let predicate = self.formula()?;
         match target {
-            Some(exprs) => Ok(Branch { target: Target::Tuple(exprs), bindings, predicate }),
+            Some(exprs) => Ok(Branch {
+                target: Target::Tuple(exprs),
+                bindings,
+                predicate,
+            }),
             None => {
                 if bindings.len() != 1 {
                     return self.err("a branch without a target must bind exactly one variable");
                 }
                 let var = bindings[0].0.clone();
-                Ok(Branch { target: Target::Var(var), bindings, predicate })
+                Ok(Branch {
+                    target: Target::Var(var),
+                    bindings,
+                    predicate,
+                })
             }
         }
     }
@@ -503,7 +525,8 @@ impl Parser<'_> {
         loop {
             self.expect_kw(Kw::Each)?;
             let mut vars = vec![self.ident()?];
-            while self.at(Tok::Comma) && matches!(self.peek_at(1), Tok::Ident(_))
+            while self.at(Tok::Comma)
+                && matches!(self.peek_at(1), Tok::Ident(_))
                 && *self.peek_at(2) != Tok::Kw(Kw::In)
             {
                 // `EACH f, b IN Rel` sugar — but `,(Ident) IN` would be
@@ -514,7 +537,8 @@ impl Parser<'_> {
                 vars.push(self.ident()?);
             }
             // Handle the final var before IN in the sugar form:
-            if self.at(Tok::Comma) && matches!(self.peek_at(1), Tok::Ident(_))
+            if self.at(Tok::Comma)
+                && matches!(self.peek_at(1), Tok::Ident(_))
                 && *self.peek_at(2) == Tok::Kw(Kw::In)
             {
                 // ambiguous: `, x IN` could be sugar continuation or a
@@ -775,9 +799,18 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.len(), 4);
-        assert!(matches!(&s[1], Stmt::TypeDef { def: TypeExpr::Range(1, 100), .. }));
+        assert!(matches!(
+            &s[1],
+            Stmt::TypeDef {
+                def: TypeExpr::Range(1, 100),
+                ..
+            }
+        ));
         match &s[2] {
-            Stmt::TypeDef { def: TypeExpr::Relation { key, fields }, .. } => {
+            Stmt::TypeDef {
+                def: TypeExpr::Relation { key, fields },
+                ..
+            } => {
                 assert!(key.is_empty());
                 assert_eq!(fields.len(), 2);
                 assert_eq!(fields[0].0, "front");
@@ -785,7 +818,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match &s[3] {
-            Stmt::TypeDef { def: TypeExpr::Relation { key, fields }, .. } => {
+            Stmt::TypeDef {
+                def: TypeExpr::Relation { key, fields },
+                ..
+            } => {
                 assert_eq!(key, &vec!["part".to_string()]);
                 assert_eq!(fields.len(), 2);
             }
@@ -801,7 +837,13 @@ mod tests {
         )
         .unwrap();
         match &s[0] {
-            Stmt::SelectorDef { name, params, element_var, predicate, .. } => {
+            Stmt::SelectorDef {
+                name,
+                params,
+                element_var,
+                predicate,
+                ..
+            } => {
                 assert_eq!(name, "hidden_by");
                 assert_eq!(params.len(), 1);
                 assert_eq!(element_var, "r");
@@ -822,7 +864,13 @@ mod tests {
         )
         .unwrap();
         match &s[0] {
-            Stmt::ConstructorDef { name, branches, base_var, result_type, .. } => {
+            Stmt::ConstructorDef {
+                name,
+                branches,
+                base_var,
+                result_type,
+                ..
+            } => {
                 assert_eq!(name, "ahead");
                 assert_eq!(base_var, "Rel");
                 assert_eq!(result_type, "aheadrel");
@@ -848,7 +896,10 @@ mod tests {
         .unwrap();
         match &s[0] {
             Stmt::ConstructorDef { rel_params, .. } => {
-                assert_eq!(rel_params, &vec![("Infront".to_string(), "infrontrel".to_string())]);
+                assert_eq!(
+                    rel_params,
+                    &vec![("Infront".to_string(), "infrontrel".to_string())]
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -857,8 +908,8 @@ mod tests {
     #[test]
     fn parse_each_var_list_sugar() {
         // The paper's `EACH f,b IN Infront`.
-        let e = parse_expr("{<f.front, b.back> OF EACH f, b IN Infront: f.back = b.front}")
-            .unwrap();
+        let e =
+            parse_expr("{<f.front, b.back> OF EACH f, b IN Infront: f.back = b.front}").unwrap();
         match e {
             RangeExpr::SetFormer(sf) => {
                 assert_eq!(sf.branches[0].bindings.len(), 2);
@@ -876,7 +927,9 @@ mod tests {
         // Scalar args after `;`.
         let e2 = parse_expr("N{below(; 4)}").unwrap();
         match &e2 {
-            RangeExpr::Constructed { scalar_args, args, .. } => {
+            RangeExpr::Constructed {
+                scalar_args, args, ..
+            } => {
                 assert!(args.is_empty());
                 assert_eq!(scalar_args.len(), 1);
             }
@@ -957,6 +1010,12 @@ mod tests {
         let s = parse_script("INSERT N <-5>;").unwrap();
         assert!(matches!(&s[0], Stmt::Insert { values, .. } if values[0] == Value::Int(-5)));
         let t = parse_script("TYPE t = RANGE -10..10;").unwrap();
-        assert!(matches!(&t[0], Stmt::TypeDef { def: TypeExpr::Range(-10, 10), .. }));
+        assert!(matches!(
+            &t[0],
+            Stmt::TypeDef {
+                def: TypeExpr::Range(-10, 10),
+                ..
+            }
+        ));
     }
 }

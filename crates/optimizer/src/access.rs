@@ -37,7 +37,11 @@ pub struct LogicalAccessPath {
 impl LogicalAccessPath {
     /// Wrap a plan expecting `param_count` parameters.
     pub fn new(plan: Plan, param_count: usize) -> LogicalAccessPath {
-        LogicalAccessPath { plan, param_count, invocations: Cell::new(0) }
+        LogicalAccessPath {
+            plan,
+            param_count,
+            invocations: Cell::new(0),
+        }
     }
 
     /// Execute with actual constants substituted for the dummies.
@@ -94,7 +98,13 @@ impl AccessPathManager {
         param_positions: Vec<usize>,
         threshold: u64,
     ) -> AccessPathManager {
-        AccessPathManager { logical, full_plan, param_positions, threshold, physical: RefCell::new(None) }
+        AccessPathManager {
+            logical,
+            full_plan,
+            param_positions,
+            threshold,
+            physical: RefCell::new(None),
+        }
     }
 
     /// Is the physical path materialised yet?
@@ -106,7 +116,11 @@ impl AccessPathManager {
     /// the materialisation policy.
     pub fn lookup(&self, args: &[Value]) -> Result<Relation, EvalError> {
         if let Some(path) = self.physical.borrow().as_ref() {
-            return Ok(path.lookup(&Tuple::new(args.to_vec())));
+            // Borrowing probe; clone only the (typically small) hit.
+            return Ok(path
+                .lookup_slice(args)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(path.schema().clone())));
         }
         let (rel, _) = self.logical.bind(args)?;
         if self.logical.invocations() >= self.threshold {

@@ -75,7 +75,13 @@ pub fn detect_tc(ctor: &Constructor) -> Option<TcShape> {
     if !matches!(f_range, RangeExpr::Rel(n) if n == base_name) {
         return None;
     }
-    let RangeExpr::Constructed { base, constructor, args, scalar_args } = b_range else {
+    let RangeExpr::Constructed {
+        base,
+        constructor,
+        args,
+        scalar_args,
+    } = b_range
+    else {
         return None;
     };
     if constructor != &ctor.name
@@ -105,12 +111,14 @@ pub fn detect_tc(ctor: &Constructor) -> Option<TcShape> {
         return None;
     };
     let (join_pos, rec_key_pos) = match (l, r) {
-        (ScalarExpr::Attr(lv, la), ScalarExpr::Attr(rv, ra)) if lv == f_var && rv == b_var => {
-            (base_schema.position(la).ok()?, result_schema.position(ra).ok()?)
-        }
-        (ScalarExpr::Attr(lv, la), ScalarExpr::Attr(rv, ra)) if lv == b_var && rv == f_var => {
-            (base_schema.position(ra).ok()?, result_schema.position(la).ok()?)
-        }
+        (ScalarExpr::Attr(lv, la), ScalarExpr::Attr(rv, ra)) if lv == f_var && rv == b_var => (
+            base_schema.position(la).ok()?,
+            result_schema.position(ra).ok()?,
+        ),
+        (ScalarExpr::Attr(lv, la), ScalarExpr::Attr(rv, ra)) if lv == b_var && rv == f_var => (
+            base_schema.position(ra).ok()?,
+            result_schema.position(la).ok()?,
+        ),
         _ => return None,
     };
     // The copy branch makes result col i = base col i; for the bound
@@ -118,7 +126,12 @@ pub fn detect_tc(ctor: &Constructor) -> Option<TcShape> {
     if out_pos != 0 || join_pos != 1 || rec_key_pos != 0 || rec_out_pos != 1 {
         return None;
     }
-    Some(TcShape { out_pos, join_pos, rec_key_pos, rec_out_pos })
+    Some(TcShape {
+        out_pos,
+        join_pos,
+        rec_key_pos,
+        rec_out_pos,
+    })
 }
 
 /// The semi-naive full-closure plan for a recognised TC constructor.
@@ -130,7 +143,10 @@ pub fn full_plan(ctor: &Constructor, shape: &TcShape, base: Relation) -> Plan {
         rec_keys: vec![shape.rec_key_pos],
         conds: vec![],
         // base ++ rec rows: base has arity 2, rec columns start at 2.
-        exprs: vec![ProjExpr::Col(shape.out_pos), ProjExpr::Col(2 + shape.rec_out_pos)],
+        exprs: vec![
+            ProjExpr::Col(shape.out_pos),
+            ProjExpr::Col(2 + shape.rec_out_pos),
+        ],
         schema: ctor.result.clone(),
     }
 }
@@ -215,7 +231,12 @@ mod tests {
         let shape = detect_tc(&ahead()).unwrap();
         assert_eq!(
             shape,
-            TcShape { out_pos: 0, join_pos: 1, rec_key_pos: 0, rec_out_pos: 1 }
+            TcShape {
+                out_pos: 0,
+                join_pos: 1,
+                rec_key_pos: 0,
+                rec_out_pos: 1
+            }
         );
     }
 
@@ -279,8 +300,9 @@ mod tests {
             .into_iter()
             .filter(|t| t.get(0) == &seed)
             .collect();
-        let (bound, bound_stats) =
-            bound_plan(&c, &shape, base, seed.clone()).execute().unwrap();
+        let (bound, bound_stats) = bound_plan(&c, &shape, base, seed.clone())
+            .execute()
+            .unwrap();
         assert_eq!(bound.sorted_tuples(), filtered);
         // The pay-off: bound evaluation does far less work.
         assert!(bound_stats.tuples_produced < full_stats.tuples_produced);

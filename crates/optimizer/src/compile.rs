@@ -37,7 +37,12 @@ pub fn compile_range(db: &Database, range: &RangeExpr) -> Result<Plan, EvalError
             let rel = dc_calculus::Catalog::relation(db, n)?.into_owned();
             Ok(Plan::Input(rel))
         }
-        RangeExpr::Constructed { base, constructor, args, scalar_args } => {
+        RangeExpr::Constructed {
+            base,
+            constructor,
+            args,
+            scalar_args,
+        } => {
             // Capture rule: TC shape with no arguments.
             if args.is_empty() && scalar_args.is_empty() {
                 if let Ok(ctor) = db.constructor_ref(constructor) {
@@ -147,7 +152,9 @@ pub fn compile_branch(db: &Database, branch: &Branch) -> Result<Plan, EvalError>
     let fallback = |db: &Database| -> Result<Plan, EvalError> {
         let rel = materialize(
             db,
-            &RangeExpr::SetFormer(SetFormer { branches: vec![branch.clone()] }),
+            &RangeExpr::SetFormer(SetFormer {
+                branches: vec![branch.clone()],
+            }),
         )?;
         Ok(Plan::Input(rel))
     };
@@ -235,15 +242,22 @@ pub fn compile_branch(db: &Database, branch: &Branch) -> Result<Plan, EvalError>
         }
     }
     if !residual.is_empty() {
-        plan = Plan::Filter { input: Box::new(plan), conds: residual };
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            conds: residual,
+        };
     }
 
     // Target projection.
     let (exprs, schema) = match &branch.target {
         Target::Var(v) => {
-            let off = *offsets.get(v).ok_or_else(|| EvalError::UnboundVariable(v.clone()))?;
+            let off = *offsets
+                .get(v)
+                .ok_or_else(|| EvalError::UnboundVariable(v.clone()))?;
             let schema = schemas[v].clone();
-            let exprs = (0..schema.arity()).map(|i| ProjExpr::Col(off + i)).collect();
+            let exprs = (0..schema.arity())
+                .map(|i| ProjExpr::Col(off + i))
+                .collect();
             (exprs, schema)
         }
         Target::Tuple(texprs) => {
@@ -282,7 +296,11 @@ pub fn compile_branch(db: &Database, branch: &Branch) -> Result<Plan, EvalError>
             (exprs, Schema::new(attrs))
         }
     };
-    Ok(Plan::Project { input: Box::new(plan), exprs, schema })
+    Ok(Plan::Project {
+        input: Box::new(plan),
+        exprs,
+        schema,
+    })
 }
 
 #[cfg(test)]
@@ -383,10 +401,7 @@ mod tests {
         // Two-step pairs.
         let q = set_former(vec![Branch::projecting(
             vec![attr("f", "front"), attr("b", "back")],
-            vec![
-                ("f".into(), rel("Infront")),
-                ("b".into(), rel("Infront")),
-            ],
+            vec![("f".into(), rel("Infront")), ("b".into(), rel("Infront"))],
             eq(attr("f", "back"), attr("b", "front")),
         )]);
         let plan = compile_query(&db, &q).unwrap();
@@ -415,7 +430,11 @@ mod tests {
         let db = scene_db();
         let q = rel("Infront").construct("ahead", vec![]);
         let plan = compile_query(&db, &q).unwrap();
-        assert!(plan.explain().contains("FixpointLinear"), "{}", plan.explain());
+        assert!(
+            plan.explain().contains("FixpointLinear"),
+            "{}",
+            plan.explain()
+        );
         check_agrees(&db, &q);
     }
 
@@ -448,7 +467,11 @@ mod tests {
         let q = set_former(vec![Branch::each(
             "r",
             rel("Infront"),
-            all("x", rel("Infront"), ne(attr("x", "front"), attr("r", "back"))),
+            all(
+                "x",
+                rel("Infront"),
+                ne(attr("x", "front"), attr("r", "back")),
+            ),
         )]);
         check_agrees(&db, &q);
     }
@@ -456,8 +479,10 @@ mod tests {
     #[test]
     fn non_equi_conditions_residual() {
         let mut db = Database::new();
-        db.create_relation("N", Schema::of(&[("n", Domain::Int)])).unwrap();
-        db.insert_all("N", (0..6).map(|i| tuple![i as i64])).unwrap();
+        db.create_relation("N", Schema::of(&[("n", Domain::Int)]))
+            .unwrap();
+        db.insert_all("N", (0..6).map(|i| tuple![i as i64]))
+            .unwrap();
         let q = set_former(vec![Branch::projecting(
             vec![attr("a", "n"), attr("b", "n")],
             vec![("a".into(), rel("N")), ("b".into(), rel("N"))],

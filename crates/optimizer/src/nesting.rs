@@ -60,11 +60,19 @@ pub fn rename_var(f: &Formula, from: &str, to: &str) -> Formula {
         Formula::Not(inner) => Formula::Not(Box::new(rename_var(inner, from, to))),
         // Inner quantifiers shadow; only rename if not re-bound.
         Formula::Some(v, r, body) => {
-            let body = if v == from { (**body).clone() } else { rename_var(body, from, to) };
+            let body = if v == from {
+                (**body).clone()
+            } else {
+                rename_var(body, from, to)
+            };
             Formula::Some(v.clone(), r.clone(), Box::new(body))
         }
         Formula::All(v, r, body) => {
-            let body = if v == from { (**body).clone() } else { rename_var(body, from, to) };
+            let body = if v == from {
+                (**body).clone()
+            } else {
+                rename_var(body, from, to)
+            };
             Formula::All(v.clone(), r.clone(), Box::new(body))
         }
         Formula::Member(v, r) => {
@@ -93,12 +101,9 @@ pub fn substitute_attr_refs(
         map: &FxHashMap<String, ScalarExpr>,
     ) -> Result<ScalarExpr, EvalError> {
         match e {
-            ScalarExpr::Attr(v, a) if v == var => map
-                .get(a)
-                .cloned()
-                .ok_or_else(|| EvalError::Type(dc_value::TypeError::UnknownAttribute {
-                    name: a.clone(),
-                })),
+            ScalarExpr::Attr(v, a) if v == var => map.get(a).cloned().ok_or_else(|| {
+                EvalError::Type(dc_value::TypeError::UnknownAttribute { name: a.clone() })
+            }),
             ScalarExpr::Arith(l, op, r) => Ok(ScalarExpr::Arith(
                 Box::new(scalar(l, var, map)?),
                 *op,
@@ -109,9 +114,7 @@ pub fn substitute_attr_refs(
     }
     Ok(match f {
         Formula::True | Formula::False => f.clone(),
-        Formula::Cmp(l, op, r) => {
-            Formula::Cmp(scalar(l, var, map)?, *op, scalar(r, var, map)?)
-        }
+        Formula::Cmp(l, op, r) => Formula::Cmp(scalar(l, var, map)?, *op, scalar(r, var, map)?),
         Formula::And(a, b) => Formula::And(
             Box::new(substitute_attr_refs(a, var, map)?),
             Box::new(substitute_attr_refs(b, var, map)?),
@@ -192,7 +195,11 @@ pub fn target_map(
 pub fn inline_applications(db: &Database, range: &RangeExpr) -> Result<RangeExpr, EvalError> {
     Ok(match range {
         RangeExpr::Rel(_) => range.clone(),
-        RangeExpr::Selected { base, selector, args } => {
+        RangeExpr::Selected {
+            base,
+            selector,
+            args,
+        } => {
             let base = inline_applications(db, base)?;
             let def = dc_calculus::Catalog::selector(db, selector)?.clone();
             if args.len() != def.params.len() {
@@ -217,18 +224,22 @@ pub fn inline_applications(db: &Database, range: &RangeExpr) -> Result<RangeExpr
                 branches: vec![Branch::each(def.element_var.clone(), base, pred)],
             })
         }
-        RangeExpr::Constructed { base, constructor, args, scalar_args } => {
-            let ctor = db.constructor_ref(constructor).map_err(|_| {
-                EvalError::UnknownConstructor(constructor.clone())
-            })?;
+        RangeExpr::Constructed {
+            base,
+            constructor,
+            args,
+            scalar_args,
+        } => {
+            let ctor = db
+                .constructor_ref(constructor)
+                .map_err(|_| EvalError::UnknownConstructor(constructor.clone()))?;
             // Recursive (any constructor application in its own body)?
             let body_range = RangeExpr::SetFormer(ctor.body.clone());
             if !rewrite::collect_constructed(&body_range).is_empty() {
                 return Ok(range.clone());
             }
             // Non-recursive: substitute formals.
-            if args.len() != ctor.rel_params.len()
-                || scalar_args.len() != ctor.scalar_params.len()
+            if args.len() != ctor.rel_params.len() || scalar_args.len() != ctor.scalar_params.len()
             {
                 return Ok(range.clone());
             }
@@ -315,8 +326,7 @@ pub fn rewrite_query(db: &Database, query: &RangeExpr) -> Result<RangeExpr, Eval
     // The result attribute names the predicate refers to: from the
     // range's static schema.
     let schema = dc_calculus::typeck::check_range(range, db)?;
-    let names: Vec<String> =
-        schema.attributes().iter().map(|a| a.name.clone()).collect();
+    let names: Vec<String> = schema.attributes().iter().map(|a| a.name.clone()).collect();
     let inlined = inline_applications(db, range)?;
     if let RangeExpr::SetFormer(inner) = &inlined {
         if let Some(pushed) = push_predicate(var, inner, &b.predicate, &names) {
@@ -377,10 +387,7 @@ mod tests {
                     Branch::each("r", rel("Rel"), tru()),
                     Branch::projecting(
                         vec![attr("f", "front"), attr("b", "back")],
-                        vec![
-                            ("f".into(), rel("Rel")),
-                            ("b".into(), rel("Rel")),
-                        ],
+                        vec![("f".into(), rel("Rel")), ("b".into(), rel("Rel"))],
                         eq(attr("f", "back"), attr("b", "front")),
                     ),
                 ],
@@ -392,8 +399,8 @@ mod tests {
 
     #[test]
     fn rename_var_respects_shadowing() {
-        let f = eq(attr("r", "a"), cnst(1i64))
-            .and(some("r", rel("S"), eq(attr("r", "b"), cnst(2i64))));
+        let f =
+            eq(attr("r", "a"), cnst(1i64)).and(some("r", rel("S"), eq(attr("r", "b"), cnst(2i64))));
         let renamed = rename_var(&f, "r", "x");
         let s = renamed.to_string();
         assert!(s.contains("x.a"));

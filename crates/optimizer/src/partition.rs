@@ -24,7 +24,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Dsu {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
     fn find(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
@@ -46,8 +48,11 @@ impl Dsu {
 /// shared relation/constructor names. Returns the partitions as sorted
 /// lists of constructor names, sorted by their first member.
 pub fn partition_by_names(ctors: &[Constructor]) -> Vec<Vec<String>> {
-    let index: FxHashMap<&str, usize> =
-        ctors.iter().enumerate().map(|(i, c)| (c.name.as_str(), i)).collect();
+    let index: FxHashMap<&str, usize> = ctors
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), i))
+        .collect();
     let mut dsu = Dsu::new(ctors.len());
     // Relation name → first constructor seen using it.
     let mut rel_owner: FxHashMap<String, usize> = FxHashMap::default();

@@ -38,10 +38,12 @@ impl Cond {
                 (t.get(*i), *op, v)
             }
         };
-        let ord = l.try_cmp(&r).ok_or_else(|| EvalError::CrossTypeComparison {
-            lhs: l.to_string(),
-            rhs: r.to_string(),
-        })?;
+        let ord = l
+            .try_cmp(&r)
+            .ok_or_else(|| EvalError::CrossTypeComparison {
+                lhs: l.to_string(),
+                rhs: r.to_string(),
+            })?;
         Ok(op.eval(ord))
     }
 }
@@ -183,7 +185,11 @@ impl Plan {
                 }
                 Ok(out)
             }
-            Plan::Project { input, exprs, schema } => {
+            Plan::Project {
+                input,
+                exprs,
+                schema,
+            } => {
                 let rel = input.run(params, stats)?;
                 let mut out = Relation::new(schema.clone());
                 for t in rel.iter() {
@@ -192,7 +198,12 @@ impl Plan {
                 }
                 Ok(out)
             }
-            Plan::HashJoin { left, right, left_keys, right_keys } => {
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
                 let l = left.run(params, stats)?;
                 let r = right.run(params, stats)?;
                 let index = HashIndex::build(&r, right_keys.clone());
@@ -275,7 +286,13 @@ impl Plan {
                 }
                 Ok(acc)
             }
-            Plan::Reachability { base, from, to, seed, schema } => {
+            Plan::Reachability {
+                base,
+                from,
+                to,
+                seed,
+                schema,
+            } => {
                 let base_rel = base.run(params, stats)?;
                 let index = HashIndex::build(&base_rel, vec![*from]);
                 let seed_val = match seed {
@@ -294,10 +311,7 @@ impl Plan {
                     stats.fixpoint_rounds += 1;
                     for edge in index.probe(&Tuple::new(vec![node.clone()])) {
                         let target = edge.get(*to).clone();
-                        out.insert_unchecked(Tuple::new(vec![
-                            seed_val.clone(),
-                            target.clone(),
-                        ]))?;
+                        out.insert_unchecked(Tuple::new(vec![seed_val.clone(), target.clone()]))?;
                         stats.tuples_produced += 1;
                         if visited.insert(target.clone()) {
                             frontier.push(target);
@@ -325,7 +339,12 @@ impl Plan {
                     out.push_str(&format!("{pad}Project[{} cols]\n", exprs.len()));
                     go(input, depth + 1, out);
                 }
-                Plan::HashJoin { left, right, left_keys, right_keys } => {
+                Plan::HashJoin {
+                    left,
+                    right,
+                    left_keys,
+                    right_keys,
+                } => {
                     out.push_str(&format!("{pad}HashJoin[{left_keys:?} = {right_keys:?}]\n"));
                     go(left, depth + 1, out);
                     go(right, depth + 1, out);
@@ -462,7 +481,9 @@ mod tests {
         // its own chain.
         let mut edges = chain(8);
         for i in 0..8 {
-            edges.insert(tuple![format!("x{i}"), format!("x{}", i + 1)]).unwrap();
+            edges
+                .insert(tuple![format!("x{i}"), format!("x{}", i + 1)])
+                .unwrap();
         }
         let schema = Schema::of(&[("head", Domain::Str), ("tail", Domain::Str)]);
         let plan = Plan::Reachability {
@@ -495,9 +516,15 @@ mod tests {
     fn cond_semantics() {
         let t = tuple![2i64, 3i64];
         assert!(Cond::Cols(0, CmpOp::Lt, 1).eval(&t, &[]).unwrap());
-        assert!(Cond::Const(1, CmpOp::Eq, Value::Int(3)).eval(&t, &[]).unwrap());
-        assert!(!Cond::Const(0, CmpOp::Gt, Value::Int(5)).eval(&t, &[]).unwrap());
-        assert!(Cond::Param(0, CmpOp::Eq, 0).eval(&t, &[Value::Int(2)]).unwrap());
+        assert!(Cond::Const(1, CmpOp::Eq, Value::Int(3))
+            .eval(&t, &[])
+            .unwrap());
+        assert!(!Cond::Const(0, CmpOp::Gt, Value::Int(5))
+            .eval(&t, &[])
+            .unwrap());
+        assert!(Cond::Param(0, CmpOp::Eq, 0)
+            .eval(&t, &[Value::Int(2)])
+            .unwrap());
         assert!(matches!(
             Cond::Const(0, CmpOp::Eq, Value::str("x")).eval(&t, &[]),
             Err(EvalError::CrossTypeComparison { .. })

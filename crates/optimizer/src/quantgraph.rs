@@ -91,7 +91,12 @@ impl QuantGraph {
     }
 
     fn add_edge(&mut self, from: usize, to: usize, label: impl Into<String>, kind: EdgeKind) {
-        self.edges.push(Edge { from, to, label: label.into(), kind });
+        self.edges.push(Edge {
+            from,
+            to,
+            label: label.into(),
+            kind,
+        });
     }
 
     /// Build the augmented quant graph of one constructor (§4 steps
@@ -100,8 +105,9 @@ impl QuantGraph {
     /// and interconnect arcs from constructed ranges to the head.
     pub fn augmented(ctor: &Constructor) -> QuantGraph {
         let mut g = QuantGraph::default();
-        let head =
-            g.add_node(NodeKind::Head { constructor: ctor.name.clone() });
+        let head = g.add_node(NodeKind::Head {
+            constructor: ctor.name.clone(),
+        });
         for branch in &ctor.body.branches {
             g.add_branch(ctor, head, branch);
         }
@@ -112,9 +118,7 @@ impl QuantGraph {
         let mut var_nodes: FxHashMap<String, usize> = FxHashMap::default();
         for (var, range) in &branch.bindings {
             let (constructed, constructor) = match range {
-                RangeExpr::Constructed { constructor, .. } => {
-                    (true, Some(constructor.clone()))
-                }
+                RangeExpr::Constructed { constructor, .. } => (true, Some(constructor.clone())),
                 _ => (false, None),
             };
             let id = self.add_node(NodeKind::Quant {
@@ -130,7 +134,12 @@ impl QuantGraph {
             // `system`).
             if let Some(cname) = constructor {
                 if cname == ctor.name {
-                    self.add_edge(id, head, format!("recursive `{cname}`"), EdgeKind::Interconnect);
+                    self.add_edge(
+                        id,
+                        head,
+                        format!("recursive `{cname}`"),
+                        EdgeKind::Interconnect,
+                    );
                 }
             }
         }
@@ -173,17 +182,23 @@ impl QuantGraph {
         let mut g = QuantGraph::default();
         let mut heads: FxHashMap<String, usize> = FxHashMap::default();
         for c in ctors {
-            let id = g.add_node(NodeKind::Head { constructor: c.name.clone() });
+            let id = g.add_node(NodeKind::Head {
+                constructor: c.name.clone(),
+            });
             heads.insert(c.name.clone(), id);
         }
         for c in ctors {
             let body = RangeExpr::SetFormer(c.body.clone());
             for app in dc_calculus::rewrite::collect_constructed(&body) {
                 if let RangeExpr::Constructed { constructor, .. } = app {
-                    if let (Some(&from), Some(&to)) =
-                        (heads.get(&c.name), heads.get(&constructor))
+                    if let (Some(&from), Some(&to)) = (heads.get(&c.name), heads.get(&constructor))
                     {
-                        g.add_edge(from, to, format!("applies `{constructor}`"), EdgeKind::Interconnect);
+                        g.add_edge(
+                            from,
+                            to,
+                            format!("applies `{constructor}`"),
+                            EdgeKind::Interconnect,
+                        );
                     }
                 }
             }
@@ -268,13 +283,11 @@ impl QuantGraph {
                     return true;
                 }
                 // Self-loop?
-                return self
-                    .edges
-                    .iter()
-                    .any(|e| e.from == node && e.to == node)
-                    || self.edges.iter().any(|e| {
-                        comp.contains(&e.from) && comp.contains(&e.to) && e.from != e.to
-                    });
+                return self.edges.iter().any(|e| e.from == node && e.to == node)
+                    || self
+                        .edges
+                        .iter()
+                        .any(|e| comp.contains(&e.from) && comp.contains(&e.to) && e.from != e.to);
             }
         }
         false
@@ -306,13 +319,22 @@ impl QuantGraph {
         }
         // Quant boxes.
         for n in &self.nodes {
-            if let NodeKind::Quant { var, range, constructed, .. } = &n.kind {
+            if let NodeKind::Quant {
+                var,
+                range,
+                constructed,
+                ..
+            } = &n.kind
+            {
                 let label = format!("EACH {var} IN {range}");
                 let width = label.len() + 2;
                 out.push('+');
                 out.push_str(&"-".repeat(width));
                 out.push_str("+\n");
-                out.push_str(&format!("| {label} |{}\n", if *constructed { "   (*)" } else { "" }));
+                out.push_str(&format!(
+                    "| {label} |{}\n",
+                    if *constructed { "   (*)" } else { "" }
+                ));
                 out.push('+');
                 out.push_str(&"-".repeat(width));
                 out.push_str("+\n");
@@ -413,14 +435,24 @@ mod tests {
         // Fig 3 content: a join arc f→b labelled back=head, an
         // interconnect arc b→head, attr-flow arcs for front and tail,
         // and a copy arc for branch 1.
-        let joins: Vec<&Edge> = g.edges.iter().filter(|e| e.kind == EdgeKind::Join).collect();
+        let joins: Vec<&Edge> = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Join)
+            .collect();
         assert_eq!(joins.len(), 1);
         assert!(joins[0].label.contains("f.back = b.head"));
-        let inter: Vec<&Edge> =
-            g.edges.iter().filter(|e| e.kind == EdgeKind::Interconnect).collect();
+        let inter: Vec<&Edge> = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Interconnect)
+            .collect();
         assert_eq!(inter.len(), 1);
-        let flows: Vec<&Edge> =
-            g.edges.iter().filter(|e| e.kind == EdgeKind::AttrFlow).collect();
+        let flows: Vec<&Edge> = g
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::AttrFlow)
+            .collect();
         assert_eq!(flows.len(), 3); // copy + front + tail
     }
 

@@ -45,8 +45,14 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(PrologError::StepBudgetExceeded { steps: 10 }.to_string().contains("10"));
-        assert!(PrologError::NotHornExpressible("NOT".into()).to_string().contains("NOT"));
-        assert!(PrologError::UnsafeClause("p(X)".into()).to_string().contains("p(X)"));
+        assert!(PrologError::StepBudgetExceeded { steps: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(PrologError::NotHornExpressible("NOT".into())
+            .to_string()
+            .contains("NOT"));
+        assert!(PrologError::UnsafeClause("p(X)".into())
+            .to_string()
+            .contains("p(X)"));
     }
 }

@@ -24,7 +24,10 @@ impl Clause {
 
     /// A fact.
     pub fn fact(head: Atom) -> Clause {
-        Clause { head, body: Vec::new() }
+        Clause {
+            head,
+            body: Vec::new(),
+        }
     }
 
     /// Safety check: every head variable must occur in the body (facts
@@ -128,7 +131,10 @@ impl Program {
             self.add_fact(clause.head.pred.clone(), args);
             return Ok(());
         }
-        self.rules.entry(clause.head.pred.clone()).or_default().push(clause);
+        self.rules
+            .entry(clause.head.pred.clone())
+            .or_default()
+            .push(clause);
         Ok(())
     }
 
@@ -238,7 +244,10 @@ mod tests {
     fn clause_display() {
         let c = Clause::rule(
             atom!("ahead"; var "X", var "Z"),
-            vec![atom!("e"; var "X", var "Y"), atom!("ahead"; var "Y", var "Z")],
+            vec![
+                atom!("e"; var "X", var "Y"),
+                atom!("ahead"; var "Y", var "Z"),
+            ],
         );
         assert_eq!(c.to_string(), "ahead(X, Z) :- e(X, Y), ahead(Y, Z).");
     }

@@ -28,7 +28,10 @@ pub struct SldConfig {
 
 impl Default for SldConfig {
     fn default() -> SldConfig {
-        SldConfig { max_depth: 10_000, max_steps: 500_000_000 }
+        SldConfig {
+            max_depth: 10_000,
+            max_steps: 500_000_000,
+        }
     }
 }
 
@@ -82,7 +85,9 @@ impl Machine<'_> {
 
     fn solve(&mut self, goals: &[Atom], subst: &Subst, depth: usize) -> Result<(), PrologError> {
         if self.stats.steps > self.cfg.max_steps {
-            return Err(PrologError::StepBudgetExceeded { steps: self.stats.steps });
+            return Err(PrologError::StepBudgetExceeded {
+                steps: self.stats.steps,
+            });
         }
         self.stats.max_depth_reached = self.stats.max_depth_reached.max(depth);
         let Some((goal, rest)) = goals.split_first() else {
@@ -153,7 +158,11 @@ pub fn solve(program: &Program, query: &Atom, cfg: &SldConfig) -> Result<SldResu
     };
     machine.solve(std::slice::from_ref(query), &Subst::new(), 0)?;
     let depth_bounded = machine.stats.depth_prunes > 0;
-    Ok(SldResult { answers: machine.answers, stats: machine.stats, depth_bounded })
+    Ok(SldResult {
+        answers: machine.answers,
+        stats: machine.stats,
+        depth_bounded,
+    })
 }
 
 #[cfg(test)]
@@ -190,17 +199,14 @@ mod tests {
         let r = solve(&p, &atom!("ahead"; var "X", var "Y"), &SldConfig::default()).unwrap();
         assert_eq!(r.answers.len(), 6); // 3+2+1 pairs
         assert!(!r.depth_bounded);
-        assert!(r
-            .answers
-            .contains(&vec![Value::str("a"), Value::str("d")]));
+        assert!(r.answers.contains(&vec![Value::str("a"), Value::str("d")]));
     }
 
     #[test]
     fn bound_query_uses_fewer_steps() {
         let p = ahead_program();
         let open = solve(&p, &atom!("ahead"; var "X", var "Y"), &SldConfig::default()).unwrap();
-        let bound =
-            solve(&p, &atom!("ahead"; val "a", var "Y"), &SldConfig::default()).unwrap();
+        let bound = solve(&p, &atom!("ahead"; val "a", var "Y"), &SldConfig::default()).unwrap();
         assert_eq!(bound.answers.len(), 3);
         assert!(bound.stats.steps < open.stats.steps);
     }
@@ -220,7 +226,10 @@ mod tests {
     fn cyclic_data_hits_depth_bound() {
         let mut p = ahead_program();
         p.add_fact("infront", vec![Value::str("d"), Value::str("a")]);
-        let cfg = SldConfig { max_depth: 64, max_steps: 10_000_000 };
+        let cfg = SldConfig {
+            max_depth: 64,
+            max_steps: 10_000_000,
+        };
         let r = solve(&p, &atom!("ahead"; var "X", var "Y"), &cfg).unwrap();
         // All 16 pairs are found before the bound bites, but branches
         // were pruned: PROLOG cannot know it is done.
@@ -232,7 +241,10 @@ mod tests {
     fn step_budget_enforced() {
         let mut p = ahead_program();
         p.add_fact("infront", vec![Value::str("d"), Value::str("a")]);
-        let cfg = SldConfig { max_depth: 1_000_000, max_steps: 1_000 };
+        let cfg = SldConfig {
+            max_depth: 1_000_000,
+            max_steps: 1_000,
+        };
         let err = solve(&p, &atom!("ahead"; var "X", var "Y"), &cfg).unwrap_err();
         assert!(matches!(err, PrologError::StepBudgetExceeded { .. }));
     }
@@ -277,8 +289,12 @@ mod tests {
             ],
         ))
         .unwrap();
-        let r =
-            solve(&p, &atom!("grandparent"; var "G", var "C"), &SldConfig::default()).unwrap();
+        let r = solve(
+            &p,
+            &atom!("grandparent"; var "G", var "C"),
+            &SldConfig::default(),
+        )
+        .unwrap();
         assert_eq!(r.answers.len(), 1);
         assert!(r
             .answers

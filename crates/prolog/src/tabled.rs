@@ -65,10 +65,7 @@ struct Tables {
 impl Tables {
     fn matches(&self, program: &Program, atom: &Atom, subst: &Subst) -> Vec<Vec<Value>> {
         // EDB facts (first-argument indexed) plus tabled answers.
-        let bound_first = atom
-            .args
-            .first()
-            .and_then(|t| subst.resolve(t));
+        let bound_first = atom.args.first().and_then(|t| subst.resolve(t));
         let mut out: Vec<Vec<Value>> = program
             .facts_for(&atom.pred, bound_first.as_ref())
             .into_iter()
@@ -132,7 +129,9 @@ fn eval_clause(
 pub fn solve(program: &Program, query: &Atom) -> Result<TabledResult, PrologError> {
     let mut stats = TabledStats::default();
     let preds = reachable_idb(program, &query.pred);
-    let mut tables = Tables { answers: FxHashMap::default() };
+    let mut tables = Tables {
+        answers: FxHashMap::default(),
+    };
     for p in &preds {
         tables.answers.insert(p.clone(), FxHashSet::default());
     }
@@ -174,8 +173,10 @@ pub fn solve(program: &Program, query: &Atom) -> Result<TabledResult, PrologErro
             .zip(&row)
             .all(|(t, v)| unify_terms(t, &Term::Const(v.clone()), &mut s));
         if ok {
-            let a: Option<Vec<Value>> =
-                qvars.iter().map(|v| s.resolve(&Term::Var(v.clone()))).collect();
+            let a: Option<Vec<Value>> = qvars
+                .iter()
+                .map(|v| s.resolve(&Term::Var(v.clone())))
+                .collect();
             if let Some(a) = a {
                 answers.insert(a);
             }
@@ -265,8 +266,10 @@ mod tests {
         ))
         .unwrap();
         let t = solve(&p, &atom!("even"; var "N")).unwrap();
-        let evens: FxHashSet<Vec<Value>> =
-            [0i64, 2, 4, 6].iter().map(|&i| vec![Value::Int(i)]).collect();
+        let evens: FxHashSet<Vec<Value>> = [0i64, 2, 4, 6]
+            .iter()
+            .map(|&i| vec![Value::Int(i)])
+            .collect();
         assert_eq!(t.answers, evens);
         assert_eq!(t.stats.tables, 2);
     }

@@ -61,7 +61,10 @@ pub struct Atom {
 impl Atom {
     /// Build an atom.
     pub fn new(pred: impl Into<String>, args: Vec<Term>) -> Atom {
-        Atom { pred: pred.into(), args }
+        Atom {
+            pred: pred.into(),
+            args,
+        }
     }
 
     /// Rename all variables with a standardisation-apart suffix.

@@ -52,7 +52,10 @@ impl TokenUnion {
         if ra == rb {
             return Ok(());
         }
-        match (self.constant.get(&ra).cloned(), self.constant.get(&rb).cloned()) {
+        match (
+            self.constant.get(&ra).cloned(),
+            self.constant.get(&rb).cloned(),
+        ) {
             (Some(x), Some(y)) if x != y => Err(PrologError::NotHornExpressible(format!(
                 "contradictory constants {x} and {y}"
             ))),
@@ -109,9 +112,7 @@ impl Schemas<'_> {
                     // predicate, named after the formal (lowercased by
                     // the caller via `base_pred`).
                     Ok((n.clone(), self.ctor.base_param.1.clone()))
-                } else if let Some((_, s)) =
-                    self.ctor.rel_params.iter().find(|(p, _)| p == n)
-                {
+                } else if let Some((_, s)) = self.ctor.rel_params.iter().find(|(p, _)| p == n) {
                     Ok((n.clone(), s.clone()))
                 } else {
                     // A free relation name: EDB predicate of that name.
@@ -124,14 +125,11 @@ impl Schemas<'_> {
                 let schema = if *constructor == self.ctor.name {
                     self.ctor.result.clone()
                 } else {
-                    self.peers
-                        .get(constructor)
-                        .cloned()
-                        .ok_or_else(|| {
-                            PrologError::NotHornExpressible(format!(
-                                "unknown peer constructor `{constructor}`"
-                            ))
-                        })?
+                    self.peers.get(constructor).cloned().ok_or_else(|| {
+                        PrologError::NotHornExpressible(format!(
+                            "unknown peer constructor `{constructor}`"
+                        ))
+                    })?
                 };
                 Ok((constructor.clone(), schema))
             }
@@ -161,10 +159,15 @@ pub fn translate_constructor(
         .get(&ctor.name)
         .cloned()
         .unwrap_or_else(|| ctor.name.clone());
-    let schemas = Schemas { ctor, peers: peer_results };
+    let schemas = Schemas {
+        ctor,
+        peers: peer_results,
+    };
     let mut clauses = Vec::new();
     for branch in &ctor.body.branches {
-        clauses.push(translate_branch(ctor, branch, &head_pred, pred_names, &schemas)?);
+        clauses.push(translate_branch(
+            ctor, branch, &head_pred, pred_names, &schemas,
+        )?);
     }
     Ok(clauses)
 }
@@ -188,16 +191,13 @@ fn translate_branch(
     let mut body: Vec<(String, Vec<String>)> = Vec::new();
 
     let add_binding = |uf: &mut TokenUnion,
-                           var_schemas: &mut FxHashMap<String, Schema>,
-                           body: &mut Vec<(String, Vec<String>)>,
-                           var: &str,
-                           range: &RangeExpr|
+                       var_schemas: &mut FxHashMap<String, Schema>,
+                       body: &mut Vec<(String, Vec<String>)>,
+                       var: &str,
+                       range: &RangeExpr|
      -> Result<(), PrologError> {
         let (range_name, schema) = schemas.of_range(range)?;
-        let pred = pred_names
-            .get(&range_name)
-            .cloned()
-            .unwrap_or(range_name);
+        let pred = pred_names.get(&range_name).cloned().unwrap_or(range_name);
         let tokens: Vec<String> = (0..schema.arity()).map(|i| token(var, i)).collect();
         let _ = uf; // tokens are fresh; nothing to union yet
         var_schemas.insert(var.to_string(), schema);
@@ -210,7 +210,14 @@ fn translate_branch(
     }
 
     // Resolve the predicate into equalities over tokens.
-    collect_equalities(&branch.predicate, &mut uf, &mut var_schemas, &mut body, pred_names, schemas)?;
+    collect_equalities(
+        &branch.predicate,
+        &mut uf,
+        &mut var_schemas,
+        &mut body,
+        pred_names,
+        schemas,
+    )?;
 
     // Head.
     let head_args: Vec<Term> = match &branch.target {
@@ -218,7 +225,9 @@ fn translate_branch(
             let schema = var_schemas
                 .get(v)
                 .ok_or_else(|| PrologError::NotHornExpressible(format!("unbound `{v}`")))?;
-            (0..schema.arity()).map(|i| uf.term_of(&token(v, i))).collect()
+            (0..schema.arity())
+                .map(|i| uf.term_of(&token(v, i)))
+                .collect()
         }
         Target::Tuple(exprs) => {
             let mut args = Vec::with_capacity(exprs.len());
@@ -232,9 +241,7 @@ fn translate_branch(
 
     let body_atoms: Vec<Atom> = body
         .into_iter()
-        .map(|(pred, tokens)| {
-            Atom::new(pred, tokens.iter().map(|t| uf.term_of(t)).collect())
-        })
+        .map(|(pred, tokens)| Atom::new(pred, tokens.iter().map(|t| uf.term_of(t)).collect()))
         .collect();
 
     let clause = Clause::rule(head, body_atoms);
@@ -332,10 +339,7 @@ enum EqSide {
     Const(Value),
 }
 
-fn eq_side(
-    e: &ScalarExpr,
-    var_schemas: &FxHashMap<String, Schema>,
-) -> Result<EqSide, PrologError> {
+fn eq_side(e: &ScalarExpr, var_schemas: &FxHashMap<String, Schema>) -> Result<EqSide, PrologError> {
     match e {
         ScalarExpr::Const(v) => Ok(EqSide::Const(v.clone())),
         ScalarExpr::Attr(var, attr) => {
@@ -407,7 +411,10 @@ mod tests {
         let clauses =
             translate_constructor(&ahead_ctor(), &pred_map(), &FxHashMap::default()).unwrap();
         assert_eq!(clauses.len(), 2);
-        assert_eq!(clauses[0].to_string(), "ahead(r_0, r_1) :- infront(r_0, r_1).");
+        assert_eq!(
+            clauses[0].to_string(),
+            "ahead(r_0, r_1) :- infront(r_0, r_1)."
+        );
         // The join variable is unified: f_1 and b_0 share one
         // representative.
         let c1 = clauses[1].to_string();
@@ -516,7 +523,11 @@ mod tests {
             Err(PrologError::NotHornExpressible(_))
         ));
         // Universal quantification.
-        let univ = mk(all("x", rel("Rel"), eq(attr("x", "front"), attr("r", "front"))));
+        let univ = mk(all(
+            "x",
+            rel("Rel"),
+            eq(attr("x", "front"), attr("r", "front")),
+        ));
         assert!(translate_constructor(&univ, &names, &FxHashMap::default()).is_err());
         // Order comparison.
         let cmp = mk(lt(attr("r", "front"), cnst("x")));

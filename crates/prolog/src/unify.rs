@@ -93,7 +93,10 @@ pub fn unify_atoms(a: &Atom, b: &Atom, subst: &mut Subst) -> bool {
     if a.pred != b.pred || a.args.len() != b.args.len() {
         return false;
     }
-    a.args.iter().zip(&b.args).all(|(x, y)| unify_terms(x, y, subst))
+    a.args
+        .iter()
+        .zip(&b.args)
+        .all(|(x, y)| unify_terms(x, y, subst))
 }
 
 #[cfg(test)]

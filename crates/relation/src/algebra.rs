@@ -14,7 +14,9 @@ use crate::relation::Relation;
 /// union-compatible. Key constraints of the result schema are enforced.
 pub fn union(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
     if !left.schema().union_compatible(right.schema()) {
-        return Err(RelationError::Incompatible { context: "union".into() });
+        return Err(RelationError::Incompatible {
+            context: "union".into(),
+        });
     }
     let mut out = left.clone();
     for t in right.iter() {
@@ -28,7 +30,9 @@ pub fn union(left: &Relation, right: &Relation) -> Result<Relation, RelationErro
 /// fixpoint iteration.
 pub fn union_into(left: &mut Relation, right: &Relation) -> Result<usize, RelationError> {
     if !left.schema().union_compatible(right.schema()) {
-        return Err(RelationError::Incompatible { context: "union".into() });
+        return Err(RelationError::Incompatible {
+            context: "union".into(),
+        });
     }
     let mut added = 0;
     for t in right.iter() {
@@ -42,7 +46,9 @@ pub fn union_into(left: &mut Relation, right: &Relation) -> Result<usize, Relati
 /// `left ∖ right` (difference). Used to compute semi-naive deltas.
 pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
     if !left.schema().union_compatible(right.schema()) {
-        return Err(RelationError::Incompatible { context: "difference".into() });
+        return Err(RelationError::Incompatible {
+            context: "difference".into(),
+        });
     }
     let mut out = Relation::new(left.schema().clone());
     for t in left.iter() {
@@ -56,9 +62,15 @@ pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, Relatio
 /// `left ∩ right` (intersection).
 pub fn intersection(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
     if !left.schema().union_compatible(right.schema()) {
-        return Err(RelationError::Incompatible { context: "intersection".into() });
+        return Err(RelationError::Incompatible {
+            context: "intersection".into(),
+        });
     }
-    let (small, large) = if left.len() <= right.len() { (left, right) } else { (right, left) };
+    let (small, large) = if left.len() <= right.len() {
+        (left, right)
+    } else {
+        (right, left)
+    };
     let mut out = Relation::new(left.schema().clone());
     for t in small.iter() {
         if large.contains(t) {

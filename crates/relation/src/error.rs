@@ -32,7 +32,11 @@ impl fmt::Display for RelationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RelationError::Type(e) => write!(f, "{e}"),
-            RelationError::KeyViolation { key, existing, incoming } => write!(
+            RelationError::KeyViolation {
+                key,
+                existing,
+                incoming,
+            } => write!(
                 f,
                 "key violation: key {key} maps to both {existing} and {incoming}"
             ),
@@ -71,8 +75,11 @@ mod tests {
             incoming: tuple!["k", 2i64],
         };
         assert!(e.to_string().contains("key violation"));
-        let t: RelationError =
-            TypeError::ArityMismatch { expected: 1, actual: 2 }.into();
+        let t: RelationError = TypeError::ArityMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
         assert!(t.to_string().contains("arity"));
     }
 }

@@ -32,7 +32,11 @@ impl Relation {
     /// The empty relation over `schema`.
     pub fn new(schema: Schema) -> Relation {
         let key_map = schema.has_proper_key().then(FxHashMap::default);
-        Relation { schema, tuples: FxHashSet::default(), key_map }
+        Relation {
+            schema,
+            tuples: FxHashSet::default(),
+            key_map,
+        }
     }
 
     /// Build a relation from tuples, checking each against the schema
@@ -144,7 +148,9 @@ impl Relation {
     /// relation's key constraint are enforced.
     pub fn assign(&mut self, source: &Relation) -> Result<(), RelationError> {
         if !self.schema.union_compatible(source.schema()) {
-            return Err(RelationError::Incompatible { context: "assignment".into() });
+            return Err(RelationError::Incompatible {
+                context: "assignment".into(),
+            });
         }
         let mut staged = Relation::new(self.schema.clone());
         for t in source.iter() {

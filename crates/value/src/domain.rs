@@ -64,7 +64,10 @@ impl Domain {
     /// subtype assignment (§2.1).
     pub fn check(&self, value: &Value) -> Result<(), TypeError> {
         if !self.admits_base(value) {
-            return Err(TypeError::DomainMismatch { expected: self.clone(), value: value.clone() });
+            return Err(TypeError::DomainMismatch {
+                expected: self.clone(),
+                value: value.clone(),
+            });
         }
         let in_range = match (self, value) {
             (Domain::IntRange(lo, hi), Value::Int(v)) => lo <= v && v <= hi,
@@ -74,7 +77,10 @@ impl Domain {
         if in_range {
             Ok(())
         } else {
-            Err(TypeError::RangeViolation { expected: self.clone(), value: value.clone() })
+            Err(TypeError::RangeViolation {
+                expected: self.clone(),
+                value: value.clone(),
+            })
         }
     }
 

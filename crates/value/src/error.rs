@@ -89,7 +89,10 @@ impl fmt::Display for TypeError {
                 write!(f, "value {value} violates range constraint of {expected}")
             }
             TypeError::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {actual} does not match schema arity {expected}"
+                )
             }
             TypeError::UnknownAttribute { name } => {
                 write!(f, "unknown attribute `{name}`")
@@ -115,9 +118,14 @@ mod tests {
             rhs: Value::Str("a".into()),
         };
         assert!(e.to_string().contains('+'));
-        let t = TypeError::ArityMismatch { expected: 2, actual: 3 };
+        let t = TypeError::ArityMismatch {
+            expected: 2,
+            actual: 3,
+        };
         assert!(t.to_string().contains('3'));
-        let u = TypeError::UnknownAttribute { name: "front".into() };
+        let u = TypeError::UnknownAttribute {
+            name: "front".into(),
+        };
         assert!(u.to_string().contains("front"));
     }
 }

@@ -26,7 +26,10 @@ pub struct Attribute {
 impl Attribute {
     /// Build an attribute.
     pub fn new(name: impl Into<String>, domain: Domain) -> Attribute {
-        Attribute { name: name.into(), domain }
+        Attribute {
+            name: name.into(),
+            domain,
+        }
     }
 }
 
@@ -50,7 +53,12 @@ impl Schema {
     /// Build a schema with no designated key (set semantics: the whole
     /// tuple identifies the element).
     pub fn new(attributes: Vec<Attribute>) -> Schema {
-        Schema { inner: Arc::new(SchemaInner { attributes, key: Vec::new() }) }
+        Schema {
+            inner: Arc::new(SchemaInner {
+                attributes,
+                key: Vec::new(),
+            }),
+        }
     }
 
     /// Build a schema with the named key attributes
@@ -61,15 +69,24 @@ impl Schema {
             let pos = attributes
                 .iter()
                 .position(|a| a.name == *name)
-                .ok_or_else(|| TypeError::UnknownAttribute { name: (*name).to_string() })?;
+                .ok_or_else(|| TypeError::UnknownAttribute {
+                    name: (*name).to_string(),
+                })?;
             key.push(pos);
         }
-        Ok(Schema { inner: Arc::new(SchemaInner { attributes, key }) })
+        Ok(Schema {
+            inner: Arc::new(SchemaInner { attributes, key }),
+        })
     }
 
     /// Convenience constructor: attributes from `(name, domain)` pairs.
     pub fn of(pairs: &[(&str, Domain)]) -> Schema {
-        Schema::new(pairs.iter().map(|(n, d)| Attribute::new(*n, d.clone())).collect())
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, d)| Attribute::new(*n, d.clone()))
+                .collect(),
+        )
     }
 
     /// Number of attributes.
@@ -99,7 +116,9 @@ impl Schema {
             .attributes
             .iter()
             .position(|a| a.name == name)
-            .ok_or_else(|| TypeError::UnknownAttribute { name: name.to_string() })
+            .ok_or_else(|| TypeError::UnknownAttribute {
+                name: name.to_string(),
+            })
     }
 
     /// Domain of the attribute at `pos`.
@@ -120,7 +139,10 @@ impl Schema {
     /// Check a tuple against the schema: arity and per-field domains.
     pub fn check_tuple(&self, tuple: &Tuple) -> Result<(), TypeError> {
         if tuple.arity() != self.arity() {
-            return Err(TypeError::ArityMismatch { expected: self.arity(), actual: tuple.arity() });
+            return Err(TypeError::ArityMismatch {
+                expected: self.arity(),
+                actual: tuple.arity(),
+            });
         }
         for (i, attr) in self.inner.attributes.iter().enumerate() {
             attr.domain.check(tuple.get(i))?;
@@ -247,7 +269,10 @@ mod tests {
     #[test]
     fn display_contains_names() {
         let s = Schema::with_key(
-            vec![Attribute::new("part", Domain::Str), Attribute::new("w", Domain::Int)],
+            vec![
+                Attribute::new("part", Domain::Str),
+                Attribute::new("w", Domain::Int),
+            ],
             &["part"],
         )
         .unwrap();

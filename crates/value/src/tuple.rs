@@ -18,12 +18,16 @@ pub struct Tuple {
 impl Tuple {
     /// Build a tuple from values.
     pub fn new(fields: impl Into<Vec<Value>>) -> Tuple {
-        Tuple { fields: Arc::from(fields.into()) }
+        Tuple {
+            fields: Arc::from(fields.into()),
+        }
     }
 
     /// The empty tuple (arity 0).
     pub fn empty() -> Tuple {
-        Tuple { fields: Arc::from(Vec::new()) }
+        Tuple {
+            fields: Arc::from(Vec::new()),
+        }
     }
 
     /// Number of fields.
@@ -43,7 +47,12 @@ impl Tuple {
 
     /// Project onto the given positions, producing a new tuple.
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple::new(positions.iter().map(|&i| self.fields[i].clone()).collect::<Vec<_>>())
+        Tuple::new(
+            positions
+                .iter()
+                .map(|&i| self.fields[i].clone())
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Concatenate two tuples (used by join targets).
@@ -76,6 +85,16 @@ impl fmt::Display for Tuple {
 impl From<Vec<Value>> for Tuple {
     fn from(v: Vec<Value>) -> Tuple {
         Tuple::new(v)
+    }
+}
+
+/// Tuples borrow as value slices, so hash maps keyed by `Tuple` can be
+/// probed with a scratch `&[Value]` — no per-probe `Tuple` (and `Arc`)
+/// allocation on join hot paths. Sound because the derived `Hash`/`Eq`
+/// of `Tuple` delegate to the field slice.
+impl std::borrow::Borrow<[Value]> for Tuple {
+    fn borrow(&self) -> &[Value] {
+        self.fields()
     }
 }
 

@@ -217,7 +217,8 @@ impl Ord for Value {
                 Value::Bool(_) => 3,
             }
         }
-        self.try_cmp(other).unwrap_or_else(|| rank(self).cmp(&rank(other)))
+        self.try_cmp(other)
+            .unwrap_or_else(|| rank(self).cmp(&rank(other)))
     }
 }
 
@@ -262,14 +263,26 @@ mod tests {
 
     #[test]
     fn division_by_zero() {
-        assert_eq!(Value::Int(1).div(&Value::Int(0)), Err(ValueError::DivisionByZero));
-        assert_eq!(Value::Card(1).rem(&Value::Card(0)), Err(ValueError::DivisionByZero));
+        assert_eq!(
+            Value::Int(1).div(&Value::Int(0)),
+            Err(ValueError::DivisionByZero)
+        );
+        assert_eq!(
+            Value::Card(1).rem(&Value::Card(0)),
+            Err(ValueError::DivisionByZero)
+        );
     }
 
     #[test]
     fn overflow_detected() {
-        assert_eq!(Value::Int(i64::MAX).add(&Value::Int(1)), Err(ValueError::Overflow));
-        assert_eq!(Value::Card(u64::MAX).mul(&Value::Card(2)), Err(ValueError::Overflow));
+        assert_eq!(
+            Value::Int(i64::MAX).add(&Value::Int(1)),
+            Err(ValueError::Overflow)
+        );
+        assert_eq!(
+            Value::Card(u64::MAX).mul(&Value::Card(2)),
+            Err(ValueError::Overflow)
+        );
     }
 
     #[test]
@@ -289,7 +302,10 @@ mod tests {
     #[test]
     fn comparisons() {
         assert_eq!(Value::Int(1).try_cmp(&Value::Int(2)), Some(Ordering::Less));
-        assert_eq!(Value::str("a").try_cmp(&Value::str("b")), Some(Ordering::Less));
+        assert_eq!(
+            Value::str("a").try_cmp(&Value::str("b")),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Int(1).try_cmp(&Value::Card(1)), None);
     }
 

@@ -5,9 +5,7 @@
 //! so they plug directly into the `ahead` constructor and the Horn
 //! clause `infront/2`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::SplitMix64;
 use dc_relation::Relation;
 use dc_value::{tuple, Domain, Schema};
 
@@ -96,14 +94,14 @@ pub fn complete_binary_tree(depth: usize) -> Relation {
 /// A seeded random digraph: `n` nodes, ~`n * avg_degree` edges, no
 /// self-loops, duplicates deduplicated by set semantics.
 pub fn random_graph(n: usize, avg_degree: f64, seed: u64) -> Relation {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let target_edges = (n as f64 * avg_degree) as usize;
     let mut rel = Relation::new(edge_schema());
     let mut attempts = 0;
     while rel.len() < target_edges && attempts < target_edges * 20 {
         attempts += 1;
-        let a = rng.gen_range(0..n);
-        let b = rng.gen_range(0..n);
+        let a = rng.below(n as u64) as usize;
+        let b = rng.below(n as u64) as usize;
         if a == b {
             continue;
         }

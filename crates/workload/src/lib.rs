@@ -7,6 +7,7 @@
 //! predicates. All generators are seeded and reproducible.
 
 pub mod graphs;
+pub mod rng;
 pub mod scenes;
 
 pub use graphs::{chain, complete_binary_tree, cycle, diamond_ladder, grid, random_graph};

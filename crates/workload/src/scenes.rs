@@ -1,7 +1,6 @@
 //! CAD-flavoured scenes and bill-of-materials workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 use dc_relation::Relation;
 use dc_value::{tuple, Domain, Schema};
@@ -36,7 +35,7 @@ pub fn ontop_schema() -> Schema {
 /// front of one another, plus one stacked object per `stack_every`
 /// positions. Deterministic for a given seed.
 pub fn scene(rows: usize, depth: usize, stack_every: usize, seed: u64) -> Scene {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let infront_schema = Schema::of(&[("front", Domain::Str), ("back", Domain::Str)]);
     let mut objects = Relation::new(objects_schema());
     let mut infront = Relation::new(infront_schema);
@@ -44,7 +43,9 @@ pub fn scene(rows: usize, depth: usize, stack_every: usize, seed: u64) -> Scene 
     for r in 0..rows {
         for d in 0..depth {
             let name = format!("obj_{r}_{d}");
-            objects.insert(tuple![name.clone()]).expect("unique object names");
+            objects
+                .insert(tuple![name.clone()])
+                .expect("unique object names");
             if d + 1 < depth {
                 infront
                     .insert(tuple![name.clone(), format!("obj_{r}_{}", d + 1)])
@@ -52,14 +53,16 @@ pub fn scene(rows: usize, depth: usize, stack_every: usize, seed: u64) -> Scene 
             }
             if stack_every > 0 && d % stack_every == 0 {
                 let item = format!("item_{r}_{d}");
-                objects.insert(tuple![item.clone()]).expect("unique item names");
+                objects
+                    .insert(tuple![item.clone()])
+                    .expect("unique item names");
                 ontop.insert(tuple![item, name]).expect("valid stack");
             }
         }
         // A few random cross-row relations for irregularity.
         if rows > 1 && depth > 1 {
-            let d = rng.gen_range(0..depth - 1);
-            let r2 = rng.gen_range(0..rows);
+            let d = rng.below((depth - 1) as u64) as usize;
+            let r2 = rng.below((rows) as u64) as usize;
             if r2 != r {
                 let _ = infront.insert(tuple![
                     format!("obj_{r}_{d}"),
@@ -68,14 +71,18 @@ pub fn scene(rows: usize, depth: usize, stack_every: usize, seed: u64) -> Scene 
             }
         }
     }
-    Scene { objects, infront, ontop }
+    Scene {
+        objects,
+        infront,
+        ontop,
+    }
 }
 
 /// A bill-of-materials: assemblies containing sub-parts,
 /// `(assembly, component)` edges forming a DAG of the given depth and
 /// fan-out. The classic recursive-query workload (parts explosion).
 pub fn bill_of_materials(depth: usize, fanout: usize, seed: u64) -> Relation {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let schema = Schema::of(&[("assembly", Domain::Str), ("component", Domain::Str)]);
     let mut rel = Relation::new(schema);
     let mut level = vec!["root".to_string()];
@@ -86,8 +93,8 @@ pub fn bill_of_materials(depth: usize, fanout: usize, seed: u64) -> Relation {
             for _ in 0..fanout {
                 // Occasionally share a component across assemblies
                 // (DAG, not tree).
-                let child = if d > 0 && !next.is_empty() && rng.gen_bool(0.2) {
-                    next[rng.gen_range(0..next.len())].clone()
+                let child = if d > 0 && !next.is_empty() && rng.below(5) == 0 {
+                    next[rng.below(next.len() as u64) as usize].clone()
                 } else {
                     counter += 1;
                     let c = format!("part{counter}");
@@ -146,8 +153,10 @@ mod tests {
         let bom = bill_of_materials(3, 2, 13);
         assert!(!bom.is_empty());
         // Root has fanout children.
-        let root_children =
-            bom.iter().filter(|t| t.get(0).as_str() == Some("root")).count();
+        let root_children = bom
+            .iter()
+            .filter(|t| t.get(0).as_str() == Some("root"))
+            .count();
         assert_eq!(root_children, 2);
         // No part contains itself (acyclicity smoke check via names).
         for t in bom.iter() {

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = db.eval(&q)?;
     println!("transitive containment: {} pairs", full.len());
     let stats = db.last_fixpoint_stats().unwrap();
-    println!("  fixpoint: {} iterations ({:?})", stats.iterations, stats.strategy);
+    println!(
+        "  fixpoint: {} iterations ({:?})",
+        stats.iterations, stats.strategy
+    );
 
     // 2. Compiled plan via capture rules — must agree exactly.
     let plan = dc_optimizer::compile::compile_query(&db, &q)?;
@@ -90,10 +93,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A logical access path with a parameter hole, upgraded to a
     // physical access path (materialised + partitioned) after heavy
     // use (§4's policy).
-    let logical = LogicalAccessPath::new(
-        capture::bound_plan_param(&ctor, &shape, bom.clone(), 0),
-        1,
-    );
+    let logical =
+        LogicalAccessPath::new(capture::bound_plan_param(&ctor, &shape, bom.clone(), 0), 1);
     let manager = AccessPathManager::new(
         logical,
         capture::full_plan(&ctor, &shape, bom.clone()),
@@ -108,7 +109,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  lookup {i} ({seed}): {} components [{}]",
             answer.len(),
-            if manager.is_materialized() { "physical" } else { "logical" }
+            if manager.is_materialized() {
+                "physical"
+            } else {
+                "logical"
+            }
         );
     }
     assert!(manager.is_materialized());
@@ -116,5 +121,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

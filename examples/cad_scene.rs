@@ -32,8 +32,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name: "refint".into(),
             element_var: "r".into(),
             params: vec![],
-            predicate: some("o1", rel("Objects"), eq(attr("r", "front"), attr("o1", "part")))
-                .and(some("o2", rel("Objects"), eq(attr("r", "back"), attr("o2", "part")))),
+            predicate: some(
+                "o1",
+                rel("Objects"),
+                eq(attr("r", "front"), attr("o1", "part")),
+            )
+            .and(some(
+                "o2",
+                rel("Objects"),
+                eq(attr("r", "back"), attr("o2", "part")),
+            )),
         },
         paper::infrontrel(),
     )?;
@@ -45,13 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![tuple!["table", "chair"], tuple!["lamp", "vase"]],
     )?;
     db.assign_selected("Infront", "refint", &[], &facts)?;
-    println!("Infront (after guarded assignment) = {}", db.relation_ref("Infront")?);
+    println!(
+        "Infront (after guarded assignment) = {}",
+        db.relation_ref("Infront")?
+    );
 
     // …and a dangling reference raises the paper's <exception>.
-    let bad = dc_relation::Relation::from_tuples(
-        paper::infrontrel(),
-        vec![tuple!["ghost", "chair"]],
-    )?;
+    let bad =
+        dc_relation::Relation::from_tuples(paper::infrontrel(), vec![tuple!["ghost", "chair"]])?;
     match db.assign_selected("Infront", "refint", &[], &bad) {
         Err(e) => println!("rejected as expected: {e}"),
         Ok(()) => unreachable!("refint must reject the ghost"),

@@ -9,7 +9,8 @@ use dc_core::paper;
 fn empty_base_everywhere() {
     let mut db = Database::new();
     db.create_relation("Infront", paper::infrontrel()).unwrap();
-    db.define_selector(paper::hidden_by(), paper::infrontrel()).unwrap();
+    db.define_selector(paper::hidden_by(), paper::infrontrel())
+        .unwrap();
     db.define_constructor(paper::ahead()).unwrap();
     // Constructor over empty base.
     let out = db.eval(&rel("Infront").construct("ahead", vec![])).unwrap();
@@ -85,9 +86,12 @@ fn keyed_result_type_conflict_detected() {
     let mut db = Database::new();
     db.create_relation("Infront", paper::infrontrel()).unwrap();
     // A chain derives (a,b) and (a,c): two tuples sharing the key `a`.
-    db.insert_all("Infront", vec![tuple!["a", "b"], tuple!["b", "c"]]).unwrap();
+    db.insert_all("Infront", vec![tuple!["a", "b"], tuple!["b", "c"]])
+        .unwrap();
     db.define_constructor(ctor).unwrap();
-    let err = db.eval(&rel("Infront").construct("ahead", vec![])).unwrap_err();
+    let err = db
+        .eval(&rel("Infront").construct("ahead", vec![]))
+        .unwrap_err();
     assert!(err.to_string().contains("key violation"), "{err}");
 }
 
@@ -99,7 +103,8 @@ fn results_deterministic_across_runs() {
     let mut previous: Option<Vec<Tuple>> = None;
     for _ in 0..3 {
         let mut db = Database::new();
-        db.create_relation("Infront", base.schema().clone()).unwrap();
+        db.create_relation("Infront", base.schema().clone())
+            .unwrap();
         for t in base.iter() {
             db.insert("Infront", t.clone()).unwrap();
         }
@@ -169,7 +174,8 @@ fn scalar_args_distinguish_applications() {
     };
     let mut db = Database::new();
     db.create_relation("N", numrel).unwrap();
-    db.insert_all("N", (0..10).map(|i| tuple![i as i64])).unwrap();
+    db.insert_all("N", (0..10).map(|i| tuple![i as i64]))
+        .unwrap();
     db.define_constructor(below).unwrap();
     let four = db
         .eval(&rel("N").construct_with("below", vec![], vec![cnst(4i64)]))

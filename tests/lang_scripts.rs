@@ -51,8 +51,7 @@ fn selector_parameters_from_script() {
         "#,
     )
     .unwrap();
-    let results =
-        run_script(&mut db, r#"QUERY Infront[between("a", "p")];"#).unwrap();
+    let results = run_script(&mut db, r#"QUERY Infront[between("a", "p")];"#).unwrap();
     assert_eq!(results[0].relation.len(), 2);
     assert!(!results[0].relation.contains(&tuple!["z", "a"]));
 }
@@ -153,7 +152,10 @@ fn syntax_odds_and_ends() {
         "#,
     )
     .unwrap();
-    assert!(db.relation_ref("R").unwrap().contains(&tuple![-3i64, 4i64, "p"]));
+    assert!(db
+        .relation_ref("R")
+        .unwrap()
+        .contains(&tuple![-3i64, 4i64, "p"]));
     // Range violation caught at insert.
     let err = run_script(&mut db, "INSERT R <9, 0, \"q\">;").unwrap_err();
     assert!(err.to_string().contains("range"), "{err}");

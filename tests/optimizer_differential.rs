@@ -15,9 +15,12 @@ fn scene_db() -> Database {
     for t in base.iter() {
         db.insert("Infront", t.clone()).unwrap();
     }
-    db.create_relation("N", Schema::of(&[("n", Domain::Int)])).unwrap();
-    db.insert_all("N", (0..8).map(|i| tuple![i as i64])).unwrap();
-    db.define_selector(paper::hidden_by(), paper::infrontrel()).unwrap();
+    db.create_relation("N", Schema::of(&[("n", Domain::Int)]))
+        .unwrap();
+    db.insert_all("N", (0..8).map(|i| tuple![i as i64]))
+        .unwrap();
+    db.define_selector(paper::hidden_by(), paper::infrontrel())
+        .unwrap();
     db.define_constructor(paper::ahead()).unwrap();
     db.define_constructor(paper::ahead2()).unwrap();
     db
@@ -77,11 +80,15 @@ fn query_battery_plans() {
         set_former(vec![Branch::each(
             "r",
             rel("Infront"),
-            some("x", rel("Infront"), eq(attr("x", "front"), attr("r", "back")))
-                .and(not(tuple_in(
-                    vec![attr("r", "back"), attr("r", "front")],
-                    rel("Infront"),
-                ))),
+            some(
+                "x",
+                rel("Infront"),
+                eq(attr("x", "front"), attr("r", "back")),
+            )
+            .and(not(tuple_in(
+                vec![attr("r", "back"), attr("r", "front")],
+                rel("Infront"),
+            ))),
         )]),
     ];
     for q in &queries {
@@ -121,7 +128,11 @@ fn three_level_pipeline() {
     // Level 1: partitioning.
     let ctors = vec![paper::ahead(), paper::ahead2()];
     let parts = partition_by_names(&ctors);
-    assert_eq!(parts.len(), 2, "ahead and ahead2 are independent: {parts:?}");
+    assert_eq!(
+        parts.len(),
+        2,
+        "ahead and ahead2 are independent: {parts:?}"
+    );
 
     // Level 2: recursion detection per definition.
     let g_rec = QuantGraph::augmented(&paper::ahead());
@@ -132,14 +143,10 @@ fn three_level_pipeline() {
     // Level 3: the recursive one compiles to a fixpoint plan, the
     // non-recursive one fully decompiles (inlines) to base relations.
     let db = scene_db();
-    let rec_plan =
-        compile::compile_query(&db, &rel("Infront").construct("ahead", vec![])).unwrap();
+    let rec_plan = compile::compile_query(&db, &rel("Infront").construct("ahead", vec![])).unwrap();
     assert!(rec_plan.explain().contains("FixpointLinear"));
-    let inlined = nesting::inline_applications(
-        &db,
-        &rel("Infront").construct("ahead2", vec![]),
-    )
-    .unwrap();
+    let inlined =
+        nesting::inline_applications(&db, &rel("Infront").construct("ahead2", vec![])).unwrap();
     assert!(matches!(inlined, RangeExpr::SetFormer(_)));
 }
 

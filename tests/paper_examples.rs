@@ -43,7 +43,9 @@ fn section_2_3_ahead2_expression() {
 fn section_2_3_ahead2_constructor() {
     let mut db = scene_db();
     db.define_constructor(paper::ahead2()).unwrap();
-    let out = db.eval(&rel("Infront").construct("ahead2", vec![])).unwrap();
+    let out = db
+        .eval(&rel("Infront").construct("ahead2", vec![]))
+        .unwrap();
     assert_eq!(out.len(), 5);
 }
 
@@ -78,7 +80,8 @@ fn section_3_1_ahead_is_the_limit_of_ahead_n() {
 #[test]
 fn section_3_1_hidden_by_composition() {
     let mut db = scene_db();
-    db.define_selector(paper::hidden_by(), paper::infrontrel()).unwrap();
+    db.define_selector(paper::hidden_by(), paper::infrontrel())
+        .unwrap();
     db.define_constructor(paper::ahead()).unwrap();
     let out = db
         .eval(
@@ -99,7 +102,8 @@ fn section_3_1_mutual_recursion_scene() {
     db.create_relation("Ontop", paper::ontoprel()).unwrap();
     db.insert("Infront", tuple!["table", "chair"]).unwrap();
     db.insert("Ontop", tuple!["vase", "table"]).unwrap();
-    db.define_constructors(vec![paper::ahead_mutual(), paper::above()]).unwrap();
+    db.define_constructors(vec![paper::ahead_mutual(), paper::above()])
+        .unwrap();
 
     // "we would say that a vase is ahead of a chair if the vase is on
     // top of a table which is in front of the chair"
@@ -121,7 +125,8 @@ fn section_3_2_strategies_agree_on_random_graphs() {
         for strategy in [dc_core::Strategy::Naive, dc_core::Strategy::SemiNaive] {
             let mut db = Database::new();
             db.set_strategy(strategy);
-            db.create_relation("Infront", base.schema().clone()).unwrap();
+            db.create_relation("Infront", base.schema().clone())
+                .unwrap();
             for t in base.iter() {
                 db.insert("Infront", t.clone()).unwrap();
             }
@@ -156,8 +161,11 @@ fn section_3_3_strange() {
     assert!(db.define_constructor(paper::strange()).is_err());
     db.define_constructor_unchecked(paper::strange()).unwrap();
     let out = db.eval(&rel("Card").construct("strange", vec![])).unwrap();
-    let nums: Vec<u64> =
-        out.sorted_tuples().iter().map(|t| t.get(0).as_card().unwrap()).collect();
+    let nums: Vec<u64> = out
+        .sorted_tuples()
+        .iter()
+        .map(|t| t.get(0).as_card().unwrap())
+        .collect();
     assert_eq!(nums, vec![0, 2, 4, 6]);
 }
 
@@ -174,7 +182,8 @@ fn section_3_4_prolog_equivalence() {
         dc_workload::complete_binary_tree(4),
     ] {
         let mut db = Database::new();
-        db.create_relation("Infront", base.schema().clone()).unwrap();
+        db.create_relation("Infront", base.schema().clone())
+            .unwrap();
         for t in base.iter() {
             db.insert("Infront", t.clone()).unwrap();
         }

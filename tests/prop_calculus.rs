@@ -24,16 +24,28 @@ fn formula_strategy(scope: Vec<String>, depth: u32) -> BoxedStrategy<Formula> {
             Just(Formula::True),
             Just(Formula::False),
             // var.attr op var.attr
-            (0..scope_cmp.len(), 0..2usize, 0..scope_cmp.len(), 0..2usize, 0..6usize).prop_map(
-                move |(v1, a1, v2, a2, op)| {
-                    let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+            (
+                0..scope_cmp.len(),
+                0..2usize,
+                0..scope_cmp.len(),
+                0..2usize,
+                0..6usize
+            )
+                .prop_map(move |(v1, a1, v2, a2, op)| {
+                    let ops = [
+                        CmpOp::Eq,
+                        CmpOp::Ne,
+                        CmpOp::Lt,
+                        CmpOp::Le,
+                        CmpOp::Gt,
+                        CmpOp::Ge,
+                    ];
                     Formula::Cmp(
                         attr(scope_cmp[v1].clone(), attrs[a1]),
                         ops[op],
                         attr(scope_cmp[v2].clone(), attrs[a2]),
                     )
-                }
-            ),
+                }),
             // var.attr = const
             (0..scope_const.len(), 0..2usize, 0u8..4).prop_map(move |(v, a, c)| {
                 Formula::Cmp(
@@ -43,7 +55,8 @@ fn formula_strategy(scope: Vec<String>, depth: u32) -> BoxedStrategy<Formula> {
                 )
             }),
             // membership of a bound var
-            (0..scope_member.len()).prop_map(move |v| member(scope_member[v].clone(), rel("Infront"))),
+            (0..scope_member.len())
+                .prop_map(move |v| member(scope_member[v].clone(), rel("Infront"))),
         ]
     };
     if depth == 0 {
@@ -92,7 +105,11 @@ fn edges_strategy() -> impl Strategy<Value = Relation> {
 fn eval_query(base: &Relation, f: &Formula) -> Result<Relation, dc_calculus::EvalError> {
     let cat = MapCatalog::new().with_relation("Infront", base.clone());
     let mut ev = Evaluator::new(&cat);
-    ev.eval(&set_former(vec![Branch::each("r", rel("Infront"), f.clone())]))
+    ev.eval(&set_former(vec![Branch::each(
+        "r",
+        rel("Infront"),
+        f.clone(),
+    )]))
 }
 
 proptest! {

@@ -31,7 +31,8 @@ fn edges_strategy() -> impl Strategy<Value = Relation> {
 fn engine_closure(base: &Relation, strategy: FixpointStrategy) -> Relation {
     let mut db = Database::new();
     db.set_strategy(strategy);
-    db.create_relation("Infront", base.schema().clone()).unwrap();
+    db.create_relation("Infront", base.schema().clone())
+        .unwrap();
     for t in base.iter() {
         db.insert("Infront", t.clone()).unwrap();
     }
@@ -153,5 +154,90 @@ proptest! {
         let stats = db.last_fixpoint_stats().unwrap();
         prop_assert!(stats.iterations <= out.len() + 2,
             "{} rounds for {} tuples", stats.iterations, out.len());
+    }
+
+    /// The index-accelerated executor is a pure optimization: naive,
+    /// semi-naive, and the pre-change nested-loop baseline all compute
+    /// the same relation, and indexing never changes the round count.
+    #[test]
+    fn index_acceleration_is_transparent(base in edges_strategy()) {
+        let naive = engine_closure(&base, FixpointStrategy::Naive);
+        let semi_db = {
+            let mut db = Database::new();
+            db.create_relation("Infront", base.schema().clone()).unwrap();
+            for t in base.iter() {
+                db.insert("Infront", t.clone()).unwrap();
+            }
+            db.define_constructor(paper::ahead()).unwrap();
+            db
+        };
+        let semi_indexed = semi_db.eval(&rel("Infront").construct("ahead", vec![])).unwrap();
+        let indexed_stats = semi_db.last_fixpoint_stats().unwrap();
+        let mut scan_db = {
+            let mut db = Database::new();
+            db.create_relation("Infront", base.schema().clone()).unwrap();
+            for t in base.iter() {
+                db.insert("Infront", t.clone()).unwrap();
+            }
+            db.define_constructor(paper::ahead()).unwrap();
+            db
+        };
+        scan_db.set_use_indexes(false);
+        let semi_scan = scan_db.eval(&rel("Infront").construct("ahead", vec![])).unwrap();
+        let scan_stats = scan_db.last_fixpoint_stats().unwrap();
+        prop_assert_eq!(&naive, &semi_indexed);
+        prop_assert_eq!(&semi_indexed, &semi_scan);
+        prop_assert_eq!(indexed_stats.iterations, scan_stats.iterations);
+    }
+}
+
+/// The e3 convergence workload (chains of increasing depth): the
+/// index-accelerated semi-naive engine must keep the exact round
+/// counts of the reference implementation — ≈ longest path, and never
+/// worse than the pre-change evaluator.
+#[test]
+fn e3_round_counts_do_not_regress() {
+    for depth in [8usize, 32, 64] {
+        let base = dc_workload::chain(depth);
+        let q = rel("Infront").construct("ahead", vec![]);
+
+        let mut indexed = Database::new();
+        indexed
+            .create_relation("Infront", base.schema().clone())
+            .unwrap();
+        for t in base.iter() {
+            indexed.insert("Infront", t.clone()).unwrap();
+        }
+        indexed.define_constructor(paper::ahead()).unwrap();
+        let out_indexed = indexed.eval(&q).unwrap();
+        let stats_indexed = indexed.last_fixpoint_stats().unwrap();
+
+        let mut scan = Database::new();
+        scan.create_relation("Infront", base.schema().clone())
+            .unwrap();
+        for t in base.iter() {
+            scan.insert("Infront", t.clone()).unwrap();
+        }
+        scan.define_constructor(paper::ahead()).unwrap();
+        scan.set_use_indexes(false);
+        let out_scan = scan.eval(&q).unwrap();
+        let stats_scan = scan.last_fixpoint_stats().unwrap();
+
+        assert_eq!(out_indexed, out_scan, "depth {depth}");
+        assert_eq!(
+            stats_indexed.iterations, stats_scan.iterations,
+            "indexing must not change convergence, depth {depth}"
+        );
+        // The right-linear rule closes a depth-n chain in ~n rounds.
+        assert!(
+            stats_indexed.iterations >= depth && stats_indexed.iterations <= depth + 2,
+            "depth {depth}: {} rounds",
+            stats_indexed.iterations
+        );
+        // The solver's incremental indexes actually engaged.
+        assert!(
+            stats_indexed.maintained_indexes > 0,
+            "expected maintained indexes on the TC workload"
+        );
     }
 }
