@@ -30,10 +30,9 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 fn eval_ms(db: &Database, q: &dc_calculus::RangeExpr) -> (usize, f64) {
     db.clear_solved_cache();
-    let (out, ms) = time(|| {
-        let mut ev = dc_calculus::Evaluator::new(db);
-        ev.eval(q).unwrap()
-    });
+    // `Database::evaluator` honours `set_use_indexes`, so scan-side
+    // measurements run the reference path at the query level too.
+    let (out, ms) = time(|| db.evaluator().eval(q).unwrap());
     (out.len(), ms)
 }
 
@@ -43,6 +42,7 @@ fn main() {
     e1();
     e1b();
     e2();
+    e2b();
     e3();
     e4();
     e5();
@@ -175,6 +175,82 @@ fn e2() {
             full_stats.probes,
             bound_stats.probes
         );
+    }
+    println!();
+}
+
+/// E2b: index-aware quantifier probes vs reference quantifier scans —
+/// the selector-style predicates of §2.3 (`SOME t IN Ontop: t.base =
+/// r.front`) decided through hash-bucket existence probes instead of
+/// per-combination range scans. Asserts the ≥3× acceptance bound on
+/// the largest scene and emits `BENCH_e2.json` next to `BENCH_e1.json`
+/// so the perf trajectory covers both join and quantifier access
+/// paths.
+fn e2b() {
+    println!("E2b index-aware quantifier probes vs reference scans (visibility selector)");
+    println!(
+        "  scene        objects  infront  ontop  visible  front-row  probe(ms)  scan(ms)  speedup"
+    );
+    let mut rows_out = Vec::new();
+    let scenes = [(20usize, 20usize), (40, 40), (60, 60)];
+    let largest = scenes.len() - 1;
+    for (i, (rows, depth)) in scenes.into_iter().enumerate() {
+        let scene = dc_workload::scene(rows, depth, 2, 11);
+        let vis_q = visibility_query();
+        let front_q = front_row_query();
+        let db = scene_db(&scene);
+        let (vis_len, vis_ms) = eval_ms(&db, &vis_q);
+        let (front_len, front_ms) = eval_ms(&db, &front_q);
+        let mut db_scan = scene_db(&scene);
+        db_scan.set_use_indexes(false);
+        let (vis_scan_len, vis_scan_ms) = eval_ms(&db_scan, &vis_q);
+        let (front_scan_len, front_scan_ms) = eval_ms(&db_scan, &front_q);
+        assert_eq!(
+            vis_len, vis_scan_len,
+            "quantifier probes must agree with reference scans ({rows}x{depth})"
+        );
+        assert_eq!(
+            front_len, front_scan_len,
+            "negated-quantifier probes must agree with reference scans ({rows}x{depth})"
+        );
+        let probe_ms = vis_ms + front_ms;
+        let scan_ms = vis_scan_ms + front_scan_ms;
+        let speedup = scan_ms / probe_ms;
+        let label = format!("{rows}x{depth}");
+        println!(
+            "  {label:<12} {:>7} {:>8} {:>6} {vis_len:>8} {front_len:>10} {probe_ms:>10.2} {scan_ms:>9.2} {speedup:>7.1}x",
+            scene.objects.len(),
+            scene.infront.len(),
+            scene.ontop.len(),
+        );
+        rows_out.push(format!(
+            concat!(
+                "  {{\"workload\": \"scene {}\", \"objects\": {}, \"infront\": {}, ",
+                "\"ontop\": {}, \"visible\": {}, \"front_row\": {}, ",
+                "\"probe_ms\": {:.3}, \"scan_ms\": {:.3}, \"speedup\": {:.2}}}"
+            ),
+            label,
+            scene.objects.len(),
+            scene.infront.len(),
+            scene.ontop.len(),
+            vis_len,
+            front_len,
+            probe_ms,
+            scan_ms,
+            speedup
+        ));
+        if i == largest {
+            assert!(
+                speedup >= 3.0,
+                "acceptance: ≥3× on the quantifier workload, measured {speedup:.1}x"
+            );
+        }
+    }
+    let json = format!("[\n{}\n]\n", rows_out.join(",\n"));
+    if let Err(e) = std::fs::write("BENCH_e2.json", &json) {
+        eprintln!("  (could not write BENCH_e2.json: {e})");
+    } else {
+        println!("  baseline written to BENCH_e2.json");
     }
     println!();
 }

@@ -145,6 +145,76 @@ pub fn same_generation_program(depth: usize) -> Program {
     p
 }
 
+/// A database holding a generated CAD scene under the paper's names
+/// (`Objects`, `Infront`, `Ontop`) — the quantifier-probe workload
+/// (E2b).
+pub fn scene_db(scene: &dc_workload::Scene) -> Database {
+    let mut db = Database::new();
+    for (name, rel) in [
+        ("Objects", &scene.objects),
+        ("Infront", &scene.infront),
+        ("Ontop", &scene.ontop),
+    ] {
+        db.create_relation(name, rel.schema().clone())
+            .expect("fresh database");
+        for t in rel.iter() {
+            db.insert(name, t.clone()).expect("valid scene tuple");
+        }
+    }
+    db
+}
+
+/// The quantifier-heavy "visibility selector" query over a scene:
+///
+/// ```text
+/// EACH r IN Infront:
+///       SOME t IN Ontop  (t.base = r.front)     -- carries an item
+///   AND NOT SOME b IN Ontop (b.base = r.back)   -- target side bare
+/// ```
+///
+/// Both quantified subformulas carry equality atoms on the quantified
+/// variable, so the index path decides each through a hash-bucket
+/// existence probe; the reference path scans `Ontop` per conjunct per
+/// `Infront` tuple — the paper's selector-style predicate shape (§2.3)
+/// at O(|Infront| × |Ontop|).
+pub fn visibility_query() -> dc_calculus::RangeExpr {
+    use dc_calculus::ast::Branch;
+    use dc_calculus::builder::*;
+    set_former(vec![Branch::each(
+        "r",
+        rel("Infront"),
+        some("t", rel("Ontop"), eq(attr("t", "base"), attr("r", "front"))).and(not(some(
+            "b",
+            rel("Ontop"),
+            eq(attr("b", "base"), attr("r", "back")),
+        ))),
+    )])
+}
+
+/// The universal dual: objects every stacked item avoids —
+/// `EACH o IN Objects: ALL t IN Ontop (t.base = o.part)` is only
+/// satisfiable for degenerate registries, so the interesting measured
+/// variant keeps the existential guard in front:
+///
+/// ```text
+/// EACH o IN Objects: NOT SOME r IN Infront (r.back = o.part)
+/// ```
+///
+/// (nothing stands in front of `o` — the scene's visible front row).
+pub fn front_row_query() -> dc_calculus::RangeExpr {
+    use dc_calculus::ast::Branch;
+    use dc_calculus::builder::*;
+    set_former(vec![Branch::each(
+        "o",
+        rel("Objects"),
+        not(some(
+            "r",
+            rel("Infront"),
+            eq(attr("r", "back"), attr("o", "part")),
+        )),
+    )])
+}
+
 /// The `Value` of a chain node name.
 pub fn node(prefix: &str, i: usize) -> Value {
     Value::str(format!("{prefix}{i}"))
@@ -179,6 +249,20 @@ mod tests {
         let p = ahead_program(&base);
         let s = sld::solve(&p, &ahead_goal(), &SldConfig::default()).unwrap();
         assert_eq!(s.answers.len(), engine.len());
+    }
+
+    #[test]
+    fn visibility_queries_agree_with_reference() {
+        let scene = dc_workload::scene(6, 8, 2, 3);
+        let db = scene_db(&scene);
+        let mut db_scan = scene_db(&scene);
+        db_scan.set_use_indexes(false);
+        for q in [visibility_query(), front_row_query()] {
+            let probed = db.eval(&q).unwrap();
+            let scanned = db_scan.eval(&q).unwrap();
+            assert_eq!(probed, scanned);
+            assert!(!probed.is_empty());
+        }
     }
 
     #[test]

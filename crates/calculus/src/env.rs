@@ -10,11 +10,10 @@
 //! implements it by looking up the current iterate, which is exactly the
 //! paper's reading of `applyᵢᵏ⁺¹ = gᵢ(apply₀ᵏ, …, applyₗᵏ)`.
 
-use std::borrow::Cow;
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use dc_index::HashIndex;
+use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
 use dc_value::{FxHashMap, Value};
 
@@ -26,7 +25,10 @@ pub trait Catalog {
     /// Resolve a relation name to its current value. Formal relation
     /// parameters of selectors/constructors are resolved here too: the
     /// caller installs them under their formal names.
-    fn relation(&self, name: &str) -> Result<Cow<'_, Relation>, EvalError>;
+    ///
+    /// Returned by value: `Relation` is copy-on-write, so handing out
+    /// an owned handle is a pointer bump, never a tuple-set copy.
+    fn relation(&self, name: &str) -> Result<Relation, EvalError>;
 
     /// Resolve a selector definition.
     fn selector(&self, name: &str) -> Result<&SelectorDef, EvalError> {
@@ -60,6 +62,18 @@ pub trait Catalog {
     /// index construction. Implementations must return an index that is
     /// exactly consistent with [`Catalog::relation`] for `name`.
     fn index(&self, _name: &str, _positions: &[usize]) -> Option<Arc<HashIndex>> {
+        None
+    }
+
+    /// Statistics of the relation `name` resolves to — if the catalog
+    /// maintains (or is willing to compute and cache) them. The join
+    /// planner consults this before paying an O(|relation|) collection
+    /// pass per branch evaluation, so catalogs that keep relations
+    /// across many evaluations (the fixpoint solver, the database) can
+    /// maintain statistics incrementally next to their indexes.
+    /// Implementations must return statistics exactly consistent with
+    /// [`Catalog::relation`] for `name`.
+    fn stats(&self, _name: &str) -> Option<Arc<RelationStats>> {
         None
     }
 }
@@ -120,11 +134,11 @@ impl MapCatalog {
 }
 
 impl Catalog for MapCatalog {
-    fn relation(&self, name: &str) -> Result<Cow<'_, Relation>, EvalError> {
+    fn relation(&self, name: &str) -> Result<Relation, EvalError> {
         self.relations
             .iter()
             .find(|(n, _)| n == name)
-            .map(|(_, r)| Cow::Borrowed(r))
+            .map(|(_, r)| r.clone())
             .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))
     }
 
@@ -174,6 +188,10 @@ pub struct Overlay<'a> {
     /// (or preloaded by a caller that maintains them incrementally, see
     /// `dc-core`'s fixpoint solver) and harvestable afterwards.
     indexes: RefCell<FxHashMap<IndexKey, Arc<HashIndex>>>,
+    /// Statistics over override relations, same lifecycle as `indexes`:
+    /// preloaded by callers that maintain them incrementally, computed
+    /// lazily on planner demand otherwise, harvestable afterwards.
+    stats: RefCell<FxHashMap<String, Arc<RelationStats>>>,
 }
 
 impl<'a> Overlay<'a> {
@@ -183,6 +201,7 @@ impl<'a> Overlay<'a> {
             base,
             overrides,
             indexes: RefCell::new(FxHashMap::default()),
+            stats: RefCell::new(FxHashMap::default()),
         }
     }
 
@@ -191,6 +210,13 @@ impl<'a> Overlay<'a> {
     pub fn preload_index(&mut self, name: impl Into<String>, idx: Arc<HashIndex>) {
         let key = (name.into(), idx.positions().to_vec());
         self.indexes.borrow_mut().insert(key, idx);
+    }
+
+    /// Install precomputed statistics for an override relation. The
+    /// snapshot must describe exactly the relation registered under
+    /// `name`.
+    pub fn preload_stats(&mut self, name: impl Into<String>, stats: Arc<RelationStats>) {
+        self.stats.borrow_mut().insert(name.into(), stats);
     }
 
     /// All indexes currently cached (preloaded or demand-built), so a
@@ -202,12 +228,22 @@ impl<'a> Overlay<'a> {
             .map(|((n, _), idx)| (n.clone(), idx.clone()))
             .collect()
     }
+
+    /// All statistics currently cached (preloaded or demand-computed),
+    /// the statistics counterpart of [`Overlay::harvest_indexes`].
+    pub fn harvest_stats(&self) -> Vec<(String, Arc<RelationStats>)> {
+        self.stats
+            .borrow()
+            .iter()
+            .map(|(n, s)| (n.clone(), s.clone()))
+            .collect()
+    }
 }
 
 impl Catalog for Overlay<'_> {
-    fn relation(&self, name: &str) -> Result<Cow<'_, Relation>, EvalError> {
+    fn relation(&self, name: &str) -> Result<Relation, EvalError> {
         if let Some((_, r)) = self.overrides.iter().find(|(n, _)| n == name) {
-            return Ok(Cow::Borrowed(r));
+            return Ok(r.clone());
         }
         self.base.relation(name)
     }
@@ -225,6 +261,21 @@ impl Catalog for Overlay<'_> {
                 )
             }
             None => self.base.index(name, positions),
+        }
+    }
+
+    fn stats(&self, name: &str) -> Option<Arc<RelationStats>> {
+        match self.overrides.iter().find(|(n, _)| n == name) {
+            Some((_, rel)) => {
+                let mut cache = self.stats.borrow_mut();
+                Some(
+                    cache
+                        .entry(name.to_string())
+                        .or_insert_with(|| Arc::new(RelationStats::collect(rel)))
+                        .clone(),
+                )
+            }
+            None => self.base.stats(name),
         }
     }
 

@@ -23,6 +23,17 @@
 //!   Equality atoms themselves never mask their own errors — keys that
 //!   cannot be realised safely (type-mismatched, unresolvable) are
 //!   demoted back to the residual.
+//! * **Quantifier probes** — quantified subformulas
+//!   (`SOME x IN R: x.a = r.b AND …`, and the `ALL` dual) whose bodies
+//!   carry top-level equality atoms on the quantified variable are
+//!   decided through a [`dc_index::HashIndex`] existence probe instead
+//!   of a range scan: only bucket matches get the (full) body
+//!   re-check, so selector-style predicates cost O(matches) per outer
+//!   combination rather than O(|R|). The divergence policy above
+//!   extends unchanged: an error hiding in the body of a tuple the
+//!   equality key already rejects is never raised, because that tuple
+//!   is skipped outright. [`Evaluator::force_nested_loop`] disables
+//!   quantifier probes too.
 
 use std::sync::Arc;
 
@@ -71,6 +82,8 @@ pub struct Evaluator<'a> {
     range_cache: FxHashMap<RangeExpr, Relation>,
     /// Cache of indexes built over binding-free ranges.
     index_cache: FxHashMap<(RangeExpr, Vec<usize>), Arc<HashIndex>>,
+    /// Cache of statistics collected over binding-free ranges.
+    stats_cache: FxHashMap<RangeExpr, RelationStats>,
     /// Per-plan-depth probe-key buffers, reused across probes.
     probe_scratch: Vec<Vec<Value>>,
     /// Disable the index-nested-loop path (reference semantics).
@@ -85,6 +98,7 @@ impl<'a> Evaluator<'a> {
             param_frames: Vec::new(),
             range_cache: FxHashMap::default(),
             index_cache: FxHashMap::default(),
+            stats_cache: FxHashMap::default(),
             probe_scratch: Vec::new(),
             nested_loop_only: false,
         }
@@ -129,7 +143,9 @@ impl<'a> Evaluator<'a> {
         bindings: &mut Vec<Binding>,
     ) -> Result<Relation, EvalError> {
         match range {
-            RangeExpr::Rel(name) => Ok(self.catalog.relation(name)?.into_owned()),
+            // An owned COW handle sharing the catalog's storage — a
+            // pointer bump, not a tuple-set copy.
+            RangeExpr::Rel(name) => self.catalog.relation(name),
             RangeExpr::Selected {
                 base,
                 selector,
@@ -268,16 +284,19 @@ impl<'a> Evaluator<'a> {
             let atoms = joinplan::extract_eq_atoms(branch);
             if !atoms.is_empty() {
                 let schemas: Vec<&Schema> = ranges.iter().map(Relation::schema).collect();
-                // Distinct-value statistics (an O(|R|) pass) are only
-                // worth collecting for ranges the planner may probe;
-                // everything else needs just its cardinality.
+                // Distinct-value statistics are only worth obtaining
+                // for ranges the planner may probe — and even for
+                // those, catalogs that maintain statistics next to
+                // their indexes (the fixpoint solver, the database)
+                // serve them in O(arity), so the O(|R|) collection
+                // pass only runs for anonymous, non-cacheable ranges.
                 let probed: FxHashSet<usize> = atoms.iter().map(|a| a.position).collect();
                 let stats: Vec<RelationStats> = ranges
                     .iter()
                     .enumerate()
                     .map(|(i, r)| {
                         if probed.contains(&i) {
-                            RelationStats::collect(r)
+                            self.range_stats(&branch.bindings[i].1, r)
                         } else {
                             RelationStats {
                                 cardinality: r.len(),
@@ -403,6 +422,147 @@ impl<'a> Evaluator<'a> {
             return idx;
         }
         Arc::new(HashIndex::build(rel, positions.to_vec()))
+    }
+
+    /// Statistics for a probed range. Catalogs that maintain statistics
+    /// incrementally (next to their indexes) answer in O(arity);
+    /// binding-free ranges get an evaluator-lifetime cache; anything
+    /// else pays the one-pass collection.
+    fn range_stats(&mut self, range: &RangeExpr, rel: &Relation) -> RelationStats {
+        if let RangeExpr::Rel(name) = range {
+            if let Some(s) = self.catalog.stats(name) {
+                debug_assert_eq!(
+                    s.cardinality,
+                    rel.len(),
+                    "catalog stats out of sync for {name}"
+                );
+                return (*s).clone();
+            }
+        }
+        if self.param_frames.is_empty() && is_binding_free(range) {
+            if let Some(hit) = self.stats_cache.get(range) {
+                return hit.clone();
+            }
+            let s = RelationStats::collect(rel);
+            self.stats_cache.insert(range.clone(), s.clone());
+            return s;
+        }
+        RelationStats::collect(rel)
+    }
+
+    /// Try to decide a quantified subformula through an index existence
+    /// probe instead of a scan. `Ok(None)` means "not probe-able —
+    /// fall back to the reference scan"; `Ok(Some(b))` is the decided
+    /// truth value.
+    ///
+    /// A `SOME` body carrying equality atoms `var.attr = key` (with
+    /// `key` free of `var`, see [`joinplan::extract_quant_atoms`]) only
+    /// has witnesses inside the probed bucket, so the residual pass
+    /// touches bucket matches instead of the whole range. For `ALL`,
+    /// any tuple *outside* the bucket falsifies the equality conjunct
+    /// and with it the body, so the quantifier holds only if the
+    /// bucket covers the whole range — checked by cardinality before
+    /// the residual pass over the bucket.
+    ///
+    /// Demotion rules mirror [`Evaluator::compile_plan`]: keys that are
+    /// unresolvable or whose base type differs from the probed column
+    /// drop out, and if none survive the scan fallback reproduces
+    /// reference semantics (including error semantics) exactly. Probes
+    /// are only attempted where the index amortises — named relations
+    /// (catalog-maintained indexes) and binding-free ranges (evaluator
+    /// cache); a throwaway index per evaluation would cost the same
+    /// pass as the scan it replaces.
+    fn quant_probe(
+        &mut self,
+        var: &Var,
+        range: &RangeExpr,
+        rel: &Relation,
+        body: &Formula,
+        bindings: &mut Vec<Binding>,
+        existential: bool,
+    ) -> Result<Option<bool>, EvalError> {
+        if self.nested_loop_only || rel.is_empty() {
+            return Ok(None);
+        }
+        let cacheable = self.param_frames.is_empty() && is_binding_free(range);
+        if !cacheable && !matches!(range, RangeExpr::Rel(_)) {
+            return Ok(None);
+        }
+        let atoms = joinplan::extract_quant_atoms(var, body);
+        if atoms.is_empty() {
+            return Ok(None);
+        }
+        let schema = rel.schema();
+        let mut positions = Vec::with_capacity(atoms.len());
+        let mut key = Vec::with_capacity(atoms.len());
+        for atom in &atoms {
+            let Ok(pos) = schema.position(&atom.attr) else {
+                continue;
+            };
+            let Ok(v) = self.eval_scalar(&atom.key, bindings) else {
+                continue;
+            };
+            if value_domain(&v) != schema.domain(pos).base() {
+                continue;
+            }
+            positions.push(pos);
+            key.push(v);
+        }
+        if positions.is_empty() {
+            return Ok(None);
+        }
+        let index = if cacheable {
+            // Catalog-maintained or evaluator-cached — `obtain_index`
+            // never builds a throwaway on this path.
+            self.obtain_index(range, rel, &positions)
+        } else {
+            // Named range under a parameter frame: only a
+            // catalog-maintained index amortises; building one per
+            // evaluation would cost the scan it replaces, so fall back.
+            let RangeExpr::Rel(name) = range else {
+                unreachable!("checked above");
+            };
+            match self.catalog.index(name, &positions) {
+                Some(idx) => {
+                    debug_assert_eq!(idx.len(), rel.len(), "catalog index out of sync for {name}");
+                    idx
+                }
+                None => return Ok(None),
+            }
+        };
+        let hits = index.probe_slice(&key);
+        if !existential && hits.len() != rel.len() {
+            return Ok(Some(false));
+        }
+        let schema = rel.schema().clone();
+        let slot = bindings.len();
+        let mut pushed = false;
+        for t in hits {
+            if pushed {
+                bindings[slot].tuple = t.clone();
+            } else {
+                bindings.push(Binding {
+                    var: var.clone(),
+                    tuple: t.clone(),
+                    schema: schema.clone(),
+                });
+                pushed = true;
+            }
+            let r = self.eval_formula(body, bindings);
+            match r {
+                Err(e) => {
+                    bindings.truncate(slot);
+                    return Err(e);
+                }
+                Ok(b) if b == existential => {
+                    bindings.truncate(slot);
+                    return Ok(Some(existential));
+                }
+                Ok(_) => {}
+            }
+        }
+        bindings.truncate(slot);
+        Ok(Some(!existential))
     }
 
     /// Run the compiled steps depth-first. Each step reuses one binding
@@ -636,6 +796,9 @@ impl<'a> Evaluator<'a> {
             Formula::Not(inner) => Ok(!self.eval_formula(inner, bindings)?),
             Formula::Some(v, range, body) => {
                 let rel = self.eval_range(range, bindings)?;
+                if let Some(decided) = self.quant_probe(v, range, &rel, body, bindings, true)? {
+                    return Ok(decided);
+                }
                 let schema = rel.schema().clone();
                 for t in rel.iter() {
                     bindings.push(Binding {
@@ -653,6 +816,9 @@ impl<'a> Evaluator<'a> {
             }
             Formula::All(v, range, body) => {
                 let rel = self.eval_range(range, bindings)?;
+                if let Some(decided) = self.quant_probe(v, range, &rel, body, bindings, false)? {
+                    return Ok(decided);
+                }
                 let schema = rel.schema().clone();
                 for t in rel.iter() {
                     bindings.push(Binding {
@@ -1244,6 +1410,149 @@ mod tests {
         assert_eq!(planned, reference);
         // The only 3-edge chain is vase→table→chair→wall ⇒ <vase, wall>.
         assert_eq!(planned.sorted_tuples(), vec![tuple!["vase", "wall"]]);
+    }
+
+    #[test]
+    fn catalog_resolution_shares_storage() {
+        // COW acceptance: resolving a named relation hands out a handle
+        // sharing the catalog's tuple storage — no copy per branch.
+        let cat = catalog();
+        let mut ev = Evaluator::new(&cat);
+        let out = ev.eval(&rel("Infront")).unwrap();
+        let original = cat.relation("Infront").unwrap();
+        assert!(Relation::shares_storage(&out, &original));
+        // Repeated resolution through the range cache shares too.
+        let again = ev.eval(&rel("Infront")).unwrap();
+        assert!(Relation::shares_storage(&out, &again));
+    }
+
+    fn objects_catalog() -> MapCatalog {
+        let objects = Relation::from_tuples(
+            Schema::of(&[("part", Domain::Str), ("kind", Domain::Str)]),
+            vec![
+                tuple!["vase", "decor"],
+                tuple!["table", "furniture"],
+                tuple!["chair", "furniture"],
+            ],
+        )
+        .unwrap();
+        catalog().with_relation("Objects", objects)
+    }
+
+    #[test]
+    fn some_probe_agrees_with_reference() {
+        // EACH r IN Infront: SOME o IN Objects (o.part = r.back) —
+        // the selector-style predicate the quantifier probe targets.
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some(
+                "o",
+                rel("Objects"),
+                eq(attr("o", "part"), attr("r", "back")),
+            ),
+        )]);
+        let cat = objects_catalog();
+        let planned = Evaluator::new(&cat).eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        // ("chair","wall") drops: "wall" is not an object.
+        assert_eq!(planned.len(), 2);
+    }
+
+    #[test]
+    fn some_probe_with_residual_conjunct() {
+        // The probe narrows to the bucket; the residual (`o.kind`)
+        // still filters within it.
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some(
+                "o",
+                rel("Objects"),
+                eq(attr("o", "part"), attr("r", "back"))
+                    .and(eq(attr("o", "kind"), cnst("furniture"))),
+            ),
+        )]);
+        let cat = objects_catalog();
+        let planned = Evaluator::new(&cat).eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        assert_eq!(planned.len(), 2); // backs "table" and "chair"
+    }
+
+    #[test]
+    fn all_probe_agrees_with_reference() {
+        // ALL o IN Objects (o.part = r.front): only satisfiable when
+        // the bucket covers the whole range — never here (3 objects).
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            all(
+                "o",
+                rel("Objects"),
+                eq(attr("o", "part"), attr("r", "front")),
+            ),
+        )]);
+        let cat = objects_catalog();
+        let planned = Evaluator::new(&cat).eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        assert!(planned.is_empty());
+
+        // Single-object registry: the bucket can cover the range.
+        let one = Relation::from_tuples(
+            Schema::of(&[("part", Domain::Str), ("kind", Domain::Str)]),
+            vec![tuple!["vase", "decor"]],
+        )
+        .unwrap();
+        let cat1 = catalog().with_relation("Objects", one);
+        let planned1 = Evaluator::new(&cat1).eval(&e).unwrap();
+        let reference1 = Evaluator::new(&cat1).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned1, reference1);
+        assert_eq!(planned1.sorted_tuples(), vec![tuple!["vase", "table"]]);
+
+        // Empty registry: ALL is vacuously true on both paths.
+        let empty = Relation::new(Schema::of(&[("part", Domain::Str), ("kind", Domain::Str)]));
+        let cat0 = catalog().with_relation("Objects", empty);
+        let planned0 = Evaluator::new(&cat0).eval(&e).unwrap();
+        assert_eq!(planned0.len(), 3);
+    }
+
+    #[test]
+    fn quant_probe_demotes_cross_type_key() {
+        // `o.part = 1` probes a STRING column with an INTEGER key: the
+        // atom is demoted and the scan raises the reference error.
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some("o", rel("Objects"), eq(attr("o", "part"), cnst(1i64))),
+        )]);
+        let cat = objects_catalog();
+        assert!(matches!(
+            Evaluator::new(&cat).eval(&e),
+            Err(EvalError::CrossTypeComparison { .. })
+        ));
+    }
+
+    #[test]
+    fn negated_some_probe_agrees() {
+        // Hidden objects: EACH r IN Infront: NOT SOME o IN Objects
+        // (o.part = r.back) — negation wraps the probed quantifier.
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            not(some(
+                "o",
+                rel("Objects"),
+                eq(attr("o", "part"), attr("r", "back")),
+            )),
+        )]);
+        let cat = objects_catalog();
+        let planned = Evaluator::new(&cat).eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        assert_eq!(planned.sorted_tuples(), vec![tuple!["chair", "wall"]]);
     }
 
     #[test]

@@ -227,6 +227,69 @@ pub fn extract_eq_atoms(branch: &Branch) -> Vec<EqAtom> {
     atoms
 }
 
+/// One usable equality atom of a quantified subformula
+/// (`SOME x IN R: … x.attr = key …` or the `ALL` dual): the probed
+/// attribute on the quantified range, and the key expression, which is
+/// free of the quantified variable and therefore evaluable in the
+/// *enclosing* scope before the range is enumerated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantAtom {
+    /// The probed attribute name on the quantified range.
+    pub attr: String,
+    /// The key-producing expression (may reference outer variables,
+    /// parameters, and constants — anything but the quantified
+    /// variable).
+    pub key: ScalarExpr,
+}
+
+/// Does the expression mention the quantified variable anywhere?
+fn mentions_var(e: &ScalarExpr, var: &Var) -> bool {
+    match e {
+        ScalarExpr::Const(_) | ScalarExpr::Param(_) => false,
+        ScalarExpr::Attr(v, _) => v == var,
+        ScalarExpr::Arith(l, _, r) => mentions_var(l, var) || mentions_var(r, var),
+    }
+}
+
+/// Extract the equality atoms of a quantifier body usable as existence
+/// probe keys — the quantifier counterpart of [`extract_eq_atoms`].
+///
+/// Only top-level conjuncts of the body of the form `var.attr = key`
+/// (or mirrored) qualify, where `key` avoids `var` entirely. Atoms
+/// under `OR` / `NOT` / nested quantifiers stay in the residual: the
+/// evaluator re-checks the *full* body on every probed tuple, so the
+/// atoms only have to be sound as a filter, never complete.
+///
+/// For `SOME` the probe result is scanned for a body witness; for
+/// `ALL` any tuple outside the probed bucket falsifies the conjunct
+/// and hence the body, so the quantifier can only hold if the bucket
+/// covers the whole range (checked by the evaluator before the
+/// residual pass).
+pub fn extract_quant_atoms(var: &Var, body: &Formula) -> Vec<QuantAtom> {
+    let mut atoms = Vec::new();
+    for c in conjuncts(body) {
+        let Formula::Cmp(l, CmpOp::Eq, r) = c else {
+            continue;
+        };
+        let as_var_attr = |e: &ScalarExpr| match e {
+            ScalarExpr::Attr(v, a) if v == var => Some(a.clone()),
+            _ => None,
+        };
+        match (as_var_attr(l), as_var_attr(r)) {
+            (Some(attr), None) if !mentions_var(r, var) => atoms.push(QuantAtom {
+                attr,
+                key: r.clone(),
+            }),
+            (None, Some(attr)) if !mentions_var(l, var) => atoms.push(QuantAtom {
+                attr,
+                key: l.clone(),
+            }),
+            _ => {}
+        }
+    }
+    atoms
+}
+
 /// Order the branch's binding positions into an index-nested-loop plan.
 ///
 /// Greedy System-R-style ordering: repeatedly pick the unbound position
@@ -474,6 +537,37 @@ mod tests {
         assert!(matches!(plan.steps[0].access, Access::Probe(_)));
         assert_eq!(plan.steps[1].position, 0);
         assert!(matches!(plan.steps[1].access, Access::Probe(_)));
+    }
+
+    #[test]
+    fn quant_atoms_extracted_from_conjunction() {
+        // SOME o IN Objects: o.part = r.front AND o.kind = "vase"
+        let body =
+            eq(attr("o", "part"), attr("r", "front")).and(eq(cnst("vase"), attr("o", "kind")));
+        let atoms = extract_quant_atoms(&"o".to_string(), &body);
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[0].attr, "part");
+        assert!(matches!(&atoms[0].key, ScalarExpr::Attr(v, a) if v == "r" && a == "front"));
+        assert_eq!(atoms[1].attr, "kind");
+        assert!(matches!(&atoms[1].key, ScalarExpr::Const(_)));
+    }
+
+    #[test]
+    fn quant_atoms_skip_var_on_both_sides_and_non_conjuncts() {
+        // o.a = o.b is not probe-able; disjunctive/negated/quantified
+        // equalities stay residual.
+        let body = eq(attr("o", "a"), attr("o", "b"))
+            .and(eq(attr("o", "a"), cnst("x")).or(eq(attr("o", "b"), cnst("y"))))
+            .and(not(eq(attr("o", "a"), cnst("z"))))
+            .and(some("i", rel("R"), eq(attr("i", "k"), attr("o", "a"))))
+            .and(lt(attr("o", "a"), cnst("w")));
+        assert!(extract_quant_atoms(&"o".to_string(), &body).is_empty());
+        // Arithmetic over the quantified variable is not a key either.
+        let arith = eq(add(attr("o", "n"), cnst(1i64)), attr("r", "n"));
+        assert!(extract_quant_atoms(&"o".to_string(), &arith).is_empty());
+        // …but arithmetic over outer variables is.
+        let outer = eq(attr("o", "n"), add(attr("r", "n"), cnst(1i64)));
+        assert_eq!(extract_quant_atoms(&"o".to_string(), &outer).len(), 1);
     }
 
     #[test]

@@ -7,12 +7,13 @@
 //! definitions with registration-time type checking, constructor
 //! definitions with the §3.3 positivity check, and guarded assignment.
 
-use std::borrow::Cow;
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use dc_calculus::ast::{Name, SelectorDef};
 use dc_calculus::typeck::{self, ConstructorSig, SchemaCatalog};
 use dc_calculus::{Catalog, EvalError, Evaluator, RangeExpr};
+use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
 use dc_value::{FxHashMap, FxHashSet, Schema, Tuple, Value};
 
@@ -20,6 +21,10 @@ use crate::constructor::Constructor;
 use crate::error::CoreError;
 use crate::fixpoint::{self, AppKey, ConstructorSource, FixpointConfig, FixpointStats, Strategy};
 use crate::selector::Selector;
+
+/// Base-relation index cache: (relation name, indexed positions) →
+/// index.
+type IndexCache = FxHashMap<(Name, Vec<usize>), Arc<HashIndex>>;
 
 /// An in-memory deductive database: base relations + rules
 /// (constructors) + constraints (selectors).
@@ -35,6 +40,12 @@ pub struct Database {
     config: FixpointConfig,
     /// Memo of solved applications; invalidated on any data mutation.
     solved: RefCell<FxHashMap<AppKey, Relation>>,
+    /// Demand-built hash indexes over base relations, served through
+    /// [`Catalog::index`]; invalidated on any data mutation.
+    indexes: RefCell<IndexCache>,
+    /// Cached statistics over base relations, served through
+    /// [`Catalog::stats`]; invalidated together with the indexes.
+    stats: RefCell<FxHashMap<Name, Arc<RelationStats>>>,
     /// Statistics of the most recent fixpoint run.
     last_stats: RefCell<Option<FixpointStats>>,
 }
@@ -56,6 +67,8 @@ impl Database {
             unchecked: FxHashSet::default(),
             config: FixpointConfig::default(),
             solved: RefCell::new(FxHashMap::default()),
+            indexes: RefCell::new(FxHashMap::default()),
+            stats: RefCell::new(FxHashMap::default()),
             last_stats: RefCell::new(None),
         }
     }
@@ -88,6 +101,8 @@ impl Database {
 
     fn invalidate(&self) {
         self.solved.borrow_mut().clear();
+        self.indexes.borrow_mut().clear();
+        self.stats.borrow_mut().clear();
     }
 
     /// Drop the memo of solved constructor applications. Mutations do
@@ -363,11 +378,39 @@ impl ConstructorSource for Database {
 }
 
 impl Catalog for Database {
-    fn relation(&self, name: &str) -> Result<Cow<'_, Relation>, EvalError> {
+    fn relation(&self, name: &str) -> Result<Relation, EvalError> {
         self.relations
             .get(name)
-            .map(Cow::Borrowed)
+            .cloned()
             .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Serve (and cache) indexes over base relations: a database lives
+    /// across many query evaluations, so one build amortises over every
+    /// evaluator, selector frame, and fixpoint solve that probes the
+    /// relation. Caches are dropped on any data mutation.
+    fn index(&self, name: &str, positions: &[usize]) -> Option<Arc<HashIndex>> {
+        let key = (name.to_string(), positions.to_vec());
+        if let Some(idx) = self.indexes.borrow().get(&key) {
+            return Some(idx.clone());
+        }
+        let rel = self.relations.get(name)?;
+        let idx = Arc::new(HashIndex::build(rel, positions.to_vec()));
+        self.indexes.borrow_mut().insert(key, idx.clone());
+        Some(idx)
+    }
+
+    /// Serve (and cache) statistics over base relations, so the join
+    /// planner's per-branch collection pass hits a cache instead of
+    /// rescanning. Invalidated together with the index cache.
+    fn stats(&self, name: &str) -> Option<Arc<RelationStats>> {
+        if let Some(s) = self.stats.borrow().get(name) {
+            return Some(s.clone());
+        }
+        let rel = self.relations.get(name)?;
+        let s = Arc::new(RelationStats::collect(rel));
+        self.stats.borrow_mut().insert(name.to_string(), s.clone());
+        Some(s)
     }
 
     fn selector(&self, name: &str) -> Result<&SelectorDef, EvalError> {

@@ -43,7 +43,7 @@ use dc_calculus::ast::{Branch, Name, RangeExpr, SetFormer};
 use dc_calculus::env::Overlay;
 use dc_calculus::rewrite;
 use dc_calculus::{Catalog, EvalError, Evaluator};
-use dc_index::HashIndex;
+use dc_index::{HashIndex, RelationStats, StatsBuilder};
 use dc_relation::{algebra, Relation};
 use dc_value::{FxHashMap, Tuple, Value};
 
@@ -206,9 +206,13 @@ struct Equation {
     #[allow(dead_code)]
     key: AppKey,
     /// Body with the constructor's scalar parameters substituted.
-    body: SetFormer,
+    /// Shared behind an `Arc` so per-round evaluation clones a pointer,
+    /// not the AST.
+    body: Arc<SetFormer>,
     /// Formal-name → actual-value overlay entries (base + rel params).
-    overrides: Vec<(Name, Relation)>,
+    /// `Arc`-shared for the same reason; the relations inside are COW,
+    /// so even materialising overlay vectors from this is cheap.
+    overrides: Arc<Vec<(Name, Relation)>>,
     /// Declared result schema (values are conformed to it).
     result: dc_value::Schema,
     /// Per-branch semi-naive classification.
@@ -244,6 +248,16 @@ struct State {
     /// Indexes over base-catalog relations, shared by all equations
     /// (base relations do not change during a solve).
     base_indexes: NamedIndexMap,
+    /// Per-equation statistics over the *accumulated* value, maintained
+    /// at the same commit site as `current_indexes` (the invariant
+    /// documented in `dc_index::stats`): each committed delta tuple is
+    /// `add`ed, so planner snapshots cost O(arity) instead of a pass.
+    current_stats: Vec<StatsBuilder>,
+    /// Per-equation statistics over the (immutable) override relations,
+    /// harvested from overlay demand and preloaded every later round.
+    override_stats: Vec<FxHashMap<Name, Arc<RelationStats>>>,
+    /// Statistics over base-catalog relations, computed once per solve.
+    base_stats: FxHashMap<Name, Arc<RelationStats>>,
 }
 
 impl State {
@@ -298,10 +312,13 @@ impl State {
         self.delta.push(Relation::new(ctor.result.clone()));
         self.current_indexes.push(FxHashMap::default());
         self.override_indexes.push(FxHashMap::default());
+        self.current_stats
+            .push(StatsBuilder::new(ctor.result.arity()));
+        self.override_stats.push(FxHashMap::default());
         self.equations.push(Equation {
             key: key.clone(),
-            body,
-            overrides,
+            body: Arc::new(body),
+            overrides: Arc::new(overrides),
             result: ctor.result,
             classes,
             initialized: false,
@@ -336,7 +353,7 @@ impl SolverCatalog<'_> {
 }
 
 impl Catalog for SolverCatalog<'_> {
-    fn relation(&self, name: &str) -> Result<std::borrow::Cow<'_, Relation>, EvalError> {
+    fn relation(&self, name: &str) -> Result<Relation, EvalError> {
         self.source.base_catalog().relation(name)
     }
 
@@ -389,6 +406,22 @@ impl Catalog for SolverCatalog<'_> {
             .base_indexes
             .insert(key, idx.clone());
         Some(idx)
+    }
+
+    /// Serve (and cache) statistics over base-catalog relations — one
+    /// collection pass per solve, every later planner consultation is
+    /// O(arity).
+    fn stats(&self, name: &str) -> Option<Arc<RelationStats>> {
+        if let Some(s) = self.state.borrow().base_stats.get(name) {
+            return Some(s.clone());
+        }
+        let rel = self.source.base_catalog().relation(name).ok()?;
+        let s = Arc::new(RelationStats::collect(&rel));
+        self.state
+            .borrow_mut()
+            .base_stats
+            .insert(name.to_string(), s.clone());
+        Some(s)
     }
 }
 
@@ -444,7 +477,7 @@ fn seed_equation(
         state,
         use_indexes,
     };
-    let apps = rewrite::collect_constructed(&RangeExpr::SetFormer(body));
+    let apps = rewrite::collect_constructed(&RangeExpr::SetFormer((*body).clone()));
     for app in apps {
         let RangeExpr::Constructed {
             base,
@@ -460,7 +493,7 @@ fn seed_equation(
             // evaluation instead.
             continue;
         }
-        let overlay = Overlay::new(&catalog, overrides.clone());
+        let overlay = Overlay::new(&catalog, (*overrides).clone());
         let mut ev = catalog.evaluator(&overlay);
         let mut bindings = Vec::new();
         let base_val = ev.eval_range(base, &mut bindings)?;
@@ -506,6 +539,9 @@ pub fn solve(
         current_indexes: Vec::new(),
         override_indexes: Vec::new(),
         base_indexes: FxHashMap::default(),
+        current_stats: Vec::new(),
+        override_stats: Vec::new(),
+        base_stats: FxHashMap::default(),
     });
     let root_key = AppKey::new(constructor, &base, &args, &scalar_args);
     state
@@ -532,9 +568,9 @@ pub fn solve(
         let n = state.borrow().equations.len();
         // Staged results: Jacobi-style simultaneous update, matching the
         // paper's Oldahead/Oldabove loop. Semi-naive evaluation returns
-        // the genuinely new tuples alongside the value, so the commit
-        // below does not re-diff the whole accumulated relation.
-        let mut staged: Vec<(Relation, Option<Relation>)> = Vec::with_capacity(n);
+        // only the genuinely new tuples, so the commit below neither
+        // re-diffs nor copies the accumulated relation.
+        let mut staged: Vec<RoundResult> = Vec::with_capacity(n);
         for i in 0..n {
             staged.push(evaluate_equation(&catalog, &state, i, cfg.strategy)?);
         }
@@ -542,37 +578,48 @@ pub fn solve(
         let mut changed = false;
         {
             let mut st = state.borrow_mut();
-            for (i, (new_val, fresh)) in staged.into_iter().enumerate() {
-                let added = match fresh {
-                    Some(f) => f,
-                    None => {
-                        algebra::difference(&new_val, &st.current[i]).map_err(EvalError::from)?
-                    }
-                };
-                match cfg.strategy {
-                    Strategy::Naive => {
-                        // Wholesale replacement: non-monotone (unchecked)
-                        // systems can shrink as well as grow, so any
-                        // accumulated-value indexes are invalidated and
-                        // rebuilt on demand. (Incremental maintenance is
-                        // a semi-naive affair — only differential rounds
-                        // register current-value indexes.)
+            for (i, result) in staged.into_iter().enumerate() {
+                match result {
+                    RoundResult::Full(new_val) => {
+                        // Wholesale replacement (naive strategy):
+                        // non-monotone (unchecked) systems can shrink as
+                        // well as grow, so any accumulated-value indexes
+                        // are invalidated (rebuilt on demand) and the
+                        // maintained statistics are reset at the same
+                        // invalidation site (stats updated iff indexes
+                        // updated). Nothing consumes current-value stats
+                        // under the naive strategy — only differential
+                        // rounds bind peers through markers — so an
+                        // empty builder is the honest state, not a
+                        // per-round O(|relation|) rebuild.
+                        let added = algebra::difference(&new_val, &st.current[i])
+                            .map_err(EvalError::from)?;
                         if st.current[i] != new_val {
                             changed = true;
                             st.current_indexes[i].clear();
+                            st.current_stats[i] = StatsBuilder::new(new_val.schema().arity());
                         }
                         st.delta[i] = added;
                         st.current[i] = new_val;
                     }
-                    Strategy::SemiNaive => {
-                        // Monotone growth: `added` is exactly the new
-                        // tuples, and maintained indexes absorb them.
+                    RoundResult::Delta(added) => {
+                        // Monotone growth (semi-naive): `added` is
+                        // exactly the new tuples. The accumulated value,
+                        // its maintained indexes, and its maintained
+                        // statistics all absorb the same delta here —
+                        // O(|delta|), no rebuild, no re-diff.
                         if !added.is_empty() {
                             changed = true;
                         }
                         st.delta[i] = added.clone();
+                        // Split-borrow so the three per-equation
+                        // structures update in one pass.
+                        let st = &mut *st;
                         algebra::union_into(&mut st.current[i], &added).map_err(EvalError::from)?;
                         maintain_indexes(&mut st.current_indexes[i], &added);
+                        for t in added.iter() {
+                            st.current_stats[i].add(t);
+                        }
                     }
                 }
             }
@@ -632,18 +679,26 @@ fn maintain_indexes(indexes: &mut FxHashMap<Vec<usize>, Arc<HashIndex>>, added: 
     }
 }
 
-/// Evaluate one equation body for the current round. Returns the new
-/// value and, for the semi-naive strategy, the genuinely new tuples
-/// (the round's delta), collected during accumulation so the caller
-/// does not have to re-diff the whole relation.
+/// One equation's contribution to a round.
+enum RoundResult {
+    /// The full new value (naive strategy — wholesale replacement).
+    Full(Relation),
+    /// Only the genuinely new tuples (semi-naive strategy — the
+    /// accumulated value is grown in place at commit, never copied).
+    Delta(Relation),
+}
+
+/// Evaluate one equation body for the current round.
 fn evaluate_equation(
     catalog: &SolverCatalog<'_>,
     state: &RefCell<State>,
     i: usize,
     strategy: Strategy,
-) -> Result<(Relation, Option<Relation>), EvalError> {
-    // Clone out what the evaluation needs; the state must stay
-    // borrowable by `apply_constructor` during evaluation.
+) -> Result<RoundResult, EvalError> {
+    // Clone out what the evaluation needs (all pointer bumps: the body
+    // and overrides are `Arc`-shared, the current value is COW); the
+    // state must stay borrowable by `apply_constructor` during
+    // evaluation.
     let (body, overrides, result_schema, classes, initialized, current_i) = {
         let st = state.borrow();
         let eq = &st.equations[i];
@@ -659,17 +714,18 @@ fn evaluate_equation(
 
     match strategy {
         Strategy::Naive => {
-            let overlay = equation_overlay(catalog, i, overrides);
+            let overlay = equation_overlay(catalog, i, &overrides);
             let mut ev = catalog.evaluator(&overlay);
-            let out = ev.eval(&RangeExpr::SetFormer(body.clone()))?;
+            let out = ev.eval(&RangeExpr::SetFormer((*body).clone()))?;
             harvest_overlay(catalog, i, &overlay, &[]);
-            Ok((conform(out, &result_schema)?, None))
+            Ok(RoundResult::Full(conform(out, &result_schema)?))
         }
         Strategy::SemiNaive => {
-            // `current[i]` is kept exactly conformed by the commit
-            // phase, so contributions accumulate in place — no
-            // clone-union-clone churn per branch per round.
-            let mut acc = current_i;
+            // The accumulated value is consulted read-only for dedup
+            // (`current_i` shares the solver's storage); only the
+            // round's genuinely new tuples are materialised. The old
+            // clone-accumulate-replace cycle copied the whole relation
+            // every round; this is O(|delta|).
             let mut fresh = Relation::new(result_schema.clone());
             for (b_idx, branch) in body.branches.iter().enumerate() {
                 match &classes[b_idx] {
@@ -677,12 +733,12 @@ fn evaluate_equation(
                         if !initialized {
                             let part =
                                 eval_single_branch(catalog, i, b_idx, &overrides, branch, None)?;
-                            absorb(&mut acc, &mut fresh, &part)?;
+                            absorb(&current_i, &mut fresh, &part)?;
                         }
                     }
                     BranchClass::Fallback => {
                         let part = eval_single_branch(catalog, i, b_idx, &overrides, branch, None)?;
-                        absorb(&mut acc, &mut fresh, &part)?;
+                        absorb(&current_i, &mut fresh, &part)?;
                     }
                     BranchClass::Linear(positions) => {
                         for &pos in positions {
@@ -699,29 +755,30 @@ fn evaluate_equation(
                                 branch,
                                 Some((positions, pos, !initialized)),
                             )?;
-                            absorb(&mut acc, &mut fresh, &part)?;
+                            absorb(&current_i, &mut fresh, &part)?;
                         }
                     }
                 }
             }
             state.borrow_mut().equations[i].initialized = true;
-            Ok((acc, Some(fresh)))
+            Ok(RoundResult::Delta(fresh))
         }
     }
 }
 
-/// Fold a branch contribution into the accumulator, recording tuples
-/// not seen before into `fresh` (the round's delta). Union
-/// compatibility and the key constraint are enforced exactly as the
-/// conform-then-union path did.
-fn absorb(acc: &mut Relation, fresh: &mut Relation, part: &Relation) -> Result<(), EvalError> {
-    if !acc.schema().union_compatible(part.schema()) {
+/// Record every tuple of `part` not in the accumulated value into
+/// `fresh` (the round's delta), without touching the accumulator. Union
+/// compatibility and the key constraint within the delta are enforced
+/// here; key conflicts between the delta and the accumulated value
+/// surface when the commit phase unions the delta in.
+fn absorb(current: &Relation, fresh: &mut Relation, part: &Relation) -> Result<(), EvalError> {
+    if !current.schema().union_compatible(part.schema()) {
         return Err(EvalError::Type(dc_value::TypeError::SchemaMismatch {
             context: "constructor body value does not match declared result type".into(),
         }));
     }
     for t in part.iter() {
-        if acc.insert_unchecked(t.clone()).map_err(EvalError::from)? {
+        if !current.contains(t) {
             fresh.insert_unchecked(t.clone()).map_err(EvalError::from)?;
         }
     }
@@ -729,25 +786,34 @@ fn absorb(acc: &mut Relation, fresh: &mut Relation, part: &Relation) -> Result<(
 }
 
 /// Build the evaluation overlay for equation `eq_idx`, preloading every
-/// index already built over its override relations so later rounds
-/// probe instead of rebuilding.
+/// index and statistics snapshot already built over its override
+/// relations so later rounds probe instead of rebuilding. The override
+/// relations are COW, so materialising the overlay vector is pointer
+/// bumps.
 fn equation_overlay<'a>(
     catalog: &'a SolverCatalog<'_>,
     eq_idx: usize,
-    overrides: Vec<(Name, Relation)>,
+    overrides: &[(Name, Relation)],
 ) -> Overlay<'a> {
-    let mut overlay = Overlay::new(catalog, overrides);
-    for ((name, _), idx) in catalog.state.borrow().override_indexes[eq_idx].iter() {
+    let mut overlay = Overlay::new(catalog, overrides.to_vec());
+    let st = catalog.state.borrow();
+    for ((name, _), idx) in st.override_indexes[eq_idx].iter() {
         overlay.preload_index(name.clone(), idx.clone());
     }
+    for (name, stats) in st.override_stats[eq_idx].iter() {
+        overlay.preload_stats(name.clone(), stats.clone());
+    }
+    drop(st);
     overlay
 }
 
-/// Carry the overlay's demand-built indexes into solver state:
-/// equation-value indexes (listed in `cur_markers`) become
-/// incrementally maintained; override-relation indexes are kept for
-/// every later round. Delta-marker indexes are discarded — deltas are
-/// replaced wholesale each round.
+/// Carry the overlay's demand-built indexes and statistics into solver
+/// state: equation-value indexes (listed in `cur_markers`) become
+/// incrementally maintained; override-relation indexes and statistics
+/// are kept for every later round. Everything keyed by a marker name is
+/// otherwise discarded — deltas are replaced wholesale each round, and
+/// current-value statistics are served from the maintained
+/// `StatsBuilder`s, never harvested back.
 fn harvest_overlay(
     catalog: &SolverCatalog<'_>,
     eq_idx: usize,
@@ -767,6 +833,12 @@ fn harvest_overlay(
                 .entry((name, positions))
                 .or_insert(idx);
         }
+    }
+    for (name, stats) in overlay.harvest_stats() {
+        if name.starts_with(DELTA_MARKER) || name.starts_with(CURRENT_MARKER) {
+            continue;
+        }
+        st.override_stats[eq_idx].entry(name).or_insert(stats);
     }
 }
 
@@ -794,6 +866,7 @@ fn eval_single_branch(
     let mut extra_overrides: Vec<(Name, Relation)> = Vec::new();
     let mut cur_markers: Vec<(String, usize)> = Vec::new();
     let mut preload: Vec<(String, Arc<HashIndex>)> = Vec::new();
+    let mut preload_stats: Vec<(String, Arc<RelationStats>)> = Vec::new();
 
     if let Some((positions, delta_pos, full)) = rewrite {
         for &pos in positions {
@@ -815,6 +888,9 @@ fn eval_single_branch(
                 for idx in st.current_indexes[app].values() {
                     preload.push((marker.clone(), idx.clone()));
                 }
+                // The peer's maintained statistics, snapshotted in
+                // O(arity) — the planner never rescans the peer.
+                preload_stats.push((marker.clone(), Arc::new(st.current_stats[app].snapshot())));
                 drop(st);
                 branch.bindings[pos].1 = RangeExpr::Rel(marker.clone());
                 extra_overrides.push((marker.clone(), rel));
@@ -825,9 +901,12 @@ fn eval_single_branch(
 
     let mut all_overrides = overrides.to_vec();
     all_overrides.extend(extra_overrides);
-    let mut overlay = equation_overlay(catalog, eq_idx, all_overrides);
+    let mut overlay = equation_overlay(catalog, eq_idx, &all_overrides);
     for (name, idx) in preload {
         overlay.preload_index(name, idx);
+    }
+    for (name, stats) in preload_stats {
+        overlay.preload_stats(name, stats);
     }
     let mut ev = catalog.evaluator(&overlay);
     let out = ev.eval(&RangeExpr::SetFormer(SetFormer {

@@ -20,4 +20,4 @@ pub mod stats;
 
 pub use access_path::PhysicalAccessPath;
 pub use hash_index::HashIndex;
-pub use stats::RelationStats;
+pub use stats::{RelationStats, StatsBuilder};

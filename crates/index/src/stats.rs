@@ -4,6 +4,35 @@
 //! compilation; the runtime level still needs cheap cardinality facts to
 //! pick hash-join build sides. These are the 1985-appropriate
 //! statistics: cardinality and per-attribute distinct counts.
+//!
+//! Two forms exist:
+//!
+//! * [`RelationStats`] — an immutable snapshot consumed by the join
+//!   planner (`dc-calculus`'s `joinplan`), obtainable in one pass via
+//!   [`RelationStats::collect`].
+//! * [`StatsBuilder`] — the *incrementally maintained* form kept in
+//!   long-lived solver state (the semi-naive fixpoint of `dc-core`)
+//!   next to the maintained `HashIndex`es. [`StatsBuilder::add`] absorbs
+//!   one tuple in O(arity); [`StatsBuilder::snapshot`] produces a
+//!   planner-ready [`RelationStats`] in O(arity), with no pass over the
+//!   relation.
+//!
+//! # Maintenance invariant
+//!
+//! A `StatsBuilder` tracking a relation is updated **at the same commit
+//! site, with the same delta tuples, as every maintained `HashIndex`
+//! over that relation**: stats are updated iff the indexes are updated.
+//! In the semi-naive fixpoint this is the round-commit loop — each
+//! genuinely new tuple is unioned into the accumulated value, `add`ed
+//! to every registered index, and `add`ed to the builder, in one place.
+//! Consequently a snapshot served to the planner always describes
+//! exactly the relation the probed indexes describe; serving stats from
+//! anywhere that is not also the index-maintenance site would break
+//! this agreement and must not be done. (Distinct counts only ever
+//! grow, which matches the monotone accumulation the differential
+//! strategy is restricted to; wholesale replacement — the naive
+//! strategy — rebuilds the builder from scratch exactly where it
+//! invalidates the indexes.)
 
 use dc_value::{FxHashSet, Value};
 
@@ -62,6 +91,61 @@ impl RelationStats {
     }
 }
 
+/// Incrementally maintained relation statistics: the long-lived form
+/// of [`RelationStats`], updated per committed tuple instead of
+/// recollected per consumer (see the module docs for the maintenance
+/// invariant binding it to index maintenance).
+#[derive(Debug, Clone, Default)]
+pub struct StatsBuilder {
+    cardinality: usize,
+    /// Distinct values seen per attribute position.
+    seen: Vec<FxHashSet<Value>>,
+}
+
+impl StatsBuilder {
+    /// An empty builder for relations of the given arity.
+    pub fn new(arity: usize) -> StatsBuilder {
+        StatsBuilder {
+            cardinality: 0,
+            seen: (0..arity).map(|_| FxHashSet::default()).collect(),
+        }
+    }
+
+    /// Seed a builder from an existing relation (one pass). Used when a
+    /// relation is replaced wholesale rather than grown by deltas.
+    pub fn from_relation(rel: &Relation) -> StatsBuilder {
+        let mut b = StatsBuilder::new(rel.schema().arity());
+        for t in rel.iter() {
+            b.add(t);
+        }
+        b
+    }
+
+    /// Absorb one committed tuple — O(arity). The caller owns set
+    /// semantics: feeding a duplicate inflates the cardinality.
+    pub fn add(&mut self, tuple: &dc_value::Tuple) {
+        self.cardinality += 1;
+        for (slot, v) in self.seen.iter_mut().zip(tuple.iter()) {
+            if !slot.contains(v) {
+                slot.insert(v.clone());
+            }
+        }
+    }
+
+    /// Number of tuples absorbed so far.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// A planner-ready snapshot — O(arity), no pass over the relation.
+    pub fn snapshot(&self) -> RelationStats {
+        RelationStats {
+            cardinality: self.cardinality,
+            distinct: self.seen.iter().map(FxHashSet::len).collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +181,32 @@ mod tests {
         assert!((s.eq_selectivity(0) - 0.5).abs() < 1e-9);
         // Out-of-range position defaults to 1.0 (no information).
         assert_eq!(s.eq_selectivity(9), 1.0);
+    }
+
+    #[test]
+    fn builder_matches_collect() {
+        let r = rel();
+        let mut b = StatsBuilder::new(r.schema().arity());
+        for t in r.iter() {
+            b.add(t);
+        }
+        assert_eq!(b.snapshot(), RelationStats::collect(&r));
+        assert_eq!(
+            StatsBuilder::from_relation(&r).snapshot(),
+            RelationStats::collect(&r)
+        );
+    }
+
+    #[test]
+    fn builder_incremental_growth() {
+        let mut b = StatsBuilder::new(2);
+        assert_eq!(b.snapshot().cardinality, 0);
+        b.add(&tuple!["a", "b"]);
+        b.add(&tuple!["a", "c"]);
+        let s = b.snapshot();
+        assert_eq!(s.cardinality, 2);
+        assert_eq!(s.distinct, vec![1, 2]);
+        assert_eq!(b.cardinality(), 2);
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub fn compile_query(db: &Database, query: &RangeExpr) -> Result<Plan, EvalError
 pub fn compile_range(db: &Database, range: &RangeExpr) -> Result<Plan, EvalError> {
     match range {
         RangeExpr::Rel(n) => {
-            let rel = dc_calculus::Catalog::relation(db, n)?.into_owned();
+            // A COW handle sharing the database's storage.
+            let rel = dc_calculus::Catalog::relation(db, n)?;
             Ok(Plan::Input(rel))
         }
         RangeExpr::Constructed {

@@ -1,6 +1,7 @@
 //! The [`Relation`] type: a keyed set of tuples.
 
 use std::fmt;
+use std::sync::Arc;
 
 use dc_value::{FxHashMap, FxHashSet, Schema, Tuple};
 
@@ -19,22 +20,36 @@ use crate::error::RelationError;
 /// * Iteration order of [`Relation::iter`] is unspecified;
 ///   [`Relation::sorted_tuples`] gives a deterministic order for display
 ///   and test assertions.
+///
+/// # Copy-on-write storage
+///
+/// The tuple set (and the key map, when present) lives behind an
+/// [`Arc`], so `Relation::clone` is a pointer bump: catalog resolution,
+/// fixpoint peer binding, memo hits, and oscillation snapshots all
+/// share one storage. Mutation goes through [`Arc::make_mut`], which
+/// copies the set only when it is actually shared — and every mutator
+/// checks for no-ops (duplicate insert, absent remove) *before*
+/// touching the `Arc`, so a no-op on a shared relation never copies.
+/// Value semantics are unchanged: a mutation through one handle is
+/// never observable through another.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
-    tuples: FxHashSet<Tuple>,
+    tuples: Arc<FxHashSet<Tuple>>,
     /// Key projection → tuple, maintained only for schemas with a proper
     /// key. `None` ⇔ whole tuple is the key, so `tuples` suffices.
-    key_map: Option<FxHashMap<Tuple, Tuple>>,
+    key_map: Option<Arc<FxHashMap<Tuple, Tuple>>>,
 }
 
 impl Relation {
     /// The empty relation over `schema`.
     pub fn new(schema: Schema) -> Relation {
-        let key_map = schema.has_proper_key().then(FxHashMap::default);
+        let key_map = schema
+            .has_proper_key()
+            .then(|| Arc::new(FxHashMap::default()));
         Relation {
             schema,
-            tuples: FxHashSet::default(),
+            tuples: Arc::new(FxHashSet::default()),
             key_map,
         }
     }
@@ -82,32 +97,21 @@ impl Relation {
     /// already present, and an error on schema or key violations.
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool, RelationError> {
         self.schema.check_tuple(&tuple)?;
-        if self.tuples.contains(&tuple) {
-            return Ok(false);
-        }
-        if let Some(map) = &mut self.key_map {
-            let key = self.schema.key_of(&tuple);
-            if let Some(existing) = map.get(&key) {
-                return Err(RelationError::KeyViolation {
-                    key,
-                    existing: existing.clone(),
-                    incoming: tuple,
-                });
-            }
-            map.insert(key, tuple.clone());
-        }
-        self.tuples.insert(tuple);
-        Ok(true)
+        self.insert_unchecked(tuple)
     }
 
     /// Insert without schema checking — used by the fixpoint engine on
     /// tuples it constructed itself from already-checked inputs. Still
     /// maintains the key invariant.
+    ///
+    /// All checks (duplicate, key conflict) run against the shared
+    /// storage *before* [`Arc::make_mut`], so rejected or no-op inserts
+    /// on a shared relation never trigger a copy.
     pub fn insert_unchecked(&mut self, tuple: Tuple) -> Result<bool, RelationError> {
         if self.tuples.contains(&tuple) {
             return Ok(false);
         }
-        if let Some(map) = &mut self.key_map {
+        if let Some(map) = &self.key_map {
             let key = self.schema.key_of(&tuple);
             if let Some(existing) = map.get(&key) {
                 return Err(RelationError::KeyViolation {
@@ -116,28 +120,35 @@ impl Relation {
                     incoming: tuple,
                 });
             }
-            map.insert(key, tuple.clone());
+            let map = self.key_map.as_mut().expect("checked above");
+            Arc::make_mut(map).insert(key, tuple.clone());
         }
-        self.tuples.insert(tuple);
+        Arc::make_mut(&mut self.tuples).insert(tuple);
         Ok(true)
     }
 
     /// Remove a tuple; returns whether it was present.
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        let removed = self.tuples.remove(tuple);
-        if removed {
-            if let Some(map) = &mut self.key_map {
-                map.remove(&self.schema.key_of(tuple));
-            }
+        if !self.tuples.contains(tuple) {
+            return false;
         }
-        removed
+        Arc::make_mut(&mut self.tuples).remove(tuple);
+        if let Some(map) = &mut self.key_map {
+            Arc::make_mut(map).remove(&self.schema.key_of(tuple));
+        }
+        true
     }
 
-    /// Remove all tuples.
+    /// Remove all tuples. Shared storage is released, not cleared in
+    /// place, so other handles keep their value.
     pub fn clear(&mut self) {
-        self.tuples.clear();
+        if !self.tuples.is_empty() {
+            self.tuples = Arc::new(FxHashSet::default());
+        }
         if let Some(map) = &mut self.key_map {
-            map.clear();
+            if !map.is_empty() {
+                *map = Arc::new(FxHashMap::default());
+            }
         }
     }
 
@@ -176,14 +187,24 @@ impl Relation {
     pub fn as_set(&self) -> &FxHashSet<Tuple> {
         &self.tuples
     }
+
+    /// Do two relations share the same underlying tuple storage?
+    ///
+    /// True after a `clone` until either side mutates. Used by tests to
+    /// assert that catalog resolution, fixpoint peer binding, and memo
+    /// hits are pointer bumps rather than tuple-set copies.
+    pub fn shares_storage(a: &Relation, b: &Relation) -> bool {
+        Arc::ptr_eq(&a.tuples, &b.tuples)
+    }
 }
 
 /// Set equality: same tuples, regardless of schema attribute names (the
 /// paper compares `Ahead = Oldahead` inside the fixpoint loop where the
-/// two sides share a type).
+/// two sides share a type). Shared storage short-circuits to `true`
+/// without touching the tuples.
 impl PartialEq for Relation {
     fn eq(&self, other: &Relation) -> bool {
-        self.tuples == other.tuples
+        Arc::ptr_eq(&self.tuples, &other.tuples) || self.tuples == other.tuples
     }
 }
 
@@ -335,6 +356,49 @@ mod tests {
         assert!(r.is_empty());
         r.insert(tuple!["bolt", 2i64]).unwrap();
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn clone_shares_storage_until_mutation() {
+        let mut a = Relation::new(infrontrel());
+        a.insert(tuple!["a", "b"]).unwrap();
+        let b = a.clone();
+        assert!(Relation::shares_storage(&a, &b));
+        // No-op mutations on a shared handle must not copy.
+        let mut c = a.clone();
+        assert!(!c.insert(tuple!["a", "b"]).unwrap());
+        assert!(!c.remove(&tuple!["z", "z"]));
+        assert!(Relation::shares_storage(&a, &c));
+        // A real mutation detaches exactly the mutated handle.
+        c.insert(tuple!["b", "c"]).unwrap();
+        assert!(!Relation::shares_storage(&a, &c));
+        assert!(Relation::shares_storage(&a, &b));
+        assert_eq!(a.len(), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn clear_leaves_shared_handles_intact() {
+        let mut a = Relation::new(keyed());
+        a.insert(tuple!["bolt", 1i64]).unwrap();
+        let b = a.clone();
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(b.len(), 1);
+        // The cleared handle's key slot is free again; `b` keeps its
+        // own key map.
+        a.insert(tuple!["bolt", 2i64]).unwrap();
+        assert_eq!(b.get_by_key(&tuple!["bolt"]), Some(&tuple!["bolt", 1i64]));
+    }
+
+    #[test]
+    fn key_violation_on_shared_handle_does_not_copy_or_corrupt() {
+        let mut a = Relation::new(keyed());
+        a.insert(tuple!["bolt", 1i64]).unwrap();
+        let mut b = a.clone();
+        assert!(b.insert(tuple!["bolt", 9i64]).is_err());
+        assert!(Relation::shares_storage(&a, &b));
+        assert_eq!(a, b);
     }
 
     #[test]

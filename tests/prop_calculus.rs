@@ -170,6 +170,27 @@ proptest! {
         }
     }
 
+    /// The index path — join probes *and* quantifier existence probes —
+    /// agrees with the reference nested-loop evaluator on randomized
+    /// formulas. Generated formulas are error-free (every comparison is
+    /// STRING vs STRING), so the two paths must produce identical
+    /// relations; quantified subformulas with equality atoms exercise
+    /// the probe/residual machinery, the rest exercises the fallback.
+    #[test]
+    fn quantifier_probes_agree_with_nested_loop(
+        base in edges_strategy(),
+        f in formula_strategy(vec!["r".to_string()], 3),
+    ) {
+        let cat = MapCatalog::new().with_relation("Infront", base.clone());
+        let query = set_former(vec![Branch::each("r", rel("Infront"), f)]);
+        let planned = Evaluator::new(&cat).eval(&query).expect("error-free formula");
+        let reference = Evaluator::new(&cat)
+            .force_nested_loop()
+            .eval(&query)
+            .expect("error-free formula");
+        prop_assert_eq!(planned, reference);
+    }
+
     /// Parser round-trip: the display form of a generated query parses
     /// back to the identical AST.
     #[test]
