@@ -5,11 +5,12 @@
 //! report. This crate holds the common fixtures so that benches and
 //! harness measure exactly the same configurations.
 
+use dc_calculus::ast::SelectorDef;
 use dc_core::{paper, Constructor, Database, Strategy};
 use dc_prolog::program::Clause;
 use dc_prolog::{Program, Term};
 use dc_relation::Relation;
-use dc_value::{tuple, Value};
+use dc_value::{tuple, Domain, Value};
 
 /// `k` disjoint chains of `depth` edges each: the E2 workload (the
 /// selected cone is one chain; the full closure covers all of them).
@@ -146,9 +147,11 @@ pub fn same_generation_program(depth: usize) -> Program {
 }
 
 /// A database holding a generated CAD scene under the paper's names
-/// (`Objects`, `Infront`, `Ontop`) — the quantifier-probe workload
-/// (E2b).
+/// (`Objects`, `Infront`, `Ontop`) — the quantifier-probe workloads
+/// (E2b, E2c). Registers the `on_base(B)` selector over `Ontop` used by
+/// the correlated-selector workload.
 pub fn scene_db(scene: &dc_workload::Scene) -> Database {
+    use dc_calculus::builder::*;
     let mut db = Database::new();
     for (name, rel) in [
         ("Objects", &scene.objects),
@@ -161,6 +164,18 @@ pub fn scene_db(scene: &dc_workload::Scene) -> Database {
             db.insert(name, t.clone()).expect("valid scene tuple");
         }
     }
+    // SELECTOR on_base(B: STRING) FOR Rel: ontoprel;
+    // BEGIN EACH o IN Rel: o.base = B END on_base
+    db.define_selector(
+        SelectorDef {
+            name: "on_base".into(),
+            element_var: "o".into(),
+            params: vec![("B".into(), Domain::Str)],
+            predicate: eq(attr("o", "base"), param("B")),
+        },
+        scene.ontop.schema().clone(),
+    )
+    .expect("on_base is well-typed");
     db
 }
 
@@ -215,6 +230,61 @@ pub fn front_row_query() -> dc_calculus::RangeExpr {
     )])
 }
 
+/// The correlated-selector workload (E2c, decorrelation tentpole):
+///
+/// ```text
+/// EACH r IN Infront: SOME t IN Ontop[on_base(r.back)] (TRUE)
+/// ```
+///
+/// — edges whose *back* object carries a stacked item. The quantified
+/// range is a selector application whose actual argument references the
+/// outer variable `r`, so the reference path re-applies the selector
+/// (one full `Ontop` pass) per `Infront` tuple: O(|Infront| × |Ontop|).
+/// The decorrelated path evaluates `Ontop` once, indexes it on `base`,
+/// and decides each edge by probe: O(|Ontop| + |Infront| × matches).
+pub fn stacked_back_query() -> dc_calculus::RangeExpr {
+    use dc_calculus::ast::Branch;
+    use dc_calculus::builder::*;
+    set_former(vec![Branch::each(
+        "r",
+        rel("Infront"),
+        some(
+            "t",
+            rel("Ontop").select("on_base", vec![attr("r", "back")]),
+            tru(),
+        ),
+    )])
+}
+
+/// The implication-shaped `ALL` workload (E2c, NNF tentpole):
+///
+/// ```text
+/// EACH r IN Infront:
+///   ALL t IN Ontop (NOT (t.base = r.front) OR t.top > t.base)
+/// ```
+///
+/// — edges whose front carries no "heavy" item (scene item names sort
+/// below their bases, so any stacked item falsifies the implication:
+/// the result is exactly the bare-fronted edges). The body is an
+/// implication `NOT p OR q`; its falsifier `p AND NOT q` carries the
+/// equality atom `t.base = r.front`, so the engine probes the `base`
+/// bucket for counterexamples instead of scanning `Ontop` per edge —
+/// the coverage the pre-NNF extractor could not see.
+pub fn unburdened_front_query() -> dc_calculus::RangeExpr {
+    use dc_calculus::ast::Branch;
+    use dc_calculus::builder::*;
+    set_former(vec![Branch::each(
+        "r",
+        rel("Infront"),
+        all(
+            "t",
+            rel("Ontop"),
+            not(eq(attr("t", "base"), attr("r", "front")))
+                .or(gt(attr("t", "top"), attr("t", "base"))),
+        ),
+    )])
+}
+
 /// The `Value` of a chain node name.
 pub fn node(prefix: &str, i: usize) -> Value {
     Value::str(format!("{prefix}{i}"))
@@ -262,6 +332,22 @@ mod tests {
             let scanned = db_scan.eval(&q).unwrap();
             assert_eq!(probed, scanned);
             assert!(!probed.is_empty());
+        }
+    }
+
+    #[test]
+    fn correlated_selector_queries_agree_with_reference() {
+        let scene = dc_workload::scene(6, 8, 2, 3);
+        let db = scene_db(&scene);
+        let mut db_scan = scene_db(&scene);
+        db_scan.set_use_indexes(false);
+        for q in [stacked_back_query(), unburdened_front_query()] {
+            let probed = db.eval(&q).unwrap();
+            let scanned = db_scan.eval(&q).unwrap();
+            assert_eq!(probed, scanned, "{q}");
+            // Both queries discriminate: neither empty nor everything.
+            assert!(!probed.is_empty(), "{q}");
+            assert!(probed.len() < scene.infront.len(), "{q}");
         }
     }
 

@@ -76,6 +76,20 @@ pub trait Catalog {
     fn stats(&self, _name: &str) -> Option<Arc<RelationStats>> {
         None
     }
+
+    /// Monotone data version of the catalog. Implementations that can
+    /// change a relation's value *while an evaluator is alive* (the
+    /// fixpoint solver commits peer deltas between rounds, mid-solve)
+    /// must bump this on every such commit. Evaluators compare it
+    /// against the version their syntax-keyed caches (range values,
+    /// indexes, statistics, decorrelated ranges) were filled under and
+    /// drop every stale entry on mismatch — scoping transient-index
+    /// lifetime to one consistent snapshot of the catalog. Catalogs
+    /// whose mutation requires `&mut self` (so no evaluator can be
+    /// alive across a change) may keep the default constant `0`.
+    fn version(&self) -> u64 {
+        0
+    }
 }
 
 /// Closure type for pluggable constructor semantics in [`MapCatalog`].
@@ -295,6 +309,12 @@ impl Catalog for Overlay<'_> {
 
     fn scalar_param(&self, name: &str) -> Result<Value, EvalError> {
         self.base.scalar_param(name)
+    }
+
+    fn version(&self) -> u64 {
+        // Overrides are immutable for the overlay's lifetime; only the
+        // base can change underneath an evaluator.
+        self.base.version()
     }
 }
 

@@ -29,11 +29,27 @@
 //!   decided through a [`dc_index::HashIndex`] existence probe instead
 //!   of a range scan: only bucket matches get the (full) body
 //!   re-check, so selector-style predicates cost O(matches) per outer
-//!   combination rather than O(|R|). The divergence policy above
-//!   extends unchanged: an error hiding in the body of a tuple the
-//!   equality key already rejects is never raised, because that tuple
-//!   is skipped outright. [`Evaluator::force_nested_loop`] disables
-//!   quantifier probes too.
+//!   combination rather than O(|R|). `ALL` bodies are probed through
+//!   their **falsifier** where possible (the NNF of the negated body,
+//!   which makes implication-shaped bodies `NOT p OR q` probe-able) and
+//!   through the bucket-covers-range check otherwise. The divergence
+//!   policy above extends unchanged: an error hiding in the body of a
+//!   tuple the equality key already rejects is never raised, because
+//!   that tuple is skipped outright. [`Evaluator::force_nested_loop`]
+//!   disables quantifier probes too.
+//! * **Decorrelated quantifier ranges** — a quantifier over a
+//!   *correlated* range (`SOME x IN {EACH y IN R: y.a = r.b AND …}`,
+//!   or a selector application with outer-variable arguments) would
+//!   re-evaluate the range per outer combination. Instead the filter is
+//!   split into a decorrelated part and correlation atoms
+//!   ([`joinplan::decorrelate_filter`]): the decorrelated part is
+//!   evaluated once per evaluator (and catalog version), indexed on the
+//!   correlation columns, and each outer combination is decided by
+//!   probe — O(|R| + outer × matches) instead of O(outer × |R|). The
+//!   split is exact, so the bucket *is* the range value and the full
+//!   body re-check preserves semantics; every unsafe case falls back to
+//!   the reference scan. Demotions and abandoned rewrites are recorded
+//!   in the planner trace ([`Evaluator::plan_notes`]).
 
 use std::sync::Arc;
 
@@ -45,6 +61,7 @@ use crate::ast::{Branch, Formula, RangeExpr, ScalarExpr, SetFormer, Target, Var}
 use crate::env::Catalog;
 use crate::error::EvalError;
 use crate::joinplan::{self, Access, BranchPlan, KeySource};
+use crate::rewrite;
 
 /// A bound tuple variable: name, current tuple, and the schema used to
 /// resolve `var.attr` references.
@@ -84,10 +101,33 @@ pub struct Evaluator<'a> {
     index_cache: FxHashMap<(RangeExpr, Vec<usize>), Arc<HashIndex>>,
     /// Cache of statistics collected over binding-free ranges.
     stats_cache: FxHashMap<RangeExpr, RelationStats>,
+    /// Cache of decorrelated correlated quantified ranges, keyed by the
+    /// range's syntax (the split depends only on it). `None` records a
+    /// range whose decorrelation was refused or abandoned, so the
+    /// analysis runs once per range, not once per outer combination.
+    decorr_cache: FxHashMap<RangeExpr, Option<Arc<DecorrEntry>>>,
+    /// Cache of quantifier probe plans, keyed by (var, existential,
+    /// body syntax): the NNF derivation clones and rewrites the body,
+    /// which must not be paid per outer combination. A linear scan —
+    /// entries are bounded by the query's quantifier sites — so lookups
+    /// allocate nothing. Purely syntactic; survives version bumps.
+    quant_plan_cache: Vec<(Var, bool, Formula, Option<Arc<joinplan::QuantPlan>>)>,
     /// Per-plan-depth probe-key buffers, reused across probes.
     probe_scratch: Vec<Vec<Value>>,
     /// Disable the index-nested-loop path (reference semantics).
     nested_loop_only: bool,
+    /// The catalog data version the syntax-keyed caches were filled
+    /// under; on mismatch every cache is dropped (mid-solve delta
+    /// commits, see [`Catalog::version`]).
+    cache_version: u64,
+    /// Planner trace notes (demotions, abandoned rewrites), deduplicated.
+    plan_notes: Vec<String>,
+    /// Dedup set for `plan_notes`.
+    noted: FxHashSet<String>,
+    /// Cheap dedup keys (attr, reason kind, site fingerprint) for notes
+    /// emitted on per-combination paths — checked before any string is
+    /// built, so each distinct demotion site is reported exactly once.
+    noted_keys: Vec<(String, u8, u64)>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -99,17 +139,83 @@ impl<'a> Evaluator<'a> {
             range_cache: FxHashMap::default(),
             index_cache: FxHashMap::default(),
             stats_cache: FxHashMap::default(),
+            decorr_cache: FxHashMap::default(),
+            quant_plan_cache: Vec::new(),
             probe_scratch: Vec::new(),
             nested_loop_only: false,
+            cache_version: catalog.version(),
+            plan_notes: Vec::new(),
+            noted: FxHashSet::default(),
+            noted_keys: Vec::new(),
         }
     }
 
     /// Force the reference nested-loop path for every branch (no join
-    /// planning, no index probes). Used by differential tests and as
-    /// the measured pre-optimization baseline.
+    /// planning, no index probes, no quantifier decorrelation). Used by
+    /// differential tests and as the measured pre-optimization baseline.
     pub fn force_nested_loop(mut self) -> Evaluator<'a> {
         self.nested_loop_only = true;
         self
+    }
+
+    /// The planner trace: one line per demotion or abandoned rewrite
+    /// (deduplicated), in first-occurrence order. Empty when every
+    /// planned access path was realised as planned.
+    pub fn plan_notes(&self) -> &[String] {
+        &self.plan_notes
+    }
+
+    /// Drain the planner trace — see [`Evaluator::plan_notes`].
+    pub fn take_plan_notes(&mut self) -> Vec<String> {
+        self.noted.clear();
+        self.noted_keys.clear();
+        std::mem::take(&mut self.plan_notes)
+    }
+
+    /// Record a planner trace note (deduplicated by content).
+    fn plan_note(&mut self, note: String) {
+        if self.noted.insert(note.clone()) {
+            self.plan_notes.push(note);
+        }
+    }
+
+    /// Record a demotion note from a per-combination path: dedup on
+    /// (attr, reason kind, site) *before* building the string, so a
+    /// demotion repeated across thousands of outer combinations costs a
+    /// scan of a tiny vec instead of a format per probe, while distinct
+    /// sites (see [`site_fingerprint`]) still report individually.
+    fn plan_note_keyed(
+        &mut self,
+        attr: &str,
+        reason: u8,
+        site: u64,
+        make: impl FnOnce() -> String,
+    ) {
+        if self
+            .noted_keys
+            .iter()
+            .any(|(a, r, s)| *r == reason && *s == site && a == attr)
+        {
+            return;
+        }
+        self.noted_keys.push((attr.to_string(), reason, site));
+        self.plan_note(make());
+    }
+
+    /// Drop every syntax-keyed cache if the catalog's data version moved
+    /// since the caches were filled (a peer delta committed mid-solve).
+    /// Cached range values, indexes, statistics, and decorrelated
+    /// ranges all describe one consistent catalog snapshot; after a
+    /// commit they describe a stale one and must be rebuilt on demand.
+    fn validate_caches(&mut self) {
+        let v = self.catalog.version();
+        if v != self.cache_version {
+            self.range_cache.clear();
+            self.index_cache.clear();
+            self.stats_cache.clear();
+            self.decorr_cache.clear();
+            self.cache_version = v;
+        }
     }
 
     /// Evaluate a closed range expression (a query).
@@ -126,6 +232,7 @@ impl<'a> Evaluator<'a> {
     ) -> Result<Relation, EvalError> {
         let cacheable = self.param_frames.is_empty() && is_binding_free(range);
         if cacheable {
+            self.validate_caches();
             if let Some(hit) = self.range_cache.get(range) {
                 return Ok(hit.clone());
             }
@@ -413,6 +520,7 @@ impl<'a> Evaluator<'a> {
             }
         }
         if self.param_frames.is_empty() && is_binding_free(range) {
+            self.validate_caches();
             let key = (range.clone(), positions.to_vec());
             if let Some(hit) = self.index_cache.get(&key) {
                 return hit.clone();
@@ -440,6 +548,7 @@ impl<'a> Evaluator<'a> {
             }
         }
         if self.param_frames.is_empty() && is_binding_free(range) {
+            self.validate_caches();
             if let Some(hit) = self.stats_cache.get(range) {
                 return hit.clone();
             }
@@ -455,23 +564,30 @@ impl<'a> Evaluator<'a> {
     /// fall back to the reference scan"; `Ok(Some(b))` is the decided
     /// truth value.
     ///
-    /// A `SOME` body carrying equality atoms `var.attr = key` (with
-    /// `key` free of `var`, see [`joinplan::extract_quant_atoms`]) only
-    /// has witnesses inside the probed bucket, so the residual pass
-    /// touches bucket matches instead of the whole range. For `ALL`,
-    /// any tuple *outside* the bucket falsifies the equality conjunct
-    /// and with it the body, so the quantifier holds only if the
-    /// bucket covers the whole range — checked by cardinality before
-    /// the residual pass over the bucket.
+    /// The probe follows a [`joinplan::plan_quant_probe`] plan:
+    ///
+    /// * [`QuantMode::Witness`] (`SOME`) — every body witness satisfies
+    ///   the atoms, so the residual pass touches bucket matches instead
+    ///   of the whole range.
+    /// * [`QuantMode::Falsifier`] (`ALL`, implication-shaped bodies) —
+    ///   the atoms come from the NNF of the body's negation, so every
+    ///   potential counterexample lies inside the bucket; tuples outside
+    ///   it satisfy the body by construction and are never visited.
+    /// * [`QuantMode::Covering`] (`ALL`, conjunctive bodies) — any tuple
+    ///   *outside* the bucket falsifies an equality conjunct and with it
+    ///   the body, so the quantifier holds only if the bucket covers the
+    ///   whole range — checked by cardinality before the residual pass.
     ///
     /// Demotion rules mirror [`Evaluator::compile_plan`]: keys that are
     /// unresolvable or whose base type differs from the probed column
-    /// drop out, and if none survive the scan fallback reproduces
-    /// reference semantics (including error semantics) exactly. Probes
-    /// are only attempted where the index amortises — named relations
-    /// (catalog-maintained indexes) and binding-free ranges (evaluator
-    /// cache); a throwaway index per evaluation would cost the same
-    /// pass as the scan it replaces.
+    /// drop out (leaving a planner trace note), and if none survive the
+    /// scan fallback reproduces reference semantics (including error
+    /// semantics) exactly. Probes are only attempted where the index
+    /// amortises — named relations (catalog-maintained indexes) and
+    /// binding-free ranges (evaluator cache); a throwaway index per
+    /// evaluation would cost the same pass as the scan it replaces.
+    /// Correlated ranges are handled before this probe by
+    /// [`Evaluator::quant_decorrelate`].
     fn quant_probe(
         &mut self,
         var: &Var,
@@ -481,6 +597,7 @@ impl<'a> Evaluator<'a> {
         bindings: &mut Vec<Binding>,
         existential: bool,
     ) -> Result<Option<bool>, EvalError> {
+        use joinplan::QuantMode;
         if self.nested_loop_only || rel.is_empty() {
             return Ok(None);
         }
@@ -488,21 +605,43 @@ impl<'a> Evaluator<'a> {
         if !cacheable && !matches!(range, RangeExpr::Rel(_)) {
             return Ok(None);
         }
-        let atoms = joinplan::extract_quant_atoms(var, body);
-        if atoms.is_empty() {
+        let Some(plan) = self.quant_plan(var, body, existential) else {
             return Ok(None);
-        }
+        };
         let schema = rel.schema();
-        let mut positions = Vec::with_capacity(atoms.len());
-        let mut key = Vec::with_capacity(atoms.len());
-        for atom in &atoms {
+        let mut positions = Vec::with_capacity(plan.atoms.len());
+        let mut key = Vec::with_capacity(plan.atoms.len());
+        for atom in &plan.atoms {
             let Ok(pos) = schema.position(&atom.attr) else {
+                // E.g. the range is a selector/set-former view that no
+                // longer carries the referenced field.
+                self.plan_note_keyed(&atom.attr, 0, site_fingerprint(range), || {
+                    format!(
+                        "quantifier probe: atom on `{}` demoted to residual — \
+                         attribute not in range schema ({range})",
+                        atom.attr
+                    )
+                });
                 continue;
             };
             let Ok(v) = self.eval_scalar(&atom.key, bindings) else {
+                self.plan_note_keyed(&atom.attr, 1, site_fingerprint(range), || {
+                    format!(
+                        "quantifier probe: atom on `{}` demoted to residual — \
+                         key expression `{}` unresolvable in enclosing scope",
+                        atom.attr, atom.key
+                    )
+                });
                 continue;
             };
             if value_domain(&v) != schema.domain(pos).base() {
+                self.plan_note_keyed(&atom.attr, 2, site_fingerprint(range), || {
+                    format!(
+                        "quantifier probe: atom on `{}` demoted to residual — \
+                         key type does not match probed column",
+                        atom.attr
+                    )
+                });
                 continue;
             }
             positions.push(pos);
@@ -531,10 +670,49 @@ impl<'a> Evaluator<'a> {
             }
         };
         let hits = index.probe_slice(&key);
-        if !existential && hits.len() != rel.len() {
+        if plan.mode == QuantMode::Covering && hits.len() != rel.len() {
             return Ok(Some(false));
         }
-        let schema = rel.schema().clone();
+        self.decide_over_bucket(var, rel.schema(), body, hits, bindings, existential)
+            .map(Some)
+    }
+
+    /// Plan (or fetch the cached plan for) a quantifier probe — see
+    /// [`joinplan::plan_quant_probe`]. The NNF pre-pass clones and
+    /// rewrites the body, so plans are derived once per quantifier site
+    /// and shared across all outer combinations.
+    fn quant_plan(
+        &mut self,
+        var: &Var,
+        body: &Formula,
+        existential: bool,
+    ) -> Option<Arc<joinplan::QuantPlan>> {
+        if let Some((_, _, _, plan)) = self
+            .quant_plan_cache
+            .iter()
+            .find(|(v, e, b, _)| *e == existential && v == var && b == body)
+        {
+            return plan.clone();
+        }
+        let plan = joinplan::plan_quant_probe(var, body, existential).map(Arc::new);
+        self.quant_plan_cache
+            .push((var.clone(), existential, body.clone(), plan.clone()));
+        plan
+    }
+
+    /// Shared residual pass of both quantifier probe paths: evaluate the
+    /// **full** body over the bucket's tuples (reusing one binding slot)
+    /// and decide the quantifier — a body witness decides `SOME`, a body
+    /// falsifier decides `ALL`, an exhausted bucket decides the dual.
+    fn decide_over_bucket(
+        &mut self,
+        var: &Var,
+        schema: &Schema,
+        body: &Formula,
+        hits: &[Tuple],
+        bindings: &mut Vec<Binding>,
+        existential: bool,
+    ) -> Result<bool, EvalError> {
         let slot = bindings.len();
         let mut pushed = false;
         for t in hits {
@@ -556,13 +734,281 @@ impl<'a> Evaluator<'a> {
                 }
                 Ok(b) if b == existential => {
                     bindings.truncate(slot);
-                    return Ok(Some(existential));
+                    return Ok(existential);
                 }
                 Ok(_) => {}
             }
         }
         bindings.truncate(slot);
-        Ok(Some(!existential))
+        Ok(!existential)
+    }
+
+    /// Try to decide a quantifier over a **correlated** range through a
+    /// decorrelated index probe. `Ok(None)` means "not decorrelatable —
+    /// fall back to range evaluation + scan".
+    ///
+    /// A correlated quantified range — `SOME x IN {EACH y IN R:
+    /// y.a = r.b AND local(y)} (body)`, or the equivalent selector
+    /// application `R[s(r.b)]` — is re-evaluated from scratch for every
+    /// outer combination by the reference path: O(outer × |R|). This
+    /// path splits the range's filter with
+    /// [`joinplan::decorrelate_filter`], evaluates the decorrelated
+    /// part (`R` filtered by the outer-independent conjuncts) **once**
+    /// per evaluator and catalog version, builds a transient
+    /// [`HashIndex`] keyed on the correlation columns, and decides each
+    /// outer combination by probing it with the correlation keys:
+    /// O(|R| + outer × matches), magic-set style.
+    ///
+    /// Because the split is exact (`pred ≡ residual ∧ atoms`), the
+    /// probed bucket *is* the correlated range's value for that outer
+    /// combination, so the quantifier is decided by evaluating the full
+    /// body over the bucket — no covering check, no predicate re-check.
+    /// Every safety hole falls back to the reference scan, which
+    /// reproduces reference error semantics: unresolvable or
+    /// type-mismatched keys, selector arity/domain violations, and any
+    /// error raised while building the decorrelated part (the reference
+    /// path's short-circuits might never reach that error, so the
+    /// rewrite is abandoned rather than risk raising it spuriously).
+    fn quant_decorrelate(
+        &mut self,
+        var: &Var,
+        range: &RangeExpr,
+        body: &Formula,
+        bindings: &mut Vec<Binding>,
+        existential: bool,
+    ) -> Result<Option<bool>, EvalError> {
+        if self.nested_loop_only {
+            return Ok(None);
+        }
+        // Binding-free ranges are served by the evaluator-lifetime range
+        // cache plus `quant_probe`; only correlated ranges benefit here.
+        if matches!(range, RangeExpr::Rel(_)) || is_binding_free(range) {
+            return Ok(None);
+        }
+        self.validate_caches();
+        // One hash of the range syntax per combination on the hit path.
+        let cached = match self.decorr_cache.get(range) {
+            Some(entry) => entry.clone(),
+            None => {
+                let entry = self.build_decorr_entry(range)?;
+                self.decorr_cache.insert(range.clone(), entry.clone());
+                entry
+            }
+        };
+        let Some(entry) = cached else {
+            return Ok(None);
+        };
+        // Selector-application ranges: reproduce the reference path's
+        // per-application arity/domain checks — on violation the scan
+        // fallback raises the reference error.
+        let mut arg_vals = Vec::with_capacity(entry.arg_checks.len());
+        for (arg, dom) in &entry.arg_checks {
+            let Ok(v) = self.eval_scalar(arg, bindings) else {
+                return Ok(None);
+            };
+            if dom.check(&v).is_err() {
+                return Ok(None);
+            }
+            arg_vals.push(v);
+        }
+        // Assemble the probe key from the enclosing scope (reusing the
+        // values already computed for the domain checks). Unresolvable
+        // or cross-type keys fall back to the scan for this combination,
+        // which reproduces reference semantics exactly.
+        let mut key = Vec::with_capacity(entry.keys.len());
+        for ((expr, &pos), arg_idx) in entry.keys.iter().zip(&entry.positions).zip(&entry.key_arg) {
+            let v = match arg_idx {
+                Some(i) => arg_vals[*i].clone(),
+                None => {
+                    let Ok(v) = self.eval_scalar(expr, bindings) else {
+                        return Ok(None);
+                    };
+                    v
+                }
+            };
+            if value_domain(&v) != entry.schema.domain(pos).base() {
+                return Ok(None);
+            }
+            key.push(v);
+        }
+        // The bucket *is* the correlated range's value for this outer
+        // combination (the split is exact) — decide over it directly.
+        self.decide_over_bucket(
+            var,
+            &entry.schema,
+            body,
+            entry.index.probe_slice(&key),
+            bindings,
+            existential,
+        )
+        .map(Some)
+    }
+
+    /// Analyse and materialise the decorrelated form of a correlated
+    /// quantified range — the once-per-range half of
+    /// [`Evaluator::quant_decorrelate`]. Returns `Ok(None)` (with a
+    /// planner trace note) when the range cannot be decorrelated
+    /// safely or profitably; the decision is cached either way.
+    fn build_decorr_entry(
+        &mut self,
+        range: &RangeExpr,
+    ) -> Result<Option<Arc<DecorrEntry>>, EvalError> {
+        let Some((ivar, irange, pred, arg_checks)) = self.as_correlated_filter(range) else {
+            self.plan_note(format!(
+                "decorrelation: unsupported range shape — residual scan ({range})"
+            ));
+            return Ok(None);
+        };
+        if !is_binding_free(&irange) {
+            self.plan_note(format!(
+                "decorrelation: inner range itself correlated — residual scan ({range})"
+            ));
+            return Ok(None);
+        }
+        let Some(split) = joinplan::decorrelate_filter(&ivar, &pred) else {
+            self.plan_note(format!(
+                "decorrelation: predicate not splittable into correlation \
+                 atoms + local residual — residual scan ({range})"
+            ));
+            return Ok(None);
+        };
+        let base = self.eval_range(&irange, &mut Vec::new())?;
+        let schema = base.schema().clone();
+        // Resolve the correlation columns. An unresolvable attribute —
+        // e.g. a field referenced through a nested selector view that
+        // does not carry it — demotes the atom (and with it the whole
+        // rewrite, since correlation atoms cannot join the local
+        // residual) back to the reference scan, with a trace note
+        // instead of the former silent skip.
+        let mut positions = Vec::with_capacity(split.atoms.len());
+        let mut keys = Vec::with_capacity(split.atoms.len());
+        for atom in &split.atoms {
+            match schema.position(&atom.attr) {
+                Ok(p) => {
+                    positions.push(p);
+                    keys.push(atom.key.clone());
+                }
+                Err(_) => {
+                    self.plan_note(format!(
+                        "decorrelation: correlation atom on `{}` demoted to \
+                         residual — attribute not in range schema ({range})",
+                        atom.attr
+                    ));
+                    return Ok(None);
+                }
+            }
+        }
+        // Statistics-based go/no-go: the decorrelated pass costs one
+        // O(|R|) sweep (amortised over all outer combinations), but the
+        // probe only beats the per-combination scan when the correlation
+        // columns actually narrow the bucket. Catalogs that maintain a
+        // `StatsBuilder` next to their indexes answer in O(arity).
+        let stats = self.range_stats(&irange, &base);
+        let selectivity: f64 = positions.iter().map(|&p| stats.eq_selectivity(p)).product();
+        if stats.cardinality > 0 && selectivity >= 1.0 {
+            self.plan_note(format!(
+                "decorrelation: correlation columns not selective \
+                 (single-valued) — residual scan ({range})"
+            ));
+            return Ok(None);
+        }
+        // Evaluate the decorrelated part: R filtered by the local
+        // residual, one pass. The reference path's short-circuits might
+        // never evaluate the residual on some tuples, so an error here
+        // must not surface — abandon the rewrite and let the scan decide.
+        let mut decorr = Relation::new(schema.clone());
+        let mut inner: Vec<Binding> = Vec::with_capacity(1);
+        for t in base.iter() {
+            inner.push(Binding {
+                var: ivar.clone(),
+                tuple: t.clone(),
+                schema: schema.clone(),
+            });
+            let keep = self.eval_formula(&split.residual, &mut inner);
+            inner.pop();
+            match keep {
+                Ok(true) => {
+                    decorr.insert_unchecked(t.clone())?;
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    self.plan_note(format!(
+                        "decorrelation: residual evaluation errored — \
+                         abandoned, residual scan ({range})"
+                    ));
+                    return Ok(None);
+                }
+            }
+        }
+        let index = HashIndex::build(&decorr, positions.clone());
+        let key_arg = keys
+            .iter()
+            .map(|k| arg_checks.iter().position(|(a, _)| a == k))
+            .collect();
+        Ok(Some(Arc::new(DecorrEntry {
+            schema,
+            index,
+            positions,
+            keys,
+            arg_checks,
+            key_arg,
+        })))
+    }
+
+    /// View a range expression as a single-variable filter
+    /// `{EACH var IN inner: pred}`, the shape decorrelation understands.
+    /// Selector applications `base[s(args)]` are rewritten to that
+    /// shape by substituting the actual arguments for the formal
+    /// parameters in the selector predicate (the arity check and
+    /// capture guard keep the rewrite faithful; per-combination domain
+    /// checks are returned for the evaluator to replay).
+    #[allow(clippy::type_complexity)]
+    fn as_correlated_filter(
+        &self,
+        range: &RangeExpr,
+    ) -> Option<(Var, RangeExpr, Formula, Vec<(ScalarExpr, Domain)>)> {
+        match range {
+            RangeExpr::SetFormer(sf) if sf.branches.len() == 1 => {
+                let b = &sf.branches[0];
+                if b.bindings.len() != 1 {
+                    return None;
+                }
+                let (v, r) = &b.bindings[0];
+                if !matches!(&b.target, Target::Var(tv) if tv == v) {
+                    return None;
+                }
+                Some((v.clone(), r.clone(), b.predicate.clone(), Vec::new()))
+            }
+            RangeExpr::Selected {
+                base,
+                selector,
+                args,
+            } => {
+                let def = self.catalog.selector(selector).ok()?;
+                if def.params.len() != args.len() {
+                    // Arity mismatch: the scan raises the reference error.
+                    return None;
+                }
+                // Capture guard: an argument mentioning the element
+                // variable or any variable bound inside the predicate
+                // would be captured by the substitution.
+                let mut bound = FxHashSet::default();
+                bound.insert(def.element_var.clone());
+                rewrite::bound_vars_formula(&def.predicate, &mut bound);
+                if args.iter().any(|a| scalar_mentions_any(a, &bound)) {
+                    return None;
+                }
+                let mut map = FxHashMap::default();
+                let mut arg_checks = Vec::with_capacity(args.len());
+                for ((pname, pdom), arg) in def.params.iter().zip(args) {
+                    map.insert(pname.clone(), arg.clone());
+                    arg_checks.push((arg.clone(), pdom.clone()));
+                }
+                let pred = rewrite::substitute_param_exprs_formula(&def.predicate, &map);
+                Some((def.element_var.clone(), (**base).clone(), pred, arg_checks))
+            }
+            _ => None,
+        }
     }
 
     /// Run the compiled steps depth-first. Each step reuses one binding
@@ -795,6 +1241,11 @@ impl<'a> Evaluator<'a> {
             }
             Formula::Not(inner) => Ok(!self.eval_formula(inner, bindings)?),
             Formula::Some(v, range, body) => {
+                // Correlated ranges: probe the decorrelated form instead
+                // of re-evaluating the range per outer combination.
+                if let Some(decided) = self.quant_decorrelate(v, range, body, bindings, true)? {
+                    return Ok(decided);
+                }
                 let rel = self.eval_range(range, bindings)?;
                 if let Some(decided) = self.quant_probe(v, range, &rel, body, bindings, true)? {
                     return Ok(decided);
@@ -815,6 +1266,9 @@ impl<'a> Evaluator<'a> {
                 Ok(false)
             }
             Formula::All(v, range, body) => {
+                if let Some(decided) = self.quant_decorrelate(v, range, body, bindings, false)? {
+                    return Ok(decided);
+                }
                 let rel = self.eval_range(range, bindings)?;
                 if let Some(decided) = self.quant_probe(v, range, &rel, body, bindings, false)? {
                     return Ok(decided);
@@ -890,6 +1344,30 @@ impl<'a> Evaluator<'a> {
     }
 }
 
+/// The decorrelated form of a correlated quantified range: the
+/// outer-independent part of the range, hash-indexed on the correlation
+/// columns. Built once per (range, catalog version) by
+/// [`Evaluator::build_decorr_entry`]; each outer combination probes it
+/// with the evaluated correlation keys.
+struct DecorrEntry {
+    /// Schema of the range's tuples (the inner base relation's schema).
+    schema: Schema,
+    /// The decorrelated part, indexed on `positions`.
+    index: HashIndex,
+    /// Correlation-column positions, parallel to `keys`.
+    positions: Vec<usize>,
+    /// Enclosing-scope key expressions, parallel to `positions`.
+    keys: Vec<ScalarExpr>,
+    /// For selector-application ranges: the actual arguments and their
+    /// declared parameter domains, re-checked per combination so the
+    /// reference path's arity/domain errors are preserved.
+    arg_checks: Vec<(ScalarExpr, Domain)>,
+    /// Per key: the index into `arg_checks` whose expression is
+    /// identical to the key, so the probe loop reuses the value already
+    /// computed for the domain check instead of evaluating it twice.
+    key_arg: Vec<Option<usize>>,
+}
+
 /// An executable plan step: which binding position to enumerate, how.
 struct CompiledStep {
     position: usize,
@@ -915,6 +1393,16 @@ enum CompiledKey {
     FromBinding { slot: usize, attr_pos: usize },
 }
 
+/// Fingerprint of a demotion site (the quantified range's syntax),
+/// used to dedup planner trace notes per site without formatting the
+/// range. Only computed on demotion (fallback) paths.
+fn site_fingerprint(range: &RangeExpr) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = dc_value::FxHasher::default();
+    range.hash(&mut h);
+    h.finish()
+}
+
 /// Find the innermost binding of `var`.
 fn lookup<'b>(bindings: &'b [Binding], var: &str) -> Result<&'b Binding, EvalError> {
     bindings
@@ -927,73 +1415,19 @@ fn lookup<'b>(bindings: &'b [Binding], var: &str) -> Result<&'b Binding, EvalErr
 /// Is the range expression free of references to outer tuple variables
 /// and parameters (and therefore safe to cache by syntax)?
 pub fn is_binding_free(range: &RangeExpr) -> bool {
-    fn scalar_free(e: &ScalarExpr, local: &mut Vec<String>) -> bool {
-        match e {
-            ScalarExpr::Const(_) => true,
-            ScalarExpr::Param(_) => false,
-            ScalarExpr::Attr(v, _) => local.iter().any(|l| l == v),
-            ScalarExpr::Arith(l, _, r) => scalar_free(l, local) && scalar_free(r, local),
+    joinplan::range_uses_only(range, &mut Vec::new())
+}
+
+/// Does the expression mention any of the given variable names?
+/// (Capture check for the selector-application rewrite.)
+fn scalar_mentions_any(e: &ScalarExpr, names: &FxHashSet<String>) -> bool {
+    match e {
+        ScalarExpr::Const(_) | ScalarExpr::Param(_) => false,
+        ScalarExpr::Attr(v, _) => names.contains(v),
+        ScalarExpr::Arith(l, _, r) => {
+            scalar_mentions_any(l, names) || scalar_mentions_any(r, names)
         }
     }
-    fn formula_free(f: &Formula, local: &mut Vec<String>) -> bool {
-        match f {
-            Formula::True | Formula::False => true,
-            Formula::Cmp(l, _, r) => scalar_free(l, local) && scalar_free(r, local),
-            Formula::And(a, b) | Formula::Or(a, b) => {
-                formula_free(a, local) && formula_free(b, local)
-            }
-            Formula::Not(inner) => formula_free(inner, local),
-            Formula::Some(v, range, body) | Formula::All(v, range, body) => {
-                if !range_free(range, local) {
-                    return false;
-                }
-                local.push(v.clone());
-                let ok = formula_free(body, local);
-                local.pop();
-                ok
-            }
-            Formula::Member(v, range) => local.iter().any(|l| l == v) && range_free(range, local),
-            Formula::TupleIn(exprs, range) => {
-                exprs.iter().all(|e| scalar_free(e, local)) && range_free(range, local)
-            }
-        }
-    }
-    fn range_free(r: &RangeExpr, local: &mut Vec<String>) -> bool {
-        match r {
-            RangeExpr::Rel(_) => true,
-            RangeExpr::Selected { base, args, .. } => {
-                range_free(base, local) && args.iter().all(|a| scalar_free(a, local))
-            }
-            RangeExpr::Constructed {
-                base,
-                args,
-                scalar_args,
-                ..
-            } => {
-                range_free(base, local)
-                    && args.iter().all(|a| range_free(a, local))
-                    && scalar_args.iter().all(|s| scalar_free(s, local))
-            }
-            RangeExpr::SetFormer(sf) => sf.branches.iter().all(|b| {
-                let mark = local.len();
-                for (v, range) in &b.bindings {
-                    if !range_free(range, local) {
-                        local.truncate(mark);
-                        return false;
-                    }
-                    local.push(v.clone());
-                }
-                let ok = formula_free(&b.predicate, local)
-                    && match &b.target {
-                        Target::Var(v) => local.iter().any(|l| l == v),
-                        Target::Tuple(exprs) => exprs.iter().all(|e| scalar_free(e, local)),
-                    };
-                local.truncate(mark);
-                ok
-            }),
-        }
-    }
-    range_free(range, &mut Vec::new())
 }
 
 #[cfg(test)]
@@ -1553,6 +1987,228 @@ mod tests {
         let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
         assert_eq!(planned, reference);
         assert_eq!(planned.sorted_tuples(), vec![tuple!["chair", "wall"]]);
+    }
+
+    fn scene_catalog() -> MapCatalog {
+        let ontop = Relation::from_tuples(
+            Schema::of(&[("top", Domain::Str), ("base", Domain::Str)]),
+            vec![
+                tuple!["cup", "table"],
+                tuple!["book", "table"],
+                tuple!["dust", "chair"],
+            ],
+        )
+        .unwrap();
+        catalog().with_relation("Ontop", ontop)
+    }
+
+    /// The correlated-selector shape of §2.3:
+    /// `EACH r IN Infront: SOME t IN {EACH o IN Ontop: o.base = r.front
+    ///  AND o.top # "dust"} (TRUE)` — the range depends on `r`, so the
+    /// reference path re-evaluates it per combination.
+    fn correlated_some() -> RangeExpr {
+        let inner = set_former(vec![Branch::each(
+            "o",
+            rel("Ontop"),
+            eq(attr("o", "base"), attr("r", "front")).and(ne(attr("o", "top"), cnst("dust"))),
+        )]);
+        set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some("t", inner, tru()),
+        )])
+    }
+
+    #[test]
+    fn decorrelated_some_agrees_with_reference() {
+        let cat = scene_catalog();
+        let e = correlated_some();
+        let mut ev = Evaluator::new(&cat);
+        let planned = ev.eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        // Only "table" carries a non-dust item ⇒ the ("table","chair")
+        // edge survives... "vase" carries nothing, "chair" only dust.
+        assert_eq!(planned.sorted_tuples(), vec![tuple!["table", "chair"]]);
+        // The rewrite went through: no demotion/abandonment notes.
+        assert!(ev.plan_notes().is_empty(), "{:?}", ev.plan_notes());
+    }
+
+    #[test]
+    fn decorrelated_all_agrees_with_reference() {
+        // ALL over a correlated range: every item on r.front is a cup.
+        let cat = scene_catalog();
+        let inner = set_former(vec![Branch::each(
+            "o",
+            rel("Ontop"),
+            eq(attr("o", "base"), attr("r", "front")),
+        )]);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            all("t", inner, eq(attr("t", "top"), cnst("cup"))),
+        )]);
+        let planned = Evaluator::new(&cat).eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        // vase carries nothing (vacuously true); table carries a book
+        // (not a cup) and chair carries dust — both falsified.
+        assert_eq!(planned.sorted_tuples(), vec![tuple!["vase", "table"]]);
+    }
+
+    #[test]
+    fn correlated_selector_application_decorrelated() {
+        // Ontop[on_base(r.front)] — a selector application whose actual
+        // argument references the outer variable.
+        let def = SelectorDef {
+            name: "on_base".into(),
+            element_var: "o".into(),
+            params: vec![("B".into(), Domain::Str)],
+            predicate: eq(attr("o", "base"), param("B")),
+        };
+        let cat = scene_catalog().with_selector(def);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some(
+                "t",
+                rel("Ontop").select("on_base", vec![attr("r", "front")]),
+                tru(),
+            ),
+        )]);
+        let mut ev = Evaluator::new(&cat);
+        let planned = ev.eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        assert_eq!(planned.len(), 2); // table and chair carry items
+        assert!(ev.plan_notes().is_empty(), "{:?}", ev.plan_notes());
+    }
+
+    #[test]
+    fn all_implication_body_probed_on_named_range() {
+        // ALL t IN Ontop (NOT (t.base = r.front) OR t.top = "cup"):
+        // implication-shaped body; the falsifier (t.base = r.front AND
+        // t.top # "cup") localises counterexamples in the base bucket.
+        let cat = scene_catalog();
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            all(
+                "t",
+                rel("Ontop"),
+                not(eq(attr("t", "base"), attr("r", "front")))
+                    .or(eq(attr("t", "top"), cnst("cup"))),
+            ),
+        )]);
+        let planned = Evaluator::new(&cat).eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        // vase: nothing on it (vacuous); table: carries a book ⇒ out;
+        // chair: carries dust ⇒ out.
+        assert_eq!(planned.sorted_tuples(), vec![tuple!["vase", "table"]]);
+    }
+
+    #[test]
+    fn quant_probe_demotion_leaves_trace_note() {
+        // The quantified range is a set-former view projecting `top`
+        // away (the nested-selector shape); the body atom references
+        // the missing field, so the probe must demote to the residual
+        // scan — with a trace note, not silently.
+        let cat = scene_catalog();
+        let view = set_former(vec![Branch::projecting(
+            vec![attr("o", "base")],
+            vec![("o".into(), rel("Ontop"))],
+            tru(),
+        )]);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some("t", view, eq(attr("t", "top"), attr("r", "front"))),
+        )]);
+        let mut ev = Evaluator::new(&cat);
+        // The body genuinely references the missing field, so *both*
+        // paths raise the same reference error — the probe demotes to
+        // the scan (which raises it) instead of probing a bogus column.
+        let planned = ev.eval(&e);
+        assert!(
+            matches!(planned, Err(EvalError::Type(_))),
+            "got {planned:?}"
+        );
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e);
+        assert!(matches!(reference, Err(EvalError::Type(_))));
+        let notes = ev.take_plan_notes();
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("`top`") && n.contains("not in range schema")),
+            "expected a demotion note, got {notes:?}"
+        );
+        assert!(ev.plan_notes().is_empty(), "take drains the trace");
+    }
+
+    #[test]
+    fn decorrelation_refusal_leaves_trace_note() {
+        // Correlated through an inequality: not splittable — scans with
+        // a note.
+        let cat = scene_catalog();
+        let inner = set_former(vec![Branch::each(
+            "o",
+            rel("Ontop"),
+            lt(attr("o", "base"), attr("r", "front")),
+        )]);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some("t", inner, tru()),
+        )]);
+        let mut ev = Evaluator::new(&cat);
+        let planned = ev.eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        assert!(
+            ev.plan_notes().iter().any(|n| n.contains("not splittable")),
+            "{:?}",
+            ev.plan_notes()
+        );
+    }
+
+    /// A catalog whose relation can change under a live evaluator, with
+    /// a data version to announce it — the mid-solve commit shape.
+    struct VersionedCatalog {
+        rel: std::cell::RefCell<Relation>,
+        version: std::cell::Cell<u64>,
+    }
+
+    impl Catalog for VersionedCatalog {
+        fn relation(&self, name: &str) -> Result<Relation, EvalError> {
+            if name == "R" {
+                Ok(self.rel.borrow().clone())
+            } else {
+                Err(EvalError::UnknownRelation(name.to_string()))
+            }
+        }
+        fn version(&self) -> u64 {
+            self.version.get()
+        }
+    }
+
+    #[test]
+    fn version_bump_invalidates_syntax_keyed_caches() {
+        let cat = VersionedCatalog {
+            rel: std::cell::RefCell::new(infront(&[("a", "b")])),
+            version: std::cell::Cell::new(0),
+        };
+        let q = rel("R");
+        let mut ev = Evaluator::new(&cat);
+        assert_eq!(ev.eval(&q).unwrap().len(), 1);
+        // Mutate *without* a bump: the evaluator-lifetime cache serves
+        // the old snapshot (documented contract: create a new evaluator
+        // or bump the version).
+        cat.rel.borrow_mut().insert(tuple!["b", "c"]).unwrap();
+        assert_eq!(ev.eval(&q).unwrap().len(), 1);
+        // Bump: the stale entry is dropped and re-read.
+        cat.version.set(1);
+        assert_eq!(ev.eval(&q).unwrap().len(), 2);
     }
 
     #[test]

@@ -43,6 +43,7 @@ use dc_index::RelationStats;
 use dc_value::Schema;
 
 use crate::ast::{Branch, CmpOp, Formula, ScalarExpr, Var};
+use crate::rewrite;
 
 /// The non-probed side of an equality atom.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -243,7 +244,7 @@ pub struct QuantAtom {
 }
 
 /// Does the expression mention the quantified variable anywhere?
-fn mentions_var(e: &ScalarExpr, var: &Var) -> bool {
+pub(crate) fn mentions_var(e: &ScalarExpr, var: &Var) -> bool {
     match e {
         ScalarExpr::Const(_) | ScalarExpr::Param(_) => false,
         ScalarExpr::Attr(v, _) => v == var,
@@ -254,20 +255,44 @@ fn mentions_var(e: &ScalarExpr, var: &Var) -> bool {
 /// Extract the equality atoms of a quantifier body usable as existence
 /// probe keys — the quantifier counterpart of [`extract_eq_atoms`].
 ///
-/// Only top-level conjuncts of the body of the form `var.attr = key`
-/// (or mirrored) qualify, where `key` avoids `var` entirely. Atoms
-/// under `OR` / `NOT` / nested quantifiers stay in the residual: the
-/// evaluator re-checks the *full* body on every probed tuple, so the
-/// atoms only have to be sound as a filter, never complete.
+/// The body is first normalised to **negation normal form**
+/// ([`rewrite::to_nnf`]), so nested negations contribute atoms too:
+/// `NOT (o.part # r.front)` normalises to `o.part = r.front` and is
+/// extracted. After NNF, only top-level conjuncts of the form
+/// `var.attr = key` (or mirrored) qualify, where `key` avoids `var`
+/// entirely. Atoms under `OR` / nested quantifiers stay in the
+/// residual: the evaluator re-checks the *full* body on every probed
+/// tuple, so the atoms only have to be sound as a filter, never
+/// complete.
 ///
 /// For `SOME` the probe result is scanned for a body witness; for
-/// `ALL` any tuple outside the probed bucket falsifies the conjunct
-/// and hence the body, so the quantifier can only hold if the bucket
-/// covers the whole range (checked by the evaluator before the
-/// residual pass).
+/// `ALL` see [`plan_quant_probe`], which derives atoms from the body's
+/// *falsifier* where possible and falls back to the bucket-covers-range
+/// check otherwise.
+///
+/// ```
+/// use dc_calculus::builder::*;
+/// use dc_calculus::joinplan::extract_quant_atoms;
+/// use dc_calculus::ScalarExpr;
+///
+/// // SOME o IN Objects: o.part = r.front AND NOT (o.kind # "vase")
+/// let body = eq(attr("o", "part"), attr("r", "front"))
+///     .and(not(ne(attr("o", "kind"), cnst("vase"))));
+/// let atoms = extract_quant_atoms(&"o".to_string(), &body);
+/// assert_eq!(atoms.len(), 2);
+/// assert_eq!(atoms[0].attr, "part");
+/// // The key side is evaluable in the enclosing scope.
+/// assert!(matches!(&atoms[0].key, ScalarExpr::Attr(v, a) if v == "r" && a == "front"));
+/// assert_eq!(atoms[1].attr, "kind"); // recovered from under the NOT
+/// ```
 pub fn extract_quant_atoms(var: &Var, body: &Formula) -> Vec<QuantAtom> {
+    extract_quant_atoms_nnf(var, &rewrite::to_nnf(body.clone()))
+}
+
+/// Atom extraction over a body already in negation normal form.
+fn extract_quant_atoms_nnf(var: &Var, nnf_body: &Formula) -> Vec<QuantAtom> {
     let mut atoms = Vec::new();
-    for c in conjuncts(body) {
+    for c in conjuncts(nnf_body) {
         let Formula::Cmp(l, CmpOp::Eq, r) = c else {
             continue;
         };
@@ -290,6 +315,259 @@ pub fn extract_quant_atoms(var: &Var, body: &Formula) -> Vec<QuantAtom> {
     atoms
 }
 
+/// How the atoms of a [`QuantPlan`] decide the quantifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantMode {
+    /// `SOME`: every witness of the body satisfies the atoms, so every
+    /// witness lies inside the probed bucket — scan the bucket for one.
+    Witness,
+    /// `ALL`: the atoms come from the body's *falsifier* (the NNF of
+    /// `NOT body`), so every tuple that falsifies the body lies inside
+    /// the probed bucket — scan the bucket for a falsifier; tuples
+    /// outside it satisfy the body by construction. This is how
+    /// implication-shaped bodies (`NOT p OR q`, falsifier `p AND NOT q`)
+    /// become probe-able.
+    Falsifier,
+    /// `ALL`: the atoms come from the body itself, so any tuple
+    /// *outside* the bucket falsifies an equality conjunct and with it
+    /// the body — the quantifier can only hold if the bucket covers the
+    /// whole range (checked by cardinality before the residual pass).
+    Covering,
+}
+
+/// An index-probe plan for one quantified subformula: the extracted
+/// equality atoms plus the [`QuantMode`] describing what membership in
+/// the probed bucket means.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantPlan {
+    /// How bucket membership decides the quantifier.
+    pub mode: QuantMode,
+    /// The usable equality atoms (probed attribute + enclosing-scope
+    /// key expression).
+    pub atoms: Vec<QuantAtom>,
+}
+
+/// Plan an index existence probe for a quantified subformula, or `None`
+/// when the body offers no usable equality atoms.
+///
+/// For `SOME`, atoms are extracted from the NNF of the body
+/// ([`QuantMode::Witness`]). For `ALL`, atoms are preferentially
+/// extracted from the NNF of the body's **negation** — the falsifier —
+/// which covers implication-shaped bodies (`NOT p OR q` has falsifier
+/// `p AND NOT q`, so `p`'s equality atoms localise every potential
+/// counterexample, [`QuantMode::Falsifier`]); when the falsifier offers
+/// no atoms, atoms from the body itself are used with the
+/// bucket-covers-range check ([`QuantMode::Covering`]).
+pub fn plan_quant_probe(var: &Var, body: &Formula, existential: bool) -> Option<QuantPlan> {
+    if existential {
+        let atoms = extract_quant_atoms(var, body);
+        return (!atoms.is_empty()).then_some(QuantPlan {
+            mode: QuantMode::Witness,
+            atoms,
+        });
+    }
+    let falsifier = rewrite::to_nnf(body.clone().negate());
+    let atoms = extract_quant_atoms_nnf(var, &falsifier);
+    if !atoms.is_empty() {
+        return Some(QuantPlan {
+            mode: QuantMode::Falsifier,
+            atoms,
+        });
+    }
+    let atoms = extract_quant_atoms(var, body);
+    (!atoms.is_empty()).then_some(QuantPlan {
+        mode: QuantMode::Covering,
+        atoms,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Decorrelation of correlated quantified ranges (magic-set style)
+// ---------------------------------------------------------------------
+
+/// One correlation atom of a correlated filter: the filtered element's
+/// `attr` must equal `key`, an expression over the *enclosing* scope
+/// (outer variables, parameters, constants mixed with them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrAtom {
+    /// The correlated attribute on the filtered range.
+    pub attr: String,
+    /// The enclosing-scope key expression.
+    pub key: ScalarExpr,
+}
+
+/// A correlated filter predicate split into its decorrelated and
+/// correlated halves — see [`decorrelate_filter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecorrSplit {
+    /// The correlation atoms (outer-dependent equality conjuncts).
+    pub atoms: Vec<CorrAtom>,
+    /// The decorrelated residual: the conjunction of the remaining
+    /// conjuncts, which reference only the filtered element variable
+    /// (and catalog relations). `Formula::True` when every conjunct is
+    /// a correlation atom.
+    pub residual: Formula,
+}
+
+/// Split the filter predicate of a correlated quantified range into a
+/// decorrelated part and correlation atoms.
+///
+/// Given a range of the shape `{EACH var IN R: pred}` whose `pred`
+/// references outer variables (the common §2.3 selector shape — e.g.
+/// `{EACH t IN Ontop: t.base = r.front AND t.top # "dust"}` inside a
+/// branch binding `r`), the evaluator wants to compute the
+/// outer-independent part **once** and decide each outer combination by
+/// index probe. This function performs the static half of that
+/// rewrite: it normalises `pred` to NNF and partitions its top-level
+/// conjuncts into
+///
+/// * **correlation atoms** `var.attr = key` where `key` avoids `var`
+///   but mentions the enclosing scope (outer variables or parameters),
+///   and
+/// * **decorrelated residual** conjuncts that reference only `var`
+///   (plus catalog relations) — no outer variables, no parameters.
+///
+/// Returns `None` when `pred` has no correlation atom (nothing to
+/// probe) or when some conjunct is neither — such predicates cannot be
+/// decorrelated soundly and fall back to the per-combination scan.
+/// Because NNF preserves meaning and the partition is exact
+/// (`pred ≡ residual ∧ atoms`), the probed bucket over the residual-
+/// filtered range is *exactly* the correlated range's value for every
+/// outer combination — unlike branch probe atoms, no re-check against
+/// the original predicate is needed.
+pub fn decorrelate_filter(var: &Var, pred: &Formula) -> Option<DecorrSplit> {
+    let nnf = rewrite::to_nnf(pred.clone());
+    let mut atoms = Vec::new();
+    let mut residual = Formula::True;
+    for c in conjuncts(&nnf) {
+        if let Formula::Cmp(l, CmpOp::Eq, r) = c {
+            let as_var_attr = |e: &ScalarExpr| match e {
+                ScalarExpr::Attr(v, a) if v == var => Some(a.clone()),
+                _ => None,
+            };
+            let corr = match (as_var_attr(l), as_var_attr(r)) {
+                (Some(attr), None) if !mentions_var(r, var) && !scalar_is_local(r, var) => {
+                    Some(CorrAtom {
+                        attr,
+                        key: r.clone(),
+                    })
+                }
+                (None, Some(attr)) if !mentions_var(l, var) && !scalar_is_local(l, var) => {
+                    Some(CorrAtom {
+                        attr,
+                        key: l.clone(),
+                    })
+                }
+                _ => None,
+            };
+            if let Some(atom) = corr {
+                atoms.push(atom);
+                continue;
+            }
+        }
+        if formula_is_local(c, var) {
+            residual = residual.and(c.clone());
+            continue;
+        }
+        // Neither a correlation atom nor local — e.g. a disjunction
+        // mixing outer and local references. Not decorrelatable.
+        return None;
+    }
+    if atoms.is_empty() {
+        return None;
+    }
+    Some(DecorrSplit { atoms, residual })
+}
+
+/// Does the scalar expression reference only `var` and constants (no
+/// other variables, no parameters)?
+fn scalar_is_local(e: &ScalarExpr, var: &Var) -> bool {
+    scalar_uses_only(e, &mut vec![var.clone()])
+}
+
+/// Does the formula reference only `var`, variables it binds itself,
+/// and constants (no outer variables, no parameters)? Such a conjunct
+/// is evaluable once per range, independent of the enclosing scope.
+fn formula_is_local(f: &Formula, var: &Var) -> bool {
+    formula_uses_only(f, &mut vec![var.clone()])
+}
+
+/// Does the expression reference only the variables in `local` (no
+/// parameters)? Shared scope-analysis for [`decorrelate_filter`] and
+/// the evaluator's binding-free range cache.
+pub(crate) fn scalar_uses_only(e: &ScalarExpr, local: &mut Vec<String>) -> bool {
+    match e {
+        ScalarExpr::Const(_) => true,
+        ScalarExpr::Param(_) => false,
+        ScalarExpr::Attr(v, _) => local.iter().any(|l| l == v),
+        ScalarExpr::Arith(l, _, r) => scalar_uses_only(l, local) && scalar_uses_only(r, local),
+    }
+}
+
+/// Formula counterpart of [`scalar_uses_only`]: quantifier and
+/// set-former bindings extend the local scope for their sub-terms.
+pub(crate) fn formula_uses_only(f: &Formula, local: &mut Vec<String>) -> bool {
+    match f {
+        Formula::True | Formula::False => true,
+        Formula::Cmp(l, _, r) => scalar_uses_only(l, local) && scalar_uses_only(r, local),
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            formula_uses_only(a, local) && formula_uses_only(b, local)
+        }
+        Formula::Not(inner) => formula_uses_only(inner, local),
+        Formula::Some(v, range, body) | Formula::All(v, range, body) => {
+            if !range_uses_only(range, local) {
+                return false;
+            }
+            local.push(v.clone());
+            let ok = formula_uses_only(body, local);
+            local.pop();
+            ok
+        }
+        Formula::Member(v, range) => local.iter().any(|l| l == v) && range_uses_only(range, local),
+        Formula::TupleIn(exprs, range) => {
+            exprs.iter().all(|e| scalar_uses_only(e, local)) && range_uses_only(range, local)
+        }
+    }
+}
+
+/// Range counterpart of [`scalar_uses_only`].
+pub(crate) fn range_uses_only(r: &crate::ast::RangeExpr, local: &mut Vec<String>) -> bool {
+    use crate::ast::{RangeExpr, Target};
+    match r {
+        RangeExpr::Rel(_) => true,
+        RangeExpr::Selected { base, args, .. } => {
+            range_uses_only(base, local) && args.iter().all(|a| scalar_uses_only(a, local))
+        }
+        RangeExpr::Constructed {
+            base,
+            args,
+            scalar_args,
+            ..
+        } => {
+            range_uses_only(base, local)
+                && args.iter().all(|a| range_uses_only(a, local))
+                && scalar_args.iter().all(|s| scalar_uses_only(s, local))
+        }
+        RangeExpr::SetFormer(sf) => sf.branches.iter().all(|b| {
+            let mark = local.len();
+            for (v, range) in &b.bindings {
+                if !range_uses_only(range, local) {
+                    local.truncate(mark);
+                    return false;
+                }
+                local.push(v.clone());
+            }
+            let ok = formula_uses_only(&b.predicate, local)
+                && match &b.target {
+                    Target::Var(v) => local.iter().any(|l| l == v),
+                    Target::Tuple(exprs) => exprs.iter().all(|e| scalar_uses_only(e, local)),
+                };
+            local.truncate(mark);
+            ok
+        }),
+    }
+}
+
 /// Order the branch's binding positions into an index-nested-loop plan.
 ///
 /// Greedy System-R-style ordering: repeatedly pick the unbound position
@@ -299,6 +577,30 @@ pub fn extract_quant_atoms(var: &Var, body: &Formula) -> Vec<QuantAtom> {
 /// unsupported position costs its full cardinality. Ties break toward
 /// declaration order, so plans are deterministic and the no-atom case
 /// degenerates to the reference scan order.
+///
+/// ```
+/// use dc_calculus::ast::Branch;
+/// use dc_calculus::builder::*;
+/// use dc_calculus::joinplan::{plan_branch, Access};
+/// use dc_index::RelationStats;
+/// use dc_value::{Domain, Schema};
+///
+/// // The paper's §2.3 join: <f.front, b.back> OF EACH f, b IN Infront:
+/// //   f.back = b.front
+/// let branch = Branch::projecting(
+///     vec![attr("f", "front"), attr("b", "back")],
+///     vec![("f".into(), rel("Infront")), ("b".into(), rel("Infront"))],
+///     eq(attr("f", "back"), attr("b", "front")),
+/// );
+/// let schema = Schema::of(&[("front", Domain::Str), ("back", Domain::Str)]);
+/// let stats = RelationStats { cardinality: 100, distinct: vec![50, 50] };
+/// let plan = plan_branch(&branch, &[&schema, &schema], &[stats.clone(), stats]);
+/// // One range is scanned, the other probed through a hash index on
+/// // the equality column — an index-nested-loop join, not a cross
+/// // product.
+/// assert!(matches!(plan.steps[0].access, Access::Scan));
+/// assert!(matches!(plan.steps[1].access, Access::Probe(_)));
+/// ```
 pub fn plan_branch(branch: &Branch, schemas: &[&Schema], stats: &[RelationStats]) -> BranchPlan {
     let n = branch.bindings.len();
     debug_assert_eq!(schemas.len(), n);
@@ -568,6 +870,119 @@ mod tests {
         // …but arithmetic over outer variables is.
         let outer = eq(attr("o", "n"), add(attr("r", "n"), cnst(1i64)));
         assert_eq!(extract_quant_atoms(&"o".to_string(), &outer).len(), 1);
+    }
+
+    #[test]
+    fn quant_atoms_recovered_through_nnf() {
+        // NOT (o.part # r.front) normalises to o.part = r.front.
+        let body = not(ne(attr("o", "part"), attr("r", "front")));
+        let atoms = extract_quant_atoms(&"o".to_string(), &body);
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms[0].attr, "part");
+        // De Morgan: NOT (o.a # "x" OR o.b # "y") ⇒ o.a = "x" AND o.b = "y".
+        let body = not(ne(attr("o", "a"), cnst("x")).or(ne(attr("o", "b"), cnst("y"))));
+        let atoms = extract_quant_atoms(&"o".to_string(), &body);
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[0].attr, "a");
+        assert_eq!(atoms[1].attr, "b");
+    }
+
+    #[test]
+    fn quant_plan_modes() {
+        let var = "o".to_string();
+        // SOME: witness atoms from the body.
+        let body = eq(attr("o", "part"), attr("r", "front"));
+        let plan = plan_quant_probe(&var, &body, true).unwrap();
+        assert_eq!(plan.mode, QuantMode::Witness);
+        assert_eq!(plan.atoms.len(), 1);
+        // ALL over an implication NOT p OR q: falsifier p AND NOT q
+        // yields p's equality atoms (NOT q contributes none here).
+        let imp = not(eq(attr("o", "base"), attr("r", "front"))).or(lt(attr("o", "n"), cnst(3i64)));
+        let plan = plan_quant_probe(&var, &imp, false).unwrap();
+        assert_eq!(plan.mode, QuantMode::Falsifier);
+        assert_eq!(plan.atoms.len(), 1);
+        assert_eq!(plan.atoms[0].attr, "base");
+        // ALL over a bare equality: no falsifier atoms (the falsifier is
+        // an inequality), covering check instead.
+        let conj = eq(attr("o", "part"), attr("r", "front"));
+        let plan = plan_quant_probe(&var, &conj, false).unwrap();
+        assert_eq!(plan.mode, QuantMode::Covering);
+        // ALL with nothing extractable on either side.
+        assert!(plan_quant_probe(&var, &lt(attr("o", "n"), cnst(3i64)), false).is_none());
+    }
+
+    #[test]
+    fn all_implication_falsifier_collects_both_sides() {
+        // ALL o (NOT (o.base = r.front) OR NOT (o.top = r.back)):
+        // falsifier = o.base = r.front AND o.top = r.back — a
+        // two-column probe key localising every counterexample.
+        let var = "o".to_string();
+        let imp = not(eq(attr("o", "base"), attr("r", "front")))
+            .or(not(eq(attr("o", "top"), attr("r", "back"))));
+        let plan = plan_quant_probe(&var, &imp, false).unwrap();
+        assert_eq!(plan.mode, QuantMode::Falsifier);
+        assert_eq!(plan.atoms.len(), 2, "{:?}", plan.atoms);
+        assert_eq!(plan.atoms[0].attr, "base");
+        assert_eq!(plan.atoms[1].attr, "top");
+    }
+
+    #[test]
+    fn decorrelate_splits_correlation_atoms_from_local_residual() {
+        // {EACH t IN Ontop: t.base = r.front AND t.top # "dust"}
+        let pred =
+            eq(attr("t", "base"), attr("r", "front")).and(ne(attr("t", "top"), cnst("dust")));
+        let split = decorrelate_filter(&"t".to_string(), &pred).unwrap();
+        assert_eq!(split.atoms.len(), 1);
+        assert_eq!(split.atoms[0].attr, "base");
+        assert!(matches!(&split.atoms[0].key, ScalarExpr::Attr(v, a) if v == "r" && a == "front"));
+        assert_eq!(split.residual, ne(attr("t", "top"), cnst("dust")));
+    }
+
+    #[test]
+    fn decorrelate_param_keys_and_local_quantifiers() {
+        // Parameter keys correlate (resolved per combination); local
+        // quantifiers over catalog relations stay in the residual.
+        let pred = eq(attr("t", "base"), param("Obj")).and(some(
+            "q",
+            rel("Objects"),
+            eq(attr("q", "part"), attr("t", "top")),
+        ));
+        let split = decorrelate_filter(&"t".to_string(), &pred).unwrap();
+        assert_eq!(split.atoms.len(), 1);
+        assert!(matches!(&split.atoms[0].key, ScalarExpr::Param(p) if p == "Obj"));
+        assert!(matches!(split.residual, Formula::Some(..)));
+    }
+
+    #[test]
+    fn decorrelate_refusals() {
+        let t = "t".to_string();
+        // No correlation atom at all: nothing to probe.
+        assert!(decorrelate_filter(&t, &ne(attr("t", "top"), cnst("x"))).is_none());
+        // Constant-key equalities are local, not correlation atoms.
+        assert!(decorrelate_filter(&t, &eq(attr("t", "base"), cnst("x"))).is_none());
+        // A conjunct mixing outer and local references under OR cannot
+        // be split.
+        let mixed = eq(attr("t", "base"), attr("r", "front"))
+            .and(ne(attr("t", "top"), cnst("x")).or(eq(attr("t", "top"), attr("r", "back"))));
+        assert!(decorrelate_filter(&t, &mixed).is_none());
+        // Keys mentioning the element variable are not correlation atoms.
+        let self_key = eq(attr("t", "base"), add(attr("r", "n"), attr("t", "n")));
+        assert!(decorrelate_filter(&t, &self_key).is_none());
+        // Non-equality outer references cannot be split either.
+        let ineq =
+            eq(attr("t", "base"), attr("r", "front")).and(lt(attr("t", "top"), attr("r", "back")));
+        assert!(decorrelate_filter(&t, &ineq).is_none());
+    }
+
+    #[test]
+    fn decorrelate_applies_nnf_first() {
+        // NOT (t.base # r.front OR t.top = "dust") ⇒
+        //   t.base = r.front AND t.top # "dust".
+        let pred =
+            not(ne(attr("t", "base"), attr("r", "front")).or(eq(attr("t", "top"), cnst("dust"))));
+        let split = decorrelate_filter(&"t".to_string(), &pred).unwrap();
+        assert_eq!(split.atoms.len(), 1);
+        assert_eq!(split.residual, ne(attr("t", "top"), cnst("dust")));
     }
 
     #[test]

@@ -14,14 +14,21 @@
 //!   [`ast::Formula`] (truth-valued), [`ast::ScalarExpr`] (value-valued),
 //!   plus [`ast::SelectorDef`], the named-predicate abstraction of §2.3.
 //! * [`builder`] — ergonomic constructors for writing ASTs in Rust.
-//! * [`env`] — the [`env::Catalog`] trait through which evaluation
+//! * [`mod@env`] — the [`env::Catalog`] trait through which evaluation
 //!   resolves relation names, scalar parameters, selectors, and
 //!   constructor applications (implemented by `dc-core`'s database).
 //! * [`eval`] — the evaluator: index-nested-loop execution of set-former
-//!   branches (via [`joinplan`]), with the original nested-loop semantics
-//!   kept as the reference path every plan must agree with.
-//! * [`joinplan`] — the predicate-analysis pass that extracts conjunctive
-//!   equality atoms and orders branch bindings into scan/probe plans.
+//!   branches, index existence probes for quantifiers, and decorrelated
+//!   probes for *correlated* quantified ranges (all via [`joinplan`]),
+//!   with the original nested-loop semantics kept as the reference path
+//!   every plan must agree with. Demoted or refused access paths leave
+//!   a planner trace ([`eval::Evaluator::plan_notes`]).
+//! * [`joinplan`] — the predicate-analysis passes: conjunctive
+//!   equality-atom extraction and scan/probe ordering for branches
+//!   ([`joinplan::plan_branch`]), NNF-aware quantifier probe planning
+//!   ([`joinplan::plan_quant_probe`] — `SOME` witnesses, `ALL`
+//!   falsifiers for implication-shaped bodies, covering checks), and
+//!   the correlated-range split ([`joinplan::decorrelate_filter`]).
 //! * [`positivity`] — §3.3's positivity constraint, implemented exactly
 //!   as defined (parity of enclosing `NOT`s and `ALL`-range positions).
 //! * [`rewrite`] — the one-sorted/De Morgan normalisation used in the

@@ -5,9 +5,12 @@
 //!   quantifier duality, eliminating double negations. After NNF, a
 //!   positive expression contains no tracked occurrence under `NOT` —
 //!   which makes monotonicity syntactically evident.
-//! * [`substitute_rel`] / [`substitute_params`] perform the formal →
-//!   actual substitutions of §3.2 ("replacing all formal parameters by
-//!   their actual values" when building the gⱼ functions).
+//! * [`substitute_rel`] / [`substitute_params_formula`] perform the
+//!   formal → actual substitutions of §3.2 ("replacing all formal
+//!   parameters by their actual values" when building the gⱼ
+//!   functions); [`substitute_param_exprs_formula`] is the
+//!   expression-level variant used to rewrite selector applications
+//!   for decorrelation.
 //! * [`relation_names`] / [`collect_constructed`] are the name analyses
 //!   that drive constructor-application instantiation and the
 //!   quant-graph partitioning of §4.
@@ -124,65 +127,80 @@ pub fn substitute_rel_formula(f: &Formula, map: &FxHashMap<Name, RangeExpr>) -> 
     }
 }
 
-/// Substitute scalar parameters with constants inside a scalar
-/// expression (partial evaluation of `Param` holes).
-pub fn substitute_params_scalar(e: &ScalarExpr, map: &FxHashMap<Name, Value>) -> ScalarExpr {
+/// Substitute scalar parameters with arbitrary scalar *expressions*
+/// inside a scalar expression. The expression-level generalisation of
+/// [`substitute_params_scalar`]: where that function fills `Param`
+/// holes with constants (§3.2's partial evaluation), this one fills
+/// them with actual-argument expressions — used to rewrite a selector
+/// application `base[s(args)]` into the equivalent filter
+/// `{EACH el IN base: pred[params := args]}` so that correlated
+/// selector arguments become analysable correlation atoms
+/// (see `joinplan::decorrelate_filter`).
+///
+/// The caller owns capture avoidance: substituted expressions must not
+/// mention variables bound inside the formula they are substituted
+/// into.
+pub fn substitute_param_exprs_scalar(
+    e: &ScalarExpr,
+    map: &FxHashMap<Name, ScalarExpr>,
+) -> ScalarExpr {
     match e {
         ScalarExpr::Param(p) => match map.get(p) {
-            Some(v) => ScalarExpr::Const(v.clone()),
+            Some(actual) => actual.clone(),
             None => e.clone(),
         },
         ScalarExpr::Arith(l, op, r) => ScalarExpr::Arith(
-            Box::new(substitute_params_scalar(l, map)),
+            Box::new(substitute_param_exprs_scalar(l, map)),
             *op,
-            Box::new(substitute_params_scalar(r, map)),
+            Box::new(substitute_param_exprs_scalar(r, map)),
         ),
         _ => e.clone(),
     }
 }
 
-/// Substitute scalar parameters throughout a formula.
-pub fn substitute_params_formula(f: &Formula, map: &FxHashMap<Name, Value>) -> Formula {
+/// Substitute scalar parameters with scalar expressions throughout a
+/// formula — see [`substitute_param_exprs_scalar`].
+pub fn substitute_param_exprs_formula(f: &Formula, map: &FxHashMap<Name, ScalarExpr>) -> Formula {
     match f {
         Formula::True | Formula::False => f.clone(),
         Formula::Cmp(l, op, r) => Formula::Cmp(
-            substitute_params_scalar(l, map),
+            substitute_param_exprs_scalar(l, map),
             *op,
-            substitute_params_scalar(r, map),
+            substitute_param_exprs_scalar(r, map),
         ),
         Formula::And(a, b) => Formula::And(
-            Box::new(substitute_params_formula(a, map)),
-            Box::new(substitute_params_formula(b, map)),
+            Box::new(substitute_param_exprs_formula(a, map)),
+            Box::new(substitute_param_exprs_formula(b, map)),
         ),
         Formula::Or(a, b) => Formula::Or(
-            Box::new(substitute_params_formula(a, map)),
-            Box::new(substitute_params_formula(b, map)),
+            Box::new(substitute_param_exprs_formula(a, map)),
+            Box::new(substitute_param_exprs_formula(b, map)),
         ),
-        Formula::Not(inner) => Formula::Not(Box::new(substitute_params_formula(inner, map))),
+        Formula::Not(inner) => Formula::Not(Box::new(substitute_param_exprs_formula(inner, map))),
         Formula::Some(v, r, body) => Formula::Some(
             v.clone(),
-            substitute_params_range(r, map),
-            Box::new(substitute_params_formula(body, map)),
+            substitute_param_exprs_range(r, map),
+            Box::new(substitute_param_exprs_formula(body, map)),
         ),
         Formula::All(v, r, body) => Formula::All(
             v.clone(),
-            substitute_params_range(r, map),
-            Box::new(substitute_params_formula(body, map)),
+            substitute_param_exprs_range(r, map),
+            Box::new(substitute_param_exprs_formula(body, map)),
         ),
-        Formula::Member(v, r) => Formula::Member(v.clone(), substitute_params_range(r, map)),
+        Formula::Member(v, r) => Formula::Member(v.clone(), substitute_param_exprs_range(r, map)),
         Formula::TupleIn(exprs, r) => Formula::TupleIn(
             exprs
                 .iter()
-                .map(|e| substitute_params_scalar(e, map))
+                .map(|e| substitute_param_exprs_scalar(e, map))
                 .collect(),
-            substitute_params_range(r, map),
+            substitute_param_exprs_range(r, map),
         ),
     }
 }
 
-/// Substitute scalar parameters throughout a range expression (selector
-/// arguments may mention parameters of an enclosing definition).
-pub fn substitute_params_range(r: &RangeExpr, map: &FxHashMap<Name, Value>) -> RangeExpr {
+/// Substitute scalar parameters with scalar expressions throughout a
+/// range expression — see [`substitute_param_exprs_scalar`].
+pub fn substitute_param_exprs_range(r: &RangeExpr, map: &FxHashMap<Name, ScalarExpr>) -> RangeExpr {
     match r {
         RangeExpr::Rel(_) => r.clone(),
         RangeExpr::Selected {
@@ -190,11 +208,11 @@ pub fn substitute_params_range(r: &RangeExpr, map: &FxHashMap<Name, Value>) -> R
             selector,
             args,
         } => RangeExpr::Selected {
-            base: Box::new(substitute_params_range(base, map)),
+            base: Box::new(substitute_param_exprs_range(base, map)),
             selector: selector.clone(),
             args: args
                 .iter()
-                .map(|a| substitute_params_scalar(a, map))
+                .map(|a| substitute_param_exprs_scalar(a, map))
                 .collect(),
         },
         RangeExpr::Constructed {
@@ -203,15 +221,15 @@ pub fn substitute_params_range(r: &RangeExpr, map: &FxHashMap<Name, Value>) -> R
             args,
             scalar_args,
         } => RangeExpr::Constructed {
-            base: Box::new(substitute_params_range(base, map)),
+            base: Box::new(substitute_param_exprs_range(base, map)),
             constructor: constructor.clone(),
             args: args
                 .iter()
-                .map(|a| substitute_params_range(a, map))
+                .map(|a| substitute_param_exprs_range(a, map))
                 .collect(),
             scalar_args: scalar_args
                 .iter()
-                .map(|s| substitute_params_scalar(s, map))
+                .map(|s| substitute_param_exprs_scalar(s, map))
                 .collect(),
         },
         RangeExpr::SetFormer(sf) => RangeExpr::SetFormer(SetFormer {
@@ -224,20 +242,95 @@ pub fn substitute_params_range(r: &RangeExpr, map: &FxHashMap<Name, Value>) -> R
                         Target::Tuple(exprs) => Target::Tuple(
                             exprs
                                 .iter()
-                                .map(|e| substitute_params_scalar(e, map))
+                                .map(|e| substitute_param_exprs_scalar(e, map))
                                 .collect(),
                         ),
                     },
                     bindings: b
                         .bindings
                         .iter()
-                        .map(|(v, range)| (v.clone(), substitute_params_range(range, map)))
+                        .map(|(v, range)| (v.clone(), substitute_param_exprs_range(range, map)))
                         .collect(),
-                    predicate: substitute_params_formula(&b.predicate, map),
+                    predicate: substitute_param_exprs_formula(&b.predicate, map),
                 })
                 .collect(),
         }),
     }
+}
+
+/// Collect every variable *bound* anywhere inside a formula: quantifier
+/// variables and set-former binding variables. Used for capture checks
+/// before [`substitute_param_exprs_formula`]: an actual-argument
+/// expression mentioning one of these names must not be substituted in.
+pub fn bound_vars_formula(f: &Formula, out: &mut FxHashSet<Name>) {
+    match f {
+        Formula::True | Formula::False | Formula::Cmp(..) => {}
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            bound_vars_formula(a, out);
+            bound_vars_formula(b, out);
+        }
+        Formula::Not(inner) => bound_vars_formula(inner, out),
+        Formula::Some(v, r, body) | Formula::All(v, r, body) => {
+            out.insert(v.clone());
+            bound_vars_range(r, out);
+            bound_vars_formula(body, out);
+        }
+        Formula::Member(_, r) | Formula::TupleIn(_, r) => bound_vars_range(r, out),
+    }
+}
+
+/// Collect every variable bound anywhere inside a range expression —
+/// see [`bound_vars_formula`].
+pub fn bound_vars_range(r: &RangeExpr, out: &mut FxHashSet<Name>) {
+    match r {
+        RangeExpr::Rel(_) => {}
+        RangeExpr::Selected { base, .. } => bound_vars_range(base, out),
+        RangeExpr::Constructed { base, args, .. } => {
+            bound_vars_range(base, out);
+            for a in args {
+                bound_vars_range(a, out);
+            }
+        }
+        RangeExpr::SetFormer(sf) => {
+            for b in &sf.branches {
+                for (v, range) in &b.bindings {
+                    out.insert(v.clone());
+                    bound_vars_range(range, out);
+                }
+                bound_vars_formula(&b.predicate, out);
+            }
+        }
+    }
+}
+
+/// Lift a value map into an expression map (`Param` holes filled with
+/// `Const` leaves), so the value-substitution entry points below can
+/// delegate to the expression-level walkers instead of duplicating the
+/// traversal.
+fn const_exprs(map: &FxHashMap<Name, Value>) -> FxHashMap<Name, ScalarExpr> {
+    map.iter()
+        .map(|(k, v)| (k.clone(), ScalarExpr::Const(v.clone())))
+        .collect()
+}
+
+/// Substitute scalar parameters with constants inside a scalar
+/// expression (partial evaluation of `Param` holes) — the
+/// constant-valued special case of [`substitute_param_exprs_scalar`].
+pub fn substitute_params_scalar(e: &ScalarExpr, map: &FxHashMap<Name, Value>) -> ScalarExpr {
+    substitute_param_exprs_scalar(e, &const_exprs(map))
+}
+
+/// Substitute scalar parameters throughout a formula — the
+/// constant-valued special case of [`substitute_param_exprs_formula`].
+pub fn substitute_params_formula(f: &Formula, map: &FxHashMap<Name, Value>) -> Formula {
+    substitute_param_exprs_formula(f, &const_exprs(map))
+}
+
+/// Substitute scalar parameters throughout a range expression (selector
+/// arguments may mention parameters of an enclosing definition) — the
+/// constant-valued special case of [`substitute_param_exprs_range`].
+pub fn substitute_params_range(r: &RangeExpr, map: &FxHashMap<Name, Value>) -> RangeExpr {
+    substitute_param_exprs_range(r, &const_exprs(map))
 }
 
 /// Collect every relation name referenced anywhere in a range
@@ -445,6 +538,44 @@ mod tests {
         let shown = out.to_string();
         assert!(shown.contains('5'));
         assert!(!shown.contains('K'));
+    }
+
+    #[test]
+    fn substitute_param_exprs_fills_holes_with_expressions() {
+        let mut map = FxHashMap::default();
+        map.insert("B".to_string(), attr("r", "front"));
+        // Selector predicate `t.base = B` becomes the correlated filter
+        // `t.base = r.front`.
+        let f = eq(attr("t", "base"), param("B"));
+        let out = substitute_param_exprs_formula(&f, &map);
+        assert_eq!(out, eq(attr("t", "base"), attr("r", "front")));
+        // Nested ranges (selector args, set-former predicates) are
+        // reached too; unknown params survive untouched.
+        let g = some(
+            "x",
+            rel("R").select("s", vec![param("B"), param("Other")]),
+            lt(param("B"), cnst(3i64)),
+        );
+        let out = substitute_param_exprs_formula(&g, &map);
+        let shown = out.to_string();
+        assert!(shown.contains("r.front"));
+        assert!(shown.contains("Other"));
+        assert!(!shown.contains("s(B"));
+    }
+
+    #[test]
+    fn bound_vars_collected_from_quantifiers_and_set_formers() {
+        let f = some(
+            "x",
+            set_former(vec![Branch::each("y", rel("R"), tru())]),
+            all("z", rel("S"), tru()),
+        );
+        let mut out = FxHashSet::default();
+        bound_vars_formula(&f, &mut out);
+        for v in ["x", "y", "z"] {
+            assert!(out.contains(v), "{v}");
+        }
+        assert_eq!(out.len(), 3);
     }
 
     #[test]

@@ -258,6 +258,12 @@ struct State {
     override_stats: Vec<FxHashMap<Name, Arc<RelationStats>>>,
     /// Statistics over base-catalog relations, computed once per solve.
     base_stats: FxHashMap<Name, Arc<RelationStats>>,
+    /// Data epoch: bumped whenever a delta commits (equation values
+    /// change mid-solve). Served through [`Catalog::version`] so any
+    /// evaluator alive across a commit drops its syntax-keyed caches
+    /// (range values, transient decorrelation indexes, statistics)
+    /// instead of serving a stale snapshot.
+    epoch: u64,
 }
 
 impl State {
@@ -408,6 +414,11 @@ impl Catalog for SolverCatalog<'_> {
         Some(idx)
     }
 
+    /// The solver's data epoch — see `State::epoch`.
+    fn version(&self) -> u64 {
+        self.state.borrow().epoch
+    }
+
     /// Serve (and cache) statistics over base-catalog relations — one
     /// collection pass per solve, every later planner consultation is
     /// O(arity).
@@ -542,6 +553,7 @@ pub fn solve(
         current_stats: Vec::new(),
         override_stats: Vec::new(),
         base_stats: FxHashMap::default(),
+        epoch: 0,
     });
     let root_key = AppKey::new(constructor, &base, &args, &scalar_args);
     state
@@ -622,6 +634,11 @@ pub fn solve(
                         }
                     }
                 }
+            }
+            if changed {
+                // Equation values moved: evaluators created before this
+                // commit must not serve caches from the old snapshot.
+                st.epoch += 1;
             }
         }
         let grew = state.borrow().equations.len() > n;

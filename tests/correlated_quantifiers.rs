@@ -1,0 +1,312 @@
+//! Randomized differential suite for **correlated** quantified ranges:
+//! the decorrelated-probe path (PR 3 tentpole) against the reference
+//! per-combination scan (`force_nested_loop` / `set_use_indexes(false)`)
+//! over generated CAD scenes, plus the fixpoint interaction — a
+//! constructor whose body quantifies over a correlated view of the
+//! recursive application, so the decorrelated range's underlying value
+//! changes as deltas commit mid-solve.
+
+use dc_calculus::ast::{Branch, SelectorDef};
+use dc_calculus::builder::*;
+use dc_calculus::joinplan::{self, QuantMode};
+use dc_calculus::{Formula, RangeExpr};
+use dc_core::{paper, Constructor, Database, Strategy};
+use dc_value::Domain;
+use dc_workload::rng::SplitMix64;
+
+/// A random correlated filter over `Ontop`, correlated on an attribute
+/// of the outer edge variable `r`, with an optional local residual.
+fn random_correlated_range(rng: &mut SplitMix64) -> RangeExpr {
+    let outer_attr = if rng.below(2) == 0 { "front" } else { "back" };
+    let corr = eq(attr("o", "base"), attr("r", outer_attr));
+    let residual = match rng.below(4) {
+        0 => tru(),
+        1 => ne(attr("o", "top"), cnst("item_0_0")),
+        2 => gt(attr("o", "top"), attr("o", "base")),
+        // A local nested quantifier: o's base is a registered object.
+        _ => some(
+            "q",
+            rel("Objects"),
+            eq(attr("q", "part"), attr("o", "base")),
+        ),
+    };
+    set_former(vec![Branch::each("o", rel("Ontop"), corr.and(residual))])
+}
+
+/// A random quantified predicate over the correlated range: SOME/ALL,
+/// with bodies ranging from trivial to implication-shaped.
+fn random_correlated_query(rng: &mut SplitMix64) -> RangeExpr {
+    let range = random_correlated_range(rng);
+    let body = match rng.below(3) {
+        0 => tru(),
+        1 => ne(attr("t", "top"), attr("r", "back")),
+        // Implication over the bound tuple.
+        _ => not(eq(attr("t", "base"), attr("r", "front")))
+            .or(gt(attr("t", "top"), attr("t", "base"))),
+    };
+    let pred = if rng.below(2) == 0 {
+        some("t", range, body)
+    } else {
+        all("t", range, body)
+    };
+    // Half the time, wrap in a negation (exercises the NNF duality).
+    let pred = if rng.below(2) == 0 { not(pred) } else { pred };
+    set_former(vec![Branch::each("r", rel("Infront"), pred)])
+}
+
+#[test]
+fn randomized_correlated_quantifiers_agree_with_reference() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for (seed, rows, depth, stack_every) in
+        [(3u64, 4usize, 6usize, 2usize), (17, 6, 5, 3), (41, 8, 8, 2)]
+    {
+        let scene = dc_workload::scene(rows, depth, stack_every, seed);
+        let db = dc_bench::scene_db(&scene);
+        let mut db_scan = dc_bench::scene_db(&scene);
+        db_scan.set_use_indexes(false);
+        for _ in 0..12 {
+            let q = random_correlated_query(&mut rng);
+            let probed = db.eval(&q).unwrap();
+            let scanned = db_scan.eval(&q).unwrap();
+            assert_eq!(
+                probed, scanned,
+                "decorrelated/scan divergence on scene seed={seed} for {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn correlated_selector_applications_agree_with_reference() {
+    // The Selected form of the same correlation: Ontop[on_base(r.X)].
+    for (seed, rows, depth) in [(5u64, 5usize, 6usize), (29, 7, 7)] {
+        let scene = dc_workload::scene(rows, depth, 2, seed);
+        let db = dc_bench::scene_db(&scene);
+        let mut db_scan = dc_bench::scene_db(&scene);
+        db_scan.set_use_indexes(false);
+        for outer_attr in ["front", "back"] {
+            for existential in [true, false] {
+                let range = rel("Ontop").select("on_base", vec![attr("r", outer_attr)]);
+                let body = ne(attr("t", "top"), attr("r", "back"));
+                let pred = if existential {
+                    some("t", range, body)
+                } else {
+                    all("t", range, body)
+                };
+                let q = set_former(vec![Branch::each("r", rel("Infront"), pred)]);
+                let probed = db.eval(&q).unwrap();
+                let scanned = db_scan.eval(&q).unwrap();
+                assert_eq!(probed, scanned, "seed={seed} {q}");
+            }
+        }
+    }
+}
+
+/// Acceptance: implication-shaped `ALL` bodies (`NOT p OR q`) take the
+/// probe path — statically (the planner yields a falsifier-mode probe
+/// plan) and dynamically (the probed result matches the reference scan
+/// on randomized scenes).
+#[test]
+fn all_implication_probe_path_differential() {
+    let body =
+        not(eq(attr("t", "base"), attr("r", "front"))).or(gt(attr("t", "top"), attr("t", "base")));
+    let plan = joinplan::plan_quant_probe(&"t".to_string(), &body, false)
+        .expect("implication body must be probe-able");
+    assert_eq!(plan.mode, QuantMode::Falsifier);
+    assert_eq!(plan.atoms.len(), 1);
+    assert_eq!(plan.atoms[0].attr, "base");
+
+    for seed in [2u64, 13, 31] {
+        let scene = dc_workload::scene(5, 7, 2, seed);
+        let db = dc_bench::scene_db(&scene);
+        let mut db_scan = dc_bench::scene_db(&scene);
+        db_scan.set_use_indexes(false);
+        let q = dc_bench::unburdened_front_query();
+        let probed = db.eval(&q).unwrap();
+        let scanned = db_scan.eval(&q).unwrap();
+        assert_eq!(probed, scanned, "seed={seed}");
+    }
+}
+
+/// A constructor whose body quantifies over a *correlated view of the
+/// recursive application*: the branch is class-Fallback (application
+/// under a quantifier), so it re-evaluates every round while committed
+/// deltas keep growing the application's value — any stale decorrelated
+/// index would lose `marked` tuples or diverge from the scan path.
+///
+/// ```text
+/// reach = Rel ∪ { <r.front, "marked"> : r IN Rel,
+///                 SOME t IN {EACH y IN Rel{reach()}:
+///                            y.head = r.back AND y.head # y.tail} (TRUE) }
+/// ```
+///
+/// The quantified view is correlated on `r.back` and filters the
+/// *current iterate*, which is empty in round one and grows as deltas
+/// commit — the decorrelated index must be rebuilt per round.
+fn correlated_fallback_constructor() -> Constructor {
+    use dc_calculus::ast::SetFormer;
+    let corr_view = set_former(vec![Branch::each(
+        "y",
+        rel("Rel").construct("reach", vec![]),
+        eq(attr("y", "head"), attr("r", "back")).and(ne(attr("y", "head"), attr("y", "tail"))),
+    )]);
+    Constructor {
+        name: "reach".into(),
+        base_param: ("Rel".into(), paper::infrontrel()),
+        rel_params: vec![],
+        scalar_params: vec![],
+        result: dc_value::Schema::of(&[
+            ("head", dc_value::Domain::Str),
+            ("tail", dc_value::Domain::Str),
+        ]),
+        body: SetFormer {
+            branches: vec![
+                Branch::projecting(
+                    vec![attr("r", "front"), attr("r", "back")],
+                    vec![("r".into(), rel("Rel"))],
+                    tru(),
+                ),
+                Branch::projecting(
+                    vec![attr("r", "front"), cnst("marked")],
+                    vec![("r".into(), rel("Rel"))],
+                    some("t", corr_view, tru()),
+                ),
+            ],
+        },
+    }
+}
+
+#[test]
+fn fixpoint_with_correlated_quantifier_mid_solve_deltas() {
+    for depth in [4usize, 7] {
+        let base = dc_workload::chain(depth);
+        let mut results = Vec::new();
+        for use_indexes in [true, false] {
+            for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+                let mut db = Database::new();
+                db.set_strategy(strategy);
+                db.set_use_indexes(use_indexes);
+                db.create_relation("Infront", base.schema().clone())
+                    .unwrap();
+                for t in base.iter() {
+                    db.insert("Infront", t.clone()).unwrap();
+                }
+                db.define_constructor(correlated_fallback_constructor())
+                    .unwrap();
+                let q = rel("Infront").construct("reach", vec![]);
+                let out = db.eval(&q).unwrap();
+                results.push((use_indexes, strategy, out));
+            }
+        }
+        let (_, _, reference) = &results[results.len() - 1];
+        for (use_indexes, strategy, out) in &results {
+            assert_eq!(
+                out, reference,
+                "depth={depth} use_indexes={use_indexes} strategy={strategy:?}"
+            );
+        }
+        // The marked tuples only exist because round two saw the delta
+        // committed in round one: an edge is marked iff its back is some
+        // edge's head. On a chain of n edges that is every edge but the
+        // last — n base edges + (n-1) marked tuples.
+        assert_eq!(reference.len(), depth + depth - 1, "depth={depth}");
+        assert!(reference.contains(&dc_value::tuple!["o0", "marked"]));
+        assert!(!reference.contains(&dc_value::tuple![format!("o{}", depth - 1), "marked"]));
+    }
+}
+
+/// A selector whose element variable would capture the actual argument
+/// is *not* rewritten (the capture guard refuses) — the reference scan
+/// still answers, and both paths agree.
+#[test]
+fn selector_rewrite_capture_guard() {
+    let scene = dc_workload::scene(3, 4, 2, 9);
+    let mut db = dc_bench::scene_db(&scene);
+    // Element variable is named `r`, colliding with the outer edge
+    // variable referenced by the argument.
+    db.define_selector(
+        SelectorDef {
+            name: "on_base_r".into(),
+            element_var: "r".into(),
+            params: vec![("B".into(), Domain::Str)],
+            predicate: eq(attr("r", "base"), param("B")),
+        },
+        scene.ontop.schema().clone(),
+    )
+    .unwrap();
+    let q = set_former(vec![Branch::each(
+        "r",
+        rel("Infront"),
+        some(
+            "t",
+            rel("Ontop").select("on_base_r", vec![attr("r", "front")]),
+            tru(),
+        ),
+    )]);
+    let probed = db.eval(&q).unwrap();
+    let mut db_scan = dc_bench::scene_db(&scene);
+    db_scan
+        .define_selector(
+            SelectorDef {
+                name: "on_base_r".into(),
+                element_var: "r".into(),
+                params: vec![("B".into(), Domain::Str)],
+                predicate: eq(attr("r", "base"), param("B")),
+            },
+            scene.ontop.schema().clone(),
+        )
+        .unwrap();
+    db_scan.set_use_indexes(false);
+    let scanned = db_scan.eval(&q).unwrap();
+    assert_eq!(probed, scanned);
+}
+
+/// `Formula` shapes that refuse decorrelation must still agree with the
+/// reference — the fallback is a scan, never a wrong answer.
+#[test]
+fn refused_decorrelations_fall_back_soundly() {
+    let scene = dc_workload::scene(4, 5, 2, 21);
+    let db = dc_bench::scene_db(&scene);
+    let mut db_scan = dc_bench::scene_db(&scene);
+    db_scan.set_use_indexes(false);
+    let refusals: Vec<Formula> = vec![
+        // Correlated through an inequality: not splittable.
+        some(
+            "t",
+            set_former(vec![Branch::each(
+                "o",
+                rel("Ontop"),
+                le(attr("o", "base"), attr("r", "front")),
+            )]),
+            tru(),
+        ),
+        // Two-binding set-former range: unsupported shape.
+        some(
+            "t",
+            set_former(vec![Branch::projecting(
+                vec![attr("o", "top"), attr("p", "part")],
+                vec![("o".into(), rel("Ontop")), ("p".into(), rel("Objects"))],
+                eq(attr("o", "base"), attr("r", "front"))
+                    .and(eq(attr("p", "part"), attr("o", "top"))),
+            )]),
+            tru(),
+        ),
+        // Disjunction mixing outer and local references.
+        all(
+            "t",
+            set_former(vec![Branch::each(
+                "o",
+                rel("Ontop"),
+                eq(attr("o", "base"), attr("r", "front"))
+                    .or(eq(attr("o", "top"), cnst("item_0_0"))),
+            )]),
+            ne(attr("t", "top"), attr("r", "back")),
+        ),
+    ];
+    for pred in refusals {
+        let q = set_former(vec![Branch::each("r", rel("Infront"), pred)]);
+        let probed = db.eval(&q).unwrap();
+        let scanned = db_scan.eval(&q).unwrap();
+        assert_eq!(probed, scanned, "{q}");
+    }
+}
