@@ -44,9 +44,10 @@ fn main() {
     e2();
     let (e2b_rows, e2b_speedup) = e2b();
     let (e2c_rows, e2c_speedup) = e2c();
+    let (e2d_rows, e2d_speedup) = e2d();
     // Baselines are written before the acceptance asserts, so a perf
     // regression still leaves the measured rows on disk for diagnosis.
-    write_bench_e2(&e2b_rows, &e2c_rows);
+    write_bench_e2(&e2b_rows, &e2c_rows, &e2d_rows);
     assert!(
         e2b_speedup >= 3.0,
         "acceptance: ≥3× on the quantifier workload, measured {e2b_speedup:.1}x"
@@ -54,6 +55,10 @@ fn main() {
     assert!(
         e2c_speedup >= 3.0,
         "acceptance: ≥3× on the correlated-selector workload, measured {e2c_speedup:.1}x"
+    );
+    assert!(
+        e2d_speedup >= 3.0,
+        "acceptance: ≥3× on the multi-binding correlated-join workload, measured {e2d_speedup:.1}x"
     );
     e3();
     e4();
@@ -328,15 +333,103 @@ fn e2c() -> (Vec<String>, f64) {
     (rows_out, largest_speedup)
 }
 
+/// E2d: multi-binding correlated-join decorrelation vs reference
+/// per-combination join evaluation — the quantified range is a **join
+/// view** over two bindings whose joint correlation key spans both
+/// (`a.task = r.task AND s.tool = r.tool`), so the reference path pays
+/// the full `Assign × Skill` product per request while the decorrelated
+/// path materialises `Assign ⋈ Skill` once, buckets it on the joint
+/// key, and probes per request. The ≥3× acceptance bound on the
+/// largest instance is asserted in `main` after the baselines are
+/// written; the measured rows become the `"e2d"` section of
+/// `BENCH_e2.json`.
+fn e2d() -> (Vec<String>, f64) {
+    println!("E2d multi-binding correlated-join decorrelation vs reference scans");
+    println!(
+        "  instance     assign  skill  requests  servable  avoids-w0  probe(ms)  scan(ms)  speedup"
+    );
+    let mut rows_out = Vec::new();
+    let mut largest_speedup = 0.0_f64;
+    // (tasks, workers, tools, per_task, per_worker, requests)
+    let instances = [
+        (
+            "staffing S",
+            60usize,
+            30usize,
+            15usize,
+            2usize,
+            2usize,
+            80usize,
+        ),
+        ("staffing M", 120, 50, 25, 2, 3, 140),
+        ("staffing L", 200, 80, 40, 2, 3, 200),
+    ];
+    let largest = instances.len() - 1;
+    for (i, (label, tasks, workers, tools, per_task, per_worker, requests)) in
+        instances.into_iter().enumerate()
+    {
+        let s = dc_workload::staffing(tasks, workers, tools, per_task, per_worker, requests, 11);
+        let some_q = servable_request_query();
+        let all_q = avoids_w0_request_query();
+        let db = staffing_db(&s);
+        let (some_len, some_ms) = eval_ms(&db, &some_q);
+        let (all_len, all_ms) = eval_ms(&db, &all_q);
+        let mut db_scan = staffing_db(&s);
+        db_scan.set_use_indexes(false);
+        let (some_scan_len, some_scan_ms) = eval_ms(&db_scan, &some_q);
+        let (all_scan_len, all_scan_ms) = eval_ms(&db_scan, &all_q);
+        assert_eq!(
+            some_len, some_scan_len,
+            "joint-key probes must agree with reference scans ({label})"
+        );
+        assert_eq!(
+            all_len, all_scan_len,
+            "universal joint-key probes must agree with reference scans ({label})"
+        );
+        let probe_ms = some_ms + all_ms;
+        let scan_ms = some_scan_ms + all_scan_ms;
+        let speedup = scan_ms / probe_ms;
+        println!(
+            "  {label:<12} {:>6} {:>6} {:>9} {some_len:>9} {all_len:>10} {probe_ms:>10.2} {scan_ms:>9.2} {speedup:>7.1}x",
+            s.assign.len(),
+            s.skill.len(),
+            s.requests.len(),
+        );
+        rows_out.push(format!(
+            concat!(
+                "  {{\"workload\": \"{}\", \"assign\": {}, \"skill\": {}, ",
+                "\"requests\": {}, \"servable\": {}, \"avoids_w0\": {}, ",
+                "\"probe_ms\": {:.3}, \"scan_ms\": {:.3}, \"speedup\": {:.2}}}"
+            ),
+            label,
+            s.assign.len(),
+            s.skill.len(),
+            s.requests.len(),
+            some_len,
+            all_len,
+            probe_ms,
+            scan_ms,
+            speedup
+        ));
+        if i == largest {
+            largest_speedup = speedup;
+        }
+    }
+    println!();
+    (rows_out, largest_speedup)
+}
+
 /// Emit `BENCH_e2.json`: one section per quantifier experiment
 /// (`"e2b"` — named-range probes, `"e2c"` — decorrelated correlated
-/// ranges + implication bodies), next to `BENCH_e1.json` so the perf
+/// ranges + implication bodies, `"e2d"` — multi-binding correlated
+/// joins on joint keys), next to `BENCH_e1.json` so the perf
 /// trajectory covers join, quantifier, and decorrelation access paths.
-fn write_bench_e2(e2b_rows: &[String], e2c_rows: &[String]) {
+fn write_bench_e2(e2b_rows: &[String], e2c_rows: &[String], e2d_rows: &[String]) {
     let json = format!(
-        "{{\n\"e2b\": [\n{}\n],\n\"e2c\": [\n{}\n]\n}}\n",
+        "{{\n\"e2b\": [\n{}\n],\n\"e2c\": [\n{}\n],\n\"e2d\": [\n{}\n]\n}}\n",
         e2b_rows.join(",\n"),
-        e2c_rows.join(",\n")
+        e2c_rows.join(",\n"),
+        e2d_rows.join(",\n")
     );
     if let Err(e) = std::fs::write("BENCH_e2.json", &json) {
         eprintln!("  (could not write BENCH_e2.json: {e})");

@@ -1,0 +1,81 @@
+//! `perf_baseline` — the CI perf-baseline gate.
+//!
+//! Compares a fresh harness run's BENCH JSON against the committed
+//! baseline: every committed workload must reappear with a speedup of
+//! at least `tolerance × committed` (default 0.35 — see
+//! `dc_bench::baseline::diff` for the band's rationale). Exits
+//! non-zero with one line per violation, so a regression is diagnosable
+//! straight from the CI log.
+//!
+//! ```sh
+//! perf_baseline <committed.json> <fresh.json> [tolerance]
+//! ```
+
+use std::process::ExitCode;
+
+use dc_bench::baseline::{diff, parse_rows, DEFAULT_TOLERANCE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() > 4 {
+        eprintln!("usage: perf_baseline <committed.json> <fresh.json> [tolerance]");
+        return ExitCode::from(2);
+    }
+    let tolerance: f64 = match args.get(3) {
+        Some(t) => match t.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("perf_baseline: invalid tolerance {t:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_TOLERANCE,
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Some(text),
+        Err(e) => {
+            eprintln!("perf_baseline: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(committed_text), Some(fresh_text)) = (read(&args[1]), read(&args[2])) else {
+        return ExitCode::from(2);
+    };
+    let committed = parse_rows(&committed_text);
+    let fresh = parse_rows(&fresh_text);
+    if committed.is_empty() {
+        eprintln!("perf_baseline: no rows parsed from {}", args[1]);
+        return ExitCode::from(2);
+    }
+    println!(
+        "perf-baseline: {} committed workloads vs {} fresh (tolerance {tolerance})",
+        committed.len(),
+        fresh.len()
+    );
+    for c in &committed {
+        let fresh_speedup = fresh
+            .iter()
+            .find(|f| f.section == c.section && f.workload == c.workload)
+            .map(|f| format!("{:.1}x", f.speedup))
+            .unwrap_or_else(|| "MISSING".into());
+        let section = if c.section.is_empty() {
+            "e1b"
+        } else {
+            &c.section
+        };
+        println!(
+            "  [{section}] {:<28} committed {:>7.1}x  fresh {:>8}",
+            c.workload, c.speedup, fresh_speedup
+        );
+    }
+    let failures = diff(&committed, &fresh, tolerance);
+    if failures.is_empty() {
+        println!("perf-baseline: PASS ({})", args[1]);
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("perf-baseline FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

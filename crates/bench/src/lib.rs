@@ -285,9 +285,213 @@ pub fn unburdened_front_query() -> dc_calculus::RangeExpr {
     )])
 }
 
+/// A database holding a staffing instance under `Assign` / `Skill` /
+/// `Requests` — the multi-binding correlated-join workload (E2d).
+pub fn staffing_db(s: &dc_workload::Staffing) -> Database {
+    let mut db = Database::new();
+    for (name, rel) in [
+        ("Assign", &s.assign),
+        ("Skill", &s.skill),
+        ("Requests", &s.requests),
+    ] {
+        db.create_relation(name, rel.schema().clone())
+            .expect("fresh database");
+        for t in rel.iter() {
+            db.insert(name, t.clone()).expect("valid staffing tuple");
+        }
+    }
+    db
+}
+
+/// The correlated **join view** the E2d workload quantifies over:
+///
+/// ```text
+/// { <a.worker> OF EACH a IN Assign, s IN Skill:
+///     a.worker = s.worker AND a.task = r.task AND s.tool = r.tool }
+/// ```
+///
+/// Two bindings, one local join atom (`a.worker = s.worker`), and
+/// correlation atoms on **both** bindings — the joint key
+/// `(a.task, s.tool)` spans the join.
+fn qualified_worker_view() -> dc_calculus::RangeExpr {
+    use dc_calculus::ast::Branch;
+    use dc_calculus::builder::*;
+    set_former(vec![Branch::projecting(
+        vec![attr("a", "worker")],
+        vec![("a".into(), rel("Assign")), ("s".into(), rel("Skill"))],
+        eq(attr("a", "worker"), attr("s", "worker"))
+            .and(eq(attr("a", "task"), attr("r", "task")))
+            .and(eq(attr("s", "tool"), attr("r", "tool"))),
+    )])
+}
+
+/// The E2d existential query: requests some assigned worker can serve.
+///
+/// ```text
+/// EACH r IN Requests: SOME x IN <qualified_worker_view> (TRUE)
+/// ```
+///
+/// The reference path evaluates the inner join per request —
+/// O(|Requests| × |Assign| × |Skill|); the decorrelated path
+/// materialises `Assign ⋈ Skill` once, buckets it on the joint key,
+/// and probes per request.
+pub fn servable_request_query() -> dc_calculus::RangeExpr {
+    use dc_calculus::ast::Branch;
+    use dc_calculus::builder::*;
+    set_former(vec![Branch::each(
+        "r",
+        rel("Requests"),
+        some("x", qualified_worker_view(), tru()),
+    )])
+}
+
+/// The E2d universal dual: requests none of whose qualified assigned
+/// workers is the (overloaded) worker `w0`.
+///
+/// ```text
+/// EACH r IN Requests: ALL x IN <qualified_worker_view> (x.worker # "w0")
+/// ```
+pub fn avoids_w0_request_query() -> dc_calculus::RangeExpr {
+    use dc_calculus::ast::Branch;
+    use dc_calculus::builder::*;
+    set_former(vec![Branch::each(
+        "r",
+        rel("Requests"),
+        all(
+            "x",
+            qualified_worker_view(),
+            ne(attr("x", "worker"), cnst("w0")),
+        ),
+    )])
+}
+
 /// The `Value` of a chain node name.
 pub fn node(prefix: &str, i: usize) -> Value {
     Value::str(format!("{prefix}{i}"))
+}
+
+pub mod baseline {
+    //! Parsing and tolerance comparison of the committed `BENCH_*.json`
+    //! baselines — the `perf-baseline` CI gate (`bin/perf_baseline`).
+    //!
+    //! The harness emits one JSON row per workload with a `"workload"`
+    //! label and a `"speedup"` ratio; `BENCH_e2.json` wraps its rows in
+    //! named sections (`"e2b"`, …). This module reads both layouts with
+    //! a deliberately small line-oriented scanner (the files are
+    //! machine-written, one row per line; the build environment has no
+    //! JSON dependency) and diffs a fresh run against the committed
+    //! baseline within a documented tolerance band.
+
+    /// One measured row: section (empty for `BENCH_e1.json`), workload
+    /// label, speedup ratio.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Row {
+        /// Section name (`"e2b"` etc.), empty for sectionless files.
+        pub section: String,
+        /// Workload label.
+        pub workload: String,
+        /// Probe-vs-scan (or indexed-vs-nested) speedup ratio.
+        pub speedup: f64,
+    }
+
+    /// Extract the string value of `"key": "…"` from a JSON row line.
+    fn str_field(line: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\": \"");
+        let start = line.find(&pat)? + pat.len();
+        let end = line[start..].find('"')? + start;
+        Some(line[start..end].to_string())
+    }
+
+    /// Extract the numeric value of `"key": n` from a JSON row line.
+    fn num_field(line: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let end = line[start..]
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .map(|i| i + start)
+            .unwrap_or(line.len());
+        line[start..end].parse().ok()
+    }
+
+    /// Parse the measured rows of a BENCH JSON file. Section headers
+    /// (`"e2b": [`) set the section of subsequent rows; each row is one
+    /// line carrying both a `"workload"` string and a `"speedup"`
+    /// number, the format the harness writes.
+    pub fn parse_rows(text: &str) -> Vec<Row> {
+        let mut section = String::new();
+        let mut rows = Vec::new();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            // A section header names an array: `"e2d": [`.
+            if trimmed.ends_with('[') {
+                if let Some(name) = str_section(trimmed) {
+                    section = name;
+                }
+                continue;
+            }
+            if let (Some(workload), Some(speedup)) = (
+                str_field(trimmed, "workload"),
+                num_field(trimmed, "speedup"),
+            ) {
+                rows.push(Row {
+                    section: section.clone(),
+                    workload,
+                    speedup,
+                });
+            }
+        }
+        rows
+    }
+
+    /// The `"name":` of a section-header line, if it is one.
+    fn str_section(line: &str) -> Option<String> {
+        let start = line.find('"')? + 1;
+        let end = line[start..].find('"')? + start;
+        Some(line[start..end].to_string())
+    }
+
+    /// Diff a fresh run against the committed baseline.
+    ///
+    /// Every committed row must reappear (same section + workload —
+    /// a missing row means a harness section was lost, which would
+    /// otherwise silently drop perf coverage) with a fresh speedup of
+    /// at least `tolerance × committed` speedup. Returns
+    /// human-readable failure lines; empty means the gate passes.
+    ///
+    /// The default `tolerance` (see [`DEFAULT_TOLERANCE`]) is 0.35: the
+    /// asserted speedups are order-of-magnitude signals (observed
+    /// 30–300×), so a fresh run at under ~a third of the committed
+    /// ratio indicates a lost access path rather than shared-runner
+    /// jitter, which measures within a few percent on the ratio even
+    /// when absolute times move.
+    pub fn diff(committed: &[Row], fresh: &[Row], tolerance: f64) -> Vec<String> {
+        let mut failures = Vec::new();
+        for c in committed {
+            let Some(f) = fresh
+                .iter()
+                .find(|f| f.section == c.section && f.workload == c.workload)
+            else {
+                failures.push(format!(
+                    "missing workload in fresh run: [{}] {}",
+                    c.section, c.workload
+                ));
+                continue;
+            };
+            let floor = c.speedup * tolerance;
+            if f.speedup < floor {
+                failures.push(format!(
+                    "[{}] {}: fresh speedup {:.1}x below tolerance floor {:.1}x \
+                     (committed {:.1}x × {tolerance})",
+                    c.section, c.workload, f.speedup, floor, c.speedup
+                ));
+            }
+        }
+        failures
+    }
+
+    /// Default tolerance ratio of the perf-baseline gate — see
+    /// [`diff`] for the rationale.
+    pub const DEFAULT_TOLERANCE: f64 = 0.35;
 }
 
 #[cfg(test)]
@@ -352,11 +556,70 @@ mod tests {
     }
 
     #[test]
+    fn staffing_queries_agree_with_reference() {
+        let s = dc_workload::staffing(20, 10, 8, 2, 3, 25, 11);
+        let db = staffing_db(&s);
+        let mut db_scan = staffing_db(&s);
+        db_scan.set_use_indexes(false);
+        for q in [servable_request_query(), avoids_w0_request_query()] {
+            let probed = db.eval(&q).unwrap();
+            let scanned = db_scan.eval(&q).unwrap();
+            assert_eq!(probed, scanned, "{q}");
+            // Both queries discriminate: neither empty nor everything.
+            assert!(!probed.is_empty(), "{q}");
+            assert!(probed.len() < s.requests.len(), "{q}");
+        }
+    }
+
+    #[test]
     fn constructor_ring_registers() {
         let mut db = Database::new();
         db.create_relation("Infront", paper::infrontrel()).unwrap();
         db.define_constructors(constructor_ring(5)).unwrap();
         assert_eq!(db.constructor_names().len(), 5);
+    }
+
+    #[test]
+    fn baseline_parse_and_diff() {
+        use crate::baseline::{diff, parse_rows, Row};
+        // Sectionless layout (BENCH_e1.json).
+        let e1 = "[\n  {\"workload\": \"tree d=10\", \"nodes\": 1023, \"speedup\": 80.5},\n  {\"workload\": \"chain n=128\", \"speedup\": 12.0}\n]\n";
+        let rows = parse_rows(e1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].section, "");
+        assert_eq!(rows[0].workload, "tree d=10");
+        assert_eq!(rows[0].speedup, 80.5);
+        // Sectioned layout (BENCH_e2.json).
+        let e2 = "{\n\"e2b\": [\n  {\"workload\": \"scene 60x60\", \"speedup\": 253.9}\n],\n\"e2d\": [\n  {\"workload\": \"staffing L\", \"speedup\": 100.0}\n]\n}\n";
+        let rows = parse_rows(e2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].section, "e2b");
+        assert_eq!(rows[1].section, "e2d");
+        // Diff: pass within tolerance, fail below, fail on missing.
+        let committed = vec![Row {
+            section: "e2b".into(),
+            workload: "scene 60x60".into(),
+            speedup: 200.0,
+        }];
+        let good = vec![Row {
+            section: "e2b".into(),
+            workload: "scene 60x60".into(),
+            speedup: 90.0,
+        }];
+        assert!(diff(&committed, &good, 0.35).is_empty());
+        let slow = vec![Row {
+            section: "e2b".into(),
+            workload: "scene 60x60".into(),
+            speedup: 20.0,
+        }];
+        let failures = diff(&committed, &slow, 0.35);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("below tolerance floor"),
+            "{failures:?}"
+        );
+        let failures = diff(&committed, &[], 0.35);
+        assert!(failures[0].contains("missing workload"), "{failures:?}");
     }
 
     #[test]

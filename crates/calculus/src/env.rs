@@ -15,10 +15,29 @@ use std::sync::Arc;
 
 use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
-use dc_value::{FxHashMap, Value};
+use dc_value::{FxHashMap, FxHashSet, Value};
 
-use crate::ast::SelectorDef;
+use crate::ast::{Name, RangeExpr, SelectorDef};
 use crate::error::EvalError;
+use crate::eval::DecorrEntry;
+use crate::rewrite;
+
+/// A cached decorrelation decision for one correlated quantified range,
+/// served through [`Catalog::decorr_entry`]. Catalogs that hold state
+/// across evaluator lifetimes (the fixpoint solver, the database) store
+/// both outcomes, so a refused rewrite is not re-analysed per evaluator
+/// any more than a built one is re-materialised.
+#[derive(Clone)]
+pub enum DecorrCached {
+    /// The range decorrelated; the entry holds the materialised join
+    /// bucketed on the joint key.
+    Built(Arc<DecorrEntry>),
+    /// Decorrelation was refused (unsupported shape, unsplittable
+    /// predicate, profitability gate, build error) — the evaluator
+    /// falls back to the reference scan without re-running the
+    /// analysis.
+    Refused,
+}
 
 /// Name-resolution interface for evaluation.
 pub trait Catalog {
@@ -76,6 +95,27 @@ pub trait Catalog {
     fn stats(&self, _name: &str) -> Option<Arc<RelationStats>> {
         None
     }
+
+    /// A cached decorrelation decision for the correlated quantified
+    /// range `range` — if the catalog maintains a decorrelation cache.
+    /// Mirrors [`Catalog::index`]/[`Catalog::stats`]: the evaluator
+    /// consults this before building a decorrelated entry of its own,
+    /// so catalogs that live across many evaluator lifetimes (the
+    /// fixpoint solver across branch evaluations and semi-naive rounds,
+    /// the database across queries) amortise the materialised join.
+    /// Implementations must serve entries that are exactly consistent
+    /// with the current [`Catalog::version`]: a served entry must have
+    /// been built against the catalog's *current* data snapshot
+    /// (solver: drop the cache when the epoch moves; database:
+    /// invalidate on mutation).
+    fn decorr_entry(&self, _range: &RangeExpr) -> Option<DecorrCached> {
+        None
+    }
+
+    /// Store a decorrelation decision the evaluator just computed for
+    /// `range` — the write half of [`Catalog::decorr_entry`]. Default:
+    /// discard (catalogs without solver state keep nothing).
+    fn cache_decorr_entry(&self, _range: &RangeExpr, _entry: DecorrCached) {}
 
     /// Monotone data version of the catalog. Implementations that can
     /// change a relation's value *while an evaluator is alive* (the
@@ -252,6 +292,34 @@ impl<'a> Overlay<'a> {
             .map(|(n, s)| (n.clone(), s.clone()))
             .collect()
     }
+
+    /// May a decorrelation entry for `range` be shared through the base
+    /// catalog's solver-scoped cache? Only if the range resolves no
+    /// name this overlay overrides: two overlays over the same base can
+    /// bind different relations to one formal name (fixpoint equations
+    /// do exactly that), so an entry built under one overlay must not
+    /// be served under another. The check expands selector predicates
+    /// transitively — a selector body may reference relations by name
+    /// too — and refuses on any unresolvable selector.
+    fn decorr_shareable(&self, range: &RangeExpr) -> bool {
+        if self.overrides.is_empty() {
+            return true;
+        }
+        let mut rels = rewrite::relation_names(range);
+        let mut pending: Vec<Name> = rewrite::selector_names(range).into_iter().collect();
+        let mut seen: FxHashSet<Name> = FxHashSet::default();
+        while let Some(s) = pending.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            let Ok(def) = self.selector(&s) else {
+                return false;
+            };
+            rels.extend(rewrite::relation_names_formula(&def.predicate));
+            pending.extend(rewrite::selector_names_formula(&def.predicate));
+        }
+        !self.overrides.iter().any(|(n, _)| rels.contains(n))
+    }
 }
 
 impl Catalog for Overlay<'_> {
@@ -295,6 +363,19 @@ impl Catalog for Overlay<'_> {
 
     fn selector(&self, name: &str) -> Result<&SelectorDef, EvalError> {
         self.base.selector(name)
+    }
+
+    fn decorr_entry(&self, range: &RangeExpr) -> Option<DecorrCached> {
+        if !self.decorr_shareable(range) {
+            return None;
+        }
+        self.base.decorr_entry(range)
+    }
+
+    fn cache_decorr_entry(&self, range: &RangeExpr, entry: DecorrCached) {
+        if self.decorr_shareable(range) {
+            self.base.cache_decorr_entry(range, entry);
+        }
     }
 
     fn apply_constructor(

@@ -39,13 +39,17 @@
 //!   disables quantifier probes too.
 //! * **Decorrelated quantifier ranges** — a quantifier over a
 //!   *correlated* range (`SOME x IN {EACH y IN R: y.a = r.b AND …}`,
-//!   or a selector application with outer-variable arguments) would
-//!   re-evaluate the range per outer combination. Instead the filter is
-//!   split into a decorrelated part and correlation atoms
-//!   ([`joinplan::decorrelate_filter`]): the decorrelated part is
-//!   evaluated once per evaluator (and catalog version), indexed on the
-//!   correlation columns, and each outer combination is decided by
-//!   probe — O(|R| + outer × matches) instead of O(outer × |R|). The
+//!   a selector application with outer-variable arguments, or a
+//!   multi-binding *join view* whose joint correlation key spans the
+//!   bindings) would re-evaluate the range per outer combination.
+//!   Instead the branch predicate is split into a decorrelated part
+//!   and correlation atoms ([`joinplan::decorrelate_branch`]): the
+//!   decorrelated part (for multiple bindings, an inner join planned
+//!   through [`joinplan::plan_branch`]) is materialised once per
+//!   evaluator (and catalog version — long-lived catalogs share it
+//!   through [`Catalog::decorr_entry`]), bucketed on the joint key,
+//!   and each outer combination is decided by probe —
+//!   O(|R ⋈ S| + outer × matches) instead of O(outer × |R×S|). The
 //!   split is exact, so the bucket *is* the range value and the full
 //!   body re-check preserves semantics; every unsafe case falls back to
 //!   the reference scan. Demotions and abandoned rewrites are recorded
@@ -58,10 +62,21 @@ use dc_relation::Relation;
 use dc_value::{Attribute, Domain, FxHashMap, FxHashSet, Schema, Tuple, Value};
 
 use crate::ast::{Branch, Formula, RangeExpr, ScalarExpr, SetFormer, Target, Var};
-use crate::env::Catalog;
+use crate::env::{Catalog, DecorrCached};
 use crate::error::EvalError;
 use crate::joinplan::{self, Access, BranchPlan, KeySource};
 use crate::rewrite;
+
+/// Reserved attribute-name prefix for the joint-key columns of a
+/// materialised decorrelated join. Not expressible in DBPL source, so
+/// it cannot clash with user attribute names.
+const KEY_MARKER: &str = "\u{394}key";
+
+/// Profitability bound for multi-binding decorrelation: the estimated
+/// inner-join cardinality may exceed the summed input cardinalities by
+/// at most this factor, otherwise the rewrite would *materialise* a
+/// blow-up the per-combination scan only ever streams.
+const DECORR_JOIN_BLOWUP: usize = 8;
 
 /// A bound tuple variable: name, current tuple, and the schema used to
 /// resolve `var.attr` references.
@@ -704,12 +719,12 @@ impl<'a> Evaluator<'a> {
     /// **full** body over the bucket's tuples (reusing one binding slot)
     /// and decide the quantifier — a body witness decides `SOME`, a body
     /// falsifier decides `ALL`, an exhausted bucket decides the dual.
-    fn decide_over_bucket(
+    fn decide_over_bucket<'t>(
         &mut self,
         var: &Var,
         schema: &Schema,
         body: &Formula,
-        hits: &[Tuple],
+        hits: impl IntoIterator<Item = &'t Tuple>,
         bindings: &mut Vec<Binding>,
         existential: bool,
     ) -> Result<bool, EvalError> {
@@ -748,16 +763,21 @@ impl<'a> Evaluator<'a> {
     /// fall back to range evaluation + scan".
     ///
     /// A correlated quantified range — `SOME x IN {EACH y IN R:
-    /// y.a = r.b AND local(y)} (body)`, or the equivalent selector
-    /// application `R[s(r.b)]` — is re-evaluated from scratch for every
-    /// outer combination by the reference path: O(outer × |R|). This
-    /// path splits the range's filter with
-    /// [`joinplan::decorrelate_filter`], evaluates the decorrelated
-    /// part (`R` filtered by the outer-independent conjuncts) **once**
-    /// per evaluator and catalog version, builds a transient
-    /// [`HashIndex`] keyed on the correlation columns, and decides each
-    /// outer combination by probing it with the correlation keys:
-    /// O(|R| + outer × matches), magic-set style.
+    /// y.a = r.b AND local(y)} (body)`, the equivalent selector
+    /// application `R[s(r.b)]`, or a correlated *join view*
+    /// `{<a.w> OF EACH a IN R, s IN S: a.w = s.w AND a.t = r.t AND
+    /// s.l = r.l}` — is re-evaluated from scratch for every outer
+    /// combination by the reference path: O(outer × |R×S|). This path
+    /// splits the branch predicate with
+    /// [`joinplan::decorrelate_branch`], materialises the decorrelated
+    /// part (the inner join of the binding ranges filtered by the local
+    /// residual, executed through the ordinary [`joinplan::plan_branch`]
+    /// index-nested-loop machinery) **once** per evaluator and catalog
+    /// version, buckets it on the **joint key** of correlation columns,
+    /// and decides each outer combination by probing:
+    /// O(|R ⋈ S| + outer × matches), magic-set style. Catalogs that
+    /// keep solver state ([`Catalog::decorr_entry`]) share the built
+    /// entry across evaluators within one data epoch.
     ///
     /// Because the split is exact (`pred ≡ residual ∧ atoms`), the
     /// probed bucket *is* the correlated range's value for that outer
@@ -790,7 +810,26 @@ impl<'a> Evaluator<'a> {
         let cached = match self.decorr_cache.get(range) {
             Some(entry) => entry.clone(),
             None => {
-                let entry = self.build_decorr_entry(range)?;
+                // Solver-scoped cache next: a catalog holding fixpoint
+                // state serves entries built by earlier evaluators of
+                // the same epoch, so branch re-evaluations and
+                // semi-naive rounds reuse the join + index instead of
+                // rebuilding per evaluator.
+                let entry = match self.catalog.decorr_entry(range) {
+                    Some(DecorrCached::Built(e)) => Some(e),
+                    Some(DecorrCached::Refused) => None,
+                    None => {
+                        let built = self.build_decorr_entry(range)?;
+                        self.catalog.cache_decorr_entry(
+                            range,
+                            match &built {
+                                Some(e) => DecorrCached::Built(e.clone()),
+                                None => DecorrCached::Refused,
+                            },
+                        );
+                        built
+                    }
+                };
                 self.decorr_cache.insert(range.clone(), entry.clone());
                 entry
             }
@@ -811,12 +850,17 @@ impl<'a> Evaluator<'a> {
             }
             arg_vals.push(v);
         }
-        // Assemble the probe key from the enclosing scope (reusing the
-        // values already computed for the domain checks). Unresolvable
-        // or cross-type keys fall back to the scan for this combination,
-        // which reproduces reference semantics exactly.
+        // Assemble the joint probe key from the enclosing scope (reusing
+        // the values already computed for the domain checks).
+        // Unresolvable or cross-type keys fall back to the scan for this
+        // combination, which reproduces reference semantics exactly.
         let mut key = Vec::with_capacity(entry.keys.len());
-        for ((expr, &pos), arg_idx) in entry.keys.iter().zip(&entry.positions).zip(&entry.key_arg) {
+        for ((expr, dom), arg_idx) in entry
+            .keys
+            .iter()
+            .zip(&entry.key_domains)
+            .zip(&entry.key_arg)
+        {
             let v = match arg_idx {
                 Some(i) => arg_vals[*i].clone(),
                 None => {
@@ -826,22 +870,28 @@ impl<'a> Evaluator<'a> {
                     v
                 }
             };
-            if value_domain(&v) != entry.schema.domain(pos).base() {
+            if value_domain(&v) != *dom {
                 return Ok(None);
             }
             key.push(v);
         }
         // The bucket *is* the correlated range's value for this outer
         // combination (the split is exact) — decide over it directly.
-        self.decide_over_bucket(
-            var,
-            &entry.schema,
-            body,
-            entry.index.probe_slice(&key),
-            bindings,
-            existential,
-        )
-        .map(Some)
+        match entry.buckets.get(key.as_slice()) {
+            Some(bucket) => self
+                .decide_over_bucket(
+                    var,
+                    &entry.element_schema,
+                    body,
+                    bucket.iter(),
+                    bindings,
+                    existential,
+                )
+                .map(Some),
+            // Empty bucket: the correlated range is empty for this
+            // combination — SOME is false, ALL vacuously true.
+            None => Ok(Some(!existential)),
+        }
     }
 
     /// Analyse and materialise the decorrelated form of a correlated
@@ -853,39 +903,48 @@ impl<'a> Evaluator<'a> {
         &mut self,
         range: &RangeExpr,
     ) -> Result<Option<Arc<DecorrEntry>>, EvalError> {
-        let Some((ivar, irange, pred, arg_checks)) = self.as_correlated_filter(range) else {
+        let Some((branch, arg_checks)) = self.as_correlated_branch(range) else {
             self.plan_note(format!(
                 "decorrelation: unsupported range shape — residual scan ({range})"
             ));
             return Ok(None);
         };
-        if !is_binding_free(&irange) {
+        if branch.bindings.iter().any(|(_, r)| !is_binding_free(r)) {
             self.plan_note(format!(
                 "decorrelation: inner range itself correlated — residual scan ({range})"
             ));
             return Ok(None);
         }
-        let Some(split) = joinplan::decorrelate_filter(&ivar, &pred) else {
+        let Some(split) = joinplan::decorrelate_branch(&branch) else {
             self.plan_note(format!(
                 "decorrelation: predicate not splittable into correlation \
                  atoms + local residual — residual scan ({range})"
             ));
             return Ok(None);
         };
-        let base = self.eval_range(&irange, &mut Vec::new())?;
-        let schema = base.schema().clone();
-        // Resolve the correlation columns. An unresolvable attribute —
+        // Evaluate the binding ranges (binding-free, so the reference
+        // path evaluates the same expressions — its errors propagate).
+        let mut scope: Vec<Binding> = Vec::new();
+        let mut ranges = Vec::with_capacity(branch.bindings.len());
+        for (_, r) in &branch.bindings {
+            ranges.push(self.eval_range(r, &mut scope)?);
+        }
+        let element_schema = self.branch_schema(&branch, &ranges, &scope)?;
+        // Resolve the joint-key columns. An unresolvable attribute —
         // e.g. a field referenced through a nested selector view that
         // does not carry it — demotes the atom (and with it the whole
         // rewrite, since correlation atoms cannot join the local
         // residual) back to the reference scan, with a trace note
         // instead of the former silent skip.
-        let mut positions = Vec::with_capacity(split.atoms.len());
+        let mut key_cols = Vec::with_capacity(split.atoms.len());
+        let mut key_domains = Vec::with_capacity(split.atoms.len());
         let mut keys = Vec::with_capacity(split.atoms.len());
         for atom in &split.atoms {
+            let schema = ranges[atom.position].schema();
             match schema.position(&atom.attr) {
                 Ok(p) => {
-                    positions.push(p);
+                    key_cols.push((atom.position, p));
+                    key_domains.push(schema.domain(p).base());
                     keys.push(atom.key.clone());
                 }
                 Err(_) => {
@@ -899,85 +958,147 @@ impl<'a> Evaluator<'a> {
             }
         }
         // Statistics-based go/no-go: the decorrelated pass costs one
-        // O(|R|) sweep (amortised over all outer combinations), but the
-        // probe only beats the per-combination scan when the correlation
-        // columns actually narrow the bucket. Catalogs that maintain a
-        // `StatsBuilder` next to their indexes answer in O(arity).
-        let stats = self.range_stats(&irange, &base);
-        let selectivity: f64 = positions.iter().map(|&p| stats.eq_selectivity(p)).product();
-        if stats.cardinality > 0 && selectivity >= 1.0 {
+        // sweep over the inner join (amortised over all outer
+        // combinations), but the probe only beats the per-combination
+        // scan when the correlation columns actually narrow the bucket.
+        // Catalogs that maintain a `StatsBuilder` next to their indexes
+        // answer in O(arity).
+        let stats: Vec<RelationStats> = branch
+            .bindings
+            .iter()
+            .zip(&ranges)
+            .map(|((_, r), rel)| self.range_stats(r, rel))
+            .collect();
+        let selectivity: f64 = key_cols
+            .iter()
+            .map(|&(b, p)| stats[b].eq_selectivity(p))
+            .product();
+        if ranges.iter().any(|r| !r.is_empty()) && selectivity >= 1.0 {
             self.plan_note(format!(
                 "decorrelation: correlation columns not selective \
                  (single-valued) — residual scan ({range})"
             ));
             return Ok(None);
         }
-        // Evaluate the decorrelated part: R filtered by the local
-        // residual, one pass. The reference path's short-circuits might
-        // never evaluate the residual on some tuples, so an error here
-        // must not surface — abandon the rewrite and let the scan decide.
-        let mut decorr = Relation::new(schema.clone());
-        let mut inner: Vec<Binding> = Vec::with_capacity(1);
-        for t in base.iter() {
-            inner.push(Binding {
-                var: ivar.clone(),
-                tuple: t.clone(),
-                schema: schema.clone(),
-            });
-            let keep = self.eval_formula(&split.residual, &mut inner);
-            inner.pop();
-            match keep {
-                Ok(true) => {
-                    decorr.insert_unchecked(t.clone())?;
-                }
-                Ok(false) => {}
-                Err(_) => {
-                    self.plan_note(format!(
-                        "decorrelation: residual evaluation errored — \
-                         abandoned, residual scan ({range})"
-                    ));
-                    return Ok(None);
-                }
+        // Synthetic inner-join branch: the original bindings, the local
+        // residual as predicate, and a target prefixed with the joint-
+        // key columns — compiled through the ordinary `plan_branch`
+        // machinery, so cross-binding residual atoms execute as an
+        // index-nested-loop join rather than a filtered cross product.
+        let schemas: Vec<&Schema> = ranges.iter().map(Relation::schema).collect();
+        let synth = Branch {
+            target: Target::Tuple(
+                split
+                    .atoms
+                    .iter()
+                    .map(|a| {
+                        ScalarExpr::Attr(branch.bindings[a.position].0.clone(), a.attr.clone())
+                    })
+                    .chain(element_exprs(&branch, &schemas))
+                    .collect(),
+            ),
+            bindings: branch.bindings.clone(),
+            predicate: split.residual.clone(),
+        };
+        // Multi-binding profitability: materialising the join is only
+        // worth one pass when the residual's equality atoms keep it
+        // near-linear in its inputs. A blown-up estimate (e.g. a joint
+        // key over an unconstrained cross product) stays on the
+        // per-combination scan, which at least never *builds* the
+        // product.
+        if branch.bindings.len() > 1 {
+            let est = joinplan::estimate_branch_rows(&synth, &schemas, &stats);
+            let total: usize = ranges.iter().map(Relation::len).sum();
+            if est > (DECORR_JOIN_BLOWUP * (total + 1)) as f64 {
+                self.plan_note(format!(
+                    "decorrelation: estimated inner join too large \
+                     ({est:.0} rows) — residual scan ({range})"
+                ));
+                return Ok(None);
             }
         }
-        let index = HashIndex::build(&decorr, positions.clone());
+        // Combined schema: reserved joint-key columns (not expressible
+        // in source syntax, so they cannot clash) followed by the
+        // element tuple's own attributes.
+        let mut combined_attrs: Vec<Attribute> = key_cols
+            .iter()
+            .enumerate()
+            .map(|(i, &(b, p))| {
+                Attribute::new(
+                    format!("{KEY_MARKER}{i}"),
+                    ranges[b].schema().domain(p).clone(),
+                )
+            })
+            .collect();
+        combined_attrs.extend(element_schema.attributes().iter().cloned());
+        let mut combined = Relation::new(Schema::new(combined_attrs));
+        // Materialise the decorrelated join, one pass. The reference
+        // path's short-circuits might never evaluate the residual (or
+        // target) on some combinations, so an error here must not
+        // surface — abandon the rewrite and let the scan decide.
+        let mut inner: Vec<Binding> = Vec::new();
+        if self
+            .eval_branch(&synth, &ranges, &mut inner, &mut combined)
+            .is_err()
+        {
+            self.plan_note(format!(
+                "decorrelation: residual evaluation errored — \
+                 abandoned, residual scan ({range})"
+            ));
+            return Ok(None);
+        }
+        // Bucket the join on the joint key: key values → element set.
+        let k = keys.len();
+        let mut buckets: FxHashMap<Vec<Value>, Relation> = FxHashMap::default();
+        for t in combined.iter() {
+            let fields = t.fields();
+            let elem = Tuple::new(fields[k..].to_vec());
+            if buckets
+                .entry(fields[..k].to_vec())
+                .or_insert_with(|| Relation::new(element_schema.clone()))
+                .insert_unchecked(elem)
+                .is_err()
+            {
+                self.plan_note(format!(
+                    "decorrelation: bucket constraint violation — \
+                     abandoned, residual scan ({range})"
+                ));
+                return Ok(None);
+            }
+        }
         let key_arg = keys
             .iter()
-            .map(|k| arg_checks.iter().position(|(a, _)| a == k))
+            .map(|key| arg_checks.iter().position(|(a, _)| a == key))
             .collect();
         Ok(Some(Arc::new(DecorrEntry {
-            schema,
-            index,
-            positions,
+            element_schema,
+            buckets,
+            key_domains,
             keys,
             arg_checks,
             key_arg,
         })))
     }
 
-    /// View a range expression as a single-variable filter
-    /// `{EACH var IN inner: pred}`, the shape decorrelation understands.
-    /// Selector applications `base[s(args)]` are rewritten to that
-    /// shape by substituting the actual arguments for the formal
-    /// parameters in the selector predicate (the arity check and
-    /// capture guard keep the rewrite faithful; per-combination domain
-    /// checks are returned for the evaluator to replay).
-    #[allow(clippy::type_complexity)]
-    fn as_correlated_filter(
+    /// View a range expression as a correlated set-former branch, the
+    /// shape decorrelation understands: a single-branch set-former with
+    /// one or more bindings, or a selector application `base[s(args)]`
+    /// rewritten to the single-binding filter shape by substituting the
+    /// actual arguments for the formal parameters in the selector
+    /// predicate (the arity check and capture guard keep the rewrite
+    /// faithful; per-combination domain checks are returned for the
+    /// evaluator to replay).
+    fn as_correlated_branch(
         &self,
         range: &RangeExpr,
-    ) -> Option<(Var, RangeExpr, Formula, Vec<(ScalarExpr, Domain)>)> {
+    ) -> Option<(Branch, Vec<(ScalarExpr, Domain)>)> {
         match range {
             RangeExpr::SetFormer(sf) if sf.branches.len() == 1 => {
                 let b = &sf.branches[0];
-                if b.bindings.len() != 1 {
+                if b.bindings.is_empty() {
                     return None;
                 }
-                let (v, r) = &b.bindings[0];
-                if !matches!(&b.target, Target::Var(tv) if tv == v) {
-                    return None;
-                }
-                Some((v.clone(), r.clone(), b.predicate.clone(), Vec::new()))
+                Some((b.clone(), Vec::new()))
             }
             RangeExpr::Selected {
                 base,
@@ -1005,7 +1126,10 @@ impl<'a> Evaluator<'a> {
                     arg_checks.push((arg.clone(), pdom.clone()));
                 }
                 let pred = rewrite::substitute_param_exprs_formula(&def.predicate, &map);
-                Some((def.element_var.clone(), (**base).clone(), pred, arg_checks))
+                Some((
+                    Branch::each(def.element_var.clone(), (**base).clone(), pred),
+                    arg_checks,
+                ))
             }
             _ => None,
         }
@@ -1345,18 +1469,26 @@ impl<'a> Evaluator<'a> {
 }
 
 /// The decorrelated form of a correlated quantified range: the
-/// outer-independent part of the range, hash-indexed on the correlation
-/// columns. Built once per (range, catalog version) by
-/// [`Evaluator::build_decorr_entry`]; each outer combination probes it
-/// with the evaluated correlation keys.
-struct DecorrEntry {
-    /// Schema of the range's tuples (the inner base relation's schema).
-    schema: Schema,
-    /// The decorrelated part, indexed on `positions`.
-    index: HashIndex,
-    /// Correlation-column positions, parallel to `keys`.
-    positions: Vec<usize>,
-    /// Enclosing-scope key expressions, parallel to `positions`.
+/// outer-independent part (for multi-binding ranges, the materialised
+/// inner *join* of the binding ranges filtered by the local residual),
+/// bucketed on the **joint key** of correlation columns. Built once per
+/// (range syntax, catalog version) by the evaluator's
+/// `build_decorr_entry`; each outer combination evaluates
+/// the correlation keys and probes. Opaque outside the evaluator —
+/// catalogs holding solver state pass it around through
+/// [`crate::env::DecorrCached`] without inspecting it.
+pub struct DecorrEntry {
+    /// Schema of the range's element tuples (the value the quantified
+    /// variable is bound to).
+    element_schema: Schema,
+    /// Joint-key values → the correlated range's element set for outer
+    /// combinations producing that key. An absent key means the range
+    /// is empty for that combination.
+    buckets: FxHashMap<Vec<Value>, Relation>,
+    /// Base domain of each joint-key column, parallel to `keys` —
+    /// cross-type probe keys fall back to the scan per combination.
+    key_domains: Vec<Domain>,
+    /// Enclosing-scope key expressions, parallel to `key_domains`.
     keys: Vec<ScalarExpr>,
     /// For selector-application ranges: the actual arguments and their
     /// declared parameter domains, re-checked per combination so the
@@ -1366,6 +1498,35 @@ struct DecorrEntry {
     /// identical to the key, so the probe loop reuses the value already
     /// computed for the domain check instead of evaluating it twice.
     key_arg: Vec<Option<usize>>,
+}
+
+impl DecorrEntry {
+    /// Number of distinct joint-key values in the materialised form
+    /// (observability for tests and tracing).
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// The target of a branch as scalar expressions, parallel to the
+/// element schema synthesised by `Evaluator::branch_schema`: a `Var`
+/// target expands to one attribute expression per column of its range.
+fn element_exprs(branch: &Branch, schemas: &[&Schema]) -> Vec<ScalarExpr> {
+    match &branch.target {
+        Target::Var(v) => {
+            let idx = branch
+                .bindings
+                .iter()
+                .position(|(bv, _)| bv == v)
+                .expect("decorrelate_branch verified the target binding");
+            schemas[idx]
+                .attributes()
+                .iter()
+                .map(|a| ScalarExpr::Attr(v.clone(), a.name.clone()))
+                .collect()
+        }
+        Target::Tuple(exprs) => exprs.clone(),
+    }
 }
 
 /// An executable plan step: which binding position to enumerate, how.
@@ -2209,6 +2370,268 @@ mod tests {
         // Bump: the stale entry is dropped and re-read.
         cat.version.set(1);
         assert_eq!(ev.eval(&q).unwrap().len(), 2);
+    }
+
+    /// A four-relation catalog for the multi-binding (joint-key)
+    /// decorrelation shape: `Assign(task, worker)`, `Skill(worker,
+    /// tool)` and an outer `Requests(task, tool)`.
+    fn staffing_catalog() -> MapCatalog {
+        let assign = Relation::from_tuples(
+            Schema::of(&[("task", Domain::Str), ("worker", Domain::Str)]),
+            vec![
+                tuple!["t1", "w1"],
+                tuple!["t1", "w2"],
+                tuple!["t2", "w2"],
+                tuple!["t3", "w3"],
+            ],
+        )
+        .unwrap();
+        let skill = Relation::from_tuples(
+            Schema::of(&[("worker", Domain::Str), ("tool", Domain::Str)]),
+            vec![
+                tuple!["w1", "hammer"],
+                tuple!["w2", "saw"],
+                tuple!["w3", "hammer"],
+            ],
+        )
+        .unwrap();
+        let requests = Relation::from_tuples(
+            Schema::of(&[("task", Domain::Str), ("tool", Domain::Str)]),
+            vec![
+                tuple!["t1", "hammer"],
+                tuple!["t1", "saw"],
+                tuple!["t2", "hammer"],
+                tuple!["t3", "hammer"],
+            ],
+        )
+        .unwrap();
+        MapCatalog::new()
+            .with_relation("Assign", assign)
+            .with_relation("Skill", skill)
+            .with_relation("Requests", requests)
+    }
+
+    /// The joint-key join view: workers assigned to `r.task` and
+    /// skilled on `r.tool`.
+    fn qualified_view() -> RangeExpr {
+        set_former(vec![Branch::projecting(
+            vec![attr("a", "worker")],
+            vec![("a".into(), rel("Assign")), ("s".into(), rel("Skill"))],
+            eq(attr("a", "worker"), attr("s", "worker"))
+                .and(eq(attr("a", "task"), attr("r", "task")))
+                .and(eq(attr("s", "tool"), attr("r", "tool"))),
+        )])
+    }
+
+    #[test]
+    fn multi_binding_joint_key_decorrelation_agrees_with_reference() {
+        let cat = staffing_catalog();
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Requests"),
+            some("x", qualified_view(), tru()),
+        )]);
+        let mut ev = Evaluator::new(&cat);
+        let planned = ev.eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        // t1+hammer (w1), t1+saw (w2), t2+saw is not requested,
+        // t2+hammer has no qualified worker, t3+hammer (w3).
+        assert_eq!(planned.len(), 3);
+        assert!(!planned.contains(&tuple!["t2", "hammer"]));
+        // The rewrite went through: no demotion/abandonment notes.
+        assert!(ev.plan_notes().is_empty(), "{:?}", ev.plan_notes());
+    }
+
+    #[test]
+    fn multi_binding_all_quantifier_decorrelated() {
+        // ALL x IN <join view> (x.worker # "w2"): requests every
+        // qualified assigned worker of which avoids w2 — vacuously true
+        // where the view is empty.
+        let cat = staffing_catalog();
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Requests"),
+            all("x", qualified_view(), ne(attr("x", "worker"), cnst("w2"))),
+        )]);
+        let planned = Evaluator::new(&cat).eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        // Only t1+saw resolves to w2.
+        assert_eq!(planned.len(), 3);
+        assert!(!planned.contains(&tuple!["t1", "saw"]));
+    }
+
+    #[test]
+    fn multi_binding_unconstrained_cross_product_refused() {
+        // Joint key spans both bindings but the residual carries no
+        // join atom: the decorrelated form would *materialise* the full
+        // Assign × Skill product — the blow-up gate refuses and the
+        // scan path answers. (Inputs are sized so the product clearly
+        // exceeds the documented 8× bound over the summed inputs.)
+        let assign = Relation::from_tuples(
+            Schema::of(&[("task", Domain::Str), ("worker", Domain::Str)]),
+            (0..40).map(|i| tuple![format!("t{i}"), format!("w{i}")]),
+        )
+        .unwrap();
+        let skill = Relation::from_tuples(
+            Schema::of(&[("worker", Domain::Str), ("tool", Domain::Str)]),
+            (0..40).map(|i| tuple![format!("w{i}"), format!("l{i}")]),
+        )
+        .unwrap();
+        let requests = Relation::from_tuples(
+            Schema::of(&[("task", Domain::Str), ("tool", Domain::Str)]),
+            vec![tuple!["t1", "l1"], tuple!["t2", "l3"]],
+        )
+        .unwrap();
+        let cat = MapCatalog::new()
+            .with_relation("Assign", assign)
+            .with_relation("Skill", skill)
+            .with_relation("Requests", requests);
+        let view = set_former(vec![Branch::projecting(
+            vec![attr("a", "worker")],
+            vec![("a".into(), rel("Assign")), ("s".into(), rel("Skill"))],
+            eq(attr("a", "task"), attr("r", "task")).and(eq(attr("s", "tool"), attr("r", "tool"))),
+        )]);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Requests"),
+            some("x", view, tru()),
+        )]);
+        let mut ev = Evaluator::new(&cat);
+        let planned = ev.eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        assert!(
+            ev.plan_notes()
+                .iter()
+                .any(|n| n.contains("inner join too large")),
+            "{:?}",
+            ev.plan_notes()
+        );
+    }
+
+    #[test]
+    fn multi_binding_correlated_target_refused() {
+        // The view's target references the outer variable — the element
+        // tuples vary per outer combination, so decorrelation must
+        // refuse (and the scan must agree).
+        let cat = staffing_catalog();
+        let view = set_former(vec![Branch::projecting(
+            vec![attr("a", "worker"), attr("r", "tool")],
+            vec![("a".into(), rel("Assign"))],
+            eq(attr("a", "task"), attr("r", "task")),
+        )]);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Requests"),
+            some("x", view, eq(attr("x", "tool"), cnst("saw"))),
+        )]);
+        let mut ev = Evaluator::new(&cat);
+        let planned = ev.eval(&e).unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(planned, reference);
+        // Only t1+saw: its task has assigned workers and its own tool
+        // is "saw" (the correlated target column).
+        assert_eq!(planned.sorted_tuples(), vec![tuple!["t1", "saw"]]);
+        assert!(
+            ev.plan_notes().iter().any(|n| n.contains("not splittable")),
+            "{:?}",
+            ev.plan_notes()
+        );
+    }
+
+    #[test]
+    fn multi_binding_cross_type_joint_key_falls_back_per_combination() {
+        // One joint-key component is INTEGER-valued on the outer side
+        // while the correlation column is STRING: the probe demotes to
+        // the scan per combination, which raises the reference error.
+        let nums = Relation::from_tuples(
+            Schema::of(&[("task", Domain::Str), ("n", Domain::Int)]),
+            vec![tuple!["t1", 1i64]],
+        )
+        .unwrap();
+        let cat = staffing_catalog().with_relation("Nums", nums);
+        let view = set_former(vec![Branch::projecting(
+            vec![attr("a", "worker")],
+            vec![("a".into(), rel("Assign")), ("s".into(), rel("Skill"))],
+            eq(attr("a", "worker"), attr("s", "worker")).and(eq(attr("a", "task"), attr("r", "n"))),
+        )]);
+        let e = set_former(vec![Branch::each("r", rel("Nums"), some("x", view, tru()))]);
+        let planned = Evaluator::new(&cat).eval(&e);
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e);
+        assert!(
+            matches!(planned, Err(EvalError::CrossTypeComparison { .. })),
+            "got {planned:?}"
+        );
+        assert!(matches!(
+            reference,
+            Err(EvalError::CrossTypeComparison { .. })
+        ));
+    }
+
+    /// A catalog wrapping [`MapCatalog`] with a decorrelation cache —
+    /// the solver-scoped cache shape, observable for tests.
+    struct CachingCatalog {
+        inner: MapCatalog,
+        decorr: std::cell::RefCell<FxHashMap<RangeExpr, DecorrCached>>,
+        stores: std::cell::Cell<usize>,
+        hits: std::cell::Cell<usize>,
+    }
+
+    impl Catalog for CachingCatalog {
+        fn relation(&self, name: &str) -> Result<Relation, EvalError> {
+            self.inner.relation(name)
+        }
+        fn decorr_entry(&self, range: &RangeExpr) -> Option<DecorrCached> {
+            let hit = self.decorr.borrow().get(range).cloned();
+            if hit.is_some() {
+                self.hits.set(self.hits.get() + 1);
+            }
+            hit
+        }
+        fn cache_decorr_entry(&self, range: &RangeExpr, entry: DecorrCached) {
+            self.stores.set(self.stores.get() + 1);
+            self.decorr.borrow_mut().insert(range.clone(), entry);
+        }
+    }
+
+    #[test]
+    fn solver_scoped_cache_hit_returns_same_entry_without_rebuild() {
+        let cat = CachingCatalog {
+            inner: staffing_catalog(),
+            decorr: std::cell::RefCell::new(FxHashMap::default()),
+            stores: std::cell::Cell::new(0),
+            hits: std::cell::Cell::new(0),
+        };
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Requests"),
+            some("x", qualified_view(), tru()),
+        )]);
+        let first = Evaluator::new(&cat).eval(&e).unwrap();
+        assert_eq!(cat.stores.get(), 1, "one build, one store");
+        let DecorrCached::Built(entry_after_first) =
+            cat.decorr.borrow().values().next().unwrap().clone()
+        else {
+            panic!("expected a built entry");
+        };
+        assert!(entry_after_first.distinct_keys() > 0);
+        // A second evaluator (fresh lifetime, same catalog) must serve
+        // the cached entry — same Arc, no rebuild, no second store.
+        let second = Evaluator::new(&cat).eval(&e).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cat.stores.get(), 1, "no rebuild on the cache hit");
+        assert!(cat.hits.get() >= 1, "the second evaluator hit the cache");
+        let DecorrCached::Built(entry_after_second) =
+            cat.decorr.borrow().values().next().unwrap().clone()
+        else {
+            panic!("expected a built entry");
+        };
+        assert!(
+            Arc::ptr_eq(&entry_after_first, &entry_after_second),
+            "cache hit must return the same Arc"
+        );
     }
 
     #[test]

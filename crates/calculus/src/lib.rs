@@ -28,7 +28,10 @@
 //!   ([`joinplan::plan_branch`]), NNF-aware quantifier probe planning
 //!   ([`joinplan::plan_quant_probe`] — `SOME` witnesses, `ALL`
 //!   falsifiers for implication-shaped bodies, covering checks), and
-//!   the correlated-range split ([`joinplan::decorrelate_filter`]).
+//!   the correlated-branch split with joint keys over multi-binding
+//!   join views ([`joinplan::decorrelate_branch`]; the single-variable
+//!   wrapper [`joinplan::decorrelate_filter`] remains for callers of
+//!   the filter shape).
 //! * [`positivity`] — §3.3's positivity constraint, implemented exactly
 //!   as defined (parity of enclosing `NOT`s and `ALL`-range positions).
 //! * [`rewrite`] — the one-sorted/De Morgan normalisation used in the
@@ -47,6 +50,6 @@ pub mod rewrite;
 pub mod typeck;
 
 pub use ast::{Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SelectorDef, SetFormer, Target};
-pub use env::Catalog;
+pub use env::{Catalog, DecorrCached};
 pub use error::EvalError;
-pub use eval::Evaluator;
+pub use eval::{DecorrEntry, Evaluator};

@@ -387,6 +387,65 @@ fn collect_names_formula(f: &Formula, out: &mut FxHashSet<Name>) {
     }
 }
 
+/// Collect every selector name applied anywhere in a range expression.
+/// Together with [`relation_names`] this drives the overlay's
+/// decorrelation-cache shareability check: a selector *body* may
+/// resolve relation names of its own, so callers expand the collected
+/// selectors' predicates transitively.
+pub fn selector_names(range: &RangeExpr) -> FxHashSet<Name> {
+    let mut out = FxHashSet::default();
+    collect_selectors_range(range, &mut out);
+    out
+}
+
+/// Collect every selector name applied anywhere in a formula — see
+/// [`selector_names`].
+pub fn selector_names_formula(f: &Formula) -> FxHashSet<Name> {
+    let mut out = FxHashSet::default();
+    collect_selectors_formula(f, &mut out);
+    out
+}
+
+fn collect_selectors_range(r: &RangeExpr, out: &mut FxHashSet<Name>) {
+    match r {
+        RangeExpr::Rel(_) => {}
+        RangeExpr::Selected { base, selector, .. } => {
+            out.insert(selector.clone());
+            collect_selectors_range(base, out);
+        }
+        RangeExpr::Constructed { base, args, .. } => {
+            collect_selectors_range(base, out);
+            for a in args {
+                collect_selectors_range(a, out);
+            }
+        }
+        RangeExpr::SetFormer(sf) => {
+            for b in &sf.branches {
+                for (_, range) in &b.bindings {
+                    collect_selectors_range(range, out);
+                }
+                collect_selectors_formula(&b.predicate, out);
+            }
+        }
+    }
+}
+
+fn collect_selectors_formula(f: &Formula, out: &mut FxHashSet<Name>) {
+    match f {
+        Formula::True | Formula::False | Formula::Cmp(..) => {}
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            collect_selectors_formula(a, out);
+            collect_selectors_formula(b, out);
+        }
+        Formula::Not(inner) => collect_selectors_formula(inner, out),
+        Formula::Some(_, r, body) | Formula::All(_, r, body) => {
+            collect_selectors_range(r, out);
+            collect_selectors_formula(body, out);
+        }
+        Formula::Member(_, r) | Formula::TupleIn(_, r) => collect_selectors_range(r, out),
+    }
+}
+
 /// Collect every constructor application (`Constructed` node) in a range
 /// expression, in pre-order.
 pub fn collect_constructed(range: &RangeExpr) -> Vec<RangeExpr> {

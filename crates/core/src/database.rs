@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use dc_calculus::ast::{Name, SelectorDef};
 use dc_calculus::typeck::{self, ConstructorSig, SchemaCatalog};
-use dc_calculus::{Catalog, EvalError, Evaluator, RangeExpr};
+use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator, RangeExpr};
 use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
 use dc_value::{FxHashMap, FxHashSet, Schema, Tuple, Value};
@@ -46,6 +46,11 @@ pub struct Database {
     /// Cached statistics over base relations, served through
     /// [`Catalog::stats`]; invalidated together with the indexes.
     stats: RefCell<FxHashMap<Name, Arc<RelationStats>>>,
+    /// Cached decorrelation entries (materialised joins of correlated
+    /// quantified ranges, bucketed on their joint keys), served through
+    /// [`Catalog::decorr_entry`] so repeated query evaluations reuse
+    /// the build; invalidated together with the indexes.
+    decorr: RefCell<FxHashMap<RangeExpr, DecorrCached>>,
     /// Statistics of the most recent fixpoint run.
     last_stats: RefCell<Option<FixpointStats>>,
 }
@@ -69,6 +74,7 @@ impl Database {
             solved: RefCell::new(FxHashMap::default()),
             indexes: RefCell::new(FxHashMap::default()),
             stats: RefCell::new(FxHashMap::default()),
+            decorr: RefCell::new(FxHashMap::default()),
             last_stats: RefCell::new(None),
         }
     }
@@ -103,6 +109,7 @@ impl Database {
         self.solved.borrow_mut().clear();
         self.indexes.borrow_mut().clear();
         self.stats.borrow_mut().clear();
+        self.decorr.borrow_mut().clear();
     }
 
     /// Drop the memo of solved constructor applications. Mutations do
@@ -418,6 +425,22 @@ impl Catalog for Database {
             .get(name)
             .map(|s| s.def())
             .ok_or_else(|| EvalError::UnknownSelector(name.to_string()))
+    }
+
+    /// Serve (and store) decorrelation entries for correlated
+    /// quantified ranges: a database lives across many query
+    /// evaluations, so the materialised join of a correlated view is
+    /// built once and probed by every later evaluator. Mutation
+    /// invalidates, like the index and statistics caches; selector and
+    /// constructor definitions are immutable once registered, so the
+    /// substituted predicates inside an entry cannot go stale any other
+    /// way.
+    fn decorr_entry(&self, range: &RangeExpr) -> Option<DecorrCached> {
+        self.decorr.borrow().get(range).cloned()
+    }
+
+    fn cache_decorr_entry(&self, range: &RangeExpr, entry: DecorrCached) {
+        self.decorr.borrow_mut().insert(range.clone(), entry);
     }
 
     fn apply_constructor(

@@ -42,10 +42,10 @@ use std::sync::Arc;
 use dc_calculus::ast::{Branch, Name, RangeExpr, SetFormer};
 use dc_calculus::env::Overlay;
 use dc_calculus::rewrite;
-use dc_calculus::{Catalog, EvalError, Evaluator};
+use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator};
 use dc_index::{HashIndex, RelationStats, StatsBuilder};
 use dc_relation::{algebra, Relation};
-use dc_value::{FxHashMap, Tuple, Value};
+use dc_value::{FxHashMap, Value};
 
 use crate::constructor::Constructor;
 
@@ -108,19 +108,46 @@ pub trait ConstructorSource {
     fn constructor_def(&self, name: &str) -> Result<Constructor, EvalError>;
 }
 
+/// Content identity of one relation argument of an application:
+/// cardinality plus the storage-memoised 128-bit digest
+/// ([`Relation::digest`]). Equality is content equality (order- and
+/// storage-independent) up to the ~2⁻¹²⁸ digest collision probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RelKey {
+    len: usize,
+    digest: u128,
+}
+
+impl RelKey {
+    fn of(rel: &Relation) -> RelKey {
+        RelKey {
+            len: rel.len(),
+            digest: rel.digest(),
+        }
+    }
+}
+
 /// Identity of an instantiated application: §3.2's `applyⱼ`, keyed by
 /// actual values so that textually different but semantically identical
 /// applications share one equation.
+///
+/// Relation actuals are identified by their [`Relation::digest`]
+/// content digest rather than a sorted tuple vector: the digest is
+/// memoised on the COW storage, so registering an application over a
+/// relation whose storage was seen before (every repeated solve, every
+/// shared handle) is O(1) instead of the former O(n log n)
+/// sort-and-clone per registration.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AppKey {
     constructor: Name,
-    base: Vec<Tuple>,
-    args: Vec<Vec<Tuple>>,
+    base: RelKey,
+    args: Vec<RelKey>,
     scalar_args: Vec<Value>,
 }
 
 impl AppKey {
-    /// Build a key from actual values (canonicalised by sorting).
+    /// Build a key from actual values (canonicalised by content
+    /// digest).
     pub fn new(
         constructor: &str,
         base: &Relation,
@@ -129,8 +156,8 @@ impl AppKey {
     ) -> AppKey {
         AppKey {
             constructor: constructor.to_string(),
-            base: base.sorted_tuples(),
-            args: args.iter().map(Relation::sorted_tuples).collect(),
+            base: RelKey::of(base),
+            args: args.iter().map(RelKey::of).collect(),
             scalar_args: scalar_args.to_vec(),
         }
     }
@@ -264,6 +291,17 @@ struct State {
     /// (range values, transient decorrelation indexes, statistics)
     /// instead of serving a stale snapshot.
     epoch: u64,
+    /// Solver-scoped decorrelation cache, keyed by (range syntax,
+    /// `decorr_epoch`): entries built by one evaluator are served to
+    /// every later branch evaluation and semi-naive round of the same
+    /// epoch through [`Catalog::decorr_entry`], so the materialised
+    /// join + joint-key index is built once per epoch instead of once
+    /// per evaluator. A delta commit bumps `epoch`; the mismatch lazily
+    /// drops the whole cache — exactly the invalidation the evaluator's
+    /// own syntax-keyed caches undergo.
+    decorr: FxHashMap<RangeExpr, DecorrCached>,
+    /// The epoch `decorr`'s entries were built under.
+    decorr_epoch: u64,
 }
 
 impl State {
@@ -419,6 +457,30 @@ impl Catalog for SolverCatalog<'_> {
         self.state.borrow().epoch
     }
 
+    /// Serve a decorrelation entry built earlier in the *current*
+    /// epoch. Entries from before the last delta commit describe a
+    /// stale snapshot and are never served (the cache is dropped lazily
+    /// on the epoch mismatch instead of eagerly at commit).
+    fn decorr_entry(&self, range: &RangeExpr) -> Option<DecorrCached> {
+        let st = self.state.borrow();
+        if st.decorr_epoch != st.epoch {
+            return None;
+        }
+        st.decorr.get(range).cloned()
+    }
+
+    /// Keep a decorrelation entry for the rest of the current epoch —
+    /// later branch evaluations and semi-naive rounds probe the same
+    /// materialised join instead of rebuilding it per evaluator.
+    fn cache_decorr_entry(&self, range: &RangeExpr, entry: DecorrCached) {
+        let mut st = self.state.borrow_mut();
+        if st.decorr_epoch != st.epoch {
+            st.decorr.clear();
+            st.decorr_epoch = st.epoch;
+        }
+        st.decorr.insert(range.clone(), entry);
+    }
+
     /// Serve (and cache) statistics over base-catalog relations — one
     /// collection pass per solve, every later planner consultation is
     /// O(arity).
@@ -554,6 +616,8 @@ pub fn solve(
         override_stats: Vec::new(),
         base_stats: FxHashMap::default(),
         epoch: 0,
+        decorr: FxHashMap::default(),
+        decorr_epoch: 0,
     });
     let root_key = AppKey::new(constructor, &base, &args, &scalar_args);
     state

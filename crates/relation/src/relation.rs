@@ -1,11 +1,41 @@
 //! The [`Relation`] type: a keyed set of tuples.
 
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
-use dc_value::{FxHashMap, FxHashSet, Schema, Tuple};
+use dc_value::{FxHashMap, FxHashSet, FxHasher, Schema, Tuple};
 
 use crate::error::RelationError;
+
+/// The shared tuple storage behind a [`Relation`]: the set itself plus
+/// a lazily computed content digest that rides with the storage. The
+/// digest is invalidated wherever the set is mutated — on a COW detach
+/// the clone starts with an empty cell, and in-place mutation (unique
+/// storage) clears it explicitly — so a populated cell always describes
+/// the current set.
+#[derive(Debug)]
+struct TupleStore {
+    set: FxHashSet<Tuple>,
+    digest: OnceLock<u128>,
+}
+
+impl TupleStore {
+    fn new(set: FxHashSet<Tuple>) -> TupleStore {
+        TupleStore {
+            set,
+            digest: OnceLock::new(),
+        }
+    }
+}
+
+impl Clone for TupleStore {
+    fn clone(&self) -> TupleStore {
+        // A clone happens exactly when a shared storage is about to be
+        // mutated (`Arc::make_mut`): start with an empty digest cell.
+        TupleStore::new(self.set.clone())
+    }
+}
 
 /// A relation value: a set of tuples over a schema, with key uniqueness
 /// maintained as an invariant (§2.2 of the paper).
@@ -35,7 +65,7 @@ use crate::error::RelationError;
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
-    tuples: Arc<FxHashSet<Tuple>>,
+    tuples: Arc<TupleStore>,
     /// Key projection → tuple, maintained only for schemas with a proper
     /// key. `None` ⇔ whole tuple is the key, so `tuples` suffices.
     key_map: Option<Arc<FxHashMap<Tuple, Tuple>>>,
@@ -49,7 +79,7 @@ impl Relation {
             .then(|| Arc::new(FxHashMap::default()));
         Relation {
             schema,
-            tuples: Arc::new(FxHashSet::default()),
+            tuples: Arc::new(TupleStore::new(FxHashSet::default())),
             key_map,
         }
     }
@@ -74,17 +104,17 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.tuples.set.len()
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.tuples.set.is_empty()
     }
 
     /// Membership test (`r IN Rel`).
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.tuples.contains(tuple)
+        self.tuples.set.contains(tuple)
     }
 
     /// Look up the tuple with the given key projection, if the schema
@@ -108,7 +138,7 @@ impl Relation {
     /// storage *before* [`Arc::make_mut`], so rejected or no-op inserts
     /// on a shared relation never trigger a copy.
     pub fn insert_unchecked(&mut self, tuple: Tuple) -> Result<bool, RelationError> {
-        if self.tuples.contains(&tuple) {
+        if self.tuples.set.contains(&tuple) {
             return Ok(false);
         }
         if let Some(map) = &self.key_map {
@@ -123,16 +153,20 @@ impl Relation {
             let map = self.key_map.as_mut().expect("checked above");
             Arc::make_mut(map).insert(key, tuple.clone());
         }
-        Arc::make_mut(&mut self.tuples).insert(tuple);
+        let store = Arc::make_mut(&mut self.tuples);
+        store.digest.take();
+        store.set.insert(tuple);
         Ok(true)
     }
 
     /// Remove a tuple; returns whether it was present.
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        if !self.tuples.contains(tuple) {
+        if !self.tuples.set.contains(tuple) {
             return false;
         }
-        Arc::make_mut(&mut self.tuples).remove(tuple);
+        let store = Arc::make_mut(&mut self.tuples);
+        store.digest.take();
+        store.set.remove(tuple);
         if let Some(map) = &mut self.key_map {
             Arc::make_mut(map).remove(&self.schema.key_of(tuple));
         }
@@ -142,8 +176,8 @@ impl Relation {
     /// Remove all tuples. Shared storage is released, not cleared in
     /// place, so other handles keep their value.
     pub fn clear(&mut self) {
-        if !self.tuples.is_empty() {
-            self.tuples = Arc::new(FxHashSet::default());
+        if !self.tuples.set.is_empty() {
+            self.tuples = Arc::new(TupleStore::new(FxHashSet::default()));
         }
         if let Some(map) = &mut self.key_map {
             if !map.is_empty() {
@@ -173,19 +207,19 @@ impl Relation {
 
     /// Iterate over the tuples (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.iter()
+        self.tuples.set.iter()
     }
 
     /// Tuples in sorted order (deterministic; for display and tests).
     pub fn sorted_tuples(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        let mut v: Vec<Tuple> = self.tuples.set.iter().cloned().collect();
         v.sort();
         v
     }
 
     /// Direct access to the underlying set (read-only).
     pub fn as_set(&self) -> &FxHashSet<Tuple> {
-        &self.tuples
+        &self.tuples.set
     }
 
     /// Do two relations share the same underlying tuple storage?
@@ -196,6 +230,58 @@ impl Relation {
     pub fn shares_storage(a: &Relation, b: &Relation) -> bool {
         Arc::ptr_eq(&a.tuples, &b.tuples)
     }
+
+    /// A 128-bit, order-independent content digest of the tuple set,
+    /// **memoised per storage**: the first call pays one O(n) pass (two
+    /// independent 64-bit tuple hashes combined commutatively), every
+    /// later call on any handle sharing the storage is O(1) — including
+    /// handles cloned before or after the computation. Mutation (which
+    /// either detaches the storage or clears the cell in place)
+    /// invalidates the memo.
+    ///
+    /// Equal tuple sets always produce equal digests regardless of
+    /// insertion order or storage identity. Distinct sets collide with
+    /// negligible probability under a random-oracle model of the mixed
+    /// per-tuple hash — callers using the digest as an identity key
+    /// (the fixpoint `AppKey`) accept that probabilistic equality, the
+    /// same trade every content-addressed cache makes.
+    ///
+    /// Each per-tuple hash is passed through a non-linear finalizer
+    /// before the commutative sum: FxHash's last operation is a
+    /// multiply, so summing its raw outputs would cancel the constant
+    /// and make collisions linear-algebra-trivial (e.g. integer sets
+    /// `{0,3}` and `{1,2}` would collide). The finalizer breaks that
+    /// linearity.
+    pub fn digest(&self) -> u128 {
+        *self.tuples.digest.get_or_init(|| {
+            let (mut lo, mut hi) = (0u64, 0u64);
+            for t in &self.tuples.set {
+                let mut h1 = FxHasher::default();
+                h1.write_u64(0x9e37_79b9_7f4a_7c15);
+                t.hash(&mut h1);
+                let mut h2 = FxHasher::default();
+                h2.write_u64(0xd1b5_4a32_d192_ed03);
+                t.hash(&mut h2);
+                // Wrapping sums are commutative: the digest is
+                // independent of iteration order.
+                lo = lo.wrapping_add(mix64(h1.finish()));
+                hi = hi.wrapping_add(mix64(h2.finish()));
+            }
+            ((hi as u128) << 64) | lo as u128
+        })
+    }
+}
+
+/// The splitmix64 finalizer: a bijective, highly non-linear 64-bit
+/// mixer. Applied to each per-tuple hash before the digest's
+/// commutative sum — see [`Relation::digest`].
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
 }
 
 /// Set equality: same tuples, regardless of schema attribute names (the
@@ -204,7 +290,7 @@ impl Relation {
 /// without touching the tuples.
 impl PartialEq for Relation {
     fn eq(&self, other: &Relation) -> bool {
-        Arc::ptr_eq(&self.tuples, &other.tuples) || self.tuples == other.tuples
+        Arc::ptr_eq(&self.tuples, &other.tuples) || self.tuples.set == other.tuples.set
     }
 }
 
@@ -399,6 +485,66 @@ mod tests {
         assert!(b.insert(tuple!["bolt", 9i64]).is_err());
         assert!(Relation::shares_storage(&a, &b));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest_is_order_independent_and_content_addressed() {
+        let a =
+            Relation::from_tuples(infrontrel(), vec![tuple!["a", "b"], tuple!["b", "c"]]).unwrap();
+        let mut b = Relation::new(infrontrel());
+        b.insert(tuple!["b", "c"]).unwrap();
+        b.insert(tuple!["a", "b"]).unwrap();
+        // Same content, independent storages, different insertion order.
+        assert_eq!(a.digest(), b.digest());
+        // Different content differs.
+        let mut c = a.clone();
+        c.insert(tuple!["c", "d"]).unwrap();
+        assert_ne!(a.digest(), c.digest());
+        // Empty relations share the zero digest.
+        assert_eq!(
+            Relation::new(infrontrel()).digest(),
+            Relation::new(keyed()).digest()
+        );
+    }
+
+    #[test]
+    fn digest_sum_is_not_linear_in_tuple_values() {
+        // Regression: without a non-linear per-tuple finalizer, the
+        // commutative sum of FxHash outputs is linear in the hashed
+        // words, so equal-sum integer sets like {0,3} and {1,2}
+        // collide. Check all 2-element subsets of a small range.
+        let nums = Schema::of(&[("n", Domain::Int)]);
+        let rel_of = |a: i64, b: i64| {
+            Relation::from_tuples(nums.clone(), vec![tuple![a], tuple![b]]).unwrap()
+        };
+        assert_ne!(rel_of(0, 3).digest(), rel_of(1, 2).digest());
+        let mut seen = std::collections::HashMap::new();
+        for a in 0i64..40 {
+            for b in (a + 1)..40 {
+                if let Some((pa, pb)) = seen.insert(rel_of(a, b).digest(), (a, b)) {
+                    panic!("digest collision: {{{pa},{pb}}} vs {{{a},{b}}}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digest_memo_survives_sharing_and_dies_on_mutation() {
+        let mut a = Relation::from_tuples(infrontrel(), vec![tuple!["a", "b"]]).unwrap();
+        let before = a.digest();
+        // A clone shares the storage and therefore the memoised digest.
+        let shared = a.clone();
+        assert!(Relation::shares_storage(&a, &shared));
+        assert_eq!(shared.digest(), before);
+        // In-place mutation (unique or shared) must invalidate.
+        a.insert(tuple!["b", "c"]).unwrap();
+        assert_ne!(a.digest(), before);
+        // The untouched handle keeps the old content and digest.
+        assert_eq!(shared.digest(), before);
+        // Remove back down to the original content: digests re-agree
+        // (content-addressed, not history-addressed).
+        a.remove(&tuple!["b", "c"]);
+        assert_eq!(a.digest(), before);
     }
 
     #[test]

@@ -280,17 +280,6 @@ fn refused_decorrelations_fall_back_soundly() {
             )]),
             tru(),
         ),
-        // Two-binding set-former range: unsupported shape.
-        some(
-            "t",
-            set_former(vec![Branch::projecting(
-                vec![attr("o", "top"), attr("p", "part")],
-                vec![("o".into(), rel("Ontop")), ("p".into(), rel("Objects"))],
-                eq(attr("o", "base"), attr("r", "front"))
-                    .and(eq(attr("p", "part"), attr("o", "top"))),
-            )]),
-            tru(),
-        ),
         // Disjunction mixing outer and local references.
         all(
             "t",
@@ -302,11 +291,215 @@ fn refused_decorrelations_fall_back_soundly() {
             )]),
             ne(attr("t", "top"), attr("r", "back")),
         ),
+        // Correlated target on a two-binding view: element tuples
+        // would vary per outer combination.
+        some(
+            "t",
+            set_former(vec![Branch::projecting(
+                vec![attr("o", "top"), attr("r", "back")],
+                vec![("o".into(), rel("Ontop")), ("p".into(), rel("Objects"))],
+                eq(attr("o", "base"), attr("r", "front"))
+                    .and(eq(attr("p", "part"), attr("o", "top"))),
+            )]),
+            tru(),
+        ),
     ];
     for pred in refusals {
         let q = set_former(vec![Branch::each("r", rel("Infront"), pred)]);
         let probed = db.eval(&q).unwrap();
         let scanned = db_scan.eval(&q).unwrap();
         assert_eq!(probed, scanned, "{q}");
+    }
+}
+
+/// The PR 4 tentpole shape: a **multi-binding** correlated set-former
+/// (a join view) inside a quantifier, decorrelated into one
+/// materialised inner join bucketed on the joint key. Fixed shapes
+/// here; randomized coverage in
+/// [`randomized_multi_binding_join_views_agree`].
+#[test]
+fn multi_binding_join_views_decorrelate_soundly() {
+    let scene = dc_workload::scene(5, 6, 2, 13);
+    let db = dc_bench::scene_db(&scene);
+    let mut db_scan = dc_bench::scene_db(&scene);
+    db_scan.set_use_indexes(false);
+    // The formerly-refused two-binding shape of PR 3's refusal suite,
+    // now decorrelated: items on r.front whose name is a registered
+    // part, joined across Ontop ⋈ Objects.
+    let joined_view = set_former(vec![Branch::projecting(
+        vec![attr("o", "top"), attr("p", "part")],
+        vec![("o".into(), rel("Ontop")), ("p".into(), rel("Objects"))],
+        eq(attr("o", "base"), attr("r", "front")).and(eq(attr("p", "part"), attr("o", "top"))),
+    )]);
+    // A joint key spanning both bindings: o correlates on r.front,
+    // q on r.back, locally joined on the stacked item name.
+    let spanning_view = set_former(vec![Branch::projecting(
+        vec![attr("o", "top")],
+        vec![("o".into(), rel("Ontop")), ("q".into(), rel("Infront"))],
+        eq(attr("o", "top"), attr("q", "front"))
+            .and(eq(attr("o", "base"), attr("r", "front")))
+            .and(eq(attr("q", "back"), attr("r", "back"))),
+    )]);
+    for (view, body) in [
+        (joined_view.clone(), tru()),
+        (joined_view, ne(attr("t", "top"), attr("r", "back"))),
+        (spanning_view.clone(), tru()),
+        (spanning_view, ne(attr("t", "top"), attr("r", "front"))),
+    ] {
+        for existential in [true, false] {
+            let pred = if existential {
+                some("t", view.clone(), body.clone())
+            } else {
+                all("t", view.clone(), body.clone())
+            };
+            let q = set_former(vec![Branch::each("r", rel("Infront"), pred)]);
+            let probed = db.eval_unchecked(&q);
+            let scanned = db_scan.eval_unchecked(&q);
+            match (probed, scanned) {
+                (Ok(p), Ok(s)) => assert_eq!(p, s, "{q}"),
+                (p, s) => panic!("divergent outcomes on {q}: {p:?} vs {s:?}"),
+            }
+        }
+    }
+}
+
+/// Randomized multi-binding correlated-quantifier differentials over
+/// staffing instances: joint keys over one or both bindings, varying
+/// local residuals, SOME/ALL, negation wrapping — probe vs
+/// `set_use_indexes(false)`.
+#[test]
+fn randomized_multi_binding_join_views_agree() {
+    let mut rng = SplitMix64::new(0xBEEF);
+    for (seed, tasks, workers, tools) in [(7u64, 15usize, 8usize, 6usize), (23, 25, 12, 9)] {
+        let s = dc_workload::staffing(tasks, workers, tools, 2, 2, 20, seed);
+        let db = dc_bench::staffing_db(&s);
+        let mut db_scan = dc_bench::staffing_db(&s);
+        db_scan.set_use_indexes(false);
+        for _ in 0..10 {
+            // Local join atom always present (keeps the materialised
+            // join within the profitability gate); correlation on one
+            // or both bindings.
+            let corr = match rng.below(3) {
+                0 => eq(attr("a", "task"), attr("r", "task")),
+                1 => eq(attr("a", "task"), attr("r", "task"))
+                    .and(eq(attr("s", "tool"), attr("r", "tool"))),
+                _ => eq(attr("s", "tool"), attr("r", "tool")),
+            };
+            let residual = match rng.below(3) {
+                0 => tru(),
+                1 => ne(attr("a", "worker"), cnst("w0")),
+                _ => some(
+                    "z",
+                    rel("Requests"),
+                    eq(attr("z", "task"), attr("a", "task")),
+                ),
+            };
+            let view = set_former(vec![Branch::projecting(
+                vec![attr("a", "worker"), attr("s", "tool")],
+                vec![("a".into(), rel("Assign")), ("s".into(), rel("Skill"))],
+                eq(attr("a", "worker"), attr("s", "worker"))
+                    .and(corr)
+                    .and(residual),
+            )]);
+            let body = match rng.below(3) {
+                0 => tru(),
+                1 => ne(attr("x", "worker"), cnst("w1")),
+                _ => eq(attr("x", "tool"), attr("r", "tool")),
+            };
+            let pred = if rng.below(2) == 0 {
+                some("x", view, body)
+            } else {
+                all("x", view, body)
+            };
+            let pred = if rng.below(2) == 0 { not(pred) } else { pred };
+            let q = set_former(vec![Branch::each("r", rel("Requests"), pred)]);
+            let probed = db.eval(&q).unwrap();
+            let scanned = db_scan.eval(&q).unwrap();
+            assert_eq!(
+                probed, scanned,
+                "joint-key decorrelation diverged on staffing seed={seed} for {q}"
+            );
+        }
+    }
+}
+
+/// A constructor whose recursive branch quantifies over a correlated
+/// **join view of the recursive application**: two bindings over the
+/// current iterate, locally joined on `head`, correlated on `r.back` —
+/// class-Fallback, re-evaluated every round while committed deltas grow
+/// the application's value mid-solve. Any decorrelated join built from
+/// a stale epoch would miss `marked` tuples or diverge from the scan.
+fn correlated_join_fallback_constructor() -> Constructor {
+    use dc_calculus::ast::SetFormer;
+    let corr_join_view = set_former(vec![Branch::projecting(
+        vec![attr("y", "head"), attr("z", "tail")],
+        vec![
+            ("y".into(), rel("Rel").construct("reach", vec![])),
+            ("z".into(), rel("Rel").construct("reach", vec![])),
+        ],
+        eq(attr("y", "head"), attr("z", "head")).and(eq(attr("y", "head"), attr("r", "back"))),
+    )]);
+    Constructor {
+        name: "reach".into(),
+        base_param: ("Rel".into(), paper::infrontrel()),
+        rel_params: vec![],
+        scalar_params: vec![],
+        result: dc_value::Schema::of(&[
+            ("head", dc_value::Domain::Str),
+            ("tail", dc_value::Domain::Str),
+        ]),
+        body: SetFormer {
+            branches: vec![
+                Branch::projecting(
+                    vec![attr("r", "front"), attr("r", "back")],
+                    vec![("r".into(), rel("Rel"))],
+                    tru(),
+                ),
+                Branch::projecting(
+                    vec![attr("r", "front"), cnst("marked")],
+                    vec![("r".into(), rel("Rel"))],
+                    some("t", corr_join_view, tru()),
+                ),
+            ],
+        },
+    }
+}
+
+#[test]
+fn fixpoint_with_correlated_join_view_mid_solve_deltas() {
+    for depth in [4usize, 7] {
+        let base = dc_workload::chain(depth);
+        let mut results = Vec::new();
+        for use_indexes in [true, false] {
+            for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+                let mut db = Database::new();
+                db.set_strategy(strategy);
+                db.set_use_indexes(use_indexes);
+                db.create_relation("Infront", base.schema().clone())
+                    .unwrap();
+                for t in base.iter() {
+                    db.insert("Infront", t.clone()).unwrap();
+                }
+                db.define_constructor(correlated_join_fallback_constructor())
+                    .unwrap();
+                let q = rel("Infront").construct("reach", vec![]);
+                let out = db.eval(&q).unwrap();
+                results.push((use_indexes, strategy, out));
+            }
+        }
+        let (_, _, reference) = &results[results.len() - 1];
+        for (use_indexes, strategy, out) in &results {
+            assert_eq!(
+                out, reference,
+                "depth={depth} use_indexes={use_indexes} strategy={strategy:?}"
+            );
+        }
+        // An edge is marked iff some (y, z) pair in the iterate joins
+        // on head = r.back — i.e. iff its back is some tuple's head,
+        // which round one's committed delta makes true for every edge
+        // but the last: n base edges + (n-1) marked tuples.
+        assert_eq!(reference.len(), depth + depth - 1, "depth={depth}");
+        assert!(reference.contains(&dc_value::tuple!["o0", "marked"]));
+        assert!(!reference.contains(&dc_value::tuple![format!("o{}", depth - 1), "marked"]));
     }
 }
