@@ -370,6 +370,46 @@ pub fn node(prefix: &str, i: usize) -> Value {
     Value::str(format!("{prefix}{i}"))
 }
 
+/// A database holding a weighted random graph under `Edges` — the
+/// partition-parallel large-scan workload (E1c).
+pub fn weighted_db(edges: &Relation) -> Database {
+    let mut db = Database::new();
+    db.create_relation("Edges", edges.schema().clone())
+        .expect("fresh database");
+    for t in edges.iter() {
+        db.insert("Edges", t.clone()).expect("valid edge tuple");
+    }
+    db
+}
+
+/// The E1c two-hop join:
+///
+/// ```text
+/// { <x.src, y.dst> OF EACH x, y IN Edges:
+///     x.dst = y.src AND (x.w + y.w) MOD m = 0 }
+/// ```
+///
+/// The equality atom compiles to a scan of `Edges` probing the
+/// `src`-index per continuation; the arithmetic residual is *pure*, so
+/// the whole branch lowers into a `dc-exec` job: the scan side shards
+/// across workers, which probe one shared index and evaluate the
+/// filter — the embarrassingly partitionable shape the parallel
+/// executor targets. The modulus keeps the output a small fraction of
+/// the probed combinations, so measured time is probe/filter work, not
+/// single-threaded merge.
+pub fn two_hop_query(m: i64) -> dc_calculus::RangeExpr {
+    use dc_calculus::ast::Branch;
+    use dc_calculus::builder::*;
+    set_former(vec![Branch::projecting(
+        vec![attr("x", "src"), attr("y", "dst")],
+        vec![("x".into(), rel("Edges")), ("y".into(), rel("Edges"))],
+        eq(attr("x", "dst"), attr("y", "src")).and(eq(
+            modulo(add(attr("x", "w"), attr("y", "w")), cnst(m)),
+            cnst(0i64),
+        )),
+    )])
+}
+
 pub mod baseline {
     //! Parsing and tolerance comparison of the committed `BENCH_*.json`
     //! baselines — the `perf-baseline` CI gate (`bin/perf_baseline`).
@@ -569,6 +609,24 @@ mod tests {
             assert!(!probed.is_empty(), "{q}");
             assert!(probed.len() < s.requests.len(), "{q}");
         }
+    }
+
+    #[test]
+    fn two_hop_query_parallel_agrees_with_sequential() {
+        let edges = dc_workload::weighted_random_graph(300, 4.0, 50, 11);
+        let q = two_hop_query(5);
+        let mut db_seq = weighted_db(&edges);
+        db_seq.set_threads(1);
+        let seq = db_seq.eval(&q).unwrap();
+        let mut db_par = weighted_db(&edges);
+        db_par.set_threads(4);
+        db_par.config_mut().parallel_threshold = 1;
+        let par = db_par.eval(&q).unwrap();
+        assert_eq!(seq, par);
+        assert!(!seq.is_empty());
+        let mut db_ref = weighted_db(&edges);
+        db_ref.set_use_indexes(false);
+        assert_eq!(seq, db_ref.eval(&q).unwrap());
     }
 
     #[test]

@@ -54,6 +54,23 @@
 //!   body re-check preserves semantics; every unsafe case falls back to
 //!   the reference scan. Demotions and abandoned rewrites are recorded
 //!   in the planner trace ([`Evaluator::plan_notes`]).
+//! * **Partition-parallel execution** — a compiled branch plan whose
+//!   residual predicate and target are *pure* (no quantifiers,
+//!   membership tests, or constructor applications — evaluable from the
+//!   bound tuples alone) is lowered into a self-contained
+//!   [`dc_exec::Job`] and dispatched to the partition-parallel executor
+//!   when the evaluator was configured with more than one worker
+//!   ([`Evaluator::with_threads`]) and the scan side clears
+//!   [`PARALLEL_SCAN_THRESHOLD`]: the scan is hash-split into shards,
+//!   each worker runs the probe plan against the *same* shared
+//!   read-only indexes, and the shard outputs merge in shard order —
+//!   so the result relation is identical to the sequential path's for
+//!   every thread count. Parameters and outer variables are resolved to
+//!   constants at lowering time; any impurity (or an unresolvable name
+//!   the sequential path would turn into an error) falls back to the
+//!   sequential executor, which keeps catalogs — and their interior
+//!   mutability — off the worker threads. Decorrelated-entry builds
+//!   route through the same branch path and parallelise with it.
 
 use std::sync::Arc;
 
@@ -61,7 +78,7 @@ use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
 use dc_value::{Attribute, Domain, FxHashMap, FxHashSet, Schema, Tuple, Value};
 
-use crate::ast::{Branch, Formula, RangeExpr, ScalarExpr, SetFormer, Target, Var};
+use crate::ast::{Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SetFormer, Target, Var};
 use crate::env::{Catalog, DecorrCached};
 use crate::error::EvalError;
 use crate::joinplan::{self, Access, BranchPlan, KeySource};
@@ -77,6 +94,16 @@ const KEY_MARKER: &str = "\u{394}key";
 /// at most this factor, otherwise the rewrite would *materialise* a
 /// blow-up the per-combination scan only ever streams.
 const DECORR_JOIN_BLOWUP: usize = 8;
+
+/// Minimum scan-side cardinality before a branch is dispatched to the
+/// partition-parallel executor ([`dc_exec`]). Below it the whole branch
+/// evaluates in tens of microseconds and the fixed parallel overhead —
+/// one partitioning pass, `threads` thread spawns, and a shard-order
+/// merge — costs more than it saves; above it per-shard probe work
+/// dominates and scales with the worker count. Overridable per
+/// evaluator ([`Evaluator::with_parallel_threshold`]) so differential
+/// tests can force the parallel path on small inputs.
+pub const PARALLEL_SCAN_THRESHOLD: usize = 2048;
 
 /// A bound tuple variable: name, current tuple, and the schema used to
 /// resolve `var.attr` references.
@@ -131,6 +158,12 @@ pub struct Evaluator<'a> {
     probe_scratch: Vec<Vec<Value>>,
     /// Disable the index-nested-loop path (reference semantics).
     nested_loop_only: bool,
+    /// Worker count for partition-parallel branch execution; `1` is the
+    /// exact sequential path (no jobs are ever built).
+    threads: usize,
+    /// Scan-side cardinality floor for parallel dispatch — see
+    /// [`PARALLEL_SCAN_THRESHOLD`].
+    parallel_threshold: usize,
     /// The catalog data version the syntax-keyed caches were filled
     /// under; on mismatch every cache is dropped (mid-solve delta
     /// commits, see [`Catalog::version`]).
@@ -158,6 +191,8 @@ impl<'a> Evaluator<'a> {
             quant_plan_cache: Vec::new(),
             probe_scratch: Vec::new(),
             nested_loop_only: false,
+            threads: 1,
+            parallel_threshold: PARALLEL_SCAN_THRESHOLD,
             cache_version: catalog.version(),
             plan_notes: Vec::new(),
             noted: FxHashSet::default(),
@@ -170,6 +205,25 @@ impl<'a> Evaluator<'a> {
     /// differential tests and as the measured pre-optimization baseline.
     pub fn force_nested_loop(mut self) -> Evaluator<'a> {
         self.nested_loop_only = true;
+        self
+    }
+
+    /// Execute eligible set-former branches through the
+    /// partition-parallel executor with `threads` workers (resolve a
+    /// configuration knob through [`dc_exec::thread_count`] first).
+    /// `threads <= 1` keeps the exact sequential path. Results are
+    /// identical for every worker count — see the module docs for the
+    /// determinism argument.
+    pub fn with_threads(mut self, threads: usize) -> Evaluator<'a> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Override the scan-side cardinality floor for parallel dispatch
+    /// (default [`PARALLEL_SCAN_THRESHOLD`]). Differential tests lower
+    /// it to force the parallel path on small inputs.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Evaluator<'a> {
+        self.parallel_threshold = threshold;
         self
     }
 
@@ -430,6 +484,15 @@ impl<'a> Evaluator<'a> {
                 let plan = joinplan::plan_branch(branch, &schemas, &stats);
                 if plan.has_probe() {
                     if let Some(steps) = self.compile_plan(branch, &plan, ranges, bindings) {
+                        if let Some(job) =
+                            self.parallel_job(branch, &steps, ranges, bindings, out.schema())
+                        {
+                            let part =
+                                dc_exec::execute(&job, self.threads).map_err(exec_to_eval_error)?;
+                            dc_relation::algebra::union_into(out, &part)
+                                .map_err(EvalError::from)?;
+                            return Ok(());
+                        }
                         return self.exec_plan(branch, &steps, ranges, 0, bindings, out);
                     }
                 }
@@ -515,6 +578,193 @@ impl<'a> Evaluator<'a> {
             });
         }
         any_probe.then_some(steps)
+    }
+
+    /// Lower a compiled branch plan into a self-contained
+    /// [`dc_exec::Job`], or `None` when the branch must stay on the
+    /// sequential executor. Eligibility:
+    ///
+    /// * more than one worker is configured and the first step is a
+    ///   scan whose cardinality clears the dispatch threshold (probes
+    ///   amortise per scan tuple, so the scan side is what parallelism
+    ///   divides);
+    /// * the full residual predicate and the target are *pure* —
+    ///   comparisons, boolean connectives, and arithmetic over the
+    ///   bound tuples. Parameters and outer-variable attributes are
+    ///   resolved to constants here, once, which is exactly their
+    ///   per-branch-constant meaning on the sequential path;
+    /// * every name resolves. An unresolvable attribute, parameter, or
+    ///   variable falls back to the sequential path so the reference
+    ///   error surfaces from the reference machinery, not from a
+    ///   half-lowered job.
+    ///
+    /// Workers only ever see the job — relations, shared indexes, and
+    /// the pure IR — never the catalog, so interior mutability
+    /// ([`std::cell::RefCell`] solver state, database caches) stays on
+    /// this thread.
+    fn parallel_job(
+        &mut self,
+        branch: &Branch,
+        steps: &[CompiledStep],
+        ranges: &[Relation],
+        bindings: &Vec<Binding>,
+        out_schema: &Schema,
+    ) -> Option<dc_exec::Job> {
+        if self.threads <= 1 {
+            return None;
+        }
+        let first = steps.first()?;
+        if !matches!(first.access, CompiledAccess::Scan) {
+            return None;
+        }
+        if ranges[first.position].len() < self.parallel_threshold {
+            return None;
+        }
+        let base_slot = bindings.len();
+        // Plan slot of each binding position (slot i = step i).
+        let slots: Vec<(usize, usize)> = steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.position, i))
+            .collect();
+        let slot_of = |position: usize| -> usize {
+            slots
+                .iter()
+                .find(|(p, _)| *p == position)
+                .expect("every binding position has a plan step")
+                .1
+        };
+        let filter = self.pure_formula(&branch.predicate, branch, ranges, bindings, &slot_of)?;
+        let target = match &branch.target {
+            Target::Var(v) => {
+                let pos = branch.bindings.iter().position(|(bv, _)| bv == v)?;
+                dc_exec::Target::Slot(slot_of(pos))
+            }
+            Target::Tuple(exprs) => {
+                let mut lowered = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    lowered.push(self.pure_scalar(e, branch, ranges, bindings, &slot_of)?);
+                }
+                dc_exec::Target::Tuple(lowered)
+            }
+        };
+        let mut job_steps = Vec::with_capacity(steps.len() - 1);
+        for step in &steps[1..] {
+            job_steps.push(match &step.access {
+                // A probe the compiler demoted: the worker enumerates
+                // the whole (shared-handle) range at this depth.
+                CompiledAccess::Scan => {
+                    dc_exec::Step::Scan(ranges[step.position].iter().cloned().collect())
+                }
+                CompiledAccess::Probe { index, keys } => dc_exec::Step::Probe {
+                    index: index.clone(),
+                    keys: keys
+                        .iter()
+                        .map(|k| match k {
+                            CompiledKey::Fixed(v) => dc_exec::Key::Fixed(v.clone()),
+                            CompiledKey::FromBinding { slot, attr_pos } => dc_exec::Key::FromSlot {
+                                slot: slot - base_slot,
+                                pos: *attr_pos,
+                            },
+                        })
+                        .collect(),
+                },
+            });
+        }
+        Some(dc_exec::Job {
+            schema: out_schema.clone(),
+            scan: ranges[first.position].clone(),
+            steps: job_steps,
+            filter,
+            target,
+        })
+    }
+
+    /// Lower a formula into the pure predicate IR, or `None` if it
+    /// needs evaluator machinery (quantifiers, membership, ranges).
+    fn pure_formula(
+        &mut self,
+        f: &Formula,
+        branch: &Branch,
+        ranges: &[Relation],
+        bindings: &Vec<Binding>,
+        slot_of: &dyn Fn(usize) -> usize,
+    ) -> Option<dc_exec::BoolExpr> {
+        Some(match f {
+            Formula::True => dc_exec::BoolExpr::Const(true),
+            Formula::False => dc_exec::BoolExpr::Const(false),
+            Formula::Cmp(l, op, r) => dc_exec::BoolExpr::Cmp(
+                self.pure_scalar(l, branch, ranges, bindings, slot_of)?,
+                match op {
+                    CmpOp::Eq => dc_exec::CmpOp::Eq,
+                    CmpOp::Ne => dc_exec::CmpOp::Ne,
+                    CmpOp::Lt => dc_exec::CmpOp::Lt,
+                    CmpOp::Le => dc_exec::CmpOp::Le,
+                    CmpOp::Gt => dc_exec::CmpOp::Gt,
+                    CmpOp::Ge => dc_exec::CmpOp::Ge,
+                },
+                self.pure_scalar(r, branch, ranges, bindings, slot_of)?,
+            ),
+            Formula::And(a, b) => dc_exec::BoolExpr::And(
+                Box::new(self.pure_formula(a, branch, ranges, bindings, slot_of)?),
+                Box::new(self.pure_formula(b, branch, ranges, bindings, slot_of)?),
+            ),
+            Formula::Or(a, b) => dc_exec::BoolExpr::Or(
+                Box::new(self.pure_formula(a, branch, ranges, bindings, slot_of)?),
+                Box::new(self.pure_formula(b, branch, ranges, bindings, slot_of)?),
+            ),
+            Formula::Not(inner) => dc_exec::BoolExpr::Not(Box::new(
+                self.pure_formula(inner, branch, ranges, bindings, slot_of)?,
+            )),
+            // Quantifiers, membership, and tuple-in need range
+            // evaluation and catalog access — sequential path.
+            Formula::Some(..) | Formula::All(..) | Formula::Member(..) | Formula::TupleIn(..) => {
+                return None
+            }
+        })
+    }
+
+    /// Lower a scalar expression into the pure value IR. Branch-binding
+    /// attributes become slot field reads; outer-variable attributes
+    /// and parameters — constant for the whole branch evaluation —
+    /// resolve to constants now. Unresolvable names return `None` (the
+    /// sequential path owns the reference error).
+    fn pure_scalar(
+        &mut self,
+        e: &ScalarExpr,
+        branch: &Branch,
+        ranges: &[Relation],
+        bindings: &Vec<Binding>,
+        slot_of: &dyn Fn(usize) -> usize,
+    ) -> Option<dc_exec::ValExpr> {
+        Some(match e {
+            ScalarExpr::Const(v) => dc_exec::ValExpr::Const(v.clone()),
+            ScalarExpr::Attr(v, attr) => {
+                if let Some(pos) = branch.bindings.iter().position(|(bv, _)| bv == v) {
+                    let field = ranges[pos].schema().position(attr).ok()?;
+                    dc_exec::ValExpr::Field {
+                        slot: slot_of(pos),
+                        pos: field,
+                    }
+                } else {
+                    let b = lookup(bindings, v).ok()?;
+                    let field = b.schema.position(attr).ok()?;
+                    dc_exec::ValExpr::Const(b.tuple.get(field).clone())
+                }
+            }
+            ScalarExpr::Param(p) => dc_exec::ValExpr::Const(self.resolve_param(p).ok()?),
+            ScalarExpr::Arith(l, op, r) => dc_exec::ValExpr::Arith(
+                Box::new(self.pure_scalar(l, branch, ranges, bindings, slot_of)?),
+                match op {
+                    crate::ast::ArithOp::Add => dc_exec::ArithOp::Add,
+                    crate::ast::ArithOp::Sub => dc_exec::ArithOp::Sub,
+                    crate::ast::ArithOp::Mul => dc_exec::ArithOp::Mul,
+                    crate::ast::ArithOp::Div => dc_exec::ArithOp::Div,
+                    crate::ast::ArithOp::Mod => dc_exec::ArithOp::Mod,
+                },
+                Box::new(self.pure_scalar(r, branch, ranges, bindings, slot_of)?),
+            ),
+        })
     }
 
     /// Find or build a hash index over `rel` on `positions`. Catalogs
@@ -817,7 +1067,18 @@ impl<'a> Evaluator<'a> {
                 // rebuilding per evaluator.
                 let entry = match self.catalog.decorr_entry(range) {
                     Some(DecorrCached::Built(e)) => Some(e),
-                    Some(DecorrCached::Refused) => None,
+                    Some(DecorrCached::Refused) => {
+                        // The building evaluator recorded *why* it
+                        // refused; an evaluator served the cached
+                        // refusal would otherwise scan silently. Noted
+                        // once per evaluator (this arm only runs on the
+                        // local-cache miss).
+                        self.plan_note(format!(
+                            "decorrelation: cached refusal served from catalog \
+                             — residual scan ({range})"
+                        ));
+                        None
+                    }
                     None => {
                         let built = self.build_decorr_entry(range)?;
                         self.catalog.cache_decorr_entry(
@@ -1552,6 +1813,17 @@ enum CompiledKey {
     Fixed(Value),
     /// Read from the binding at stack slot `slot`, field `attr_pos`.
     FromBinding { slot: usize, attr_pos: usize },
+}
+
+/// Map a worker-side error into the evaluator's error type. The
+/// variants correspond one to one: the pure IR can only raise the
+/// errors a pure predicate/target raises on the sequential path.
+fn exec_to_eval_error(e: dc_exec::ExecError) -> EvalError {
+    match e {
+        dc_exec::ExecError::CrossType { lhs, rhs } => EvalError::CrossTypeComparison { lhs, rhs },
+        dc_exec::ExecError::Value(v) => EvalError::Value(v),
+        dc_exec::ExecError::Relation(r) => EvalError::Relation(r),
+    }
 }
 
 /// Fingerprint of a demotion site (the quantified range's syntax),
@@ -2632,6 +2904,137 @@ mod tests {
             Arc::ptr_eq(&entry_after_first, &entry_after_second),
             "cache hit must return the same Arc"
         );
+    }
+
+    #[test]
+    fn cached_refusal_hit_leaves_trace_note() {
+        // First evaluator analyses and refuses (inequality correlation
+        // is not splittable) and stores the refusal in the catalog;
+        // a second evaluator served that cached refusal must note the
+        // silent-scan decision too — the hit path used to lose it.
+        let cat = CachingCatalog {
+            inner: scene_catalog(),
+            decorr: std::cell::RefCell::new(FxHashMap::default()),
+            stores: std::cell::Cell::new(0),
+            hits: std::cell::Cell::new(0),
+        };
+        let inner = set_former(vec![Branch::each(
+            "o",
+            rel("Ontop"),
+            lt(attr("o", "base"), attr("r", "front")),
+        )]);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some("t", inner, tru()),
+        )]);
+        let mut first = Evaluator::new(&cat);
+        first.eval(&e).unwrap();
+        assert!(
+            first
+                .plan_notes()
+                .iter()
+                .any(|n| n.contains("not splittable")),
+            "{:?}",
+            first.plan_notes()
+        );
+        assert_eq!(cat.stores.get(), 1);
+        let mut second = Evaluator::new(&cat);
+        second.eval(&e).unwrap();
+        assert!(cat.hits.get() >= 1, "second evaluator hit the cache");
+        assert!(
+            second
+                .plan_notes()
+                .iter()
+                .any(|n| n.contains("cached refusal served from catalog")),
+            "hit path must leave a trace note, got {:?}",
+            second.plan_notes()
+        );
+    }
+
+    #[test]
+    fn parallel_branch_agrees_with_sequential() {
+        // The §2.3 join branch, forced through the parallel executor
+        // (threshold 1, 4 workers) — identical to both the sequential
+        // index path and the reference nested loops.
+        let cat = catalog();
+        let parallel = Evaluator::new(&cat)
+            .with_threads(4)
+            .with_parallel_threshold(1)
+            .eval(&ahead2_expr())
+            .unwrap();
+        let sequential = Evaluator::new(&cat).eval(&ahead2_expr()).unwrap();
+        let reference = Evaluator::new(&cat)
+            .force_nested_loop()
+            .eval(&ahead2_expr())
+            .unwrap();
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel, reference);
+        assert_eq!(parallel.len(), 5);
+    }
+
+    #[test]
+    fn parallel_path_preserves_reference_errors() {
+        // The residual carries a cross-type comparison the probe keys
+        // do not reject: both executors must raise it.
+        let cat = catalog();
+        let e = set_former(vec![Branch::projecting(
+            vec![attr("f", "front")],
+            vec![("f".into(), rel("Infront")), ("b".into(), rel("Infront"))],
+            eq(attr("f", "back"), attr("b", "front")).and(eq(attr("f", "front"), cnst(1i64))),
+        )]);
+        let parallel = Evaluator::new(&cat)
+            .with_threads(4)
+            .with_parallel_threshold(1)
+            .eval(&e);
+        assert!(
+            matches!(parallel, Err(EvalError::CrossTypeComparison { .. })),
+            "got {parallel:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_dispatch_respects_threshold_and_thread_count() {
+        // Below the threshold (or with one worker) the job is never
+        // built; results agree regardless — this is the documented
+        // "threads = 1 is the exact sequential path" contract.
+        let cat = catalog();
+        let a = Evaluator::new(&cat)
+            .with_threads(1)
+            .with_parallel_threshold(1)
+            .eval(&ahead2_expr())
+            .unwrap();
+        let b = Evaluator::new(&cat)
+            .with_threads(4)
+            .with_parallel_threshold(usize::MAX)
+            .eval(&ahead2_expr())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_path_resolves_outer_variables_and_quantified_branches_fall_back() {
+        // The inner branch's key references the outer `r` — lowered to
+        // a constant per outer binding; the outer branch has a
+        // quantifier (impure) and stays sequential. Same results.
+        let cat = catalog();
+        let inner = set_former(vec![Branch::each(
+            "y",
+            rel("Infront"),
+            eq(attr("y", "front"), attr("r", "back")),
+        )]);
+        let e = set_former(vec![Branch::each(
+            "r",
+            rel("Infront"),
+            some("x", inner, tru()),
+        )]);
+        let parallel = Evaluator::new(&cat)
+            .with_threads(4)
+            .with_parallel_threshold(1)
+            .eval(&e)
+            .unwrap();
+        let reference = Evaluator::new(&cat).force_nested_loop().eval(&e).unwrap();
+        assert_eq!(parallel, reference);
     }
 
     #[test]

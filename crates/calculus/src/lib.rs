@@ -52,4 +52,4 @@ pub mod typeck;
 pub use ast::{Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SelectorDef, SetFormer, Target};
 pub use env::{Catalog, DecorrCached};
 pub use error::EvalError;
-pub use eval::{DecorrEntry, Evaluator};
+pub use eval::{DecorrEntry, Evaluator, PARALLEL_SCAN_THRESHOLD};

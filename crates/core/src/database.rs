@@ -94,6 +94,17 @@ impl Database {
         self.invalidate();
     }
 
+    /// Set the worker-thread count for partition-parallel branch
+    /// execution: `0` (the default) resolves through `DC_THREADS` /
+    /// available parallelism, `1` pins the exact sequential path, any
+    /// other value is used as given (see
+    /// [`FixpointConfig::threads`]). Results are identical for every
+    /// setting; only wall-clock time changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = threads;
+        self.invalidate();
+    }
+
     /// Current fixpoint configuration.
     pub fn config(&self) -> &FixpointConfig {
         &self.config
@@ -354,12 +365,13 @@ impl Database {
         Ok(self.evaluator().eval(query)?)
     }
 
-    /// An evaluator over this database honouring the index
-    /// configuration.
+    /// An evaluator over this database honouring the index and
+    /// parallel-execution configuration.
     pub fn evaluator(&self) -> Evaluator<'_> {
         let ev = Evaluator::new(self);
         if self.config.use_indexes {
-            ev
+            ev.with_threads(dc_exec::thread_count(self.config.threads))
+                .with_parallel_threshold(self.config.parallel_threshold)
         } else {
             ev.force_nested_loop()
         }

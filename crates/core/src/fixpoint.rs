@@ -71,6 +71,21 @@ pub struct FixpointConfig {
     /// the pre-optimization baseline, kept selectable for differential
     /// tests and benchmark comparisons.
     pub use_indexes: bool,
+    /// Worker threads for partition-parallel branch execution, resolved
+    /// once per solve through [`dc_exec::thread_count`]: `0` (the
+    /// default) means "auto" — the `DC_THREADS` environment variable if
+    /// set, otherwise the machine's available parallelism; `1` is the
+    /// exact sequential path; any other value is used as given.
+    /// Results are identical for every setting — branch evaluations
+    /// shard their scan side across workers and merge deterministically,
+    /// while registration, index/statistics maintenance, and delta
+    /// commits stay on the solver thread (the PR 2 invariant).
+    pub threads: usize,
+    /// Scan-side cardinality floor before a branch evaluation is
+    /// dispatched to the parallel executor (default
+    /// [`dc_calculus::PARALLEL_SCAN_THRESHOLD`]). Differential tests
+    /// lower it to force the parallel path on small inputs.
+    pub parallel_threshold: usize,
 }
 
 impl Default for FixpointConfig {
@@ -79,6 +94,8 @@ impl Default for FixpointConfig {
             strategy: Strategy::SemiNaive,
             max_iterations: 100_000,
             use_indexes: true,
+            threads: 0,
+            parallel_threshold: dc_calculus::PARALLEL_SCAN_THRESHOLD,
         }
     }
 }
@@ -373,6 +390,29 @@ impl State {
     }
 }
 
+/// The execution knobs every solver-spawned evaluator shares: index
+/// usage plus the (already resolved) parallel-dispatch configuration.
+#[derive(Debug, Clone, Copy)]
+struct ExecKnobs {
+    /// See [`FixpointConfig::use_indexes`].
+    use_indexes: bool,
+    /// Resolved worker count (`dc_exec::thread_count` applied to
+    /// [`FixpointConfig::threads`] once per solve).
+    threads: usize,
+    /// See [`FixpointConfig::parallel_threshold`].
+    parallel_threshold: usize,
+}
+
+impl ExecKnobs {
+    fn of(cfg: &FixpointConfig) -> ExecKnobs {
+        ExecKnobs {
+            use_indexes: cfg.use_indexes,
+            threads: dc_exec::thread_count(cfg.threads),
+            parallel_threshold: cfg.parallel_threshold,
+        }
+    }
+}
+
 /// The catalog visible while evaluating equation bodies: formal names
 /// resolve through per-equation overrides, and constructor applications
 /// resolve to the *current iterate* (registering new equations on first
@@ -380,16 +420,19 @@ impl State {
 struct SolverCatalog<'a> {
     source: &'a dyn ConstructorSource,
     state: &'a RefCell<State>,
-    /// See [`FixpointConfig::use_indexes`].
-    use_indexes: bool,
+    knobs: ExecKnobs,
 }
 
 impl SolverCatalog<'_> {
-    /// An evaluator honouring the solver's index configuration.
+    /// An evaluator honouring the solver's execution configuration.
+    /// Parallel dispatch is only armed on the index path: the reference
+    /// nested-loop evaluator never builds plans, so handing it workers
+    /// would be dead configuration.
     fn evaluator<'e>(&self, overlay: &'e Overlay<'_>) -> Evaluator<'e> {
         let ev = Evaluator::new(overlay);
-        if self.use_indexes {
-            ev
+        if self.knobs.use_indexes {
+            ev.with_threads(self.knobs.threads)
+                .with_parallel_threshold(self.knobs.parallel_threshold)
         } else {
             ev.force_nested_loop()
         }
@@ -427,7 +470,7 @@ impl Catalog for SolverCatalog<'_> {
         // Eagerly instantiate the applications in the new body so that
         // mutually recursive peers exist from the first round (§3.2
         // instantiates the whole system up front).
-        seed_equation(self.source, self.state, i, self.use_indexes)?;
+        seed_equation(self.source, self.state, i, self.knobs)?;
         Ok(self.state.borrow().current[i].clone())
     }
 
@@ -536,7 +579,7 @@ fn seed_equation(
     source: &dyn ConstructorSource,
     state: &RefCell<State>,
     i: usize,
-    use_indexes: bool,
+    knobs: ExecKnobs,
 ) -> Result<(), EvalError> {
     let (body, overrides) = {
         let st = state.borrow();
@@ -548,7 +591,7 @@ fn seed_equation(
     let catalog = SolverCatalog {
         source,
         state,
-        use_indexes,
+        knobs,
     };
     let apps = rewrite::collect_constructed(&RangeExpr::SetFormer((*body).clone()));
     for app in apps {
@@ -588,7 +631,7 @@ fn seed_equation(
             }
         };
         if let Some(j) = fresh {
-            seed_equation(source, state, j, use_indexes)?;
+            seed_equation(source, state, j, knobs)?;
         }
     }
     Ok(())
@@ -623,11 +666,12 @@ pub fn solve(
     state
         .borrow_mut()
         .register(source, root_key.clone(), base, args, scalar_args)?;
-    seed_equation(source, &state, 0, cfg.use_indexes)?;
+    let knobs = ExecKnobs::of(cfg);
+    seed_equation(source, &state, 0, knobs)?;
     let catalog = SolverCatalog {
         source,
         state: &state,
-        use_indexes: cfg.use_indexes,
+        knobs,
     };
 
     let mut iterations = 0usize;
@@ -656,6 +700,14 @@ pub fn solve(
             let mut st = state.borrow_mut();
             for (i, result) in staged.into_iter().enumerate() {
                 match result {
+                    RoundResult::Unchanged => {
+                        // Nothing moved: the accumulated value, its
+                        // indexes, and its statistics all stand; only
+                        // the per-round delta resets.
+                        if !st.delta[i].is_empty() {
+                            st.delta[i] = Relation::new(st.current[i].schema().clone());
+                        }
+                    }
                     RoundResult::Full(new_val) => {
                         // Wholesale replacement (naive strategy):
                         // non-monotone (unchecked) systems can shrink as
@@ -767,6 +819,12 @@ enum RoundResult {
     /// Only the genuinely new tuples (semi-naive strategy — the
     /// accumulated value is grown in place at commit, never copied).
     Delta(Relation),
+    /// The naive round reproduced the accumulated value exactly
+    /// (decided by a length + content-digest check, the same
+    /// probabilistic identity [`AppKey`] rests on): the commit skips
+    /// the conform copy, the O(n) diff, and the set-equality test —
+    /// the converged tail of a naive run touches nothing.
+    Unchanged,
 }
 
 /// Evaluate one equation body for the current round.
@@ -799,6 +857,19 @@ fn evaluate_equation(
             let mut ev = catalog.evaluator(&overlay);
             let out = ev.eval(&RangeExpr::SetFormer((*body).clone()))?;
             harvest_overlay(catalog, i, &overlay, &[]);
+            // No-change short-circuit: once an equation stabilises, the
+            // wholesale replacement is a byte-identical copy. One cheap
+            // length check plus a content digest (memoised on the
+            // accumulated side, one hash pass on the fresh side —
+            // `conform` does not change tuple content, so the digests
+            // are comparable before conforming) detects that and skips
+            // the conform copy and the commit-side diff entirely.
+            if out.len() == current_i.len()
+                && out.schema().union_compatible(&result_schema)
+                && out.digest() == current_i.digest()
+            {
+                return Ok(RoundResult::Unchanged);
+            }
             Ok(RoundResult::Full(conform(out, &result_schema)?))
         }
         Strategy::SemiNaive => {
@@ -1118,7 +1189,7 @@ mod tests {
         FixpointConfig {
             strategy,
             max_iterations: 10_000,
-            use_indexes: true,
+            ..FixpointConfig::default()
         }
     }
 

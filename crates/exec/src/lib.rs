@@ -1,0 +1,91 @@
+//! Partition-parallel execution of compiled set-former join plans.
+//!
+//! The evaluation paths built so far — index-nested-loop joins,
+//! quantifier probes, decorrelated builds, semi-naive rounds — are all
+//! single-threaded. The set-oriented evaluation style of the paper
+//! (quantified set-formers over relations) is embarrassingly
+//! partitionable: a branch plan scans one range and *probes* the rest
+//! through read-only hash indexes, so splitting the scan side into `P`
+//! shards yields `P` independent jobs over shared immutable state. This
+//! crate provides exactly that executor:
+//!
+//! * [`Partitioner`] hash-splits the scan side of a plan into shards of
+//!   `Tuple` handles (`Arc` bumps into the relation's copy-on-write
+//!   storage — no tuple is copied);
+//! * a worker pool built on [`std::thread::scope`] (the build
+//!   environment is offline, so no external thread-pool crates) runs
+//!   the compiled probe plan per shard against shared read-only
+//!   [`dc_index::HashIndex`]es;
+//! * a deterministic merge unions the shard outputs **in shard order**,
+//!   so the result relation is identical to the sequential executor's
+//!   for every thread count.
+//!
+//! The executor deliberately knows nothing about the calculus: the
+//! evaluator (`dc-calculus`) lowers a branch whose residual predicate
+//! and target are *pure* — scalar comparisons, boolean connectives, and
+//! arithmetic over the bound tuples, with parameters and outer
+//! variables already resolved to constants — into a self-contained
+//! [`Job`]. Branches that need catalog callbacks mid-combination
+//! (nested quantifiers, membership tests, constructor applications)
+//! stay on the sequential path, which keeps every catalog (and its
+//! interior mutability) off the worker threads.
+//!
+//! # Determinism
+//!
+//! Results are sets, the shard assignment depends only on tuple content
+//! ([`dc_relation::Relation::hash_shards`]), and the merge inserts
+//! shard outputs in shard order — so `threads = N` produces a relation
+//! equal to `threads = 1` for every `N`. When a combination errors, the
+//! error of the **lowest-numbered shard** that failed is reported.
+//! Which of several erroneous combinations is reported first can differ
+//! from the sequential path's (iteration-order-dependent) choice — the
+//! same already-documented divergence the index-nested-loop path has
+//! for error *masking* — but error presence/absence never differs:
+//! both paths visit exactly the combinations the probe keys admit.
+
+mod partition;
+mod plan;
+mod worker;
+
+pub use partition::Partitioner;
+pub use plan::{ArithOp, BoolExpr, CmpOp, ExecError, Job, Key, Step, Target, ValExpr};
+pub use worker::execute;
+
+/// Resolve an effective worker-thread count from a configuration knob.
+///
+/// * `requested >= 1` — that exact count (`1` selects the sequential
+///   path); an explicit knob wins over the environment so measurements
+///   (the bench harness pins both sides) are reproducible.
+/// * `requested == 0` — "auto": the `DC_THREADS` environment variable
+///   if set to a positive integer, otherwise
+///   [`std::thread::available_parallelism`] (falling back to `1` where
+///   the platform cannot report it).
+///
+/// ```
+/// assert_eq!(dc_exec::thread_count(4), 4);
+/// assert_eq!(dc_exec::thread_count(1), 1);
+/// assert!(dc_exec::thread_count(0) >= 1); // auto: env or hardware
+/// ```
+pub fn thread_count(requested: usize) -> usize {
+    if requested >= 1 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("DC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+// The whole point of a `Job` is to cross thread boundaries; assert the
+// contract at compile time so a field change cannot silently break it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Job>();
+    assert_send_sync::<ExecError>();
+};

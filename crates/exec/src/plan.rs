@@ -1,0 +1,297 @@
+//! The self-contained job IR the evaluator lowers a branch into.
+//!
+//! A [`Job`] carries everything a worker thread needs: the scan-side
+//! relation, the probe/scan steps for the remaining binding positions
+//! (sharing read-only [`HashIndex`]es), a *pure* residual predicate,
+//! and a pure target. "Pure" means evaluable from the bound tuples
+//! alone — constants, field reads, arithmetic, comparisons, boolean
+//! connectives. Parameters and outer-variable references are resolved
+//! to constants by the evaluator *before* the job is built, so workers
+//! never call back into a catalog.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dc_index::HashIndex;
+use dc_relation::{Relation, RelationError};
+use dc_value::{Schema, Tuple, Value, ValueError};
+
+/// Arithmetic operators (mirrors the calculus AST, which this crate
+/// must not depend on — the dependency runs the other way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `DIV`
+    Div,
+    /// `MOD`
+    Mod,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `#`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A pure scalar expression over the plan's binding slots.
+#[derive(Debug, Clone)]
+pub enum ValExpr {
+    /// A constant (literals, pre-resolved parameters and outer
+    /// variables).
+    Const(Value),
+    /// Field `pos` of the tuple bound at plan slot `slot`.
+    Field {
+        /// Plan slot (0 = the scan step, `i` = step `i`).
+        slot: usize,
+        /// Field position within that tuple.
+        pos: usize,
+    },
+    /// Arithmetic over two subexpressions.
+    Arith(Box<ValExpr>, ArithOp, Box<ValExpr>),
+}
+
+/// A pure predicate over the plan's binding slots. `And`/`Or`
+/// short-circuit left to right, exactly like the sequential evaluator,
+/// so the two paths evaluate (and error on) the same subexpressions
+/// for any given combination.
+#[derive(Debug, Clone)]
+pub enum BoolExpr {
+    /// `TRUE` / `FALSE`.
+    Const(bool),
+    /// Comparison of two scalars.
+    Cmp(ValExpr, CmpOp, ValExpr),
+    /// Conjunction (short-circuit).
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction (short-circuit).
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+/// One component of a probe key.
+#[derive(Debug, Clone)]
+pub enum Key {
+    /// Resolved before execution (constant, parameter, outer-variable
+    /// attribute).
+    Fixed(Value),
+    /// Field `pos` of the tuple bound at plan slot `slot` (an
+    /// equi-join key from an earlier step).
+    FromSlot {
+        /// Earlier plan slot supplying the key.
+        slot: usize,
+        /// Field position within that tuple.
+        pos: usize,
+    },
+}
+
+/// One non-scan step of the plan, binding the next slot.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Enumerate all tuples of the range (a probe the planner demoted).
+    Scan(Vec<Tuple>),
+    /// Probe a shared read-only index with a key assembled from earlier
+    /// slots and fixed values.
+    Probe {
+        /// The shared index (read-only across all workers).
+        index: Arc<HashIndex>,
+        /// Key components, parallel to the index's key positions.
+        keys: Vec<Key>,
+    },
+}
+
+/// What each satisfying combination contributes to the output.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// The whole tuple bound at a slot.
+    Slot(usize),
+    /// A constructed tuple of pure scalar expressions.
+    Tuple(Vec<ValExpr>),
+}
+
+/// A self-contained partition-parallel job: scan `scan`, bind the
+/// remaining slots through `steps`, keep combinations satisfying
+/// `filter`, emit `target` tuples into a relation over `schema`.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Output schema (key constraints are enforced on insert and at
+    /// merge, like the sequential executor's inserts).
+    pub schema: Schema,
+    /// The scan side (slot 0) — partitioned across workers.
+    pub scan: Relation,
+    /// Steps binding slots `1..=steps.len()`.
+    pub steps: Vec<Step>,
+    /// The full residual predicate.
+    pub filter: BoolExpr,
+    /// The output clause.
+    pub target: Target,
+}
+
+/// Errors a worker can raise. Mirrors the subset of the calculus's
+/// evaluation errors a pure predicate/target can produce; the evaluator
+/// maps them back into its own error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Two values of different base types were compared.
+    CrossType {
+        /// Left value, rendered.
+        lhs: String,
+        /// Right value, rendered.
+        rhs: String,
+    },
+    /// Arithmetic error (overflow, division by zero, type mismatch).
+    Value(ValueError),
+    /// Relation-level error (key violation across the output).
+    Relation(RelationError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::CrossType { lhs, rhs } => write!(f, "cannot compare {lhs} with {rhs}"),
+            ExecError::Value(e) => write!(f, "{e}"),
+            ExecError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ValueError> for ExecError {
+    fn from(e: ValueError) -> ExecError {
+        ExecError::Value(e)
+    }
+}
+
+impl From<RelationError> for ExecError {
+    fn from(e: RelationError) -> ExecError {
+        ExecError::Relation(e)
+    }
+}
+
+/// Evaluate a pure scalar expression over the bound slots.
+pub(crate) fn eval_val(e: &ValExpr, slots: &[&Tuple]) -> Result<Value, ExecError> {
+    match e {
+        ValExpr::Const(v) => Ok(v.clone()),
+        ValExpr::Field { slot, pos } => Ok(slots[*slot].get(*pos).clone()),
+        ValExpr::Arith(l, op, r) => {
+            let lv = eval_val(l, slots)?;
+            let rv = eval_val(r, slots)?;
+            Ok(match op {
+                ArithOp::Add => lv.add(&rv)?,
+                ArithOp::Sub => lv.sub(&rv)?,
+                ArithOp::Mul => lv.mul(&rv)?,
+                ArithOp::Div => lv.div(&rv)?,
+                ArithOp::Mod => lv.rem(&rv)?,
+            })
+        }
+    }
+}
+
+/// Evaluate a pure predicate over the bound slots.
+pub(crate) fn eval_bool(e: &BoolExpr, slots: &[&Tuple]) -> Result<bool, ExecError> {
+    match e {
+        BoolExpr::Const(b) => Ok(*b),
+        BoolExpr::Cmp(l, op, r) => {
+            let lv = eval_val(l, slots)?;
+            let rv = eval_val(r, slots)?;
+            let ord = lv.try_cmp(&rv).ok_or_else(|| ExecError::CrossType {
+                lhs: lv.to_string(),
+                rhs: rv.to_string(),
+            })?;
+            Ok(op.eval(ord))
+        }
+        BoolExpr::And(a, b) => Ok(eval_bool(a, slots)? && eval_bool(b, slots)?),
+        BoolExpr::Or(a, b) => Ok(eval_bool(a, slots)? || eval_bool(b, slots)?),
+        BoolExpr::Not(inner) => Ok(!eval_bool(inner, slots)?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_value::tuple;
+
+    #[test]
+    fn pure_eval_arith_and_cmp() {
+        let t0 = tuple![3i64, 4i64];
+        let t1 = tuple![10i64];
+        let slots: Vec<&Tuple> = vec![&t0, &t1];
+        // (t0.0 + t0.1) * 2 = 14
+        let e = ValExpr::Arith(
+            Box::new(ValExpr::Arith(
+                Box::new(ValExpr::Field { slot: 0, pos: 0 }),
+                ArithOp::Add,
+                Box::new(ValExpr::Field { slot: 0, pos: 1 }),
+            )),
+            ArithOp::Mul,
+            Box::new(ValExpr::Const(Value::Int(2))),
+        );
+        assert_eq!(eval_val(&e, &slots).unwrap(), Value::Int(14));
+        // 14 > t1.0 ⇒ true; NOT(…) ⇒ false.
+        let c = BoolExpr::Cmp(e, CmpOp::Gt, ValExpr::Field { slot: 1, pos: 0 });
+        assert!(eval_bool(&c, &slots).unwrap());
+        assert!(!eval_bool(&BoolExpr::Not(Box::new(c)), &slots).unwrap());
+    }
+
+    #[test]
+    fn cross_type_comparison_errors() {
+        let t0 = tuple!["x", 1i64];
+        let slots: Vec<&Tuple> = vec![&t0];
+        let c = BoolExpr::Cmp(
+            ValExpr::Field { slot: 0, pos: 0 },
+            CmpOp::Eq,
+            ValExpr::Field { slot: 0, pos: 1 },
+        );
+        assert!(matches!(
+            eval_bool(&c, &slots),
+            Err(ExecError::CrossType { .. })
+        ));
+    }
+
+    #[test]
+    fn short_circuit_masks_right_errors() {
+        // FALSE AND <error> must not error — mirroring the sequential
+        // evaluator's left-to-right short-circuit.
+        let t0 = tuple!["x", 1i64];
+        let slots: Vec<&Tuple> = vec![&t0];
+        let bad = BoolExpr::Cmp(
+            ValExpr::Field { slot: 0, pos: 0 },
+            CmpOp::Eq,
+            ValExpr::Field { slot: 0, pos: 1 },
+        );
+        let e = BoolExpr::And(Box::new(BoolExpr::Const(false)), Box::new(bad.clone()));
+        assert!(!eval_bool(&e, &slots).unwrap());
+        let e = BoolExpr::Or(Box::new(BoolExpr::Const(true)), Box::new(bad));
+        assert!(eval_bool(&e, &slots).unwrap());
+    }
+}

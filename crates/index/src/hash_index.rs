@@ -9,6 +9,17 @@ use dc_relation::Relation;
 ///
 /// Built once per join operand by the plan executor (`dc-optimizer`) and
 /// maintained incrementally inside semi-naive fixpoint loops.
+///
+/// # Thread sharing
+///
+/// `HashIndex` is `Send + Sync` (asserted at compile time below): all
+/// of its storage bottoms out in immutable `Arc`-backed tuples. The
+/// partition-parallel executor (`dc-exec`) relies on this to hand one
+/// `Arc<HashIndex>` to every worker thread and probe it concurrently —
+/// probes are `&self` and never mutate, so no synchronisation beyond
+/// the `Arc` is needed. Mutation (`add`) requires `&mut self` and is
+/// therefore confined to the single-threaded maintenance sites (the
+/// fixpoint commit), never to a shared probe-side handle.
 #[derive(Debug, Clone)]
 pub struct HashIndex {
     positions: Vec<usize>,
@@ -95,6 +106,17 @@ impl HashIndex {
         self.buckets.iter().map(|(k, v)| (k, v.as_slice()))
     }
 }
+
+// Compile-time audit of the cross-thread sharing contract: the
+// parallel executor shares read-only indexes (and the relations and
+// statistics next to them) across worker threads. A field change that
+// introduced interior mutability or a non-`Send` payload would fail
+// this assertion instead of surfacing as a data race.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HashIndex>();
+    assert_send_sync::<crate::RelationStats>();
+};
 
 #[cfg(test)]
 mod tests {

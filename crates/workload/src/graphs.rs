@@ -110,6 +110,39 @@ pub fn random_graph(n: usize, avg_degree: f64, seed: u64) -> Relation {
     rel
 }
 
+/// The weighted-edge schema: `(src, dst, w)` with an integer weight.
+pub fn weighted_edge_schema() -> Schema {
+    Schema::of(&[
+        ("src", Domain::Str),
+        ("dst", Domain::Str),
+        ("w", Domain::Int),
+    ])
+}
+
+/// A seeded random digraph over [`weighted_edge_schema`]: `n` nodes,
+/// ~`n * avg_degree` distinct edges with weights in `0..max_w`. The
+/// large-scan workload of the partition-parallel experiments (E1c):
+/// the two-hop join `x.dst = y.src` over it probes `avg_degree`
+/// continuations per scanned edge, and the integer weights give the
+/// residual predicate real per-combination arithmetic.
+pub fn weighted_random_graph(n: usize, avg_degree: f64, max_w: i64, seed: u64) -> Relation {
+    let mut rng = SplitMix64::new(seed);
+    let target_edges = (n as f64 * avg_degree) as usize;
+    let mut rel = Relation::new(weighted_edge_schema());
+    let mut attempts = 0;
+    while rel.len() < target_edges && attempts < target_edges * 20 {
+        attempts += 1;
+        let a = rng.below(n as u64) as usize;
+        let b = rng.below(n as u64) as usize;
+        if a == b {
+            continue;
+        }
+        let w = rng.below(max_w.max(1) as u64) as i64;
+        let _ = rel.insert(tuple![node("o", a), node("o", b), w]);
+    }
+    rel
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +187,19 @@ mod tests {
         assert_eq!(t.len(), 6);
         assert!(t.contains(&tuple!["t1", "t2"]));
         assert!(t.contains(&tuple!["t3", "t7"]));
+    }
+
+    #[test]
+    fn weighted_random_graph_reproducible() {
+        let a = weighted_random_graph(50, 3.0, 100, 7);
+        assert_eq!(a, weighted_random_graph(50, 3.0, 100, 7));
+        assert_ne!(a, weighted_random_graph(50, 3.0, 100, 8));
+        assert!(a.len() >= 140 && a.len() <= 150, "{}", a.len());
+        for t in a.iter() {
+            assert_ne!(t.get(0), t.get(1), "no self-loops");
+            let w = t.get(2).as_int().unwrap();
+            assert!((0..100).contains(&w));
+        }
     }
 
     #[test]

@@ -11,6 +11,9 @@ pub mod rng;
 pub mod scenes;
 pub mod staffing;
 
-pub use graphs::{chain, complete_binary_tree, cycle, diamond_ladder, grid, random_graph};
+pub use graphs::{
+    chain, complete_binary_tree, cycle, diamond_ladder, grid, random_graph, weighted_edge_schema,
+    weighted_random_graph,
+};
 pub use scenes::{bill_of_materials, scene, Scene};
 pub use staffing::{staffing, Staffing};
