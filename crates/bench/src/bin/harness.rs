@@ -8,12 +8,14 @@
 //!
 //! Run with: `cargo run --release --bin harness`
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use dc_bench::*;
 use dc_calculus::builder::rel;
 use dc_core::options::{ahead_step, program_iteration, recursive_function, transitive_closure};
 use dc_core::{paper, Database, Strategy};
+use dc_governor::{envcfg, Budget};
 use dc_optimizer::capture;
 use dc_optimizer::partition::partition_by_names;
 use dc_optimizer::QuantGraph;
@@ -28,7 +30,13 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
-fn eval_ms(db: &Database, q: &dc_calculus::RangeExpr) -> (usize, f64) {
+fn eval_ms(db: &mut Database, q: &dc_calculus::RangeExpr) -> (usize, f64) {
+    // Optional resource governance for unattended runs: a budget from
+    // `DC_DEADLINE_MS` / `DC_MAX_TUPLES` is installed into the fixpoint
+    // configuration so every measured solve is governed. A trip aborts
+    // the harness with the structured `SolveError` — that is the point:
+    // a hung or runaway experiment becomes a diagnosable failure.
+    db.set_budget(harness_budget());
     db.clear_solved_cache();
     // `Database::evaluator` honours `set_use_indexes`, so scan-side
     // measurements run the reference path at the query level too.
@@ -36,9 +44,47 @@ fn eval_ms(db: &Database, q: &dc_calculus::RangeExpr) -> (usize, f64) {
     (out.len(), ms)
 }
 
+/// Budget assembled from the harness governance flags, parsed once.
+///
+/// * `DC_DEADLINE_MS` — wall-clock ceiling per measured evaluation.
+/// * `DC_MAX_TUPLES` — materialised-tuple ceiling per evaluation.
+///
+/// Invalid values warn once (via [`dc_governor::envcfg`]) and leave the
+/// corresponding limit off, consistent with `DC_THREADS` parsing.
+fn harness_budget() -> Option<Budget> {
+    static BUDGET: OnceLock<Option<Budget>> = OnceLock::new();
+    BUDGET
+        .get_or_init(|| {
+            let mut budget = Budget::unlimited();
+            if let Ok(v) = std::env::var("DC_DEADLINE_MS") {
+                match envcfg::parse_positive(&v) {
+                    Ok(ms) => budget = budget.with_deadline_ms(ms as u64),
+                    Err(why) => envcfg::warn_once(
+                        "DC_DEADLINE_MS",
+                        &format!("ignoring DC_DEADLINE_MS={v:?}: {why}; no deadline applied"),
+                    ),
+                }
+            }
+            if let Ok(v) = std::env::var("DC_MAX_TUPLES") {
+                match envcfg::parse_positive(&v) {
+                    Ok(n) => budget = budget.with_max_tuples(n as u64),
+                    Err(why) => envcfg::warn_once(
+                        "DC_MAX_TUPLES",
+                        &format!("ignoring DC_MAX_TUPLES={v:?}: {why}; no tuple ceiling applied"),
+                    ),
+                }
+            }
+            (!budget.is_unlimited()).then_some(budget)
+        })
+        .clone()
+}
+
 fn main() {
     println!("Data Constructors (VLDB 1985) — experiment harness");
     println!("===================================================\n");
+    if let Some(budget) = harness_budget() {
+        println!("  governance: {budget:?} (from DC_DEADLINE_MS / DC_MAX_TUPLES)\n");
+    }
     e1();
     let e1b_rows = e1b();
     let (e1c_rows, e1c_best, cores) = e1c();
@@ -105,11 +151,11 @@ fn e1b() -> Vec<String> {
     let mut rows = Vec::new();
     for (label, nodes, base) in workloads {
         let q = ahead_query();
-        let db_idx = ahead_db(&base, Strategy::SemiNaive);
-        let (idx_len, idx_ms) = eval_ms(&db_idx, &q);
+        let mut db_idx = ahead_db(&base, Strategy::SemiNaive);
+        let (idx_len, idx_ms) = eval_ms(&mut db_idx, &q);
         let mut db_scan = ahead_db(&base, Strategy::SemiNaive);
         db_scan.set_use_indexes(false);
-        let (scan_len, scan_ms) = eval_ms(&db_scan, &q);
+        let (scan_len, scan_ms) = eval_ms(&mut db_scan, &q);
         assert_eq!(
             idx_len, scan_len,
             "index path must agree with reference on {label}"
@@ -238,10 +284,10 @@ fn e1() {
         ("ladder k=10", dc_workload::diamond_ladder(10)),
     ] {
         let q = ahead_query();
-        let db_n = ahead_db(&base, Strategy::Naive);
-        let db_s = ahead_db(&base, Strategy::SemiNaive);
-        let (n_len, n_ms) = eval_ms(&db_n, &q);
-        let (s_len, s_ms) = eval_ms(&db_s, &q);
+        let mut db_n = ahead_db(&base, Strategy::Naive);
+        let mut db_s = ahead_db(&base, Strategy::SemiNaive);
+        let (n_len, n_ms) = eval_ms(&mut db_n, &q);
+        let (s_len, s_ms) = eval_ms(&mut db_s, &q);
         assert_eq!(n_len, s_len, "strategies agree");
         let program = ahead_program(&base);
         let ctor = paper::ahead();
@@ -307,13 +353,13 @@ fn e2b() -> (Vec<String>, f64) {
         let scene = dc_workload::scene(rows, depth, 2, 11);
         let vis_q = visibility_query();
         let front_q = front_row_query();
-        let db = scene_db(&scene);
-        let (vis_len, vis_ms) = eval_ms(&db, &vis_q);
-        let (front_len, front_ms) = eval_ms(&db, &front_q);
+        let mut db = scene_db(&scene);
+        let (vis_len, vis_ms) = eval_ms(&mut db, &vis_q);
+        let (front_len, front_ms) = eval_ms(&mut db, &front_q);
         let mut db_scan = scene_db(&scene);
         db_scan.set_use_indexes(false);
-        let (vis_scan_len, vis_scan_ms) = eval_ms(&db_scan, &vis_q);
-        let (front_scan_len, front_scan_ms) = eval_ms(&db_scan, &front_q);
+        let (vis_scan_len, vis_scan_ms) = eval_ms(&mut db_scan, &vis_q);
+        let (front_scan_len, front_scan_ms) = eval_ms(&mut db_scan, &front_q);
         assert_eq!(
             vis_len, vis_scan_len,
             "quantifier probes must agree with reference scans ({rows}x{depth})"
@@ -377,13 +423,13 @@ fn e2c() -> (Vec<String>, f64) {
         let scene = dc_workload::scene(rows, depth, 2, 11);
         let sel_q = stacked_back_query();
         let imp_q = unburdened_front_query();
-        let db = scene_db(&scene);
-        let (sel_len, sel_ms) = eval_ms(&db, &sel_q);
-        let (imp_len, imp_ms) = eval_ms(&db, &imp_q);
+        let mut db = scene_db(&scene);
+        let (sel_len, sel_ms) = eval_ms(&mut db, &sel_q);
+        let (imp_len, imp_ms) = eval_ms(&mut db, &imp_q);
         let mut db_scan = scene_db(&scene);
         db_scan.set_use_indexes(false);
-        let (sel_scan_len, sel_scan_ms) = eval_ms(&db_scan, &sel_q);
-        let (imp_scan_len, imp_scan_ms) = eval_ms(&db_scan, &imp_q);
+        let (sel_scan_len, sel_scan_ms) = eval_ms(&mut db_scan, &sel_q);
+        let (imp_scan_len, imp_scan_ms) = eval_ms(&mut db_scan, &imp_q);
         assert_eq!(
             sel_len, sel_scan_len,
             "decorrelated probes must agree with reference scans ({rows}x{depth})"
@@ -462,13 +508,13 @@ fn e2d() -> (Vec<String>, f64) {
         let s = dc_workload::staffing(tasks, workers, tools, per_task, per_worker, requests, 11);
         let some_q = servable_request_query();
         let all_q = avoids_w0_request_query();
-        let db = staffing_db(&s);
-        let (some_len, some_ms) = eval_ms(&db, &some_q);
-        let (all_len, all_ms) = eval_ms(&db, &all_q);
+        let mut db = staffing_db(&s);
+        let (some_len, some_ms) = eval_ms(&mut db, &some_q);
+        let (all_len, all_ms) = eval_ms(&mut db, &all_q);
         let mut db_scan = staffing_db(&s);
         db_scan.set_use_indexes(false);
-        let (some_scan_len, some_scan_ms) = eval_ms(&db_scan, &some_q);
-        let (all_scan_len, all_scan_ms) = eval_ms(&db_scan, &all_q);
+        let (some_scan_len, some_scan_ms) = eval_ms(&mut db_scan, &some_q);
+        let (all_scan_len, all_scan_ms) = eval_ms(&mut db_scan, &all_q);
         assert_eq!(
             some_len, some_scan_len,
             "joint-key probes must agree with reference scans ({label})"
@@ -535,11 +581,11 @@ fn e3() {
     for depth in [8usize, 32, 128] {
         let base = dc_workload::chain(depth);
         let q = ahead_query();
-        let db_n = ahead_db(&base, Strategy::Naive);
-        let (len, _) = eval_ms(&db_n, &q);
+        let mut db_n = ahead_db(&base, Strategy::Naive);
+        let (len, _) = eval_ms(&mut db_n, &q);
         let naive_iters = db_n.last_fixpoint_stats().unwrap().iterations;
-        let db_s = ahead_db(&base, Strategy::SemiNaive);
-        let (_, _) = eval_ms(&db_s, &q);
+        let mut db_s = ahead_db(&base, Strategy::SemiNaive);
+        let (_, _) = eval_ms(&mut db_s, &q);
         let semi_iters = db_s.last_fixpoint_stats().unwrap().iterations;
         // The paper's bound: the limit is reached after finitely many
         // steps, ≈ longest path for the right-linear rule.
@@ -581,7 +627,7 @@ fn e4() {
         db.define_constructors(vec![paper::ahead_mutual(), paper::above()])
             .unwrap();
         let q = rel("Ontop").construct("above", vec![rel("Infront")]);
-        let (len, ms) = eval_ms(&db, &q);
+        let (len, ms) = eval_ms(&mut db, &q);
         let stats = db.last_fixpoint_stats().unwrap();
         assert_eq!(stats.equations, 2);
         println!(
@@ -611,10 +657,10 @@ fn e5() {
     assert_eq!(rf.len(), expected);
     let (tc, tc_ms) = time(|| transitive_closure(&base, 0, 1).unwrap());
     assert_eq!(tc.len(), expected);
-    let db_n = ahead_db(&base, Strategy::Naive);
-    let (_, cn_ms) = eval_ms(&db_n, &ahead_query());
-    let db_s = ahead_db(&base, Strategy::SemiNaive);
-    let (_, cs_ms) = eval_ms(&db_s, &ahead_query());
+    let mut db_n = ahead_db(&base, Strategy::Naive);
+    let (_, cn_ms) = eval_ms(&mut db_n, &ahead_query());
+    let mut db_s = ahead_db(&base, Strategy::SemiNaive);
+    let (_, cs_ms) = eval_ms(&mut db_s, &ahead_query());
     let ctor = paper::ahead();
     let shape = capture::detect_tc(&ctor).unwrap();
     let plan = capture::full_plan(&ctor, &shape, base.clone());

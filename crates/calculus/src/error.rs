@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use dc_governor::{InjectedFault, SolveError};
 use dc_relation::RelationError;
 use dc_value::{TypeError, ValueError};
 
@@ -47,12 +48,24 @@ pub enum EvalError {
     /// submitted to the checked API. Carries a description of the first
     /// offending occurrence.
     PositivityViolation(String),
-    /// The fixpoint iteration failed to converge within the step bound
-    /// (only reachable through the unchecked API — the paper's
-    /// `nonsense` constructor, §3.3).
+    /// The fixpoint iteration detected an oscillating (period-2)
+    /// iterate — only reachable through the unchecked API (the paper's
+    /// `nonsense` constructor, §3.3). Resource-exhaustion divergence is
+    /// [`SolveError::Diverged`] instead.
     NonConvergent {
         /// Steps executed before giving up.
         steps: usize,
+    },
+    /// A governed solve aborted: deadline, tuple budget, cancellation,
+    /// divergence, or an isolated worker panic. Carries the structured
+    /// taxonomy with diagnostics; the abort is atomic (the catalog is
+    /// left at its pre-solve state).
+    Solve(SolveError),
+    /// An armed failpoint injected an error (deterministic
+    /// fault-injection testing; see `dc_governor::fail`).
+    FaultInjected {
+        /// The failpoint site that fired.
+        site: String,
     },
     /// Anything else, with context.
     Other(String),
@@ -86,6 +99,10 @@ impl fmt::Display for EvalError {
             EvalError::NonConvergent { steps } => {
                 write!(f, "fixpoint iteration did not converge after {steps} steps")
             }
+            EvalError::Solve(e) => write!(f, "{e}"),
+            EvalError::FaultInjected { site } => {
+                write!(f, "injected fault at failpoint `{site}`")
+            }
             EvalError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -108,6 +125,20 @@ impl From<ValueError> for EvalError {
 impl From<RelationError> for EvalError {
     fn from(e: RelationError) -> Self {
         EvalError::Relation(e)
+    }
+}
+
+impl From<SolveError> for EvalError {
+    fn from(e: SolveError) -> Self {
+        EvalError::Solve(e)
+    }
+}
+
+impl From<InjectedFault> for EvalError {
+    fn from(e: InjectedFault) -> Self {
+        EvalError::FaultInjected {
+            site: e.site.to_string(),
+        }
     }
 }
 

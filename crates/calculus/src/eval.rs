@@ -74,6 +74,8 @@
 
 use std::sync::Arc;
 
+use dc_governor::fail::{self, Site};
+use dc_governor::{Meter, SolveError};
 use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
 use dc_value::{Attribute, Domain, FxHashMap, FxHashSet, Schema, Tuple, Value};
@@ -164,6 +166,10 @@ pub struct Evaluator<'a> {
     /// Scan-side cardinality floor for parallel dispatch — see
     /// [`PARALLEL_SCAN_THRESHOLD`].
     parallel_threshold: usize,
+    /// The armed budget governing this evaluation, if any: ticked at
+    /// the executor leaves (and handed to worker shards through the
+    /// job), with emitted tuples counted against its ceiling.
+    budget: Option<Meter>,
     /// The catalog data version the syntax-keyed caches were filled
     /// under; on mismatch every cache is dropped (mid-solve delta
     /// commits, see [`Catalog::version`]).
@@ -193,6 +199,7 @@ impl<'a> Evaluator<'a> {
             nested_loop_only: false,
             threads: 1,
             parallel_threshold: PARALLEL_SCAN_THRESHOLD,
+            budget: None,
             cache_version: catalog.version(),
             plan_notes: Vec::new(),
             noted: FxHashSet::default(),
@@ -225,6 +232,22 @@ impl<'a> Evaluator<'a> {
     pub fn with_parallel_threshold(mut self, threshold: usize) -> Evaluator<'a> {
         self.parallel_threshold = threshold;
         self
+    }
+
+    /// Govern this evaluation with an armed budget [`Meter`]: the
+    /// executor leaves tick it (observing deadlines, cancellation, and
+    /// the tuple ceiling), worker shards share it through the job, and
+    /// trips surface as [`EvalError::Solve`]. Clones share one gauge,
+    /// so a solver hands the *same* meter to every branch evaluator of
+    /// one solve.
+    pub fn with_meter(mut self, meter: Meter) -> Evaluator<'a> {
+        self.budget = Some(meter);
+        self
+    }
+
+    /// The meter installed by [`Evaluator::with_meter`], if any.
+    pub fn meter(&self) -> Option<&Meter> {
+        self.budget.as_ref()
     }
 
     /// The planner trace: one line per demotion or abandoned rewrite
@@ -419,10 +442,7 @@ impl<'a> Evaluator<'a> {
             }
             let schema = self.branch_schema(branch, &ranges, bindings)?;
             let out = match &mut result {
-                None => {
-                    result = Some(Relation::new(schema));
-                    result.as_mut().unwrap()
-                }
+                none @ None => none.insert(Relation::new(schema)),
                 Some(rel) => {
                     if !rel.schema().union_compatible(&schema) {
                         return Err(EvalError::Type(dc_value::TypeError::SchemaMismatch {
@@ -438,7 +458,9 @@ impl<'a> Evaluator<'a> {
             self.eval_branch(branch, &ranges, bindings, &mut scratch)?;
             dc_relation::algebra::union_into(out, &scratch)?;
         }
-        Ok(result.unwrap())
+        // The empty-branches guard above filled `result` on the first
+        // iteration; report rather than panic if that ever changes.
+        result.ok_or_else(|| EvalError::Other("set former produced no result relation".into()))
     }
 
     /// Evaluate one branch: index-nested-loop when the predicate offers
@@ -483,15 +505,43 @@ impl<'a> Evaluator<'a> {
                     .collect();
                 let plan = joinplan::plan_branch(branch, &schemas, &stats);
                 if plan.has_probe() {
-                    if let Some(steps) = self.compile_plan(branch, &plan, ranges, bindings) {
+                    if let Some(steps) = self.compile_plan(branch, &plan, ranges, bindings)? {
                         if let Some(job) =
                             self.parallel_job(branch, &steps, ranges, bindings, out.schema())
                         {
-                            let part =
-                                dc_exec::execute(&job, self.threads).map_err(exec_to_eval_error)?;
-                            dc_relation::algebra::union_into(out, &part)
-                                .map_err(EvalError::from)?;
-                            return Ok(());
+                            match dc_exec::execute(&job, self.threads) {
+                                Ok(part) => {
+                                    dc_relation::algebra::union_into(out, &part)
+                                        .map_err(EvalError::from)?;
+                                    return Ok(());
+                                }
+                                // Graceful degradation: a panicking
+                                // worker must never change the answer
+                                // or kill the process. Retry the branch
+                                // once on the sequential reference path
+                                // — nothing was merged into `out`, so
+                                // the retry starts clean. A second
+                                // failure there is a real error and
+                                // propagates.
+                                Err(dc_exec::ExecError::WorkerPanic { message }) => {
+                                    if let Some(m) = &self.budget {
+                                        m.note_retried();
+                                    }
+                                    self.plan_note(format!(
+                                        "parallel dispatch: worker panicked ({message}) — \
+                                         branch degraded to the sequential path"
+                                    ));
+                                    let r =
+                                        self.exec_plan(branch, &steps, ranges, 0, bindings, out);
+                                    if r.is_ok() {
+                                        if let Some(m) = &self.budget {
+                                            m.note_degraded();
+                                        }
+                                    }
+                                    return r;
+                                }
+                                Err(e) => return Err(exec_to_eval_error(e)),
+                            }
                         }
                         return self.exec_plan(branch, &steps, ranges, 0, bindings, out);
                     }
@@ -507,14 +557,16 @@ impl<'a> Evaluator<'a> {
     /// attributes, unresolvable parameters/outer variables, or keys
     /// whose base type differs from the probed column (where hash
     /// equality and `=` semantics diverge) — are demoted back to the
-    /// residual predicate. Returns `None` when no probe survives.
+    /// residual predicate. Returns `Ok(None)` when no probe survives;
+    /// the only error channel is index acquisition (a governed abort or
+    /// an injected fault).
     fn compile_plan(
         &mut self,
         branch: &Branch,
         plan: &BranchPlan,
         ranges: &[Relation],
         bindings: &Vec<Binding>,
-    ) -> Option<Vec<CompiledStep>> {
+    ) -> Result<Option<Vec<CompiledStep>>, EvalError> {
         let base_slot = bindings.len();
         let mut slot_of = vec![usize::MAX; branch.bindings.len()];
         let mut steps = Vec::with_capacity(plan.steps.len());
@@ -567,7 +619,7 @@ impl<'a> Evaluator<'a> {
                             &branch.bindings[step.position].1,
                             &ranges[step.position],
                             &positions,
-                        );
+                        )?;
                         CompiledAccess::Probe { index, keys }
                     }
                 }
@@ -577,7 +629,7 @@ impl<'a> Evaluator<'a> {
                 access,
             });
         }
-        any_probe.then_some(steps)
+        Ok(any_probe.then_some(steps))
     }
 
     /// Lower a compiled branch plan into a self-contained
@@ -602,6 +654,10 @@ impl<'a> Evaluator<'a> {
     /// the pure IR — never the catalog, so interior mutability
     /// ([`std::cell::RefCell`] solver state, database caches) stays on
     /// this thread.
+    // `slot_of` expects: `compile_plan` emits exactly one step per
+    // binding position (it iterates `plan.steps`, which `plan_branch`
+    // builds as a permutation of the positions), so every lookup hits.
+    #[allow(clippy::expect_used)]
     fn parallel_job(
         &mut self,
         branch: &Branch,
@@ -677,6 +733,7 @@ impl<'a> Evaluator<'a> {
             steps: job_steps,
             filter,
             target,
+            budget: self.budget.clone(),
         })
     }
 
@@ -777,24 +834,27 @@ impl<'a> Evaluator<'a> {
         range: &RangeExpr,
         rel: &Relation,
         positions: &[usize],
-    ) -> Arc<HashIndex> {
+    ) -> Result<Arc<HashIndex>, EvalError> {
+        // Fallible only through the `index_build` failpoint
+        // (fault-injection testing); the build itself cannot fail.
+        fail::check(Site::IndexBuild)?;
         if let RangeExpr::Rel(name) = range {
             if let Some(idx) = self.catalog.index(name, positions) {
                 debug_assert_eq!(idx.len(), rel.len(), "catalog index out of sync for {name}");
-                return idx;
+                return Ok(idx);
             }
         }
         if self.param_frames.is_empty() && is_binding_free(range) {
             self.validate_caches();
             let key = (range.clone(), positions.to_vec());
             if let Some(hit) = self.index_cache.get(&key) {
-                return hit.clone();
+                return Ok(hit.clone());
             }
             let idx = Arc::new(HashIndex::build(rel, positions.to_vec()));
             self.index_cache.insert(key, idx.clone());
-            return idx;
+            return Ok(idx);
         }
-        Arc::new(HashIndex::build(rel, positions.to_vec()))
+        Ok(Arc::new(HashIndex::build(rel, positions.to_vec())))
     }
 
     /// Statistics for a probed range. Catalogs that maintain statistics
@@ -918,7 +978,7 @@ impl<'a> Evaluator<'a> {
         let index = if cacheable {
             // Catalog-maintained or evaluator-cached — `obtain_index`
             // never builds a throwaway on this path.
-            self.obtain_index(range, rel, &positions)
+            self.obtain_index(range, rel, &positions)?
         } else {
             // Named range under a parameter frame: only a
             // catalog-maintained index amortises; building one per
@@ -1164,6 +1224,7 @@ impl<'a> Evaluator<'a> {
         &mut self,
         range: &RangeExpr,
     ) -> Result<Option<Arc<DecorrEntry>>, EvalError> {
+        fail::check(Site::DecorrBuild)?;
         let Some((branch, arg_checks)) = self.as_correlated_branch(range) else {
             self.plan_note(format!(
                 "decorrelation: unsupported range shape — residual scan ({range})"
@@ -1298,10 +1359,13 @@ impl<'a> Evaluator<'a> {
         // target) on some combinations, so an error here must not
         // surface — abandon the rewrite and let the scan decide.
         let mut inner: Vec<Binding> = Vec::new();
-        if self
-            .eval_branch(&synth, &ranges, &mut inner, &mut combined)
-            .is_err()
-        {
+        if let Err(e) = self.eval_branch(&synth, &ranges, &mut inner, &mut combined) {
+            // Governed aborts and injected faults are not evaluation
+            // outcomes the scan could reproduce — they must propagate,
+            // not demote the rewrite.
+            if matches!(e, EvalError::Solve(_) | EvalError::FaultInjected { .. }) {
+                return Err(e);
+            }
             self.plan_note(format!(
                 "decorrelation: residual evaluation errored — \
                  abandoned, residual scan ({range})"
@@ -1489,6 +1553,12 @@ impl<'a> Evaluator<'a> {
         bindings: &mut Vec<Binding>,
         out: &mut Relation,
     ) -> Result<(), EvalError> {
+        // The budget tick point of both sequential executors: one
+        // relaxed increment per combination, the wall clock only every
+        // `DEADLINE_STRIDE`th call.
+        if let Some(m) = &self.budget {
+            m.tick().map_err(SolveError::from_trip)?;
+        }
         if self.eval_formula(&branch.predicate, bindings)? {
             let tuple = match &branch.target {
                 Target::Var(v) => lookup(bindings, v)?.tuple.clone(),
@@ -1501,6 +1571,9 @@ impl<'a> Evaluator<'a> {
                 }
             };
             out.insert(tuple)?;
+            if let Some(m) = &self.budget {
+                m.add_tuples(1).map_err(SolveError::from_trip)?;
+            }
         }
         Ok(())
     }
@@ -1772,6 +1845,10 @@ impl DecorrEntry {
 /// The target of a branch as scalar expressions, parallel to the
 /// element schema synthesised by `Evaluator::branch_schema`: a `Var`
 /// target expands to one attribute expression per column of its range.
+// The expect holds by construction: callers only reach this through
+// `decorrelate_branch`, which rejects branches whose target variable
+// is not one of the bindings.
+#[allow(clippy::expect_used)]
 fn element_exprs(branch: &Branch, schemas: &[&Schema]) -> Vec<ScalarExpr> {
     match &branch.target {
         Target::Var(v) => {
@@ -1817,12 +1894,20 @@ enum CompiledKey {
 
 /// Map a worker-side error into the evaluator's error type. The
 /// variants correspond one to one: the pure IR can only raise the
-/// errors a pure predicate/target raises on the sequential path.
+/// errors a pure predicate/target raises on the sequential path, plus
+/// the governance outcomes (budget trips, injected faults, and — if
+/// the degradation retry declined to handle it — a worker panic).
 fn exec_to_eval_error(e: dc_exec::ExecError) -> EvalError {
     match e {
         dc_exec::ExecError::CrossType { lhs, rhs } => EvalError::CrossTypeComparison { lhs, rhs },
         dc_exec::ExecError::Value(v) => EvalError::Value(v),
         dc_exec::ExecError::Relation(r) => EvalError::Relation(r),
+        dc_exec::ExecError::WorkerPanic { message } => EvalError::Solve(SolveError::WorkerPanic {
+            message,
+            diag: dc_governor::SolveDiag::default(),
+        }),
+        dc_exec::ExecError::Budget(trip) => EvalError::Solve(SolveError::from_trip(trip)),
+        dc_exec::ExecError::FaultInjected(f) => EvalError::from(f),
     }
 }
 

@@ -779,7 +779,22 @@ pub fn plan_branch(branch: &Branch, schemas: &[&Schema], stats: &[RelationStats]
                 best = Some((est, p, usable));
             }
         }
-        let (_, p, usable) = best.expect("an unbound position always exists");
+        // `steps.len() < n` guarantees at least one unbound position,
+        // so the inner loop always proposes a candidate. If the
+        // invariant were ever violated, fall back to scanning the
+        // remaining positions rather than panicking in the planner.
+        let Some((_, p, usable)) = best else {
+            debug_assert!(false, "an unbound position always exists");
+            for (p, b) in bound.iter().enumerate() {
+                if !b {
+                    steps.push(PlanStep {
+                        position: p,
+                        access: Access::Scan,
+                    });
+                }
+            }
+            break;
+        };
         bound[p] = true;
         let access = if usable.is_empty() {
             Access::Scan

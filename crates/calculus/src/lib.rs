@@ -39,6 +39,12 @@
 //! * [`typeck`] — static checking of attribute references, comparability,
 //!   and union compatibility across set-former branches.
 
+// Evaluation errors must surface as `EvalError`, not panics: the
+// library runs user-shaped queries. `unwrap`/`expect` are opt-in per
+// site with a justification of why the invariant cannot fail.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
 pub mod builder;
 pub mod env;

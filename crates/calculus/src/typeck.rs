@@ -212,7 +212,9 @@ fn check_range_scoped(
                     }
                 }
             }
-            Ok(result.unwrap())
+            // The empty-branches case returned above, so at least one
+            // iteration populated `result`.
+            result.ok_or_else(|| EvalError::Other("set former with no branches".into()))
         }
     }
 }

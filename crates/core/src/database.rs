@@ -13,6 +13,7 @@ use std::sync::Arc;
 use dc_calculus::ast::{Name, SelectorDef};
 use dc_calculus::typeck::{self, ConstructorSig, SchemaCatalog};
 use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator, RangeExpr};
+use dc_governor::{Budget, SolveDiag, SolveError};
 use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
 use dc_value::{FxHashMap, FxHashSet, Schema, Tuple, Value};
@@ -102,6 +103,19 @@ impl Database {
     /// setting; only wall-clock time changes.
     pub fn set_threads(&mut self, threads: usize) {
         self.config.threads = threads;
+        self.invalidate();
+    }
+
+    /// Attach (or, with `None`, remove) a resource budget governing
+    /// every solve and top-level query evaluation: wall-clock deadline,
+    /// materialised-tuple ceiling, round ceiling, and/or a cooperative
+    /// [`dc_governor::CancelToken`]. The budget is armed (clock
+    /// captured) per solve. A tripped budget aborts *atomically* — the
+    /// database is left at its pre-solve state, and the structured
+    /// [`dc_governor::SolveError`] carries the only trace of the
+    /// aborted work.
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        self.config.budget = budget;
         self.invalidate();
     }
 
@@ -290,7 +304,9 @@ impl Database {
     /// Define a constructor *without* the positivity check — the
     /// paper's discussion path for `strange` (§3.3). Such constructors
     /// force the naive strategy and may fail at evaluation time with
-    /// [`EvalError::NonConvergent`].
+    /// [`EvalError::NonConvergent`] (detected period-2 oscillation) or
+    /// [`dc_governor::SolveError::Diverged`] (round allowance exhausted
+    /// without convergence).
     pub fn define_constructor_unchecked(&mut self, c: Constructor) -> Result<(), CoreError> {
         let name = c.name.clone();
         self.define_constructor_group(vec![c], true)?;
@@ -368,7 +384,15 @@ impl Database {
     /// An evaluator over this database honouring the index and
     /// parallel-execution configuration.
     pub fn evaluator(&self) -> Evaluator<'_> {
-        let ev = Evaluator::new(self);
+        let mut ev = Evaluator::new(self);
+        if let Some(budget) = &self.config.budget {
+            // Top-level query governance: arm the configured budget for
+            // this evaluation. (Constructor applications dispatched
+            // through `apply_constructor` arm their own per-solve
+            // meter, so a solve's deadline is never pre-aged by query
+            // time spent before it.)
+            ev = ev.with_meter(budget.meter());
+        }
         if self.config.use_indexes {
             ev.with_threads(dc_exec::thread_count(self.config.threads))
                 .with_parallel_threshold(self.config.parallel_threshold)
@@ -472,7 +496,36 @@ impl Catalog for Database {
         if self.unchecked.contains(name) {
             cfg.strategy = Strategy::Naive;
         }
-        let (value, stats) = fixpoint::solve(self, name, base, args, scalar_args, &cfg)?;
+        // The solve runs behind a panic-isolation boundary: a panic
+        // anywhere inside (evaluator, planner, a bug in a body) becomes
+        // a structured `WorkerPanic` instead of tearing the process
+        // down. `AssertUnwindSafe` is sound here because the solve
+        // never mutates `self.relations` — the only state it touches
+        // through `&self` are the demand-built caches (indexes, stats,
+        // decorrelation entries), which are rebuilt on demand and whose
+        // `RefCell` borrows are released during unwinding. Together
+        // with the success-only inserts below, this makes every abort
+        // atomic: the database is observationally at its pre-solve
+        // snapshot.
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fixpoint::solve(self, name, base, args, scalar_args, &cfg)
+        }));
+        let (value, stats) = match solved {
+            Ok(result) => result?,
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "opaque panic payload".to_string()
+                };
+                return Err(EvalError::Solve(SolveError::WorkerPanic {
+                    message,
+                    diag: SolveDiag::default(),
+                }));
+            }
+        };
         *self.last_stats.borrow_mut() = Some(stats);
         self.solved.borrow_mut().insert(key, value.clone());
         Ok(value)

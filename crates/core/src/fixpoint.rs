@@ -43,6 +43,8 @@ use dc_calculus::ast::{Branch, Name, RangeExpr, SetFormer};
 use dc_calculus::env::Overlay;
 use dc_calculus::rewrite;
 use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator};
+use dc_governor::fail::{self, Site};
+use dc_governor::{Budget, Meter, SolveDiag, SolveError};
 use dc_index::{HashIndex, RelationStats, StatsBuilder};
 use dc_relation::{algebra, Relation};
 use dc_value::{FxHashMap, Value};
@@ -86,6 +88,13 @@ pub struct FixpointConfig {
     /// [`dc_calculus::PARALLEL_SCAN_THRESHOLD`]). Differential tests
     /// lower it to force the parallel path on small inputs.
     pub parallel_threshold: usize,
+    /// Resource envelope for each solve, if any. The budget is *armed*
+    /// (clock captured) at the start of every solve, so a 10 ms
+    /// deadline means 10 ms per solve, not 10 ms since configuration.
+    /// A tripped budget aborts atomically with a structured
+    /// [`dc_governor::SolveError`]; `None` means unlimited (counters
+    /// are still kept and reported through [`FixpointStats`]).
+    pub budget: Option<Budget>,
 }
 
 impl Default for FixpointConfig {
@@ -96,6 +105,7 @@ impl Default for FixpointConfig {
             use_indexes: true,
             threads: 0,
             parallel_threshold: dc_calculus::PARALLEL_SCAN_THRESHOLD,
+            budget: None,
         }
     }
 }
@@ -115,6 +125,15 @@ pub struct FixpointStats {
     /// across rounds (equation values, equation overrides, and base
     /// relations) — observability for the scan→probe architecture.
     pub maintained_indexes: usize,
+    /// Budget checks performed (evaluator/worker ticks + round checks).
+    /// Non-zero even on unbounded solves — the meter always counts.
+    pub budget_checks: u64,
+    /// Branches that completed on the sequential reference path after a
+    /// parallel-execution failure (graceful degradation).
+    pub degraded_branches: u64,
+    /// Sequential retry attempts after parallel-execution failures
+    /// (each attempt, whether or not it succeeded).
+    pub retried_branches: u64,
 }
 
 /// Where the solver finds constructor definitions and base data.
@@ -246,8 +265,8 @@ fn classify_branch(b: &Branch) -> BranchClass {
 
 /// One instantiated equation of the system.
 struct Equation {
-    /// The application identity (kept for debugging/explain output).
-    #[allow(dead_code)]
+    /// The application identity (diagnostics: trip sites name the
+    /// offending equation by constructor).
     key: AppKey,
     /// Body with the constructor's scalar parameters substituted.
     /// Shared behind an `Arc` so per-round evaluation clones a pointer,
@@ -391,8 +410,9 @@ impl State {
 }
 
 /// The execution knobs every solver-spawned evaluator shares: index
-/// usage plus the (already resolved) parallel-dispatch configuration.
-#[derive(Debug, Clone, Copy)]
+/// usage, the (already resolved) parallel-dispatch configuration, and
+/// the solve's armed budget meter.
+#[derive(Debug, Clone)]
 struct ExecKnobs {
     /// See [`FixpointConfig::use_indexes`].
     use_indexes: bool,
@@ -401,6 +421,11 @@ struct ExecKnobs {
     threads: usize,
     /// See [`FixpointConfig::parallel_threshold`].
     parallel_threshold: usize,
+    /// The armed budget gauge: one per solve, shared (clones share
+    /// counters) by the solver loop, every branch evaluator, and every
+    /// worker shard. Always armed — an unlimited meter never trips but
+    /// keeps the governance counters [`FixpointStats`] reports.
+    budget: Meter,
 }
 
 impl ExecKnobs {
@@ -409,6 +434,7 @@ impl ExecKnobs {
             use_indexes: cfg.use_indexes,
             threads: dc_exec::thread_count(cfg.threads),
             parallel_threshold: cfg.parallel_threshold,
+            budget: cfg.budget.clone().unwrap_or_default().meter(),
         }
     }
 }
@@ -429,7 +455,7 @@ impl SolverCatalog<'_> {
     /// nested-loop evaluator never builds plans, so handing it workers
     /// would be dead configuration.
     fn evaluator<'e>(&self, overlay: &'e Overlay<'_>) -> Evaluator<'e> {
-        let ev = Evaluator::new(overlay);
+        let ev = Evaluator::new(overlay).with_meter(self.knobs.budget.clone());
         if self.knobs.use_indexes {
             ev.with_threads(self.knobs.threads)
                 .with_parallel_threshold(self.knobs.parallel_threshold)
@@ -470,7 +496,7 @@ impl Catalog for SolverCatalog<'_> {
         // Eagerly instantiate the applications in the new body so that
         // mutually recursive peers exist from the first round (§3.2
         // instantiates the whole system up front).
-        seed_equation(self.source, self.state, i, self.knobs)?;
+        seed_equation(self.source, self.state, i, &self.knobs)?;
         Ok(self.state.borrow().current[i].clone())
     }
 
@@ -579,7 +605,7 @@ fn seed_equation(
     source: &dyn ConstructorSource,
     state: &RefCell<State>,
     i: usize,
-    knobs: ExecKnobs,
+    knobs: &ExecKnobs,
 ) -> Result<(), EvalError> {
     let (body, overrides) = {
         let st = state.borrow();
@@ -591,7 +617,7 @@ fn seed_equation(
     let catalog = SolverCatalog {
         source,
         state,
-        knobs,
+        knobs: knobs.clone(),
     };
     let apps = rewrite::collect_constructed(&RangeExpr::SetFormer((*body).clone()));
     for app in apps {
@@ -667,7 +693,8 @@ pub fn solve(
         .borrow_mut()
         .register(source, root_key.clone(), base, args, scalar_args)?;
     let knobs = ExecKnobs::of(cfg);
-    seed_equation(source, &state, 0, knobs)?;
+    let meter = knobs.budget.clone();
+    seed_equation(source, &state, 0, &knobs)?;
     let catalog = SolverCatalog {
         source,
         state: &state,
@@ -681,9 +708,20 @@ pub fn solve(
     loop {
         iterations += 1;
         if iterations > cfg.max_iterations {
-            return Err(EvalError::NonConvergent {
-                steps: iterations - 1,
-            });
+            // Round-allowance exhaustion is a divergence verdict, with
+            // enough diagnostics to distinguish a genuinely divergent
+            // system (growing delta) from a slow convergent one.
+            return Err(EvalError::Solve(SolveError::Diverged {
+                diag: round_diag(
+                    &state,
+                    &meter,
+                    iterations - 1,
+                    vec![format!(
+                        "max_iterations ({}) exhausted without convergence",
+                        cfg.max_iterations
+                    )],
+                ),
+            }));
         }
         let n = state.borrow().equations.len();
         // Staged results: Jacobi-style simultaneous update, matching the
@@ -692,9 +730,15 @@ pub fn solve(
         // re-diffs nor copies the accumulated relation.
         let mut staged: Vec<RoundResult> = Vec::with_capacity(n);
         for i in 0..n {
-            staged.push(evaluate_equation(&catalog, &state, i, cfg.strategy)?);
+            staged.push(
+                evaluate_equation(&catalog, &state, i, cfg.strategy)
+                    .map_err(|e| enrich_solve_error(e, &state, &meter, i, iterations - 1))?,
+            );
         }
-        // Commit.
+        // Commit (with the `delta_commit` fault-injection site guarding
+        // the atomic-abort property: an abort here must leave every
+        // caller-visible relation untouched).
+        fail::check(Site::DeltaCommit)?;
         let mut changed = false;
         {
             let mut st = state.borrow_mut();
@@ -761,6 +805,16 @@ pub fn solve(
         if !changed && !grew {
             break;
         }
+        // Round boundary: unconditional deadline/cancellation reads plus
+        // the budget's round ceiling. Checked only when another round is
+        // coming — a solve that just converged is a result, not a trip.
+        meter.check_round(iterations as u64).map_err(|trip| {
+            let mut se = SolveError::from_trip(trip);
+            let extra_notes = std::mem::take(&mut se.diag_mut().notes);
+            *se.diag_mut() = round_diag(&state, &meter, iterations, extra_notes);
+            se.diag_mut().site = format!("round boundary after round {iterations}");
+            EvalError::Solve(se)
+        })?;
         // Oscillation detection for non-monotone systems (the paper's
         // `nonsense`): state equals the state two rounds ago but not the
         // previous one ⇒ period-2 cycle, no limit exists. Semi-naive
@@ -791,8 +845,63 @@ pub fn solve(
                 .map(NamedIndexMap::len)
                 .sum::<usize>()
             + st.base_indexes.len(),
+        budget_checks: meter.checks(),
+        degraded_branches: meter.degraded(),
+        retried_branches: meter.retried(),
     };
     Ok((st.current[root_idx].clone(), stats))
+}
+
+/// Snapshot the solve's progress for a [`SolveDiag`]: rounds completed,
+/// tuples materialised so far, and the total size of the last committed
+/// deltas.
+fn round_diag(
+    state: &RefCell<State>,
+    meter: &Meter,
+    rounds: usize,
+    notes: Vec<String>,
+) -> SolveDiag {
+    let st = state.borrow();
+    SolveDiag {
+        rounds: rounds as u64,
+        tuples: meter.tuples(),
+        last_delta: st.delta.iter().map(Relation::len).sum::<usize>() as u64,
+        site: String::new(),
+        notes,
+    }
+}
+
+/// Enrich a [`SolveError`] escaping equation evaluation with what the
+/// solver knows: the offending equation (index and constructor name),
+/// rounds completed, tuples materialised, and the last committed delta
+/// size. Non-governance errors pass through untouched.
+fn enrich_solve_error(
+    e: EvalError,
+    state: &RefCell<State>,
+    meter: &Meter,
+    eq_idx: usize,
+    completed_rounds: usize,
+) -> EvalError {
+    let EvalError::Solve(mut se) = e else {
+        return e;
+    };
+    {
+        let st = state.borrow();
+        let d = se.diag_mut();
+        d.rounds = completed_rounds as u64;
+        d.tuples = meter.tuples();
+        d.last_delta = st.delta.iter().map(Relation::len).sum::<usize>() as u64;
+        let here = format!(
+            "equation {eq_idx} (`{}`)",
+            st.equations[eq_idx].key.constructor()
+        );
+        d.site = if d.site.is_empty() {
+            here
+        } else {
+            format!("{here}, {}", d.site)
+        };
+    }
+    EvalError::Solve(se)
 }
 
 /// Incremental index maintenance: `add` each newly committed tuple to
@@ -1064,6 +1173,19 @@ fn eval_single_branch(
     let out = ev.eval(&RangeExpr::SetFormer(SetFormer {
         branches: vec![branch],
     }));
+    // A governed abort names the branch and carries the evaluator's
+    // planner trace (access-path decisions, degradations) out with it —
+    // aborts are atomic, so this is the only trace the solve leaves.
+    let out = out.map_err(|mut e| {
+        if let EvalError::Solve(se) = &mut e {
+            let d = se.diag_mut();
+            if d.site.is_empty() {
+                d.site = format!("branch {branch_idx}");
+            }
+            d.notes.extend(ev.plan_notes().iter().cloned());
+        }
+        e
+    });
     harvest_overlay(catalog, eq_idx, &overlay, &cur_markers);
     out
 }

@@ -42,6 +42,21 @@
 //! same already-documented divergence the index-nested-loop path has
 //! for error *masking* — but error presence/absence never differs:
 //! both paths visit exactly the combinations the probe keys admit.
+//!
+//! # Fault tolerance
+//!
+//! Each shard runs under `catch_unwind`: a panicking worker yields a
+//! deterministic [`ExecError::WorkerPanic`] instead of aborting the
+//! process (the evaluator then degrades the branch to its sequential
+//! reference path). Jobs may carry an armed [`dc_governor::Meter`];
+//! workers tick it per scan tuple and per leaf combination, so
+//! deadlines, tuple ceilings, and cancellation are observed mid-shard.
+
+// A worker panic must become an error, never a process abort — so the
+// library itself must not panic on user-shaped input. `unwrap`/`expect`
+// are opt-in per site with a safety justification.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod partition;
 mod plan;
@@ -59,7 +74,10 @@ pub use worker::execute;
 /// * `requested == 0` — "auto": the `DC_THREADS` environment variable
 ///   if set to a positive integer, otherwise
 ///   [`std::thread::available_parallelism`] (falling back to `1` where
-///   the platform cannot report it).
+///   the platform cannot report it). An *invalid* `DC_THREADS` (empty,
+///   zero, non-numeric) is parsed strictly: it warns once to stderr and
+///   falls back to available parallelism — it is never silently
+///   ignored.
 ///
 /// ```
 /// assert_eq!(dc_exec::thread_count(4), 4);
@@ -71,10 +89,15 @@ pub fn thread_count(requested: usize) -> usize {
         return requested;
     }
     if let Ok(v) = std::env::var("DC_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        match dc_governor::envcfg::parse_positive(&v) {
+            Ok(n) => return n,
+            Err(reason) => dc_governor::envcfg::warn_once(
+                "DC_THREADS",
+                &format!(
+                    "ignoring DC_THREADS={v:?}: {reason}; \
+                     falling back to available parallelism"
+                ),
+            ),
         }
     }
     std::thread::available_parallelism()

@@ -12,6 +12,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use dc_governor::{InjectedFault, Meter, Trip};
 use dc_index::HashIndex;
 use dc_relation::{Relation, RelationError};
 use dc_value::{Schema, Tuple, Value, ValueError};
@@ -154,6 +155,10 @@ pub struct Job {
     pub filter: BoolExpr,
     /// The output clause.
     pub target: Target,
+    /// The solve's armed budget, if governed: workers tick it per scan
+    /// tuple and per leaf combination, and count emitted tuples
+    /// against its ceiling. Clones share one gauge across all shards.
+    pub budget: Option<Meter>,
 }
 
 /// Errors a worker can raise. Mirrors the subset of the calculus's
@@ -172,6 +177,18 @@ pub enum ExecError {
     Value(ValueError),
     /// Relation-level error (key violation across the output).
     Relation(RelationError),
+    /// A worker shard panicked; the panic was caught at the shard
+    /// boundary and converted into this deterministic error (the
+    /// evaluator degrades to the sequential path on seeing it).
+    WorkerPanic {
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// The job's budget tripped mid-shard (deadline, tuple ceiling, or
+    /// cancellation).
+    Budget(Trip),
+    /// An armed failpoint injected an error (fault-injection testing).
+    FaultInjected(InjectedFault),
 }
 
 impl fmt::Display for ExecError {
@@ -180,6 +197,9 @@ impl fmt::Display for ExecError {
             ExecError::CrossType { lhs, rhs } => write!(f, "cannot compare {lhs} with {rhs}"),
             ExecError::Value(e) => write!(f, "{e}"),
             ExecError::Relation(e) => write!(f, "{e}"),
+            ExecError::WorkerPanic { message } => write!(f, "worker panicked: {message}"),
+            ExecError::Budget(trip) => write!(f, "budget tripped in worker: {trip}"),
+            ExecError::FaultInjected(e) => write!(f, "{e}"),
         }
     }
 }
@@ -195,6 +215,18 @@ impl From<ValueError> for ExecError {
 impl From<RelationError> for ExecError {
     fn from(e: RelationError) -> ExecError {
         ExecError::Relation(e)
+    }
+}
+
+impl From<Trip> for ExecError {
+    fn from(t: Trip) -> ExecError {
+        ExecError::Budget(t)
+    }
+}
+
+impl From<InjectedFault> for ExecError {
+    fn from(e: InjectedFault) -> ExecError {
+        ExecError::FaultInjected(e)
     }
 }
 

@@ -1,7 +1,10 @@
 //! The scoped worker pool and the deterministic merge.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::thread;
 
+use dc_governor::fail::{self, Site};
+use dc_governor::Meter;
 use dc_relation::{algebra, Relation};
 use dc_value::{Tuple, Value};
 
@@ -50,6 +53,7 @@ use crate::Partitioner;
 ///         ValExpr::Field { slot: 0, pos: 0 },
 ///         ValExpr::Field { slot: 1, pos: 1 },
 ///     ]),
+///     budget: None,
 /// };
 /// // Bit-identical output for every worker count.
 /// let sequential = execute(&job, 1).unwrap();
@@ -60,16 +64,26 @@ use crate::Partitioner;
 pub fn execute(job: &Job, threads: usize) -> Result<Relation, ExecError> {
     let shards = Partitioner::new(threads.min(job.scan.len())).split(&job.scan);
     if shards.len() == 1 {
-        return run_shard(job, &shards[0]);
+        return run_shard_isolated(job, &shards[0]);
     }
     let results: Vec<Result<Relation, ExecError>> = thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
-            .map(|shard| scope.spawn(move || run_shard(job, shard)))
+            .map(|shard| scope.spawn(move || run_shard_isolated(job, shard)))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("dc-exec worker panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // `run_shard_isolated` already catches unwinds; this
+                // arm only fires on a panic *inside* catch_unwind's own
+                // machinery (or an abort-on-drop edge). Still convert
+                // rather than re-panic: a worker failure must never
+                // take the process down.
+                Err(payload) => Err(ExecError::WorkerPanic {
+                    message: panic_message(payload.as_ref()),
+                }),
+            })
             .collect()
     });
     // Merge in shard order: determinism of both the result (a set — the
@@ -82,14 +96,50 @@ pub fn execute(job: &Job, threads: usize) -> Result<Relation, ExecError> {
     Ok(out)
 }
 
+/// Render a caught panic payload (the conventional `&str`/`String`
+/// forms; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The panic-isolation boundary: a worker shard that panics yields a
+/// deterministic [`ExecError::WorkerPanic`] instead of unwinding into
+/// (and aborting) the pool. Applied on the inline single-shard path
+/// too, so behaviour does not depend on how the scan happened to
+/// shard.
+///
+/// `AssertUnwindSafe` is sound here: `run_shard` reads only the shared
+/// immutable `Job` and its own locals; on unwind the locals (including
+/// the partial output relation) are dropped wholesale, so no
+/// half-updated state outlives the catch.
+fn run_shard_isolated(job: &Job, shard: &[Tuple]) -> Result<Relation, ExecError> {
+    match panic::catch_unwind(AssertUnwindSafe(|| run_shard(job, shard))) {
+        Ok(r) => r,
+        Err(payload) => Err(ExecError::WorkerPanic {
+            message: panic_message(payload.as_ref()),
+        }),
+    }
+}
+
 /// Run the whole plan for one shard of the scan side.
 fn run_shard(job: &Job, shard: &[Tuple]) -> Result<Relation, ExecError> {
+    fail::check(Site::WorkerStart)?;
     let mut out = Relation::new(job.schema.clone());
     let mut slots: Vec<&Tuple> = Vec::with_capacity(job.steps.len() + 1);
     let mut key_buf: Vec<Vec<Value>> = vec![Vec::new(); job.steps.len()];
+    let meter = job.budget.as_ref();
     for t in shard {
+        if let Some(m) = meter {
+            m.tick()?;
+        }
         slots.push(t);
-        let r = descend(job, 0, &mut slots, &mut key_buf, &mut out);
+        let r = descend(job, 0, &mut slots, &mut key_buf, meter, &mut out);
         slots.pop();
         r?;
     }
@@ -104,9 +154,15 @@ fn descend<'j>(
     depth: usize,
     slots: &mut Vec<&'j Tuple>,
     key_buf: &mut [Vec<Value>],
+    meter: Option<&Meter>,
     out: &mut Relation,
 ) -> Result<(), ExecError> {
     if depth == job.steps.len() {
+        // Leaf tick: bounds cross-products *within* one scan tuple,
+        // which the per-scan-tuple tick in `run_shard` cannot see.
+        if let Some(m) = meter {
+            m.tick()?;
+        }
         if eval_bool(&job.filter, slots)? {
             let tuple = match &job.target {
                 Target::Slot(i) => slots[*i].clone(),
@@ -119,6 +175,9 @@ fn descend<'j>(
                 }
             };
             out.insert(tuple)?;
+            if let Some(m) = meter {
+                m.add_tuples(1)?;
+            }
         }
         return Ok(());
     }
@@ -126,7 +185,7 @@ fn descend<'j>(
         Step::Scan(tuples) => {
             for t in tuples {
                 slots.push(t);
-                let r = descend(job, depth + 1, slots, key_buf, out);
+                let r = descend(job, depth + 1, slots, key_buf, meter, out);
                 slots.pop();
                 r?;
             }
@@ -144,7 +203,7 @@ fn descend<'j>(
             key_buf[depth] = key;
             for t in hits {
                 slots.push(t);
-                let r = descend(job, depth + 1, slots, key_buf, out);
+                let r = descend(job, depth + 1, slots, key_buf, meter, out);
                 slots.pop();
                 r?;
             }
@@ -193,6 +252,7 @@ mod tests {
                 ValExpr::Field { slot: 0, pos: 0 },
                 ValExpr::Field { slot: 1, pos: 1 },
             ]),
+            budget: None,
         }
     }
 
@@ -269,11 +329,54 @@ mod tests {
                 ValExpr::Field { slot: 0, pos: 0 },
                 ValExpr::Field { slot: 1, pos: 1 },
             ]),
+            budget: None,
         };
         let seq = execute(&job, 1).unwrap();
         let probe_job = two_hop_job(&rel, BoolExpr::Const(true));
         assert_eq!(seq, execute(&probe_job, 4).unwrap());
         assert_eq!(seq, execute(&job, 4).unwrap());
+    }
+
+    #[test]
+    fn tuple_ceiling_trips_in_workers() {
+        use dc_governor::{Budget, Trip};
+        let rel = weighted(97);
+        let mut job = two_hop_job(&rel, BoolExpr::Const(true));
+        let reference = execute(&job, 4).unwrap();
+        assert!(reference.len() > 10);
+        job.budget = Some(Budget::unlimited().with_max_tuples(10).meter());
+        for threads in [1usize, 4] {
+            assert!(
+                matches!(
+                    execute(&job, threads),
+                    Err(ExecError::Budget(Trip::Tuples { .. }))
+                ),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_observed_mid_shard() {
+        use dc_governor::{Budget, CancelToken, Trip};
+        let rel = weighted(97);
+        let mut job = two_hop_job(&rel, BoolExpr::Const(true));
+        let token = CancelToken::new();
+        token.cancel();
+        job.budget = Some(Budget::unlimited().with_cancel(token).meter());
+        assert_eq!(execute(&job, 4), Err(ExecError::Budget(Trip::Cancelled)));
+    }
+
+    #[test]
+    fn expired_deadline_trips() {
+        use dc_governor::{Budget, Trip};
+        let rel = weighted(97);
+        let mut job = two_hop_job(&rel, BoolExpr::Const(true));
+        job.budget = Some(Budget::unlimited().with_deadline_ms(0).meter());
+        assert!(matches!(
+            execute(&job, 1),
+            Err(ExecError::Budget(Trip::Deadline { .. }))
+        ));
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! The [`algebra`] module supplies the set operations (`∪`, `∖`, `∩`,
 //! `=`, `⊆`) the fixpoint engine is built from.
 
+// Constraint violations are `RelationError`s, never panics: this layer
+// sits under user-shaped data. `unwrap`/`expect` are opt-in per site
+// with a justification.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod algebra;
 pub mod error;
 pub mod relation;

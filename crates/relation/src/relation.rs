@@ -141,7 +141,7 @@ impl Relation {
         if self.tuples.set.contains(&tuple) {
             return Ok(false);
         }
-        if let Some(map) = &self.key_map {
+        if let Some(map) = &mut self.key_map {
             let key = self.schema.key_of(&tuple);
             if let Some(existing) = map.get(&key) {
                 return Err(RelationError::KeyViolation {
@@ -150,7 +150,6 @@ impl Relation {
                     incoming: tuple,
                 });
             }
-            let map = self.key_map.as_mut().expect("checked above");
             Arc::make_mut(map).insert(key, tuple.clone());
         }
         let store = Arc::make_mut(&mut self.tuples);

@@ -19,6 +19,7 @@
 pub use dc_calculus as calculus;
 pub use dc_core as core;
 pub use dc_exec as exec;
+pub use dc_governor as governor;
 pub use dc_index as index;
 pub use dc_lang as lang;
 pub use dc_optimizer as optimizer;
