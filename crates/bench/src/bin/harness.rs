@@ -88,18 +88,25 @@ fn main() {
     e1();
     let e1b_rows = e1b();
     let (e1c_rows, e1c_best, cores) = e1c();
-    // Baselines are written before the acceptance assert, so a perf
+    let (e1d_rows, e1d_best) = e1d(cores);
+    // Baselines are written before the acceptance asserts, so a perf
     // regression still leaves the measured rows on disk for diagnosis.
-    write_bench_e1(&e1b_rows, &e1c_rows);
+    write_bench_e1(&e1b_rows, &e1c_rows, &e1d_rows);
     if cores >= 4 {
         assert!(
             e1c_best >= 2.0,
             "acceptance: ≥2× parallel speedup with 4 threads on at least one \
              large-scan workload ({cores} cores available), best measured {e1c_best:.2}x"
         );
+        assert!(
+            e1d_best >= 2.0,
+            "acceptance: ≥2× cross-equation parallel fixpoint speedup with 4 \
+             workers on at least one multi-equation workload ({cores} cores \
+             available), best measured {e1d_best:.2}x"
+        );
     } else {
         println!(
-            "  (E1c ≥2× bound not asserted: only {cores} core(s) available — \
+            "  (E1c/E1d ≥2× bounds not asserted: only {cores} core(s) available — \
              a 4-worker pool cannot beat sequential without hardware parallelism)\n"
         );
     }
@@ -256,14 +263,144 @@ fn e1c() -> (Vec<String>, f64, usize) {
     (rows_out, best, cores)
 }
 
-/// Emit `BENCH_e1.json`: the E1b scan→probe rows followed by the E1c
-/// parallel-vs-sequential rows, one flat array (the layout
-/// `dc_bench::baseline::parse_rows` reads) — so the perf-baseline CI
-/// gate covers the parallel executor with the same tolerance band as
-/// every other access path.
-fn write_bench_e1(e1b_rows: &[String], e1c_rows: &[String]) {
+/// E1d: cross-equation parallel fixpoint rounds — multi-equation
+/// systems solved with the round scheduler batch-dispatching branch
+/// tasks of *different equations* to a 4-worker pool vs pinned to one
+/// worker. The 4-constructor ring instantiates four simultaneously
+/// solved equations whose Linear branches carry equal-sized deltas
+/// every round (a balanced 4-task round); the mutual `ahead`/`above`
+/// system is the paper's §3.1 workload. Cold solves on both sides
+/// (the solved-constructor cache is cleared between warm-up and
+/// measurement); results are asserted identical, and the scheduler
+/// counters are asserted to prove the dispatched path ran. The ≥2×
+/// acceptance bound is asserted in `main` (≥4 cores only), after the
+/// baselines are written.
+fn e1d(cores: usize) -> (Vec<String>, f64) {
+    println!(
+        "E1d cross-equation parallel fixpoint rounds: 4 workers vs sequential ({cores} core(s))"
+    );
+    println!("  workload                eqs  tuples  par-br  seq-br  par-eqs  seq(ms)  par4(ms)  speedup");
+    enum Sys {
+        Ring(Relation),
+        Mutual(dc_workload::Scene),
+    }
+    let workloads = [
+        (
+            "ring×4 tree d=12",
+            Sys::Ring(dc_workload::complete_binary_tree(12)),
+        ),
+        (
+            "ring×4 tree d=13",
+            Sys::Ring(dc_workload::complete_binary_tree(13)),
+        ),
+        (
+            "mutual scene 32×128",
+            Sys::Mutual(dc_workload::scene(32, 128, 1, 7)),
+        ),
+    ];
+    let mut rows_out = Vec::new();
+    let mut best = 0.0_f64;
+    for (label, sys) in workloads {
+        let build = |threads: usize| {
+            let mut db = Database::new();
+            match &sys {
+                Sys::Ring(base) => {
+                    db.create_relation("Edges", base.schema().clone()).unwrap();
+                    for t in base.iter() {
+                        db.insert("Edges", t.clone()).unwrap();
+                    }
+                    db.define_constructors(constructor_ring(4)).unwrap();
+                }
+                Sys::Mutual(scene) => {
+                    db.create_relation("Infront", paper::infrontrel()).unwrap();
+                    db.create_relation("Ontop", paper::ontoprel()).unwrap();
+                    for t in scene.infront.iter() {
+                        db.insert("Infront", t.clone()).unwrap();
+                    }
+                    for t in scene.ontop.iter() {
+                        db.insert("Ontop", t.clone()).unwrap();
+                    }
+                    db.define_constructors(vec![paper::ahead_mutual(), paper::above()])
+                        .unwrap();
+                }
+            }
+            db.set_budget(harness_budget());
+            db.set_threads(threads);
+            db
+        };
+        let q = match &sys {
+            Sys::Ring(_) => rel("Edges").construct("c0", vec![]),
+            Sys::Mutual(_) => rel("Ontop").construct("above", vec![rel("Infront")]),
+        };
+        let db_seq = build(1);
+        let warm = db_seq.eval(&q).unwrap();
+        db_seq.clear_solved_cache();
+        let (seq_rel, seq_ms) = time(|| db_seq.eval(&q).unwrap());
+        let db_par = build(4);
+        let par_warm = db_par.eval(&q).unwrap();
+        db_par.clear_solved_cache();
+        let (par_rel, par_ms) = time(|| db_par.eval(&q).unwrap());
+        assert_eq!(
+            seq_rel, par_rel,
+            "parallel fixpoint rounds must agree with sequential on {label}"
+        );
+        assert_eq!(warm, seq_rel);
+        assert_eq!(par_warm, par_rel);
+        let stats = db_par.last_fixpoint_stats().expect("fixpoint ran");
+        // The dispatched path must actually have run: branch tasks
+        // batched to workers, spanning more than one equation.
+        assert!(
+            stats.parallel_branches > 0,
+            "E1d {label}: no branch tasks were dispatched ({stats:?})"
+        );
+        assert!(
+            stats.parallel_equations >= 2,
+            "E1d {label}: rounds never dispatched across equations ({stats:?})"
+        );
+        let speedup = seq_ms / par_ms;
+        best = best.max(speedup);
+        println!(
+            "  {label:<22} {:>4} {:>7} {:>7} {:>7} {:>8} {seq_ms:>8.2} {par_ms:>9.2} {speedup:>7.2}x",
+            stats.equations,
+            seq_rel.len(),
+            stats.parallel_branches,
+            stats.sequential_branches,
+            stats.parallel_equations,
+        );
+        rows_out.push(format!(
+            concat!(
+                "  {{\"workload\": \"E1d {}\", \"equations\": {}, \"tuples\": {}, ",
+                "\"threads\": 4, \"cores\": {}, ",
+                "\"parallel_branches\": {}, \"sequential_branches\": {}, ",
+                "\"parallel_equations\": {}, ",
+                "\"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.2}}}"
+            ),
+            label,
+            stats.equations,
+            seq_rel.len(),
+            cores,
+            stats.parallel_branches,
+            stats.sequential_branches,
+            stats.parallel_equations,
+            seq_ms,
+            par_ms,
+            speedup
+        ));
+    }
+    println!();
+    (rows_out, best)
+}
+
+/// Emit `BENCH_e1.json`: the E1b scan→probe rows, the E1c
+/// parallel-vs-sequential rows, then the E1d cross-equation fixpoint
+/// rows, one flat array (the layout `dc_bench::baseline::parse_rows`
+/// reads) — so the perf-baseline CI gate covers the parallel executor
+/// and the round scheduler with the same tolerance band as every
+/// other access path.
+fn write_bench_e1(e1b_rows: &[String], e1c_rows: &[String], e1d_rows: &[String]) {
     let mut all: Vec<String> = e1b_rows.to_vec();
     all.extend(e1c_rows.iter().cloned());
+    all.extend(e1d_rows.iter().cloned());
     let json = format!("[\n{}\n]\n", all.join(",\n"));
     if let Err(e) = std::fs::write("BENCH_e1.json", &json) {
         eprintln!("  (could not write BENCH_e1.json: {e})");

@@ -1376,6 +1376,15 @@ impl<'a> Evaluator<'a> {
         let k = keys.len();
         let mut buckets: FxHashMap<Vec<Value>, Relation> = FxHashMap::default();
         for t in combined.iter() {
+            // The bucket pass re-materialises every joined tuple, and —
+            // unlike the probe-side output — used to run unmetered:
+            // a decorrelated build dispatched on a worker thread could
+            // blow straight through a tuple ceiling. Tick and count the
+            // build tuples against the same shared meter.
+            if let Some(m) = &self.budget {
+                m.tick().map_err(SolveError::from_trip)?;
+                m.add_tuples(1).map_err(SolveError::from_trip)?;
+            }
             let fields = t.fields();
             let elem = Tuple::new(fields[k..].to_vec());
             if buckets

@@ -446,6 +446,105 @@ fn collect_selectors_formula(f: &Formula, out: &mut FxHashSet<Name>) {
     }
 }
 
+/// Collect every scalar-parameter name (`ScalarExpr::Param` leaf)
+/// referenced anywhere in a range expression — comparison operands,
+/// selector arguments, constructor scalar arguments, set-former
+/// targets, and tuple-membership expressions, through arithmetic.
+/// Drives the solver's snapshot-universe capture: every parameter a
+/// frozen evaluation could resolve is pre-fetched from the base
+/// catalog.
+pub fn param_names(range: &RangeExpr) -> FxHashSet<Name> {
+    let mut out = FxHashSet::default();
+    collect_params_range(range, &mut out);
+    out
+}
+
+/// Collect every scalar-parameter name referenced anywhere in a
+/// formula — see [`param_names`].
+pub fn param_names_formula(f: &Formula) -> FxHashSet<Name> {
+    let mut out = FxHashSet::default();
+    collect_params_formula(f, &mut out);
+    out
+}
+
+fn collect_params_scalar(e: &ScalarExpr, out: &mut FxHashSet<Name>) {
+    match e {
+        ScalarExpr::Const(_) | ScalarExpr::Attr(..) => {}
+        ScalarExpr::Param(n) => {
+            out.insert(n.clone());
+        }
+        ScalarExpr::Arith(a, _, b) => {
+            collect_params_scalar(a, out);
+            collect_params_scalar(b, out);
+        }
+    }
+}
+
+fn collect_params_range(r: &RangeExpr, out: &mut FxHashSet<Name>) {
+    match r {
+        RangeExpr::Rel(_) => {}
+        RangeExpr::Selected { base, args, .. } => {
+            collect_params_range(base, out);
+            for a in args {
+                collect_params_scalar(a, out);
+            }
+        }
+        RangeExpr::Constructed {
+            base,
+            args,
+            scalar_args,
+            ..
+        } => {
+            collect_params_range(base, out);
+            for a in args {
+                collect_params_range(a, out);
+            }
+            for s in scalar_args {
+                collect_params_scalar(s, out);
+            }
+        }
+        RangeExpr::SetFormer(sf) => {
+            for b in &sf.branches {
+                if let Target::Tuple(exprs) = &b.target {
+                    for e in exprs {
+                        collect_params_scalar(e, out);
+                    }
+                }
+                for (_, range) in &b.bindings {
+                    collect_params_range(range, out);
+                }
+                collect_params_formula(&b.predicate, out);
+            }
+        }
+    }
+}
+
+fn collect_params_formula(f: &Formula, out: &mut FxHashSet<Name>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Cmp(a, _, b) => {
+            collect_params_scalar(a, out);
+            collect_params_scalar(b, out);
+        }
+        Formula::And(a, b) | Formula::Or(a, b) => {
+            collect_params_formula(a, out);
+            collect_params_formula(b, out);
+        }
+        Formula::Not(inner) => collect_params_formula(inner, out),
+        Formula::Some(_, r, body) | Formula::All(_, r, body) => {
+            collect_params_range(r, out);
+            collect_params_formula(body, out);
+        }
+        Formula::Member(_, r) => collect_params_range(r, out),
+        Formula::TupleIn(exprs, r) => {
+            for e in exprs {
+                collect_params_scalar(e, out);
+            }
+            collect_params_range(r, out);
+        }
+    }
+}
+
 /// Collect every constructor application (`Constructed` node) in a range
 /// expression, in pre-order.
 pub fn collect_constructed(range: &RangeExpr) -> Vec<RangeExpr> {
@@ -497,6 +596,32 @@ mod tests {
     use super::*;
     use crate::ast::CmpOp;
     use crate::builder::*;
+
+    #[test]
+    fn param_names_cover_every_scalar_position() {
+        // Params hide in: a comparison operand (through arithmetic), a
+        // selector argument, a quantifier body, a tuple target, and a
+        // TupleIn expression list.
+        let range = set_former(vec![Branch::projecting(
+            vec![add(attr("r", "a"), param("p_target"))],
+            vec![
+                ("r".into(), rel("R").select("vis", vec![param("p_selarg")])),
+                ("s".into(), rel("S")),
+            ],
+            eq(attr("r", "a"), add(cnst(1i64), param("p_cmp")))
+                .and(some(
+                    "x",
+                    rel("T"),
+                    tuple_in(vec![param("p_tuplein")], rel("U")),
+                ))
+                .and(not(eq(attr("s", "b"), param("p_neg")))),
+        )]);
+        let names = param_names(&range);
+        for expected in ["p_target", "p_selarg", "p_cmp", "p_tuplein", "p_neg"] {
+            assert!(names.contains(expected), "missing {expected}: {names:?}");
+        }
+        assert_eq!(names.len(), 5);
+    }
 
     #[test]
     fn nnf_pushes_through_connectives() {

@@ -35,6 +35,22 @@
 //! (the paper's `nonsense`) and reports [`EvalError::NonConvergent`];
 //! genuinely convergent non-monotone systems (the paper's `strange`)
 //! simply converge.
+//!
+//! # Snapshot rounds
+//!
+//! The Jacobi update makes every round embarrassingly parallel: all
+//! equation bodies of round `k+1` read only round-`k` state. The solver
+//! exploits that by preparing each round's branch evaluations as
+//! self-contained tasks, freezing an immutable catalog snapshot (the
+//! private `snapshot` submodule), and
+//! handing the tasks to [`dc_exec::run_tasks`] — cross-branch *and*
+//! cross-equation parallelism, including for branches the partition
+//! executor cannot shard (quantifier probes, decorrelated builds: they
+//! only need the frozen snapshot). Each task returns its value plus an
+//! ordered effect log; the solver replays the logs single-threaded at
+//! the commit site, so registration, index/statistics maintenance, and
+//! delta commits stay serialized and `threads = N` commits relations
+//! identical to `threads = 1`.
 
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -50,6 +66,10 @@ use dc_relation::{algebra, Relation};
 use dc_value::{FxHashMap, Value};
 
 use crate::constructor::Constructor;
+
+mod snapshot;
+
+use snapshot::{capture_universe, Effect, EvalSnapshot, SnapshotCatalog, Universe};
 
 /// Fixpoint evaluation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -134,6 +154,17 @@ pub struct FixpointStats {
     /// Sequential retry attempts after parallel-execution failures
     /// (each attempt, whether or not it succeeded).
     pub retried_branches: u64,
+    /// Branch tasks dispatched to the round scheduler's worker pool
+    /// (summed over rounds that batch-dispatched).
+    pub parallel_branches: u64,
+    /// Branch tasks evaluated inline on the solver thread (rounds where
+    /// batching could not pay: one task, or not enough work above the
+    /// parallel threshold).
+    pub sequential_branches: u64,
+    /// Equations whose branch tasks ran concurrently with another
+    /// equation's in the same round (summed per dispatched round) —
+    /// non-zero means cross-equation parallel fixpoint rounds happened.
+    pub parallel_equations: u64,
 }
 
 /// Where the solver finds constructor definitions and base data.
@@ -338,6 +369,10 @@ struct State {
     decorr: FxHashMap<RangeExpr, DecorrCached>,
     /// The epoch `decorr`'s entries were built under.
     decorr_epoch: u64,
+    /// The pre-resolved base-catalog slice frozen into every round
+    /// snapshot — grown on the solver thread each time an equation
+    /// registers, `Arc`-shared so a freeze is a pointer bump.
+    universe: Arc<Universe>,
 }
 
 impl State {
@@ -387,6 +422,10 @@ impl State {
             overrides.push((pname.clone(), actual));
         }
         let classes = body.branches.iter().map(classify_branch).collect();
+        // Pre-resolve every base-catalog name the body (and its
+        // selector closure) can reach, so frozen branch evaluation
+        // never needs the caller's catalog.
+        capture_universe(&mut self.universe, source, &body);
         let i = self.equations.len();
         self.current.push(Relation::new(ctor.result.clone()));
         self.delta.push(Relation::new(ctor.result.clone()));
@@ -406,6 +445,28 @@ impl State {
         });
         self.index.insert(key, i);
         Ok(i)
+    }
+
+    /// Freeze the immutable view one round's branch tasks evaluate
+    /// against. Cheap by construction: relations are COW handles, the
+    /// caches hold `Arc`s, and the universe is one `Arc` bump. A stale
+    /// decorrelation cache (entries from before the last commit) is
+    /// frozen as empty — the same entries `decorr_entry` would refuse
+    /// to serve.
+    fn freeze(&self) -> Arc<EvalSnapshot> {
+        Arc::new(EvalSnapshot {
+            epoch: self.epoch,
+            universe: self.universe.clone(),
+            index: self.index.clone(),
+            current: self.current.clone(),
+            base_indexes: self.base_indexes.clone(),
+            base_stats: self.base_stats.clone(),
+            decorr: if self.decorr_epoch == self.epoch {
+                self.decorr.clone()
+            } else {
+                FxHashMap::default()
+            },
+        })
     }
 }
 
@@ -687,6 +748,7 @@ pub fn solve(
         epoch: 0,
         decorr: FxHashMap::default(),
         decorr_epoch: 0,
+        universe: Arc::new(Universe::default()),
     });
     let root_key = AppKey::new(constructor, &base, &args, &scalar_args);
     state
@@ -724,17 +786,164 @@ pub fn solve(
             }));
         }
         let n = state.borrow().equations.len();
-        // Staged results: Jacobi-style simultaneous update, matching the
-        // paper's Oldahead/Oldabove loop. Semi-naive evaluation returns
-        // only the genuinely new tuples, so the commit below neither
-        // re-diffs nor copies the accumulated relation.
-        let mut staged: Vec<RoundResult> = Vec::with_capacity(n);
+        // ---- Prep (solver thread). Snapshot each equation's
+        // accumulated value and result schema, resolve recursive
+        // applications, and rewrite Linear branches onto marker
+        // relations — everything that may *register* or reads the
+        // mutable caches happens here, before the freeze.
+        let mut tasks: Vec<BranchTask> = Vec::new();
+        let mut round_current: Vec<Relation> = Vec::with_capacity(n);
+        let mut round_schemas: Vec<dc_value::Schema> = Vec::with_capacity(n);
         for i in 0..n {
-            staged.push(
-                evaluate_equation(&catalog, &state, i, cfg.strategy)
-                    .map_err(|e| enrich_solve_error(e, &state, &meter, i, iterations - 1))?,
-            );
+            {
+                let st = state.borrow();
+                round_current.push(st.current[i].clone());
+                round_schemas.push(st.equations[i].result.clone());
+            }
+            prepare_equation_tasks(&catalog, i, cfg.strategy, &mut tasks)
+                .map_err(|e| enrich_solve_error(e, &state, &meter, i, iterations - 1))?;
         }
+        // ---- Freeze. Everything a branch task reads, at one epoch;
+        // equations registered during prep are visible (at ∅), exactly
+        // as a mid-round registration is on the sequential path.
+        let snap = state.borrow().freeze();
+        // ---- Dispatch. Batch the round's tasks onto workers when the
+        // parallelism can pay — at least two tasks whose scan side
+        // clears the parallel threshold — otherwise run them inline in
+        // the same task order (Jacobi staging makes the task order
+        // semantically irrelevant; keeping it fixes the error-witness
+        // choice). Inline tasks keep the full thread budget for their
+        // *inner* partition-parallel scans; dispatched tasks split it.
+        let eligible = tasks
+            .iter()
+            .filter(|t| t.weight >= catalog.knobs.parallel_threshold)
+            .count();
+        let dispatch = catalog.knobs.threads > 1 && tasks.len() >= 2 && eligible >= 2;
+        let results = if dispatch {
+            meter.add_parallel_branches(tasks.len() as u64);
+            let mut eqs: Vec<usize> = tasks.iter().map(|t| t.eq).collect();
+            eqs.sort_unstable();
+            eqs.dedup();
+            if eqs.len() >= 2 {
+                meter.add_parallel_equations(eqs.len() as u64);
+            }
+            let inner = (catalog.knobs.threads / tasks.len()).max(1);
+            dc_exec::run_tasks(&tasks, catalog.knobs.threads, |_, t| {
+                run_task(&snap, &catalog.knobs, inner, t)
+            })
+        } else {
+            meter.add_sequential_branches(tasks.len() as u64);
+            dc_exec::run_tasks(&tasks, 1, |_, t| {
+                run_task(&snap, &catalog.knobs, catalog.knobs.threads, t)
+            })
+        };
+        // ---- Process (solver thread, task order — the sequential
+        // evaluation order). Replay each task's effect log, then absorb
+        // its value; a worker panic degrades that one task to an inline
+        // sequential retry. Staged results keep the Jacobi simultaneous
+        // update, matching the paper's Oldahead/Oldabove loop.
+        let mut fresh: Vec<Relation> = round_schemas
+            .iter()
+            .map(|s| Relation::new(s.clone()))
+            .collect();
+        let mut staged_naive: Vec<RoundResult> = Vec::with_capacity(n);
+        for (t_idx, res) in results.into_iter().enumerate() {
+            let task = &tasks[t_idx];
+            let outcome = match res {
+                Ok(Ok(o)) => o,
+                Ok(Err(e)) => {
+                    return Err(enrich_solve_error(
+                        e,
+                        &state,
+                        &meter,
+                        task.eq,
+                        iterations - 1,
+                    ));
+                }
+                Err(dc_exec::ExecError::WorkerPanic { .. }) => {
+                    meter.note_retried();
+                    match run_task(&snap, &catalog.knobs, 1, task) {
+                        Ok(o) => {
+                            meter.note_degraded();
+                            o
+                        }
+                        Err(e) => {
+                            return Err(enrich_solve_error(
+                                e,
+                                &state,
+                                &meter,
+                                task.eq,
+                                iterations - 1,
+                            ));
+                        }
+                    }
+                }
+                Err(other) => {
+                    return Err(enrich_solve_error(
+                        scheduler_error(other),
+                        &state,
+                        &meter,
+                        task.eq,
+                        iterations - 1,
+                    ));
+                }
+            };
+            let TaskOutcome {
+                value,
+                effects,
+                harvest_indexes,
+                harvest_stats,
+            } = outcome;
+            replay_effects(source, &state, &catalog.knobs, effects)
+                .map_err(|e| enrich_solve_error(e, &state, &meter, task.eq, iterations - 1))?;
+            replay_harvest(
+                &state,
+                task.eq,
+                &task.cur_markers,
+                harvest_indexes,
+                harvest_stats,
+            );
+            match cfg.strategy {
+                Strategy::SemiNaive => {
+                    absorb(&round_current[task.eq], &mut fresh[task.eq], &value).map_err(|e| {
+                        enrich_solve_error(e, &state, &meter, task.eq, iterations - 1)
+                    })?;
+                }
+                Strategy::Naive => {
+                    // Exactly one task per equation, in equation order.
+                    // No-change short-circuit: once an equation
+                    // stabilises, the wholesale replacement is a
+                    // byte-identical copy — one length check plus a
+                    // content digest detects that and skips the conform
+                    // copy and the commit-side diff entirely.
+                    let i = task.eq;
+                    if value.len() == round_current[i].len()
+                        && value.schema().union_compatible(&round_schemas[i])
+                        && value.digest() == round_current[i].digest()
+                    {
+                        staged_naive.push(RoundResult::Unchanged);
+                    } else {
+                        let conformed = conform(value, &round_schemas[i]).map_err(|e| {
+                            enrich_solve_error(e, &state, &meter, i, iterations - 1)
+                        })?;
+                        staged_naive.push(RoundResult::Full(conformed));
+                    }
+                }
+            }
+        }
+        let staged: Vec<RoundResult> = match cfg.strategy {
+            Strategy::SemiNaive => fresh.into_iter().map(RoundResult::Delta).collect(),
+            Strategy::Naive => staged_naive,
+        };
+        // Release every handle into the frozen round state before the
+        // commit: relations are copy-on-write, so the in-place
+        // `union_into` below mutates each tuple store directly only
+        // while its `Arc` is unshared — a surviving snapshot, task
+        // override, or round clone would force a full store copy every
+        // round.
+        drop(tasks);
+        drop(round_current);
+        drop(snap);
         // Commit (with the `delta_commit` fault-injection site guarding
         // the atomic-abort property: an abort here must leave every
         // caller-visible relation untouched).
@@ -848,6 +1057,9 @@ pub fn solve(
         budget_checks: meter.checks(),
         degraded_branches: meter.degraded(),
         retried_branches: meter.retried(),
+        parallel_branches: meter.parallel_branches(),
+        sequential_branches: meter.sequential_branches(),
+        parallel_equations: meter.parallel_equations(),
     };
     Ok((st.current[root_idx].clone(), stats))
 }
@@ -936,95 +1148,140 @@ enum RoundResult {
     Unchanged,
 }
 
-/// Evaluate one equation body for the current round.
-fn evaluate_equation(
+/// One unit of round work: a single branch evaluation (or, under the
+/// naive strategy, one whole equation body), fully prepared on the
+/// solver thread so a worker only reads the frozen snapshot.
+struct BranchTask {
+    /// Owning equation index.
+    eq: usize,
+    /// Branch index within the body (`None` = whole body, naive
+    /// strategy).
+    branch_idx: Option<usize>,
+    /// The (possibly marker-rewritten) body to evaluate.
+    body: SetFormer,
+    /// Formal- and marker-name overrides for the evaluation overlay.
+    overrides: Vec<(Name, Relation)>,
+    /// Indexes preloaded into the overlay: the equation's harvested
+    /// override-relation indexes plus peer current-value markers.
+    preload_indexes: Vec<(Name, Arc<HashIndex>)>,
+    /// Statistics preloaded into the overlay.
+    preload_stats: Vec<(Name, Arc<RelationStats>)>,
+    /// Marker name → peer equation, for routing harvested indexes back
+    /// to the peer's incrementally maintained set at replay.
+    cur_markers: Vec<(String, usize)>,
+    /// Scan-side cardinality estimate (delta size for Linear tasks,
+    /// override sizes otherwise), for the dispatch decision.
+    weight: usize,
+}
+
+/// What a branch task returns: the computed value plus everything the
+/// solver must replay — the snapshot catalog's logged effects and the
+/// overlay's demand-built index/statistics harvests.
+struct TaskOutcome {
+    value: Relation,
+    effects: Vec<Effect>,
+    harvest_indexes: Vec<(String, Arc<HashIndex>)>,
+    harvest_stats: Vec<(String, Arc<RelationStats>)>,
+}
+
+/// Prepare equation `i`'s tasks for the coming round (appending to
+/// `tasks` in branch order — the sequential evaluation order). Linear
+/// rewrites resolve their recursive applications here, on the solver
+/// thread, so registration stays serialized.
+fn prepare_equation_tasks(
     catalog: &SolverCatalog<'_>,
-    state: &RefCell<State>,
     i: usize,
     strategy: Strategy,
-) -> Result<RoundResult, EvalError> {
-    // Clone out what the evaluation needs (all pointer bumps: the body
-    // and overrides are `Arc`-shared, the current value is COW); the
-    // state must stay borrowable by `apply_constructor` during
-    // evaluation.
-    let (body, overrides, result_schema, classes, initialized, current_i) = {
-        let st = state.borrow();
+    tasks: &mut Vec<BranchTask>,
+) -> Result<(), EvalError> {
+    // Clone out what preparation needs (all pointer bumps: the body and
+    // overrides are `Arc`-shared).
+    let (body, overrides, classes, initialized) = {
+        let st = catalog.state.borrow();
         let eq = &st.equations[i];
         (
             eq.body.clone(),
             eq.overrides.clone(),
-            eq.result.clone(),
             eq.classes.clone(),
             eq.initialized,
-            st.current[i].clone(),
         )
     };
-
+    let base_weight: usize = overrides.iter().map(|(_, r)| r.len()).sum();
+    // Indexes/statistics already harvested over this equation's
+    // override relations, preloaded into every one of its tasks.
+    let (eq_idx_preload, eq_stats_preload) = {
+        let st = catalog.state.borrow();
+        (
+            st.override_indexes[i]
+                .iter()
+                .map(|((name, _), idx)| (name.clone(), idx.clone()))
+                .collect::<Vec<_>>(),
+            st.override_stats[i]
+                .iter()
+                .map(|(name, s)| (name.clone(), s.clone()))
+                .collect::<Vec<_>>(),
+        )
+    };
     match strategy {
         Strategy::Naive => {
-            let overlay = equation_overlay(catalog, i, &overrides);
-            let mut ev = catalog.evaluator(&overlay);
-            let out = ev.eval(&RangeExpr::SetFormer((*body).clone()))?;
-            harvest_overlay(catalog, i, &overlay, &[]);
-            // No-change short-circuit: once an equation stabilises, the
-            // wholesale replacement is a byte-identical copy. One cheap
-            // length check plus a content digest (memoised on the
-            // accumulated side, one hash pass on the fresh side —
-            // `conform` does not change tuple content, so the digests
-            // are comparable before conforming) detects that and skips
-            // the conform copy and the commit-side diff entirely.
-            if out.len() == current_i.len()
-                && out.schema().union_compatible(&result_schema)
-                && out.digest() == current_i.digest()
-            {
-                return Ok(RoundResult::Unchanged);
-            }
-            Ok(RoundResult::Full(conform(out, &result_schema)?))
+            let weight = base_weight + catalog.state.borrow().current[i].len();
+            tasks.push(BranchTask {
+                eq: i,
+                branch_idx: None,
+                body: (*body).clone(),
+                overrides: (*overrides).clone(),
+                preload_indexes: eq_idx_preload,
+                preload_stats: eq_stats_preload,
+                cur_markers: Vec::new(),
+                weight,
+            });
         }
         Strategy::SemiNaive => {
-            // The accumulated value is consulted read-only for dedup
-            // (`current_i` shares the solver's storage); only the
-            // round's genuinely new tuples are materialised. The old
-            // clone-accumulate-replace cycle copied the whole relation
-            // every round; this is O(|delta|).
-            let mut fresh = Relation::new(result_schema.clone());
             for (b_idx, branch) in body.branches.iter().enumerate() {
                 match &classes[b_idx] {
-                    BranchClass::Static => {
-                        if !initialized {
-                            let part =
-                                eval_single_branch(catalog, i, b_idx, &overrides, branch, None)?;
-                            absorb(&current_i, &mut fresh, &part)?;
-                        }
-                    }
-                    BranchClass::Fallback => {
-                        let part = eval_single_branch(catalog, i, b_idx, &overrides, branch, None)?;
-                        absorb(&current_i, &mut fresh, &part)?;
+                    // A Static branch contributes exactly once.
+                    BranchClass::Static if initialized => {}
+                    BranchClass::Static | BranchClass::Fallback => {
+                        tasks.push(BranchTask {
+                            eq: i,
+                            branch_idx: Some(b_idx),
+                            body: SetFormer {
+                                branches: vec![branch.clone()],
+                            },
+                            overrides: (*overrides).clone(),
+                            preload_indexes: eq_idx_preload.clone(),
+                            preload_stats: eq_stats_preload.clone(),
+                            cur_markers: Vec::new(),
+                            weight: base_weight,
+                        });
                     }
                     BranchClass::Linear(positions) => {
-                        for &pos in positions {
-                            // An equation's first differential round
-                            // reads the peers' *full* current values —
-                            // equations registered after their peers
-                            // would otherwise miss deltas emitted before
-                            // they existed.
-                            let part = eval_single_branch(
+                        // An equation's first differential round reads
+                        // the peers' *full* current values — equations
+                        // registered after their peers would otherwise
+                        // miss deltas emitted before they existed.
+                        let positions = positions.clone();
+                        for &pos in &positions {
+                            tasks.push(linear_task(
                                 catalog,
                                 i,
                                 b_idx,
                                 &overrides,
                                 branch,
-                                Some((positions, pos, !initialized)),
-                            )?;
-                            absorb(&current_i, &mut fresh, &part)?;
+                                &positions,
+                                pos,
+                                !initialized,
+                                &eq_idx_preload,
+                                &eq_stats_preload,
+                            )?);
                         }
                     }
                 }
             }
-            state.borrow_mut().equations[i].initialized = true;
-            Ok(RoundResult::Delta(fresh))
+            catalog.state.borrow_mut().equations[i].initialized = true;
         }
     }
+    Ok(())
 }
 
 /// Record every tuple of `part` not in the accumulated value into
@@ -1046,43 +1303,206 @@ fn absorb(current: &Relation, fresh: &mut Relation, part: &Relation) -> Result<(
     Ok(())
 }
 
-/// Build the evaluation overlay for equation `eq_idx`, preloading every
-/// index and statistics snapshot already built over its override
-/// relations so later rounds probe instead of rebuilding. The override
-/// relations are COW, so materialising the overlay vector is pointer
-/// bumps.
-fn equation_overlay<'a>(
-    catalog: &'a SolverCatalog<'_>,
-    eq_idx: usize,
-    overrides: &[(Name, Relation)],
-) -> Overlay<'a> {
-    let mut overlay = Overlay::new(catalog, overrides.to_vec());
-    let st = catalog.state.borrow();
-    for ((name, _), idx) in st.override_indexes[eq_idx].iter() {
-        overlay.preload_index(name.clone(), idx.clone());
-    }
-    for (name, stats) in st.override_stats[eq_idx].iter() {
-        overlay.preload_stats(name.clone(), stats.clone());
-    }
-    drop(st);
-    overlay
-}
-
-/// Carry the overlay's demand-built indexes and statistics into solver
-/// state: equation-value indexes (listed in `cur_markers`) become
-/// incrementally maintained; override-relation indexes and statistics
-/// are kept for every later round. Everything keyed by a marker name is
-/// otherwise discarded — deltas are replaced wholesale each round, and
-/// current-value statistics are served from the maintained
-/// `StatsBuilder`s, never harvested back.
-fn harvest_overlay(
+/// Prepare one Linear-branch task: substitute **every** recursive
+/// binding position with an internal marker relation — `delta_pos`
+/// receives the referred application's per-round delta (its full
+/// current value when `full`, the equation's first differential round),
+/// every other recursive position receives the peer's accumulated
+/// current value, with the solver's incrementally maintained indexes
+/// and statistics preloaded under the marker so the executor probes
+/// instead of rescanning.
+#[allow(clippy::too_many_arguments)]
+fn linear_task(
     catalog: &SolverCatalog<'_>,
     eq_idx: usize,
-    overlay: &Overlay<'_>,
+    branch_idx: usize,
+    overrides: &[(Name, Relation)],
+    branch: &Branch,
+    positions: &[usize],
+    delta_pos: usize,
+    full: bool,
+    eq_idx_preload: &[(Name, Arc<HashIndex>)],
+    eq_stats_preload: &[(Name, Arc<RelationStats>)],
+) -> Result<BranchTask, EvalError> {
+    let mut branch = branch.clone();
+    let mut extra_overrides: Vec<(Name, Relation)> = Vec::new();
+    let mut cur_markers: Vec<(String, usize)> = Vec::new();
+    let mut preload_indexes: Vec<(Name, Arc<HashIndex>)> = eq_idx_preload.to_vec();
+    let mut preload_stats: Vec<(Name, Arc<RelationStats>)> = eq_stats_preload.to_vec();
+    let mut weight = 0usize;
+
+    for &pos in positions {
+        let app = resolve_recursive_app(catalog, eq_idx, branch_idx, overrides, &branch, pos)?;
+        let st = catalog.state.borrow();
+        if pos == delta_pos {
+            let rel = if full {
+                st.current[app].clone()
+            } else {
+                st.delta[app].clone()
+            };
+            drop(st);
+            // The delta side is the branch's scan side.
+            weight = rel.len();
+            let marker = format!("{DELTA_MARKER}{pos}");
+            branch.bindings[pos].1 = RangeExpr::Rel(marker.clone());
+            extra_overrides.push((marker, rel));
+        } else {
+            let marker = format!("{CURRENT_MARKER}{pos}");
+            let rel = st.current[app].clone();
+            for idx in st.current_indexes[app].values() {
+                preload_indexes.push((marker.clone(), idx.clone()));
+            }
+            // The peer's maintained statistics, snapshotted in
+            // O(arity) — the planner never rescans the peer.
+            preload_stats.push((marker.clone(), Arc::new(st.current_stats[app].snapshot())));
+            drop(st);
+            branch.bindings[pos].1 = RangeExpr::Rel(marker.clone());
+            extra_overrides.push((marker.clone(), rel));
+            cur_markers.push((marker, app));
+        }
+    }
+
+    let mut all_overrides = overrides.to_vec();
+    all_overrides.extend(extra_overrides);
+    Ok(BranchTask {
+        eq: eq_idx,
+        branch_idx: Some(branch_idx),
+        body: SetFormer {
+            branches: vec![branch],
+        },
+        overrides: all_overrides,
+        preload_indexes,
+        preload_stats,
+        cur_markers,
+        weight,
+    })
+}
+
+/// Evaluate one prepared task against the frozen snapshot. Runs on a
+/// worker thread when the round batch-dispatches, inline on the solver
+/// thread otherwise — identical code either way, which is what keeps
+/// `threads = N` relation-identical to `threads = 1`.
+fn run_task(
+    snap: &Arc<EvalSnapshot>,
+    knobs: &ExecKnobs,
+    inner_threads: usize,
+    task: &BranchTask,
+) -> Result<TaskOutcome, EvalError> {
+    let cat = SnapshotCatalog::new(snap.clone());
+    let mut overlay = Overlay::new(&cat, task.overrides.clone());
+    for (name, idx) in &task.preload_indexes {
+        overlay.preload_index(name.clone(), idx.clone());
+    }
+    for (name, stats) in &task.preload_stats {
+        overlay.preload_stats(name.clone(), stats.clone());
+    }
+    // Mirror `SolverCatalog::evaluator`, with the thread budget the
+    // dispatch decision assigned to this task's inner scans.
+    let ev = Evaluator::new(&overlay).with_meter(knobs.budget.clone());
+    let mut ev = if knobs.use_indexes {
+        ev.with_threads(inner_threads)
+            .with_parallel_threshold(knobs.parallel_threshold)
+    } else {
+        ev.force_nested_loop()
+    };
+    let out = ev.eval(&RangeExpr::SetFormer(task.body.clone()));
+    // A governed abort names the branch and carries the evaluator's
+    // planner trace (access-path decisions, degradations) out with it —
+    // aborts are atomic, so this is the only trace the solve leaves.
+    let value = out.map_err(|mut e| {
+        if let (Some(b), EvalError::Solve(se)) = (task.branch_idx, &mut e) {
+            let d = se.diag_mut();
+            if d.site.is_empty() {
+                d.site = format!("branch {b}");
+            }
+            d.notes.extend(ev.plan_notes().iter().cloned());
+        }
+        e
+    })?;
+    let harvest_indexes = overlay.harvest_indexes();
+    let harvest_stats = overlay.harvest_stats();
+    drop(ev);
+    drop(overlay);
+    Ok(TaskOutcome {
+        value,
+        effects: cat.into_effects(),
+        harvest_indexes,
+        harvest_stats,
+    })
+}
+
+/// Replay one task's effect log into solver state — single-threaded, at
+/// the commit site, in log order. Registration replays through the same
+/// `register` + `seed_equation` pair the sequential path uses
+/// (idempotent by [`AppKey`]); cache fills land `entry().or_insert`, so
+/// two tasks discovering the same build converge deterministically.
+fn replay_effects(
+    source: &dyn ConstructorSource,
+    state: &RefCell<State>,
+    knobs: &ExecKnobs,
+    effects: Vec<Effect>,
+) -> Result<(), EvalError> {
+    for effect in effects {
+        match effect {
+            Effect::Register {
+                constructor,
+                base,
+                args,
+                scalar_args,
+            } => {
+                let key = AppKey::new(&constructor, &base, &args, &scalar_args);
+                let fresh = {
+                    let mut st = state.borrow_mut();
+                    if st.index.contains_key(&key) {
+                        None
+                    } else {
+                        Some(st.register(source, key, base, args, scalar_args)?)
+                    }
+                };
+                if let Some(j) = fresh {
+                    seed_equation(source, state, j, knobs)?;
+                }
+            }
+            Effect::BaseIndex { name, index } => {
+                let positions = index.positions().to_vec();
+                state
+                    .borrow_mut()
+                    .base_indexes
+                    .entry((name, positions))
+                    .or_insert(index);
+            }
+            Effect::BaseStats { name, stats } => {
+                state.borrow_mut().base_stats.entry(name).or_insert(stats);
+            }
+            Effect::Decorr { range, entry } => {
+                let mut st = state.borrow_mut();
+                if st.decorr_epoch != st.epoch {
+                    st.decorr.clear();
+                    st.decorr_epoch = st.epoch;
+                }
+                st.decorr.entry(range).or_insert(entry);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Carry a task's overlay harvests into solver state: equation-value
+/// indexes (listed in `cur_markers`) become incrementally maintained;
+/// override-relation indexes and statistics are kept for every later
+/// round. Everything keyed by a marker name is otherwise discarded —
+/// deltas are replaced wholesale each round, and current-value
+/// statistics are served from the maintained `StatsBuilder`s, never
+/// harvested back.
+fn replay_harvest(
+    state: &RefCell<State>,
+    eq_idx: usize,
     cur_markers: &[(String, usize)],
+    indexes: Vec<(String, Arc<HashIndex>)>,
+    stats: Vec<(String, Arc<RelationStats>)>,
 ) {
-    let mut st = catalog.state.borrow_mut();
-    for (name, idx) in overlay.harvest_indexes() {
+    let mut st = state.borrow_mut();
+    for (name, idx) in indexes {
         if name.starts_with(DELTA_MARKER) {
             continue;
         }
@@ -1095,99 +1515,29 @@ fn harvest_overlay(
                 .or_insert(idx);
         }
     }
-    for (name, stats) in overlay.harvest_stats() {
+    for (name, s) in stats {
         if name.starts_with(DELTA_MARKER) || name.starts_with(CURRENT_MARKER) {
             continue;
         }
-        st.override_stats[eq_idx].entry(name).or_insert(stats);
+        st.override_stats[eq_idx].entry(name).or_insert(s);
     }
 }
 
-/// Evaluate one branch of an equation body.
-///
-/// For a [`BranchClass::Linear`] branch, `rewrite = (positions,
-/// delta_pos, full)` substitutes **every** recursive binding position
-/// with an internal marker relation: `delta_pos` receives the referred
-/// application's per-round delta (its full current value on the
-/// equation's first differential round), every other recursive position
-/// receives the peer's accumulated current value. Marker names resolve
-/// through the evaluation overlay, which lets the join executor probe
-/// the solver's incrementally maintained indexes (preloaded here,
-/// harvested back after evaluation) instead of rescanning peers each
-/// round.
-fn eval_single_branch(
-    catalog: &SolverCatalog<'_>,
-    eq_idx: usize,
-    branch_idx: usize,
-    overrides: &[(Name, Relation)],
-    branch: &Branch,
-    rewrite: Option<(&[usize], usize, bool)>,
-) -> Result<Relation, EvalError> {
-    let mut branch = branch.clone();
-    let mut extra_overrides: Vec<(Name, Relation)> = Vec::new();
-    let mut cur_markers: Vec<(String, usize)> = Vec::new();
-    let mut preload: Vec<(String, Arc<HashIndex>)> = Vec::new();
-    let mut preload_stats: Vec<(String, Arc<RelationStats>)> = Vec::new();
-
-    if let Some((positions, delta_pos, full)) = rewrite {
-        for &pos in positions {
-            let app = resolve_recursive_app(catalog, eq_idx, branch_idx, overrides, &branch, pos)?;
-            let st = catalog.state.borrow();
-            if pos == delta_pos {
-                let rel = if full {
-                    st.current[app].clone()
-                } else {
-                    st.delta[app].clone()
-                };
-                drop(st);
-                let marker = format!("{DELTA_MARKER}{pos}");
-                branch.bindings[pos].1 = RangeExpr::Rel(marker.clone());
-                extra_overrides.push((marker, rel));
-            } else {
-                let marker = format!("{CURRENT_MARKER}{pos}");
-                let rel = st.current[app].clone();
-                for idx in st.current_indexes[app].values() {
-                    preload.push((marker.clone(), idx.clone()));
-                }
-                // The peer's maintained statistics, snapshotted in
-                // O(arity) — the planner never rescans the peer.
-                preload_stats.push((marker.clone(), Arc::new(st.current_stats[app].snapshot())));
-                drop(st);
-                branch.bindings[pos].1 = RangeExpr::Rel(marker.clone());
-                extra_overrides.push((marker.clone(), rel));
-                cur_markers.push((marker, app));
-            }
-        }
+/// Map a scheduler-level failure (everything except the worker panics
+/// the degradation path retries) onto the evaluation error the
+/// sequential path would have raised.
+fn scheduler_error(e: dc_exec::ExecError) -> EvalError {
+    match e {
+        dc_exec::ExecError::CrossType { lhs, rhs } => EvalError::CrossTypeComparison { lhs, rhs },
+        dc_exec::ExecError::Value(v) => EvalError::Value(v),
+        dc_exec::ExecError::Relation(r) => EvalError::Relation(r),
+        dc_exec::ExecError::WorkerPanic { message } => EvalError::Solve(SolveError::WorkerPanic {
+            message,
+            diag: SolveDiag::default(),
+        }),
+        dc_exec::ExecError::Budget(trip) => EvalError::Solve(SolveError::from_trip(trip)),
+        dc_exec::ExecError::FaultInjected(f) => EvalError::from(f),
     }
-
-    let mut all_overrides = overrides.to_vec();
-    all_overrides.extend(extra_overrides);
-    let mut overlay = equation_overlay(catalog, eq_idx, &all_overrides);
-    for (name, idx) in preload {
-        overlay.preload_index(name, idx);
-    }
-    for (name, stats) in preload_stats {
-        overlay.preload_stats(name, stats);
-    }
-    let mut ev = catalog.evaluator(&overlay);
-    let out = ev.eval(&RangeExpr::SetFormer(SetFormer {
-        branches: vec![branch],
-    }));
-    // A governed abort names the branch and carries the evaluator's
-    // planner trace (access-path decisions, degradations) out with it —
-    // aborts are atomic, so this is the only trace the solve leaves.
-    let out = out.map_err(|mut e| {
-        if let EvalError::Solve(se) = &mut e {
-            let d = se.diag_mut();
-            if d.site.is_empty() {
-                d.site = format!("branch {branch_idx}");
-            }
-            d.notes.extend(ev.plan_notes().iter().cloned());
-        }
-        e
-    });
-    harvest_overlay(catalog, eq_idx, &overlay, &cur_markers);
-    out
 }
 
 /// Resolve the constructor application bound at `pos` to its equation

@@ -21,6 +21,12 @@
 //!   implementing `dc_calculus::Catalog`, so that queries mixing base,
 //!   selected, and constructed relations evaluate transparently.
 
+// Solver aborts must be structured errors, never panics — a stray
+// `unwrap` on an abort path would turn a governed trip into a process
+// crash. Escalate, allowing tests (and justified per-site opt-ins).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod constructor;
 pub mod database;
 pub mod error;

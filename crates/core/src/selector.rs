@@ -93,6 +93,9 @@ impl Selector {
         let kept = ev.apply_selector(source.clone(), &self.def.name, &arg_exprs, &mut bindings)?;
         if kept.len() != source.len() {
             // Find one offending tuple for the error message.
+            // `kept` was filtered out of `source` and just compared
+            // shorter, so a tuple outside it must exist.
+            #[allow(clippy::expect_used)]
             let bad = source
                 .iter()
                 .find(|t| !kept.contains(t))

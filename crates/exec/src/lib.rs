@@ -60,10 +60,12 @@
 
 mod partition;
 mod plan;
+mod schedule;
 mod worker;
 
 pub use partition::Partitioner;
 pub use plan::{ArithOp, BoolExpr, CmpOp, ExecError, Job, Key, Step, Target, ValExpr};
+pub use schedule::run_tasks;
 pub use worker::execute;
 
 /// Resolve an effective worker-thread count from a configuration knob.

@@ -98,7 +98,7 @@ pub fn execute(job: &Job, threads: usize) -> Result<Relation, ExecError> {
 
 /// Render a caught panic payload (the conventional `&str`/`String`
 /// forms; anything else gets a placeholder).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

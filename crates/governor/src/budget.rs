@@ -128,6 +128,9 @@ impl Budget {
                 tuples: AtomicU64::new(0),
                 degraded: AtomicU64::new(0),
                 retried: AtomicU64::new(0),
+                parallel_branches: AtomicU64::new(0),
+                sequential_branches: AtomicU64::new(0),
+                parallel_equations: AtomicU64::new(0),
             }),
         }
     }
@@ -145,6 +148,9 @@ struct MeterInner {
     tuples: AtomicU64,
     degraded: AtomicU64,
     retried: AtomicU64,
+    parallel_branches: AtomicU64,
+    sequential_branches: AtomicU64,
+    parallel_equations: AtomicU64,
 }
 
 /// An armed [`Budget`]: the shared gauge one solve polls.
@@ -230,6 +236,26 @@ impl Meter {
         self.inner.retried.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record `n` branch tasks dispatched to scheduler worker threads.
+    pub fn add_parallel_branches(&self, n: u64) {
+        self.inner.parallel_branches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` branch tasks evaluated inline on the solver thread.
+    pub fn add_sequential_branches(&self, n: u64) {
+        self.inner
+            .sequential_branches
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` distinct equations whose tasks ran concurrently
+    /// within one scheduled round batch.
+    pub fn add_parallel_equations(&self, n: u64) {
+        self.inner
+            .parallel_equations
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Budget checks performed so far (ticks + round checks).
     pub fn checks(&self) -> u64 {
         self.inner.checks.load(Ordering::Relaxed)
@@ -249,6 +275,21 @@ impl Meter {
     /// Branch retry attempts.
     pub fn retried(&self) -> u64 {
         self.inner.retried.load(Ordering::Relaxed)
+    }
+
+    /// Branch tasks dispatched to scheduler worker threads.
+    pub fn parallel_branches(&self) -> u64 {
+        self.inner.parallel_branches.load(Ordering::Relaxed)
+    }
+
+    /// Branch tasks evaluated inline on the solver thread.
+    pub fn sequential_branches(&self) -> u64 {
+        self.inner.sequential_branches.load(Ordering::Relaxed)
+    }
+
+    /// Distinct equations that ran concurrently in scheduled batches.
+    pub fn parallel_equations(&self) -> u64 {
+        self.inner.parallel_equations.load(Ordering::Relaxed)
     }
 }
 
@@ -397,6 +438,19 @@ mod tests {
         m.note_retried();
         assert_eq!(m.degraded(), 1);
         assert_eq!(m2.retried(), 1);
+    }
+
+    #[test]
+    fn parallelism_counters_accumulate_across_clones() {
+        let m = Meter::unlimited();
+        let m2 = m.clone();
+        m.add_parallel_branches(3);
+        m2.add_parallel_branches(2);
+        m.add_sequential_branches(4);
+        m2.add_parallel_equations(2);
+        assert_eq!(m.parallel_branches(), 5);
+        assert_eq!(m2.sequential_branches(), 4);
+        assert_eq!(m.parallel_equations(), 2);
     }
 
     #[test]

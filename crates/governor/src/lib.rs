@@ -34,6 +34,11 @@
 //! the workspace (executor, evaluator, solver, benches) can share one
 //! vocabulary of limits and failures.
 
+// The governor sits on every abort path; a stray `unwrap` here would
+// turn a structured trip into a panic. Escalate, allowing tests.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod budget;
 pub mod envcfg;
 pub mod fail;
