@@ -8,8 +8,9 @@
 //!
 //! Run with: `cargo run --release --bin harness`
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dc_bench::*;
 use dc_calculus::builder::rel;
@@ -22,7 +23,8 @@ use dc_optimizer::QuantGraph;
 use dc_prolog::sld::{self, SldConfig};
 use dc_prolog::tabled;
 use dc_relation::Relation;
-use dc_value::Value;
+use dc_server::{Server, WriteBatch};
+use dc_value::{tuple, Value};
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -130,6 +132,21 @@ fn main() {
         "acceptance: ≥3× on the multi-binding correlated-join workload, measured {e2d_speedup:.1}x"
     );
     e3();
+    let (e3b_rows, e3b_speedup) = e3b(cores);
+    // Baseline written before the acceptance assert, same as E1/E2.
+    write_bench_e3(&e3b_rows);
+    if cores >= 4 {
+        assert!(
+            e3b_speedup >= 2.0,
+            "acceptance: ≥2× read QPS with a 4-reader pool vs one reader under \
+             concurrent writes ({cores} cores available), measured {e3b_speedup:.2}x"
+        );
+    } else {
+        println!(
+            "  (E3b ≥2× QPS bound not asserted: only {cores} core(s) available — \
+             reader sessions cannot overlap without hardware parallelism)\n"
+        );
+    }
     e4();
     e5();
     e6();
@@ -745,6 +762,122 @@ fn e3() {
     .unwrap();
     assert!(dc_relation::algebra::is_subset(&early, &limit));
     println!("  ahead_n ⊆ ahead and ahead_40 = lim: verified on chain 40\n");
+}
+
+/// E3b: mixed read/write serving — snapshot-isolated reader sessions
+/// (`dc-server`) against a concurrently committing writer. Each
+/// configuration runs a pool of R reader threads, every reader begins a
+/// fresh session per query (pinning the then-current epoch) and
+/// evaluates the visibility query, while one writer thread keeps
+/// publishing insert/delete commits the whole time — so the measured
+/// interval includes epoch churn, warm-cache handoff, and index
+/// rebuilds for the touched relation. The database itself is pinned to
+/// one solver thread so the scaling measured is *reader-session*
+/// concurrency, not intra-query parallelism. QPS is total queries over
+/// wall time; p99 is the per-query latency tail. The ≥2× 4-reader
+/// bound is asserted in `main` (≥4 cores only), after the baseline is
+/// written to `BENCH_e3.json`.
+fn e3b(cores: usize) -> (Vec<String>, f64) {
+    println!("E3b mixed read/write serving: reader-pool QPS vs a live writer ({cores} core(s))");
+    println!("  readers  queries  commits  epochs      qps  p99(ms)  speedup");
+    const QUERIES_PER_READER: usize = 60;
+    let mut rows_out = Vec::new();
+    let mut base_qps = 0.0_f64;
+    let mut speedup_at_4 = 1.0_f64;
+    for readers in [1usize, 2, 4, 8] {
+        let mut db = scene_db(&dc_workload::scene(24, 24, 2, 11));
+        db.set_budget(harness_budget());
+        db.set_threads(1);
+        let server = Server::new(db);
+        let q = visibility_query();
+        // One untimed query warms the epoch-0 shared caches, so every
+        // configuration starts from the same serving state.
+        server.begin().query(&q).unwrap();
+        let done = AtomicBool::new(false);
+        let start = Instant::now();
+        let latencies: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    let server = &server;
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut lats = Vec::with_capacity(QUERIES_PER_READER);
+                        for _ in 0..QUERIES_PER_READER {
+                            let t0 = Instant::now();
+                            let session = server.begin();
+                            let out = session.query(q).unwrap();
+                            lats.push(t0.elapsed().as_secs_f64() * 1e3);
+                            assert!(!out.is_empty(), "visibility query served no rows");
+                        }
+                        lats
+                    })
+                })
+                .collect();
+            let writer = scope.spawn(|| {
+                let mut k = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let t = tuple![format!("srv{k}"), format!("srv{}", k + 1)];
+                    server
+                        .commit(&WriteBatch::new().insert("Infront", t.clone()))
+                        .unwrap();
+                    server
+                        .commit(&WriteBatch::new().delete("Infront", t))
+                        .unwrap();
+                    k += 2;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+            let lats: Vec<f64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("reader thread panicked"))
+                .collect();
+            done.store(true, Ordering::Relaxed);
+            writer.join().expect("writer thread panicked");
+            lats
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let total = readers * QUERIES_PER_READER;
+        let qps = total as f64 / wall;
+        let mut sorted = latencies;
+        sorted.sort_by(f64::total_cmp);
+        let p99 = sorted[(sorted.len() - 1) * 99 / 100];
+        let commits = server.commit_count();
+        let epochs = server.current_epoch();
+        assert!(commits > 0, "the writer never committed during the window");
+        if readers == 1 {
+            base_qps = qps;
+        }
+        let speedup = qps / base_qps;
+        if readers == 4 {
+            speedup_at_4 = speedup;
+        }
+        println!(
+            "  {readers:>7} {total:>8} {commits:>8} {epochs:>7} {qps:>8.0} {p99:>8.2} {speedup:>7.2}x"
+        );
+        rows_out.push(format!(
+            concat!(
+                "  {{\"workload\": \"mixed rw readers={}\", \"queries\": {}, ",
+                "\"commits\": {}, \"cores\": {}, ",
+                "\"qps\": {:.1}, \"p99_ms\": {:.3}, \"speedup\": {:.2}}}"
+            ),
+            readers, total, commits, cores, qps, p99, speedup
+        ));
+    }
+    println!();
+    (rows_out, speedup_at_4)
+}
+
+/// Emit `BENCH_e3.json`: the E3b mixed read/write serving rows, one
+/// flat array in the `parse_rows` layout, next to `BENCH_e1.json` and
+/// `BENCH_e2.json` — so the perf-baseline CI gate also tracks the
+/// serving layer's reader-scaling trajectory.
+fn write_bench_e3(e3b_rows: &[String]) {
+    let json = format!("[\n{}\n]\n", e3b_rows.join(",\n"));
+    if let Err(e) = std::fs::write("BENCH_e3.json", &json) {
+        eprintln!("  (could not write BENCH_e3.json: {e})");
+    } else {
+        println!("  serving baselines written to BENCH_e3.json\n");
+    }
 }
 
 fn e4() {

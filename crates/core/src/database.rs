@@ -405,6 +405,43 @@ impl Database {
     pub fn last_fixpoint_stats(&self) -> Option<FixpointStats> {
         self.last_stats.borrow().clone()
     }
+
+    /// Decompose the database into its definition and data parts,
+    /// dropping the (thread-local, `RefCell`-backed) caches. This is
+    /// the snapshot-publication hook the serving layer (`dc-server`)
+    /// uses to take over a fully defined database: the parts are plain
+    /// `Send + Sync` values from which the server builds its first
+    /// immutable snapshot, while cache state is rebuilt snapshot-side
+    /// where it can be shared across sessions.
+    pub fn into_parts(self) -> DatabaseParts {
+        DatabaseParts {
+            relations: self.relations,
+            selectors: self.selectors,
+            constructors: self.constructors,
+            signatures: self.signatures,
+            unchecked: self.unchecked,
+            config: self.config,
+        }
+    }
+}
+
+/// The definition + data parts of a [`Database`], with the per-database
+/// caches stripped (see [`Database::into_parts`]). All fields are plain
+/// owned values: the serving layer moves them behind `Arc`s of its own.
+pub struct DatabaseParts {
+    /// Base relation variables and their current values.
+    pub relations: FxHashMap<Name, Relation>,
+    /// Registered selectors.
+    pub selectors: FxHashMap<Name, Selector>,
+    /// Registered constructors.
+    pub constructors: FxHashMap<Name, Constructor>,
+    /// Constructor signatures (for static checking).
+    pub signatures: FxHashMap<Name, ConstructorSig>,
+    /// Constructors registered through the unchecked API; they force
+    /// the naive strategy.
+    pub unchecked: FxHashSet<Name>,
+    /// The fixpoint configuration the database was running with.
+    pub config: FixpointConfig,
 }
 
 impl ConstructorSource for Database {

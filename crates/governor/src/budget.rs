@@ -26,26 +26,47 @@ pub const DEADLINE_STRIDE: u64 = 64;
 ///
 /// Cloning shares the flag; any holder may [`CancelToken::cancel`] and
 /// every [`Meter`] armed with the token observes it at its next tick.
+/// Tokens form a tree via [`CancelToken::child`]: cancelling a parent
+/// cancels every descendant, while a child cancels independently — the
+/// serving layer hands each session a child of the server's shutdown
+/// token so one cancelled query never touches its siblings.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
-    /// A fresh, uncancelled token.
+    /// A fresh, uncancelled root token.
     pub fn new() -> CancelToken {
         CancelToken::default()
     }
 
-    /// Request cancellation. Idempotent; observed cooperatively at the
-    /// next budget tick of any meter sharing this token.
+    /// A child token: cancelled when either its own flag or any
+    /// ancestor's flag is set. Cancelling the child leaves the parent
+    /// (and the child's siblings) untouched.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
+    }
+
+    /// Request cancellation of this token (and its descendants).
+    /// Idempotent; observed cooperatively at the next budget tick of
+    /// any meter sharing this token.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// Has cancellation been requested?
+    /// Has cancellation been requested, here or on any ancestor?
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.parent
+            .as_deref()
+            .is_some_and(CancelToken::is_cancelled)
     }
 }
 
@@ -425,6 +446,33 @@ mod tests {
         handle.join().unwrap();
         assert_eq!(m.tick(), Err(Trip::Cancelled));
         assert_eq!(m.check_round(0), Err(Trip::Cancelled));
+    }
+
+    #[test]
+    fn child_tokens_inherit_parent_cancellation() {
+        let root = CancelToken::new();
+        let a = root.child();
+        let b = root.child();
+        let grand = a.child();
+        assert!(!a.is_cancelled() && !b.is_cancelled() && !grand.is_cancelled());
+        // A child cancels alone; siblings and the parent stay live.
+        a.cancel();
+        assert!(a.is_cancelled() && grand.is_cancelled());
+        assert!(!b.is_cancelled() && !root.is_cancelled());
+        // The root cancels everything below it.
+        root.cancel();
+        assert!(b.is_cancelled());
+        let late = root.child();
+        assert!(late.is_cancelled(), "children born after cancel see it");
+    }
+
+    #[test]
+    fn child_token_trips_meter_on_parent_cancel() {
+        let shutdown = CancelToken::new();
+        let m = Budget::unlimited().with_cancel(shutdown.child()).meter();
+        m.tick().unwrap();
+        shutdown.cancel();
+        assert_eq!(m.tick(), Err(Trip::Cancelled));
     }
 
     #[test]

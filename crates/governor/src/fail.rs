@@ -41,10 +41,18 @@ pub enum Site {
     /// The evaluator building a decorrelated entry for a correlated
     /// range (`decorr_build`).
     DecorrBuild = 3,
+    /// The serving layer about to swap in a freshly built snapshot
+    /// (`snapshot_publish`). Fires after the overlay is applied but
+    /// before the epoch becomes visible, so an injected fault must
+    /// leave readers on the old epoch with the chain unbroken.
+    SnapshotPublish = 4,
+    /// Entry of the serving layer's commit path (`session_commit`).
+    /// Fires before any batch op is applied.
+    SessionCommit = 5,
 }
 
 /// Number of sites (the registry is a fixed-size table).
-const SITE_COUNT: usize = 4;
+const SITE_COUNT: usize = 6;
 
 /// All sites, for iteration in tests and parsers.
 pub const SITES: [Site; SITE_COUNT] = [
@@ -52,6 +60,8 @@ pub const SITES: [Site; SITE_COUNT] = [
     Site::DeltaCommit,
     Site::IndexBuild,
     Site::DecorrBuild,
+    Site::SnapshotPublish,
+    Site::SessionCommit,
 ];
 
 impl Site {
@@ -62,6 +72,8 @@ impl Site {
             Site::DeltaCommit => "delta_commit",
             Site::IndexBuild => "index_build",
             Site::DecorrBuild => "decorr_build",
+            Site::SnapshotPublish => "snapshot_publish",
+            Site::SessionCommit => "session_commit",
         }
     }
 
@@ -287,6 +299,13 @@ mod tests {
             vec![
                 (Site::WorkerStart, FailAction::Panic),
                 (Site::DecorrBuild, FailAction::Error)
+            ]
+        );
+        assert_eq!(
+            parse_failpoints("snapshot_publish=panic,session_commit=error").unwrap(),
+            vec![
+                (Site::SnapshotPublish, FailAction::Panic),
+                (Site::SessionCommit, FailAction::Error)
             ]
         );
         assert!(parse_failpoints("worker_start").is_err());

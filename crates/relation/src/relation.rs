@@ -297,6 +297,28 @@ impl Relation {
             ((hi as u128) << 64) | lo as u128
         })
     }
+
+    /// Peek the memoised digest without computing it: `Some` iff some
+    /// handle sharing this storage already paid the O(n) pass (and no
+    /// mutation has invalidated it since). Lets callers distinguish a
+    /// cache hit from the recompute that [`Relation::digest`] would
+    /// happily perform.
+    pub fn cached_digest(&self) -> Option<u128> {
+        self.tuples.digest.get().copied()
+    }
+
+    /// A handle destined for a published snapshot: forces the digest
+    /// memo, then clones. The returned handle shares storage with
+    /// `self` (publication stays O(1) per relation) **and** carries the
+    /// populated memo cell, so sessions pinning the snapshot read
+    /// digests — and build content-addressed solve keys — without ever
+    /// recomputing. This is deliberate: a naive snapshot construction
+    /// that rebuilt storage would clear the `OnceLock` and charge every
+    /// hot read session an O(n log n) recompute per pinned relation.
+    pub fn snapshot_handle(&self) -> Relation {
+        self.digest();
+        self.clone()
+    }
 }
 
 /// The splitmix64 finalizer: a bijective, highly non-linear 64-bit
@@ -488,6 +510,38 @@ mod tests {
         assert!(Relation::shares_storage(&a, &b));
         assert_eq!(a.len(), 1);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_handle_reuses_digest_memo_pointer_equal() {
+        let mut r = Relation::new(infrontrel());
+        r.insert(tuple!["a", "b"]).unwrap();
+        r.insert(tuple!["b", "c"]).unwrap();
+        assert_eq!(r.cached_digest(), None, "memo starts empty");
+        let d = r.digest();
+        // The snapshot handle shares storage (pointer-equal memo cell)
+        // and sees the memo as already populated — no recompute.
+        let snap = r.snapshot_handle();
+        assert!(Relation::shares_storage(&r, &snap));
+        assert_eq!(snap.cached_digest(), Some(d));
+        // Clones of the snapshot handle (what sessions pin) inherit it.
+        let pinned = snap.clone();
+        assert!(Relation::shares_storage(&snap, &pinned));
+        assert_eq!(pinned.cached_digest(), Some(d));
+        // snapshot_handle also *populates* a cold memo so sessions
+        // never pay the O(n) pass themselves.
+        let mut cold = Relation::new(infrontrel());
+        cold.insert(tuple!["x", "y"]).unwrap();
+        assert_eq!(cold.cached_digest(), None);
+        let published = cold.snapshot_handle();
+        assert!(published.cached_digest().is_some());
+        assert_eq!(cold.cached_digest(), published.cached_digest());
+        // Mutation still invalidates: a detached write starts cold.
+        let mut next = published.clone();
+        next.insert(tuple!["y", "z"]).unwrap();
+        assert!(!Relation::shares_storage(&published, &next));
+        assert_eq!(next.cached_digest(), None);
+        assert_eq!(published.cached_digest(), Some(cold.digest()));
     }
 
     #[test]

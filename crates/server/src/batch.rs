@@ -1,0 +1,69 @@
+//! Batched mutations: the writer's unit of atomicity.
+
+use dc_calculus::ast::Name;
+use dc_value::Tuple;
+
+/// One mutation against one relation.
+#[derive(Debug, Clone)]
+pub enum WriteOp {
+    /// Insert one tuple (schema- and key-checked at commit).
+    Insert(Tuple),
+    /// Delete one tuple (absent tuples are a no-op, like
+    /// `Relation::remove`).
+    Delete(Tuple),
+    /// Replace the relation's whole value (key-checked at commit; the
+    /// schema stays the one the relation was declared with).
+    Replace(Vec<Tuple>),
+}
+
+/// An ordered batch of mutations, applied atomically by
+/// [`Server::commit`](crate::Server::commit): either every op lands in
+/// the newly published snapshot or — on any constraint violation,
+/// unknown relation, or injected fault — none do, and readers keep the
+/// previous epoch. Ops apply in insertion order, so a `Replace`
+/// followed by `Insert`s on the same relation behaves as written.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    ops: Vec<(Name, WriteOp)>,
+}
+
+impl WriteBatch {
+    /// An empty batch (committing it still publishes a fresh epoch —
+    /// useful as a barrier).
+    pub fn new() -> WriteBatch {
+        WriteBatch::default()
+    }
+
+    /// Queue an insert.
+    pub fn insert(mut self, rel: impl Into<Name>, tuple: Tuple) -> WriteBatch {
+        self.ops.push((rel.into(), WriteOp::Insert(tuple)));
+        self
+    }
+
+    /// Queue a delete.
+    pub fn delete(mut self, rel: impl Into<Name>, tuple: Tuple) -> WriteBatch {
+        self.ops.push((rel.into(), WriteOp::Delete(tuple)));
+        self
+    }
+
+    /// Queue a whole-relation replacement.
+    pub fn replace(mut self, rel: impl Into<Name>, tuples: Vec<Tuple>) -> WriteBatch {
+        self.ops.push((rel.into(), WriteOp::Replace(tuples)));
+        self
+    }
+
+    /// Number of queued ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The queued ops, in application order.
+    pub fn ops(&self) -> &[(Name, WriteOp)] {
+        &self.ops
+    }
+}

@@ -1,0 +1,255 @@
+//! The server: one swappable snapshot, many sessions, one writer.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+use dc_calculus::ast::Name;
+use dc_core::Database;
+use dc_governor::fail::{self, Site};
+use dc_governor::{Budget, CancelToken, SolveDiag, SolveError};
+use dc_relation::Relation;
+use dc_value::{FxHashMap, FxHashSet};
+
+use crate::batch::{WriteBatch, WriteOp};
+use crate::error::ServerError;
+use crate::session::Session;
+use crate::snapshot::Snapshot;
+
+/// Writer-side bookkeeping, serialized under the writer mutex.
+struct WriterState {
+    /// Per relation: the epoch whose commit last modified it. The
+    /// conflict rule compares these against a session's pinned epoch.
+    last_modified: FxHashMap<Name, u64>,
+}
+
+/// A concurrently served database: an atomically swappable
+/// [`Snapshot`] behind a read–write lock, a single serialized writer,
+/// and per-session governance.
+///
+/// # Concurrency contract
+///
+/// * **Readers**: [`Server::begin`] pins the current snapshot (one
+///   brief read-lock acquisition, then an `Arc` bump). From then on the
+///   session runs entirely against immutable state — no reader ever
+///   waits on another reader or on the writer.
+/// * **Writer**: commits are serialized by an internal mutex. A commit
+///   applies its [`WriteBatch`] to a private overlay of COW relation
+///   handles (copying only the relations it actually writes), builds
+///   the successor snapshot — carrying over every warm cache entry
+///   that cannot have gone stale — and publishes it with one pointer
+///   swap. Publication is the *last* step: any failure before it
+///   (constraint violation, injected fault, panic) leaves the snapshot
+///   chain exactly as it was — there is no torn epoch.
+/// * **Conflict rule**: [`Server::commit_or_conflict`] additionally
+///   validates the committing session's read set — if any relation the
+///   session read was modified by a commit after the session's pinned
+///   epoch, the batch is rejected with [`ServerError::Conflict`].
+///   Accepted transactions are serializable in commit order: each
+///   batch applies to the latest state, and read-set validation makes
+///   each accepted transaction's reads equivalent to reads at its
+///   commit point.
+pub struct Server {
+    current: RwLock<Arc<Snapshot>>,
+    writer: Mutex<WriterState>,
+    shutdown: CancelToken,
+    session_budget: Budget,
+    commits: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl Server {
+    /// Take over a fully defined [`Database`] and publish it as epoch
+    /// 0. Definitions (relations declared, selectors, constructors) are
+    /// frozen from here on; data evolves through [`Server::commit`].
+    pub fn new(db: Database) -> Server {
+        let snapshot = Snapshot::initial(db.into_parts());
+        Server {
+            current: RwLock::new(Arc::new(snapshot)),
+            writer: Mutex::new(WriterState {
+                last_modified: FxHashMap::default(),
+            }),
+            shutdown: CancelToken::new(),
+            session_budget: Budget::unlimited(),
+            commits: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the server-level allowance every session's budget is drawn
+    /// from: each [`Server::begin`] re-arms a fresh copy (so a deadline
+    /// means *per session*, not since server start) and links it to the
+    /// shutdown token.
+    pub fn with_session_budget(mut self, budget: Budget) -> Server {
+        self.session_budget = budget;
+        self
+    }
+
+    /// Begin a read session pinned to the current snapshot.
+    pub fn begin(&self) -> Session {
+        let snap = self
+            .current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        Session::new(snap, &self.session_budget, &self.shutdown)
+    }
+
+    /// The currently published snapshot (what the *next* `begin` pins).
+    pub fn current_snapshot(&self) -> Arc<Snapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The currently published epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.current_snapshot().epoch()
+    }
+
+    /// Apply `batch` atomically and publish the successor snapshot.
+    /// Returns the new epoch.
+    pub fn commit(&self, batch: &WriteBatch) -> Result<u64, ServerError> {
+        self.commit_inner(batch, None)
+    }
+
+    /// Apply `batch` atomically *if* `session`'s read set is still
+    /// current — i.e. no relation the session read has been modified by
+    /// a commit after the session's pinned epoch. Returns the new epoch
+    /// or [`ServerError::Conflict`] (the batch is then not applied; the
+    /// caller re-begins and retries).
+    pub fn commit_or_conflict(
+        &self,
+        session: &Session,
+        batch: &WriteBatch,
+    ) -> Result<u64, ServerError> {
+        self.commit_inner(batch, Some(session))
+    }
+
+    fn commit_inner(
+        &self,
+        batch: &WriteBatch,
+        session: Option<&Session>,
+    ) -> Result<u64, ServerError> {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // The whole commit body runs behind a panic-isolation boundary
+        // (mirroring the solver's): a panic anywhere inside — an armed
+        // `panic` failpoint, a bug in a batch op — becomes a structured
+        // `SolveError::WorkerPanic` for the writer, and because
+        // publication is the body's final step, the reader-visible
+        // snapshot chain is left untouched.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.apply_and_publish(&mut writer, batch, session)
+        }));
+        match result {
+            Ok(r) => r,
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "opaque panic payload".to_string()
+                };
+                Err(ServerError::Eval(
+                    SolveError::WorkerPanic {
+                        message,
+                        diag: SolveDiag::default(),
+                    }
+                    .into(),
+                ))
+            }
+        }
+    }
+
+    fn apply_and_publish(
+        &self,
+        writer: &mut WriterState,
+        batch: &WriteBatch,
+        session: Option<&Session>,
+    ) -> Result<u64, ServerError> {
+        if self.shutdown.is_cancelled() {
+            return Err(ServerError::ShuttingDown);
+        }
+        fail::check(Site::SessionCommit)?;
+        let cur = self.current_snapshot();
+        // Optimistic-concurrency validation: first-committer-wins on
+        // the session's reads.
+        if let Some(s) = session {
+            for name in s.read_set() {
+                if let Some(&committed) = writer.last_modified.get(&name) {
+                    if committed > s.epoch() {
+                        self.conflicts.fetch_add(1, Ordering::Relaxed);
+                        return Err(ServerError::Conflict {
+                            relation: name,
+                            read_epoch: s.epoch(),
+                            committed_epoch: committed,
+                        });
+                    }
+                }
+            }
+        }
+        // The private overlay: handle bumps for every relation; COW
+        // detaches exactly the ones the batch writes. Any failure here
+        // drops the overlay — nothing reader-visible has happened yet.
+        let mut rels: FxHashMap<Name, Relation> = cur.relations().clone();
+        let mut touched: FxHashSet<Name> = FxHashSet::default();
+        for (name, op) in batch.ops() {
+            let r = rels.get_mut(name).ok_or_else(|| ServerError::Unknown {
+                kind: "relation",
+                name: name.clone(),
+            })?;
+            match op {
+                WriteOp::Insert(t) => {
+                    r.insert(t.clone())?;
+                }
+                WriteOp::Delete(t) => {
+                    r.remove(t);
+                }
+                WriteOp::Replace(ts) => {
+                    *r = Relation::from_tuples(r.schema().clone(), ts.iter().cloned())?;
+                }
+            }
+            touched.insert(name.clone());
+        }
+        // Everything validated; build the successor and make it
+        // visible. The failpoint sits right before the swap — the
+        // narrowest window a crash could try to tear — so the fault
+        // battery proves even a panic here leaves readers unharmed.
+        let next = cur.next(rels, &touched);
+        fail::check(Site::SnapshotPublish)?;
+        let epoch = next.epoch();
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(next);
+        for name in touched {
+            writer.last_modified.insert(name, epoch);
+        }
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(epoch)
+    }
+
+    /// Request shutdown: every in-flight session's budget trips with
+    /// `Cancelled` at its next tick (their tokens are children of the
+    /// shutdown token), and new commits are rejected with
+    /// [`ServerError::ShuttingDown`]. Sessions already begun may still
+    /// *read* pinned data — snapshots are immutable and stay alive as
+    /// long as someone pins them.
+    pub fn shutdown(&self) {
+        self.shutdown.cancel();
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.is_cancelled()
+    }
+
+    /// Successful commits so far.
+    pub fn commit_count(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Commits rejected by the conflict rule so far.
+    pub fn conflict_count(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+}

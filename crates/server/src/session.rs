@@ -1,0 +1,347 @@
+//! Snapshot-isolated read sessions.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use dc_calculus::ast::{Name, SelectorDef};
+use dc_calculus::typeck::{self, ConstructorSig, SchemaCatalog};
+use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator, RangeExpr};
+use dc_core::fixpoint::{self, AppKey, ConstructorSource, FixpointStats, Strategy};
+use dc_core::Constructor;
+use dc_governor::{Budget, CancelToken, SolveDiag, SolveError};
+use dc_index::{HashIndex, RelationStats};
+use dc_relation::Relation;
+use dc_value::{FxHashMap, FxHashSet, Schema, Tuple, Value};
+
+use crate::error::ServerError;
+use crate::snapshot::Snapshot;
+
+/// Base-relation index cache: (relation name, indexed positions) →
+/// index.
+type IndexCache = FxHashMap<(Name, Vec<usize>), Arc<HashIndex>>;
+
+/// A read session pinned to one snapshot.
+///
+/// Begun with [`Server::begin`](crate::Server::begin), a session serves
+/// queries and solves against the epoch it pinned — with **zero
+/// coordination between readers**: the hot path touches no lock shared
+/// with other sessions (the epoch-scoped warm caches are probed behind
+/// the session's private caches, with lock scopes bounded by a map
+/// lookup). Concurrent commits are invisible; every read inside one
+/// session is mutually consistent, however many epochs the writer
+/// publishes meanwhile.
+///
+/// The session records every relation it reads. Handing the session to
+/// [`Server::commit_or_conflict`](crate::Server::commit_or_conflict)
+/// turns that read set into an optimistic-concurrency check: the batch
+/// commits only if nothing the session read has been modified since its
+/// begin-snapshot.
+///
+/// Sessions are `Send` (movable to a worker thread) but intentionally
+/// not `Sync` — one session is one isolation scope; run one per thread.
+pub struct Session {
+    snap: Arc<Snapshot>,
+    budget: Budget,
+    cancel: CancelToken,
+    read_set: RefCell<FxHashSet<Name>>,
+    solved: RefCell<FxHashMap<AppKey, Relation>>,
+    indexes: RefCell<IndexCache>,
+    stats: RefCell<FxHashMap<Name, Arc<RelationStats>>>,
+    decorr: RefCell<FxHashMap<RangeExpr, DecorrCached>>,
+    last_stats: RefCell<Option<FixpointStats>>,
+}
+
+impl Session {
+    pub(crate) fn new(snap: Arc<Snapshot>, template: &Budget, shutdown: &CancelToken) -> Session {
+        // Each session's budget is drawn from the server-level
+        // allowance (the template) and armed with a child of the
+        // shutdown token: server shutdown cancels every in-flight
+        // session at its next budget tick, while cancelling one
+        // session leaves its siblings untouched.
+        let cancel = shutdown.child();
+        let budget = template.clone().with_cancel(cancel.clone());
+        Session {
+            snap,
+            budget,
+            cancel,
+            read_set: RefCell::new(FxHashSet::default()),
+            solved: RefCell::new(FxHashMap::default()),
+            indexes: RefCell::new(IndexCache::default()),
+            stats: RefCell::new(FxHashMap::default()),
+            decorr: RefCell::new(FxHashMap::default()),
+            last_stats: RefCell::new(None),
+        }
+    }
+
+    /// The epoch this session pinned at `begin()`.
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch()
+    }
+
+    /// The pinned snapshot.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snap
+    }
+
+    /// This session's cancellation token (a child of the server's
+    /// shutdown token): cancel it to abort the session's in-flight
+    /// evaluation at its next budget tick.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Read a relation's pinned value (recorded in the read set).
+    pub fn read(&self, name: &str) -> Result<Relation, ServerError> {
+        Ok(Catalog::relation(self, name)?)
+    }
+
+    /// The pinned content digest of a relation — O(1): snapshot
+    /// publication pre-populated the memo (recorded in the read set).
+    pub fn relation_digest(&self, name: &str) -> Result<u128, ServerError> {
+        Ok(self.read(name)?.digest())
+    }
+
+    /// Relation names this session has read so far, sorted.
+    pub fn read_set(&self) -> Vec<Name> {
+        let mut v: Vec<Name> = self.read_set.borrow().iter().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Type-check and evaluate a query against the pinned snapshot.
+    pub fn query(&self, query: &RangeExpr) -> Result<Relation, ServerError> {
+        typeck::check_range(query, self)?;
+        Ok(self.evaluator().eval(query)?)
+    }
+
+    /// Solve `base{constructor(args…)}` against the pinned snapshot: a
+    /// convenience wrapper over the same fixpoint path queries take.
+    pub fn solve(
+        &self,
+        base: &str,
+        constructor: &str,
+        args: &[&str],
+        scalar_args: Vec<Value>,
+    ) -> Result<Relation, ServerError> {
+        let b = self.read(base)?;
+        let a: Vec<Relation> = args
+            .iter()
+            .map(|n| self.read(n))
+            .collect::<Result<_, _>>()?;
+        Ok(Catalog::apply_constructor(
+            self,
+            b,
+            constructor,
+            a,
+            scalar_args,
+        )?)
+    }
+
+    /// Statistics of the session's most recent fixpoint run, if any.
+    pub fn last_fixpoint_stats(&self) -> Option<FixpointStats> {
+        self.last_stats.borrow().clone()
+    }
+
+    /// An evaluator over the pinned snapshot honouring the frozen index
+    /// and parallel-execution configuration, metered by the session
+    /// budget.
+    fn evaluator(&self) -> Evaluator<'_> {
+        let config = &self.snap.defs().config;
+        let mut ev = Evaluator::new(self);
+        ev = ev.with_meter(self.budget.meter());
+        if config.use_indexes {
+            ev.with_threads(dc_exec::thread_count(config.threads))
+                .with_parallel_threshold(config.parallel_threshold)
+        } else {
+            ev.force_nested_loop()
+        }
+    }
+}
+
+impl ConstructorSource for Session {
+    fn base_catalog(&self) -> &dyn Catalog {
+        self
+    }
+
+    fn constructor_def(&self, name: &str) -> Result<Constructor, EvalError> {
+        self.snap
+            .defs()
+            .constructors
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownConstructor(name.to_string()))
+    }
+}
+
+impl Catalog for Session {
+    fn relation(&self, name: &str) -> Result<Relation, EvalError> {
+        let r = self
+            .snap
+            .relation(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))?;
+        self.read_set.borrow_mut().insert(name.to_string());
+        Ok(r)
+    }
+
+    /// Indexes are served session-private first, then from the epoch's
+    /// warm cache; a session that pays a build donates it so sibling
+    /// sessions on the same epoch hit the warm path.
+    fn index(&self, name: &str, positions: &[usize]) -> Option<Arc<HashIndex>> {
+        let key = (name.to_string(), positions.to_vec());
+        if let Some(idx) = self.indexes.borrow().get(&key) {
+            return Some(idx.clone());
+        }
+        let idx = match self.snap.warm().index(&key) {
+            Some(idx) => idx,
+            None => {
+                let rel = self.snap.relation(name)?;
+                let idx = Arc::new(HashIndex::build(rel, positions.to_vec()));
+                self.snap.warm().donate_index(key.clone(), idx.clone());
+                idx
+            }
+        };
+        self.indexes.borrow_mut().insert(key, idx.clone());
+        Some(idx)
+    }
+
+    /// Statistics, same two-level serving as indexes.
+    fn stats(&self, name: &str) -> Option<Arc<RelationStats>> {
+        if let Some(s) = self.stats.borrow().get(name) {
+            return Some(s.clone());
+        }
+        let s = match self.snap.warm().stats(name) {
+            Some(s) => s,
+            None => {
+                let rel = self.snap.relation(name)?;
+                let s = Arc::new(RelationStats::collect(rel));
+                self.snap.warm().donate_stats(name.to_string(), s.clone());
+                s
+            }
+        };
+        self.stats.borrow_mut().insert(name.to_string(), s.clone());
+        Some(s)
+    }
+
+    fn selector(&self, name: &str) -> Result<&SelectorDef, EvalError> {
+        self.snap
+            .defs()
+            .selectors
+            .get(name)
+            .map(|s| s.def())
+            .ok_or_else(|| EvalError::UnknownSelector(name.to_string()))
+    }
+
+    /// Decorrelation entries, same two-level serving: snapshot data is
+    /// immutable, so an entry built by any session on this epoch stays
+    /// exactly consistent for every other.
+    fn decorr_entry(&self, range: &RangeExpr) -> Option<DecorrCached> {
+        if let Some(e) = self.decorr.borrow().get(range) {
+            return Some(e.clone());
+        }
+        let e = self.snap.warm().decorr(range)?;
+        self.decorr.borrow_mut().insert(range.clone(), e.clone());
+        Some(e)
+    }
+
+    fn cache_decorr_entry(&self, range: &RangeExpr, entry: DecorrCached) {
+        self.snap.warm().donate_decorr(range.clone(), entry.clone());
+        self.decorr.borrow_mut().insert(range.clone(), entry);
+    }
+
+    fn apply_constructor(
+        &self,
+        base: Relation,
+        name: &str,
+        args: Vec<Relation>,
+        scalar_args: Vec<Value>,
+    ) -> Result<Relation, EvalError> {
+        // The key is content-addressed (relation digests + scalar
+        // args), so hits from the warm memo — including entries carried
+        // over from earlier epochs — can never serve stale data.
+        let key = AppKey::new(name, &base, &args, &scalar_args);
+        if let Some(hit) = self.solved.borrow().get(&key) {
+            return Ok(hit.clone());
+        }
+        if let Some(hit) = self.snap.warm().solved(&key) {
+            self.solved.borrow_mut().insert(key, hit.clone());
+            return Ok(hit);
+        }
+        let mut cfg = self.snap.defs().config.clone();
+        cfg.budget = Some(self.budget.clone());
+        if self.snap.defs().unchecked.contains(name) {
+            cfg.strategy = Strategy::Naive;
+        }
+        // Same panic-isolation boundary as `Database::apply_constructor`:
+        // a panic inside the solve becomes a structured `WorkerPanic`.
+        // `AssertUnwindSafe` is sound because the snapshot is immutable
+        // and the session caches are only written on the success path
+        // below.
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fixpoint::solve(self, name, base, args, scalar_args, &cfg)
+        }));
+        let (value, stats) = match solved {
+            Ok(result) => result?,
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "opaque panic payload".to_string()
+                };
+                return Err(EvalError::Solve(SolveError::WorkerPanic {
+                    message,
+                    diag: SolveDiag::default(),
+                }));
+            }
+        };
+        *self.last_stats.borrow_mut() = Some(stats);
+        self.snap.warm().donate_solved(key.clone(), value.clone());
+        self.solved.borrow_mut().insert(key, value.clone());
+        Ok(value)
+    }
+
+    fn version(&self) -> u64 {
+        // The pinned snapshot never changes, so evaluator-side caches
+        // keyed on this version stay valid for the session's lifetime.
+        self.snap.epoch()
+    }
+}
+
+impl SchemaCatalog for Session {
+    fn relation_schema(&self, name: &str) -> Result<Schema, EvalError> {
+        self.snap
+            .relation(name)
+            .map(|r| r.schema().clone())
+            .ok_or_else(|| EvalError::UnknownRelation(name.to_string()))
+    }
+
+    fn selector_def(&self, name: &str) -> Result<&SelectorDef, EvalError> {
+        self.snap
+            .defs()
+            .selectors
+            .get(name)
+            .map(|s| s.def())
+            .ok_or_else(|| EvalError::UnknownSelector(name.to_string()))
+    }
+
+    fn constructor_sig(&self, name: &str) -> Result<&ConstructorSig, EvalError> {
+        self.snap
+            .defs()
+            .signatures
+            .get(name)
+            .ok_or_else(|| EvalError::UnknownConstructor(name.to_string()))
+    }
+}
+
+/// A session member check used by tests: does the pinned snapshot
+/// contain `tuple` in `rel`? Avoids cloning a handle for membership
+/// probes.
+impl Session {
+    /// Membership probe against the pinned snapshot (recorded in the
+    /// read set).
+    pub fn contains(&self, rel: &str, tuple: &Tuple) -> Result<bool, ServerError> {
+        Ok(self.read(rel)?.contains(tuple))
+    }
+}
