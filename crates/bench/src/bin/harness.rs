@@ -148,6 +148,21 @@ fn main() {
         );
     }
     e4();
+    let (e4b_rows, e4b_speedup) = e4b(cores);
+    write_bench_e4(&e4b_rows);
+    if cores >= 4 {
+        assert!(
+            e4b_speedup >= 5.0,
+            "expected standing-query incremental maintenance to beat from-scratch \
+             re-query by ≥5× on at least one workload ({cores} cores available), \
+             best measured {e4b_speedup:.2}x"
+        );
+    } else {
+        println!(
+            "  (E4b ≥5× bound not asserted: only {cores} core(s) available — \
+             timings are too noisy without hardware parallelism)\n"
+        );
+    }
     e5();
     e6();
     e7();
@@ -877,6 +892,127 @@ fn write_bench_e3(e3b_rows: &[String]) {
         eprintln!("  (could not write BENCH_e3.json: {e})");
     } else {
         println!("  serving baselines written to BENCH_e3.json\n");
+    }
+}
+
+/// E4b: standing-query incremental maintenance against a from-scratch
+/// re-query over the same insert-only commit stream. The incremental
+/// side registers one subscription and lets every commit's refresh
+/// re-enter the semi-naive rounds warm from the previous materialised
+/// system; the from-scratch side replays the identical commits on a
+/// second server and re-solves cold after each (content-addressed
+/// solve keys make every re-solve genuine). Both sides must converge
+/// to digest-identical closures; the measured rows are written to
+/// `BENCH_e4.json`.
+fn e4b(cores: usize) -> (Vec<String>, f64) {
+    println!(
+        "E4b standing queries: incremental maintenance vs from-scratch re-query ({cores} core(s))"
+    );
+    println!("  chains×depth  commits  closure  warm  inc(ms)  scratch(ms)  speedup");
+    const COMMITS: usize = 12;
+    let mut rows_out = Vec::new();
+    let mut best = 0.0_f64;
+    for (k, depth) in [(4usize, 32usize), (8, 56)] {
+        let mk = || {
+            let mut db = ahead_db(&many_chains(k, depth), Strategy::SemiNaive);
+            db.set_budget(harness_budget());
+            db
+        };
+        // Each commit extends chain 0 by one edge: a small base delta
+        // whose closure contribution the warm path derives in
+        // delta-sized rounds, while the from-scratch side recomputes
+        // every chain's closure from ∅.
+        let batches: Vec<WriteBatch> = (0..COMMITS)
+            .map(|i| {
+                WriteBatch::new().insert(
+                    "Infront",
+                    tuple![format!("c0_{}", depth + i), format!("c0_{}", depth + i + 1)],
+                )
+            })
+            .collect();
+
+        let server = Server::new(mk());
+        let prepared = server
+            .prepare_solve("Infront", "ahead", &[], vec![])
+            .unwrap();
+        let sub = server.subscribe(&prepared).unwrap();
+        let mut materialised = sub
+            .recv()
+            .expect("subscription alive")
+            .expect("initial evaluation failed")
+            .added;
+        let mut warm_updates = 0usize;
+        let ((), inc_ms) = time(|| {
+            for b in &batches {
+                server.commit(b).unwrap();
+                let up = sub
+                    .recv()
+                    .expect("subscription alive")
+                    .expect("refresh failed");
+                if up.warm {
+                    warm_updates += 1;
+                }
+                assert!(up.removed.is_empty(), "insert-only stream never retracts");
+                dc_relation::algebra::union_into(&mut materialised, &up.added).unwrap();
+            }
+        });
+
+        let scratch = Server::new(mk());
+        // One untimed epoch-0 solve for parity with the subscription's
+        // untimed initial evaluation.
+        scratch
+            .begin()
+            .solve("Infront", "ahead", &[], vec![])
+            .unwrap();
+        let mut scratch_out = Relation::new(materialised.schema().clone());
+        let ((), scratch_ms) = time(|| {
+            for b in &batches {
+                scratch.commit(b).unwrap();
+                scratch_out = scratch
+                    .begin()
+                    .solve("Infront", "ahead", &[], vec![])
+                    .unwrap();
+            }
+        });
+        assert_eq!(
+            materialised.digest(),
+            scratch_out.digest(),
+            "incremental maintenance diverged from the from-scratch oracle"
+        );
+        assert_eq!(
+            warm_updates, COMMITS,
+            "insert-only commits must all refresh warm"
+        );
+        let speedup = scratch_ms / inc_ms;
+        best = best.max(speedup);
+        let closure = materialised.len();
+        println!(
+            "  {k:>5}x{depth:<7} {COMMITS:>7} {closure:>8} {warm_updates:>5} {inc_ms:>8.2} \
+             {scratch_ms:>11.2} {speedup:>7.2}x"
+        );
+        rows_out.push(format!(
+            concat!(
+                "  {{\"workload\": \"standing ahead k={} depth={}\", \"commits\": {}, ",
+                "\"closure\": {}, \"warm\": {}, \"cores\": {}, ",
+                "\"incremental_ms\": {:.3}, \"scratch_ms\": {:.3}, \"speedup\": {:.2}}}"
+            ),
+            k, depth, COMMITS, closure, warm_updates, cores, inc_ms, scratch_ms, speedup
+        ));
+    }
+    println!();
+    (rows_out, best)
+}
+
+/// Emit `BENCH_e4.json`: the E4b standing-query maintenance rows, one
+/// flat array in the `parse_rows` layout, next to the E1–E3 baselines
+/// — so the perf-baseline CI gate also tracks the incremental-vs-
+/// from-scratch trajectory.
+fn write_bench_e4(e4b_rows: &[String]) {
+    let json = format!("[\n{}\n]\n", e4b_rows.join(",\n"));
+    if let Err(e) = std::fs::write("BENCH_e4.json", &json) {
+        eprintln!("  (could not write BENCH_e4.json: {e})");
+    } else {
+        println!("  standing-query baselines written to BENCH_e4.json\n");
     }
 }
 

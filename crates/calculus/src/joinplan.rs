@@ -39,10 +39,12 @@
 //! the residual, so planning never has to be conservative about
 //! evaluation-time concerns.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use dc_index::RelationStats;
 use dc_value::Schema;
 
-use crate::ast::{Branch, CmpOp, Formula, ScalarExpr, Var};
+use crate::ast::{Branch, CmpOp, Formula, Name, RangeExpr, ScalarExpr, SetFormer, Target, Var};
 use crate::rewrite;
 
 /// The non-probed side of an equality atom.
@@ -809,6 +811,272 @@ pub fn plan_branch(branch: &Branch, schemas: &[&Schema], stats: &[RelationStats]
     BranchPlan { steps }
 }
 
+/// Definition lookup for [`base_relations`]: resolves the *bodies*
+/// hidden behind names in a range expression — selector predicates and
+/// constructor bodies — so the read-set analysis can chase references
+/// transitively. Returning `None` for a name marks the profile
+/// [`ReadProfile::unresolved`] (the caller must then assume the query
+/// reads everything).
+pub trait DefLookup {
+    /// The predicate body of a named selector, if known.
+    fn selector_body(&self, name: &str) -> Option<&Formula>;
+    /// The set-former body and formal relation parameters
+    /// (base first, then relation args) of a named constructor, if
+    /// known.
+    fn constructor_parts(&self, name: &str) -> Option<(&SetFormer, Vec<Name>)>;
+}
+
+/// Read-set / dependency profile of a query: which base (catalog)
+/// relations its result depends on, and which of those occurrences are
+/// *unsafe* for delta-monotone maintenance.
+///
+/// A relation occurrence is **safe** when it appears only as a plain
+/// `EACH v IN R` binding range (possibly reached through a constructor
+/// application whose base/args are themselves plain relation names):
+/// inserting tuples into `R` can only *add* bindings, so the query
+/// result grows monotonically and a semi-naive warm start from the
+/// previous result is sound. Every other occurrence — inside a
+/// predicate (`MEMBER`, `SOME`/`ALL` ranges, negation), a selector
+/// body, a nested set former used as a range, or a constructor
+/// application with a computed base — lands in
+/// [`ReadProfile::unsafe_reads`], because an insert there can remove
+/// result tuples (non-monotone) or change intermediate values in ways
+/// delta rules do not cover.
+///
+/// Serving layers use the profile two ways: commits touching relations
+/// disjoint from [`ReadProfile::reads`] cannot change the result at
+/// all (O(1) filter), and commits touching only safe reads with
+/// insert-only ops qualify for warm-start maintenance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadProfile {
+    /// Every base relation the query may read, safe or not.
+    pub reads: BTreeSet<Name>,
+    /// Base relations with at least one non-delta-monotone occurrence.
+    pub unsafe_reads: BTreeSet<Name>,
+    /// True when a selector or constructor definition could not be
+    /// resolved: the profile is then a lower bound and the caller must
+    /// treat the query as reading (and unsafely depending on)
+    /// everything.
+    pub unresolved: bool,
+}
+
+impl ReadProfile {
+    /// True when a commit touching exactly `touched` cannot affect the
+    /// query result. Unresolved profiles never qualify.
+    pub fn disjoint_from<'a, I: IntoIterator<Item = &'a Name>>(&self, touched: I) -> bool {
+        !self.unresolved && touched.into_iter().all(|t| !self.reads.contains(t))
+    }
+
+    /// True when every touched relation occurs only in safe (plain
+    /// binding-range) positions, so insert-only deltas are
+    /// delta-monotone. Unresolved profiles never qualify.
+    pub fn monotone_in<'a, I: IntoIterator<Item = &'a Name>>(&self, touched: I) -> bool {
+        !self.unresolved && touched.into_iter().all(|t| !self.unsafe_reads.contains(t))
+    }
+}
+
+struct ProfileWalk<'a> {
+    defs: &'a dyn DefLookup,
+    profile: ReadProfile,
+    /// Constructor names on the current expansion path (cycle guard:
+    /// recursive constructors reference themselves).
+    ctor_stack: Vec<Name>,
+    /// Selector names already expanded (their bodies are
+    /// context-independent, so once is enough).
+    selectors_done: BTreeSet<Name>,
+}
+
+/// Compute the [`ReadProfile`] of a query expression, resolving
+/// selector and constructor definitions through `defs`.
+///
+/// Constructor formals are tracked by *provenance*: an application
+/// `R{tc(S)}` maps the constructor's formals to `R` and `S`, so a
+/// plain `EACH v IN formal` binding inside the body counts as a safe
+/// read of the actual relation. A formal bound to anything other than
+/// a plain relation name propagates its whole read set as unsafe.
+pub fn base_relations(range: &RangeExpr, defs: &dyn DefLookup) -> ReadProfile {
+    let mut walk = ProfileWalk {
+        defs,
+        profile: ReadProfile::default(),
+        ctor_stack: Vec::new(),
+        selectors_done: BTreeSet::new(),
+    };
+    walk.range(range, true, &BTreeMap::new());
+    walk.profile
+}
+
+impl ProfileWalk<'_> {
+    /// Record a read of base relation `name`; `safe` marks a plain
+    /// binding-range occurrence.
+    fn read(&mut self, name: &Name, safe: bool) {
+        self.profile.reads.insert(name.clone());
+        if !safe {
+            self.profile.unsafe_reads.insert(name.clone());
+        }
+    }
+
+    /// Walk a range expression. `binding` is true when the range is
+    /// consumed as an `EACH v IN …` binding range (the only
+    /// delta-monotone position); `prov` maps enclosing constructor
+    /// formals to base-catalog names (`None` provenance = the formal
+    /// was bound to a computed range, already accounted for at the
+    /// application site).
+    fn range(&mut self, r: &RangeExpr, binding: bool, prov: &BTreeMap<Name, Option<Name>>) {
+        match r {
+            RangeExpr::Rel(n) => match prov.get(n) {
+                Some(Some(actual)) => {
+                    let actual = actual.clone();
+                    self.read(&actual, binding);
+                }
+                // Formal bound to a computed range: its reads were
+                // recorded (as unsafe) at the application site.
+                Some(None) => {}
+                None => {
+                    let n = n.clone();
+                    self.read(&n, binding);
+                }
+            },
+            RangeExpr::Selected {
+                base,
+                selector,
+                args,
+            } => {
+                // Selection filters the base: still monotone in the
+                // base itself, but everything the selector body reads
+                // is a filter input and therefore unsafe.
+                self.range(base, binding, prov);
+                for a in args {
+                    self.scalar(a, prov);
+                }
+                self.selector(selector);
+            }
+            RangeExpr::Constructed {
+                base,
+                constructor,
+                args,
+                ..
+            } => self.application(base, constructor, args, prov),
+            RangeExpr::SetFormer(sf) => {
+                // A nested set former used as a range re-derives its
+                // tuples per evaluation; treat its binding ranges as
+                // binding positions only at the *top level* of the
+                // query — nested-in-predicate set formers arrive here
+                // with `binding == false` and poison everything.
+                self.set_former(sf, binding, prov);
+            }
+        }
+    }
+
+    fn set_former(&mut self, sf: &SetFormer, binding: bool, prov: &BTreeMap<Name, Option<Name>>) {
+        for b in &sf.branches {
+            for (_, range) in &b.bindings {
+                self.range(range, binding, prov);
+            }
+            self.formula(&b.predicate, prov);
+            if let Target::Tuple(exprs) = &b.target {
+                for e in exprs {
+                    self.scalar(e, prov);
+                }
+            }
+        }
+    }
+
+    /// A constructor application `base{c(args…)}`: plain-`Rel`
+    /// base/args forward provenance into the body; computed base/args
+    /// are walked here with every read marked unsafe (the fixpoint
+    /// re-evaluates them whenever their inputs change, outside the
+    /// delta rules).
+    fn application(
+        &mut self,
+        base: &RangeExpr,
+        constructor: &Name,
+        args: &[RangeExpr],
+        prov: &BTreeMap<Name, Option<Name>>,
+    ) {
+        let mut actuals: Vec<Option<Name>> = Vec::with_capacity(args.len() + 1);
+        for actual in std::iter::once(base).chain(args.iter()) {
+            match actual {
+                RangeExpr::Rel(n) => match prov.get(n) {
+                    Some(slot) => actuals.push(slot.clone()),
+                    None => {
+                        let n = n.clone();
+                        // The application *scans* the actual relation
+                        // as the seed of the fixpoint — a binding-range
+                        // read, delta-monotone.
+                        self.read(&n, true);
+                        actuals.push(Some(n));
+                    }
+                },
+                computed => {
+                    // Computed actual: record its reads as unsafe and
+                    // pass `None` provenance into the body.
+                    self.range(computed, false, prov);
+                    actuals.push(None);
+                }
+            }
+        }
+        if self.ctor_stack.contains(constructor) {
+            return; // recursive self-reference: already on the path
+        }
+        let Some((body, formals)) = self.defs.constructor_parts(constructor) else {
+            self.profile.unresolved = true;
+            return;
+        };
+        let body = body.clone();
+        if formals.len() != actuals.len() {
+            // Arity mismatch is a type error elsewhere; profile
+            // conservatively.
+            self.profile.unresolved = true;
+            return;
+        }
+        let child: BTreeMap<Name, Option<Name>> = formals.into_iter().zip(actuals).collect();
+        self.ctor_stack.push(constructor.clone());
+        self.set_former(&body, true, &child);
+        self.ctor_stack.pop();
+    }
+
+    fn selector(&mut self, name: &Name) {
+        if !self.selectors_done.insert(name.clone()) {
+            return;
+        }
+        let Some(body) = self.defs.selector_body(name) else {
+            self.profile.unresolved = true;
+            return;
+        };
+        let body = body.clone();
+        // Selector bodies see only the base catalog — no formal
+        // provenance — and every read is a filter input.
+        self.formula(&body, &BTreeMap::new());
+    }
+
+    fn formula(&mut self, f: &Formula, prov: &BTreeMap<Name, Option<Name>>) {
+        match f {
+            Formula::True | Formula::False => {}
+            Formula::Cmp(a, _, b) => {
+                self.scalar(a, prov);
+                self.scalar(b, prov);
+            }
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                self.formula(a, prov);
+                self.formula(b, prov);
+            }
+            Formula::Not(inner) => self.formula(inner, prov),
+            Formula::Some(_, r, body) | Formula::All(_, r, body) => {
+                self.range(r, false, prov);
+                self.formula(body, prov);
+            }
+            Formula::Member(_, r) | Formula::TupleIn(_, r) => self.range(r, false, prov),
+        }
+    }
+
+    fn scalar(&mut self, e: &ScalarExpr, _prov: &BTreeMap<Name, Option<Name>>) {
+        // Scalar expressions reference attributes, constants, and
+        // parameters — never relations — so nothing to record. Kept as
+        // a method so future scalar subqueries have one place to land.
+        let _ = e;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1254,5 +1522,130 @@ mod tests {
         );
         assert_eq!(plan, BranchPlan::all_scans(2));
         assert!(!plan.has_probe());
+    }
+
+    /// Definition store for read-profile tests: the `ahead` transitive
+    /// closure constructor over formal `Rel`, plus a selector whose
+    /// body quantifies over `Hidden`.
+    struct TestDefs;
+
+    impl DefLookup for TestDefs {
+        fn selector_body(&self, name: &str) -> Option<&Formula> {
+            use std::sync::OnceLock;
+            static BODY: OnceLock<Formula> = OnceLock::new();
+            (name == "shadowed").then(|| {
+                BODY.get_or_init(|| {
+                    some(
+                        "h",
+                        rel("Hidden"),
+                        eq(attr("h", "front"), attr("r", "front")),
+                    )
+                })
+            })
+        }
+
+        fn constructor_parts(&self, name: &str) -> Option<(&SetFormer, Vec<Name>)> {
+            use std::sync::OnceLock;
+            static BODY: OnceLock<SetFormer> = OnceLock::new();
+            (name == "ahead").then(|| {
+                let body = BODY.get_or_init(|| SetFormer {
+                    branches: vec![
+                        Branch::each("r", rel("Rel"), tru()),
+                        Branch::projecting(
+                            vec![attr("f", "front"), attr("b", "back")],
+                            vec![
+                                ("f".into(), rel("Rel")),
+                                ("b".into(), rel("Rel").construct("ahead", vec![])),
+                            ],
+                            eq(attr("f", "back"), attr("b", "front")),
+                        ),
+                    ],
+                });
+                (body, vec!["Rel".into()])
+            })
+        }
+    }
+
+    fn names(set: &BTreeSet<Name>) -> Vec<&str> {
+        set.iter().map(|n| n.as_str()).collect()
+    }
+
+    #[test]
+    fn profile_plain_binding_reads_are_safe() {
+        let q = RangeExpr::SetFormer(SetFormer {
+            branches: vec![Branch::projecting(
+                vec![attr("f", "front"), attr("b", "back")],
+                vec![("f".into(), rel("Infront")), ("b".into(), rel("Ontop"))],
+                eq(attr("f", "back"), attr("b", "front")),
+            )],
+        });
+        let p = base_relations(&q, &TestDefs);
+        assert_eq!(names(&p.reads), ["Infront", "Ontop"]);
+        assert!(p.unsafe_reads.is_empty());
+        assert!(!p.unresolved);
+        assert!(p.disjoint_from(&["Other".into()]));
+        assert!(!p.disjoint_from(&["Ontop".into()]));
+        assert!(p.monotone_in(&["Infront".into(), "Ontop".into()]));
+    }
+
+    #[test]
+    fn profile_predicate_reads_are_unsafe() {
+        // Negated membership: inserts into `Blocked` can *remove*
+        // result tuples.
+        let q = RangeExpr::SetFormer(SetFormer {
+            branches: vec![Branch::each(
+                "r",
+                rel("Infront"),
+                not(member("r", rel("Blocked"))),
+            )],
+        });
+        let p = base_relations(&q, &TestDefs);
+        assert_eq!(names(&p.reads), ["Blocked", "Infront"]);
+        assert_eq!(names(&p.unsafe_reads), ["Blocked"]);
+        assert!(!p.monotone_in(&["Blocked".into()]));
+        assert!(p.monotone_in(&["Infront".into()]));
+    }
+
+    #[test]
+    fn profile_constructor_application_tracks_provenance() {
+        // Infront{ahead()} — the body's formal `Rel` resolves to the
+        // actual `Infront`; the recursive self-application is
+        // cycle-guarded.
+        let q = rel("Infront").construct("ahead", vec![]);
+        let p = base_relations(&q, &TestDefs);
+        assert_eq!(names(&p.reads), ["Infront"]);
+        assert!(p.unsafe_reads.is_empty());
+        assert!(!p.unresolved);
+    }
+
+    #[test]
+    fn profile_selector_bodies_are_chased_and_unsafe() {
+        let q = rel("Infront").select("shadowed", vec![]);
+        let p = base_relations(&q, &TestDefs);
+        assert_eq!(names(&p.reads), ["Hidden", "Infront"]);
+        assert_eq!(names(&p.unsafe_reads), ["Hidden"]);
+    }
+
+    #[test]
+    fn profile_unknown_definitions_mark_unresolved() {
+        let q = rel("Infront").select("mystery", vec![]);
+        let p = base_relations(&q, &TestDefs);
+        assert!(p.unresolved);
+        // Unresolved profiles never qualify for filtering or warmth.
+        assert!(!p.disjoint_from(&["Unrelated".into()]));
+        assert!(!p.monotone_in(&["Unrelated".into()]));
+    }
+
+    #[test]
+    fn profile_computed_constructor_base_is_unsafe() {
+        // The application's base is itself a set former over `Seed`:
+        // its value feeds the fixpoint seed outside the delta rules.
+        let computed = RangeExpr::SetFormer(SetFormer {
+            branches: vec![Branch::each("s", rel("Seed"), tru())],
+        });
+        let q = computed.construct("ahead", vec![]);
+        let p = base_relations(&q, &TestDefs);
+        assert!(p.reads.contains("Seed"));
+        assert!(p.unsafe_reads.contains("Seed"));
     }
 }

@@ -55,7 +55,7 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use dc_calculus::ast::{Branch, Name, RangeExpr, SetFormer};
+use dc_calculus::ast::{Branch, Formula, Name, RangeExpr, SetFormer};
 use dc_calculus::env::Overlay;
 use dc_calculus::rewrite;
 use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator};
@@ -63,7 +63,7 @@ use dc_governor::fail::{self, Site};
 use dc_governor::{Budget, Meter, SolveDiag, SolveError};
 use dc_index::{HashIndex, RelationStats, StatsBuilder};
 use dc_relation::{algebra, Relation};
-use dc_value::{FxHashMap, Value};
+use dc_value::{FxHashMap, FxHashSet, Value};
 
 use crate::constructor::Constructor;
 
@@ -319,6 +319,15 @@ struct Equation {
     /// overrides), so they are resolved (and their `AppKey` sorted)
     /// exactly once.
     resolved_apps: FxHashMap<(usize, usize), usize>,
+    /// Formal name → base-catalog relation name, when *every* formal of
+    /// this equation was bound to a plain catalog relation (possibly
+    /// forwarded through an enclosing equation's own provenance).
+    /// `None` means at least one actual was a computed range: warm
+    /// starts cannot tell whether a base delta flows into it, so they
+    /// refuse the whole system. Registrations reached dynamically
+    /// (value-dependent applications, effect replay) carry no
+    /// provenance.
+    provenance: Option<FxHashMap<Name, Name>>,
 }
 
 /// Indexes over one relation, keyed by (name, indexed positions).
@@ -385,6 +394,7 @@ impl State {
         base: Relation,
         args: Vec<Relation>,
         scalar_args: Vec<Value>,
+        slots: Option<Vec<Option<Name>>>,
     ) -> Result<usize, EvalError> {
         if let Some(&i) = self.index.get(&key) {
             return Ok(i);
@@ -422,6 +432,18 @@ impl State {
             overrides.push((pname.clone(), actual));
         }
         let classes = body.branches.iter().map(classify_branch).collect();
+        // Provenance is all-or-nothing: one computed actual poisons the
+        // equation (a base delta could flow in through a path the
+        // per-formal map cannot name).
+        let provenance = slots.and_then(|sl| {
+            let formals = std::iter::once(&ctor.base_param.0)
+                .chain(ctor.rel_params.iter().map(|(pname, _)| pname));
+            let mut map = FxHashMap::default();
+            for (formal, slot) in formals.zip(sl) {
+                map.insert(formal.clone(), slot?);
+            }
+            Some(map)
+        });
         // Pre-resolve every base-catalog name the body (and its
         // selector closure) can reach, so frozen branch evaluation
         // never needs the caller's catalog.
@@ -442,6 +464,7 @@ impl State {
             classes,
             initialized: false,
             resolved_apps: FxHashMap::default(),
+            provenance,
         });
         self.index.insert(key, i);
         Ok(i)
@@ -552,7 +575,7 @@ impl Catalog for SolverCatalog<'_> {
         }
         let i = {
             let mut st = self.state.borrow_mut();
-            st.register(self.source, key, base, args, scalar_args)?
+            st.register(self.source, key, base, args, scalar_args, None)?
         };
         // Eagerly instantiate the applications in the new body so that
         // mutually recursive peers exist from the first round (§3.2
@@ -658,6 +681,31 @@ const DELTA_MARKER: &str = "\u{394}delta";
 /// incrementally maintained indexes instead of rescanning.
 const CURRENT_MARKER: &str = "\u{394}cur";
 
+/// The base-catalog provenance of an actual bound to a formal: a plain
+/// relation name resolves through the parent equation's own provenance
+/// (formals forward), past the parent's formal names (a formal without
+/// provenance stays untracked), to the catalog name itself. Computed
+/// ranges have no provenance.
+fn provenance_slot(
+    range: &RangeExpr,
+    parent_prov: Option<&FxHashMap<Name, Name>>,
+    parent_overrides: &[(Name, Relation)],
+) -> Option<Name> {
+    let RangeExpr::Rel(n) = range else {
+        return None;
+    };
+    if let Some(map) = parent_prov {
+        if let Some(t) = map.get(n) {
+            return Some(t.clone());
+        }
+    }
+    if parent_overrides.iter().any(|(f, _)| f == n) {
+        // Formal of the parent without provenance of its own.
+        return None;
+    }
+    Some(n.clone())
+}
+
 /// Register every constructor application appearing in equation `i`'s
 /// body whose base/args are themselves application-free — the up-front
 /// instantiation of the §3.2 equation system. Recursive through
@@ -709,12 +757,20 @@ fn seed_equation(
             scalar_vals.push(ev.eval_scalar(s, &bindings)?);
         }
         let key = AppKey::new(constructor, &base_val, &arg_vals, &scalar_vals);
+        let slots = {
+            let st = state.borrow();
+            let parent_prov = st.equations[i].provenance.clone();
+            std::iter::once(&**base)
+                .chain(args.iter())
+                .map(|r| provenance_slot(r, parent_prov.as_ref(), &overrides))
+                .collect::<Vec<_>>()
+        };
         let fresh = {
             let mut st = state.borrow_mut();
             if st.index.contains_key(&key) {
                 None
             } else {
-                Some(st.register(source, key, base_val, arg_vals, scalar_vals)?)
+                Some(st.register(source, key, base_val, arg_vals, scalar_vals, Some(slots))?)
             }
         };
         if let Some(j) = fresh {
@@ -722,6 +778,78 @@ fn seed_equation(
         }
     }
     Ok(())
+}
+
+/// One equation's captured end-of-solve state, for warm re-entry.
+struct SolvedEquation {
+    /// Constructor name (role check: warm re-entry must rebuild the
+    /// same system shape).
+    constructor: Name,
+    /// Declared result schema.
+    result: dc_value::Schema,
+    /// The converged value.
+    value: Relation,
+    /// The incrementally maintained indexes over `value` — carried so
+    /// a warm refresh probes them immediately instead of rebuilding
+    /// O(|value|) structures per commit.
+    indexes: FxHashMap<Vec<usize>, Arc<HashIndex>>,
+    /// The maintained statistics over `value`, same reason.
+    stats: StatsBuilder,
+}
+
+/// The materialised state of a converged equation system, returned by
+/// [`solve_tracked`] and consumed (and re-produced) by [`solve_warm`].
+/// Opaque: callers hold it between solves; only the root value is
+/// readable.
+pub struct SolvedSystem {
+    equations: Vec<SolvedEquation>,
+}
+
+impl SolvedSystem {
+    /// The root application's converged value.
+    pub fn value(&self) -> &Relation {
+        &self.equations[0].value
+    }
+
+    /// Total tuples materialised across the system (diagnostics).
+    pub fn total_tuples(&self) -> usize {
+        self.equations.iter().map(|e| e.value.len()).sum()
+    }
+}
+
+/// What a warm re-solve produced.
+pub enum WarmOutcome {
+    /// The warm start was sound and converged: the new root value, the
+    /// exact tuples added relative to the previous system (warm starts
+    /// are monotone, so nothing is ever removed), the re-captured
+    /// system for the next refresh, and run statistics.
+    Solved {
+        /// New root value.
+        value: Relation,
+        /// Root tuples added relative to the previous system.
+        added: Relation,
+        /// Captured state for the next warm refresh.
+        system: SolvedSystem,
+        /// Run statistics.
+        stats: FixpointStats,
+    },
+    /// The warm start could not be proven sound (non-monotone read of a
+    /// touched relation, untracked provenance, changed system shape,
+    /// …): the caller must fall back to a cold [`solve_tracked`].
+    Refused {
+        /// Human-readable refusal reason (diagnostics/logging).
+        reason: String,
+    },
+}
+
+/// What one full solve run produced (internal).
+struct SolveRun {
+    value: Relation,
+    /// Root tuples added relative to the warm seed (warm runs only).
+    added: Option<Relation>,
+    /// Captured per-equation state (tracked runs only).
+    system: Option<SolvedSystem>,
+    stats: FixpointStats,
 }
 
 /// Solve the system rooted at `constructor(base, args, scalar_args)`;
@@ -734,6 +862,135 @@ pub fn solve(
     scalar_args: Vec<Value>,
     cfg: &FixpointConfig,
 ) -> Result<(Relation, FixpointStats), EvalError> {
+    match solve_inner(
+        source,
+        constructor,
+        base,
+        args,
+        scalar_args,
+        None,
+        None,
+        cfg,
+    )? {
+        Ok(run) => Ok((run.value, run.stats)),
+        Err(reason) => unreachable!("cold solve cannot be refused: {reason}"),
+    }
+}
+
+/// [`solve`], additionally capturing the converged system's
+/// materialised state (per-equation values, maintained indexes and
+/// statistics) so a later [`solve_warm`] can re-enter the semi-naive
+/// rounds instead of starting over. `base_name`/`arg_names` name the
+/// catalog relations the actuals came from — the provenance warm
+/// starts use to route base deltas to formals.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_tracked(
+    source: &dyn ConstructorSource,
+    constructor: &str,
+    base: Relation,
+    args: Vec<Relation>,
+    scalar_args: Vec<Value>,
+    base_name: &str,
+    arg_names: &[&str],
+    cfg: &FixpointConfig,
+) -> Result<(Relation, SolvedSystem, FixpointStats), EvalError> {
+    let names = root_slots(base_name, arg_names);
+    match solve_inner(
+        source,
+        constructor,
+        base,
+        args,
+        scalar_args,
+        Some(names),
+        None,
+        cfg,
+    )? {
+        Ok(run) => match run.system {
+            Some(system) => Ok((run.value, system, run.stats)),
+            None => unreachable!("tracked solve always captures its system"),
+        },
+        Err(reason) => unreachable!("cold solve cannot be refused: {reason}"),
+    }
+}
+
+/// Re-solve `constructor(base, args, scalar_args)` warm: seed every
+/// equation from `prev` (the system captured by a previous
+/// [`solve_tracked`]/[`solve_warm`] over the *same* system shape) and
+/// run delta-restricted semi-naive rounds driven by `deltas` — the
+/// tuples **inserted** into the named base relations since `prev` was
+/// captured. The actuals (`base`/`args`) must be the *new* relation
+/// values.
+///
+/// Soundness rests on monotonicity: the previous fixpoint is a subset
+/// of the new one exactly when every touched relation is read only
+/// through plain binding ranges (insertions can then only add result
+/// tuples). The function re-derives that property from the registered
+/// system itself — any touched relation reachable through a predicate,
+/// selector body, computed constructor actual, or untracked formal
+/// refuses the warm start ([`WarmOutcome::Refused`]), as do deletions
+/// (the caller's contract: `deltas` are insert-only). A refusal is not
+/// an error; the caller re-solves cold via [`solve_tracked`].
+#[allow(clippy::too_many_arguments)]
+pub fn solve_warm(
+    source: &dyn ConstructorSource,
+    constructor: &str,
+    base: Relation,
+    args: Vec<Relation>,
+    scalar_args: Vec<Value>,
+    base_name: &str,
+    arg_names: &[&str],
+    prev: &SolvedSystem,
+    deltas: &[(Name, Relation)],
+    cfg: &FixpointConfig,
+) -> Result<WarmOutcome, EvalError> {
+    let names = root_slots(base_name, arg_names);
+    match solve_inner(
+        source,
+        constructor,
+        base,
+        args,
+        scalar_args,
+        Some(names),
+        Some((prev, deltas)),
+        cfg,
+    )? {
+        Ok(run) => match (run.added, run.system) {
+            (Some(added), Some(system)) => Ok(WarmOutcome::Solved {
+                value: run.value,
+                added,
+                system,
+                stats: run.stats,
+            }),
+            _ => unreachable!("warm solve always tracks additions and its system"),
+        },
+        Err(reason) => Ok(WarmOutcome::Refused { reason }),
+    }
+}
+
+/// Root provenance slots from caller-supplied names.
+fn root_slots(base_name: &str, arg_names: &[&str]) -> Vec<Option<Name>> {
+    std::iter::once(base_name)
+        .chain(arg_names.iter().copied())
+        .map(|n| Some(n.to_string()))
+        .collect()
+}
+
+/// The shared solve loop. `root_names` carries base-catalog provenance
+/// for the root actuals; `warm` requests a warm start (`Err(reason)` in
+/// the outer `Ok` = refused, caller falls back to cold). The system is
+/// captured whenever `root_names` is supplied.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn solve_inner(
+    source: &dyn ConstructorSource,
+    constructor: &str,
+    base: Relation,
+    args: Vec<Relation>,
+    scalar_args: Vec<Value>,
+    root_names: Option<Vec<Option<Name>>>,
+    warm: Option<(&SolvedSystem, &[(Name, Relation)])>,
+    cfg: &FixpointConfig,
+) -> Result<Result<SolveRun, String>, EvalError> {
+    let track = root_names.is_some();
     let state = RefCell::new(State {
         equations: Vec::new(),
         index: FxHashMap::default(),
@@ -751,9 +1008,14 @@ pub fn solve(
         universe: Arc::new(Universe::default()),
     });
     let root_key = AppKey::new(constructor, &base, &args, &scalar_args);
-    state
-        .borrow_mut()
-        .register(source, root_key.clone(), base, args, scalar_args)?;
+    state.borrow_mut().register(
+        source,
+        root_key.clone(),
+        base,
+        args,
+        scalar_args,
+        root_names,
+    )?;
     let knobs = ExecKnobs::of(cfg);
     let meter = knobs.budget.clone();
     seed_equation(source, &state, 0, &knobs)?;
@@ -762,6 +1024,23 @@ pub fn solve(
         state: &state,
         knobs,
     };
+
+    // Warm start: validate the registered system against the previous
+    // capture, seed every equation's accumulated state from it, and
+    // prepare the delta-restricted first round. A refusal abandons the
+    // (still pristine) state — the caller re-solves cold.
+    let mut warm_tasks: Option<Vec<BranchTask>> = None;
+    let mut added_acc: Option<Relation> = None;
+    if let Some((prev_sys, deltas)) = warm {
+        match warm_prepare(&catalog, cfg, prev_sys, deltas)? {
+            Ok(tasks) => {
+                let root_schema = state.borrow().equations[0].result.clone();
+                warm_tasks = Some(tasks);
+                added_acc = Some(Relation::new(root_schema));
+            }
+            Err(reason) => return Ok(Err(reason)),
+        }
+    }
 
     let mut iterations = 0usize;
     let mut prev: Option<Vec<Relation>> = None;
@@ -794,14 +1073,23 @@ pub fn solve(
         let mut tasks: Vec<BranchTask> = Vec::new();
         let mut round_current: Vec<Relation> = Vec::with_capacity(n);
         let mut round_schemas: Vec<dc_value::Schema> = Vec::with_capacity(n);
-        for i in 0..n {
-            {
-                let st = state.borrow();
+        {
+            let st = state.borrow();
+            for i in 0..n {
                 round_current.push(st.current[i].clone());
                 round_schemas.push(st.equations[i].result.clone());
             }
-            prepare_equation_tasks(&catalog, i, cfg.strategy, &mut tasks)
-                .map_err(|e| enrich_solve_error(e, &state, &meter, i, iterations - 1))?;
+        }
+        if let Some(wt) = warm_tasks.take() {
+            // Warm first round: the prepared delta-restricted tasks
+            // stand in for the usual per-equation preparation (every
+            // equation is already seeded and `initialized`).
+            tasks = wt;
+        } else {
+            for i in 0..n {
+                prepare_equation_tasks(&catalog, i, cfg.strategy, &mut tasks)
+                    .map_err(|e| enrich_solve_error(e, &state, &meter, i, iterations - 1))?;
+            }
         }
         // ---- Freeze. Everything a branch task reads, at one epoch;
         // equations registered during prep are visible (at ∅), exactly
@@ -992,6 +1280,14 @@ pub fn solve(
                         if !added.is_empty() {
                             changed = true;
                         }
+                        if i == 0 {
+                            // Root additions accumulate across rounds:
+                            // warm callers receive the exact output
+                            // delta relative to their seed.
+                            if let Some(acc) = added_acc.as_mut() {
+                                algebra::union_into(acc, &added).map_err(EvalError::from)?;
+                            }
+                        }
                         st.delta[i] = added.clone();
                         // Split-borrow so the three per-equation
                         // structures update in one pass.
@@ -1061,7 +1357,26 @@ pub fn solve(
         sequential_branches: meter.sequential_branches(),
         parallel_equations: meter.parallel_equations(),
     };
-    Ok((st.current[root_idx].clone(), stats))
+    let system = track.then(|| SolvedSystem {
+        equations: st
+            .equations
+            .iter()
+            .enumerate()
+            .map(|(i, eq)| SolvedEquation {
+                constructor: eq.key.constructor().to_string(),
+                result: eq.result.clone(),
+                value: st.current[i].clone(),
+                indexes: st.current_indexes[i].clone(),
+                stats: st.current_stats[i].clone(),
+            })
+            .collect(),
+    });
+    Ok(Ok(SolveRun {
+        value: st.current[root_idx].clone(),
+        added: added_acc,
+        system,
+        stats,
+    }))
 }
 
 /// Snapshot the solve's progress for a [`SolveDiag`]: rounds completed,
@@ -1378,6 +1693,373 @@ fn linear_task(
     })
 }
 
+/// Transitive relation-name reachability for the warm-start safety
+/// check: every relation name a formula or range can read, chasing
+/// selector predicates and constructor bodies through the source.
+/// Constructor-body formals are collected as if they were catalog
+/// names — a false positive there only costs a (sound) refusal.
+struct Reach<'a> {
+    source: &'a dyn ConstructorSource,
+    names: FxHashSet<Name>,
+    /// False when a selector/constructor definition was unresolvable —
+    /// the reach set is then a lower bound and the caller must refuse.
+    complete: bool,
+    selectors_seen: FxHashSet<Name>,
+    constructors_seen: FxHashSet<Name>,
+}
+
+impl<'a> Reach<'a> {
+    fn new(source: &'a dyn ConstructorSource) -> Reach<'a> {
+        Reach {
+            source,
+            names: FxHashSet::default(),
+            complete: true,
+            selectors_seen: FxHashSet::default(),
+            constructors_seen: FxHashSet::default(),
+        }
+    }
+
+    /// Does the reach set intersect `local` (delta-mapped local names)
+    /// or `touched` (raw base-catalog names)? Incomplete reach counts
+    /// as intersecting (conservative).
+    fn hits(&self, local: &FxHashMap<Name, Relation>, touched: &[(Name, Relation)]) -> bool {
+        !self.complete
+            || self
+                .names
+                .iter()
+                .any(|n| local.contains_key(n) || touched.iter().any(|(t, _)| t == n))
+    }
+
+    fn range(&mut self, r: &RangeExpr) {
+        match r {
+            RangeExpr::Rel(n) => {
+                self.names.insert(n.clone());
+            }
+            RangeExpr::Selected { base, selector, .. } => {
+                self.range(base);
+                self.selector(selector);
+            }
+            RangeExpr::Constructed {
+                base,
+                constructor,
+                args,
+                ..
+            } => {
+                self.range(base);
+                for a in args {
+                    self.range(a);
+                }
+                self.constructor(constructor);
+            }
+            RangeExpr::SetFormer(sf) => self.set_former(sf),
+        }
+    }
+
+    fn set_former(&mut self, sf: &SetFormer) {
+        for b in &sf.branches {
+            for (_, range) in &b.bindings {
+                self.range(range);
+            }
+            self.formula(&b.predicate);
+        }
+    }
+
+    fn formula(&mut self, f: &Formula) {
+        match f {
+            Formula::True | Formula::False | Formula::Cmp(..) => {}
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                self.formula(a);
+                self.formula(b);
+            }
+            Formula::Not(inner) => self.formula(inner),
+            Formula::Some(_, r, body) | Formula::All(_, r, body) => {
+                self.range(r);
+                self.formula(body);
+            }
+            Formula::Member(_, r) | Formula::TupleIn(_, r) => self.range(r),
+        }
+    }
+
+    fn selector(&mut self, name: &Name) {
+        if !self.selectors_seen.insert(name.clone()) {
+            return;
+        }
+        match self.source.base_catalog().selector(name) {
+            Ok(def) => {
+                let pred = def.predicate.clone();
+                self.formula(&pred);
+            }
+            Err(_) => self.complete = false,
+        }
+    }
+
+    fn constructor(&mut self, name: &Name) {
+        if !self.constructors_seen.insert(name.clone()) {
+            return;
+        }
+        match self.source.constructor_def(name) {
+            Ok(def) => self.set_former(&def.body),
+            Err(_) => self.complete = false,
+        }
+    }
+}
+
+/// Validate a warm start against the previous capture and, if sound,
+/// seed the solver state from it and build the delta-restricted first
+/// round. The outer `Err` is a real evaluation error; the inner `Err`
+/// is a refusal reason (caller falls back to a cold solve).
+fn warm_prepare(
+    catalog: &SolverCatalog<'_>,
+    cfg: &FixpointConfig,
+    prev: &SolvedSystem,
+    deltas: &[(Name, Relation)],
+) -> Result<Result<Vec<BranchTask>, String>, EvalError> {
+    if cfg.strategy != Strategy::SemiNaive {
+        return Ok(Err("warm start requires the semi-naive strategy".into()));
+    }
+    // ---- Shape validation: the freshly registered system must be the
+    // previous system, equation for equation (registration order is
+    // deterministic, so index-wise comparison is exact).
+    let n = catalog.state.borrow().equations.len();
+    if n != prev.equations.len() {
+        return Ok(Err(format!(
+            "system shape changed: {} equations, previously {}",
+            n,
+            prev.equations.len()
+        )));
+    }
+    {
+        let st = catalog.state.borrow();
+        for (i, (eq, prev_eq)) in st.equations.iter().zip(&prev.equations).enumerate() {
+            if eq.key.constructor() != prev_eq.constructor {
+                return Ok(Err(format!(
+                    "equation {i} constructor changed (`{}` → `{}`)",
+                    prev_eq.constructor,
+                    eq.key.constructor()
+                )));
+            }
+            if eq.result != prev_eq.result {
+                return Ok(Err(format!("equation {i} result schema changed")));
+            }
+            if eq.provenance.is_none() {
+                return Ok(Err(format!(
+                    "equation {i} (`{}`) has untracked relation provenance",
+                    eq.key.constructor()
+                )));
+            }
+            if eq
+                .classes
+                .iter()
+                .any(|c| matches!(c, BranchClass::Fallback))
+            {
+                return Ok(Err(format!(
+                    "equation {i} (`{}`) has a fallback branch",
+                    eq.key.constructor()
+                )));
+            }
+        }
+    }
+    // ---- Safety analysis + first-round task synthesis. For each
+    // equation, map touched base relations onto the local names its
+    // body reads them through (formals shadow catalog names), then
+    // require every touched occurrence to be a plain binding range —
+    // those become delta positions; anything else (predicates,
+    // selector bodies, computed constructor actuals) refuses.
+    // (equation, branch count, delta positions, seeded (slot, delta)).
+    type PlannedEq = (usize, usize, Vec<usize>, Vec<(usize, Relation)>);
+    let mut planned: Vec<PlannedEq> = Vec::new();
+    {
+        let st = catalog.state.borrow();
+        for i in 0..n {
+            let eq = &st.equations[i];
+            let Some(prov) = eq.provenance.as_ref() else {
+                unreachable!("validated above");
+            };
+            // Local name → the touched relation's insert delta.
+            let mut local: FxHashMap<Name, Relation> = FxHashMap::default();
+            for (t, d) in deltas {
+                local.insert(t.clone(), d.clone());
+            }
+            for (formal, _) in eq.overrides.iter() {
+                // Formals shadow catalog names in the overlay.
+                local.remove(formal);
+                if let Some(t) = prov.get(formal) {
+                    if let Some((_, d)) = deltas.iter().find(|(n, _)| n == t) {
+                        local.insert(formal.clone(), d.clone());
+                    }
+                }
+            }
+            for (b_idx, branch) in eq.body.branches.iter().enumerate() {
+                let rec_positions: Vec<usize> = match &eq.classes[b_idx] {
+                    BranchClass::Linear(p) => p.clone(),
+                    BranchClass::Static => Vec::new(),
+                    BranchClass::Fallback => unreachable!("validated above"),
+                };
+                // Predicate: any touched relation reachable through it
+                // (including selector bodies and constructor bodies)
+                // makes the branch non-monotone in that relation.
+                let mut reach = Reach::new(catalog.source);
+                reach.formula(&branch.predicate);
+                if reach.hits(&local, deltas) {
+                    return Ok(Err(format!(
+                        "equation {i} branch {b_idx}: predicate reads a touched relation"
+                    )));
+                }
+                let mut delta_positions: Vec<(usize, Relation)> = Vec::new();
+                for (p, (_, range)) in branch.bindings.iter().enumerate() {
+                    match range {
+                        RangeExpr::Rel(m) => {
+                            if let Some(d) = local.get(m) {
+                                delta_positions.push((p, d.clone()));
+                            }
+                        }
+                        RangeExpr::Constructed { base, args, .. } => {
+                            // Recursive position: plain-`Rel` actuals
+                            // forward provenance into the child
+                            // equation (validated there); computed
+                            // actuals must not read touched state.
+                            for actual in std::iter::once(&**base).chain(args.iter()) {
+                                if matches!(actual, RangeExpr::Rel(_)) {
+                                    continue;
+                                }
+                                let mut reach = Reach::new(catalog.source);
+                                reach.range(actual);
+                                if reach.hits(&local, deltas) {
+                                    return Ok(Err(format!(
+                                        "equation {i} branch {b_idx}: computed constructor \
+                                         actual reads a touched relation"
+                                    )));
+                                }
+                            }
+                        }
+                        other => {
+                            // Selected / nested set-former binding
+                            // range: untouched reads keep their value;
+                            // touched reads are outside the delta
+                            // rules.
+                            let mut reach = Reach::new(catalog.source);
+                            reach.range(other);
+                            if reach.hits(&local, deltas) {
+                                return Ok(Err(format!(
+                                    "equation {i} branch {b_idx}: non-plain binding range \
+                                     reads a touched relation"
+                                )));
+                            }
+                        }
+                    }
+                }
+                for (p, d) in delta_positions {
+                    planned.push((i, b_idx, rec_positions.clone(), vec![(p, d)]));
+                }
+            }
+        }
+    }
+    // ---- Seed: every equation re-enters at its previous fixpoint,
+    // with the maintained indexes and statistics carried over (the
+    // whole point — no O(|value|) rebuild per refresh).
+    {
+        let mut st = catalog.state.borrow_mut();
+        let st = &mut *st;
+        for i in 0..n {
+            st.current[i] = prev.equations[i].value.clone();
+            st.delta[i] = Relation::new(prev.equations[i].value.schema().clone());
+            st.current_indexes[i] = prev.equations[i].indexes.clone();
+            st.current_stats[i] = prev.equations[i].stats.clone();
+            st.equations[i].initialized = true;
+        }
+    }
+    // ---- First-round tasks: one per (branch, delta position), with
+    // the touched relation's insert delta bound at the delta position
+    // and peer equations bound at their seeded accumulated values.
+    // Branches with no touched binding are skipped entirely: their
+    // static contributions are already in the seed, and recursive
+    // deltas are empty until round one commits.
+    let mut tasks: Vec<BranchTask> = Vec::new();
+    for (i, b_idx, rec_positions, delta_positions) in planned {
+        let (branch, overrides) = {
+            let st = catalog.state.borrow();
+            let eq = &st.equations[i];
+            (eq.body.branches[b_idx].clone(), eq.overrides.clone())
+        };
+        for (p, d) in delta_positions {
+            tasks.push(warm_task(
+                catalog,
+                i,
+                b_idx,
+                &overrides,
+                &branch,
+                &rec_positions,
+                p,
+                d,
+            )?);
+        }
+    }
+    Ok(Ok(tasks))
+}
+
+/// Prepare one warm first-round task: bind the touched relation's
+/// insert delta at `delta_pos` (a plain binding position), and every
+/// recursive position at its peer's seeded accumulated value with the
+/// carried indexes/statistics preloaded. Other binding positions stay
+/// as written — the overlay resolves them to their full *new* values,
+/// which together with one-delta-position-per-task covers every new
+/// combination (overlap between tasks deduplicates at absorb).
+#[allow(clippy::too_many_arguments)]
+fn warm_task(
+    catalog: &SolverCatalog<'_>,
+    eq_idx: usize,
+    branch_idx: usize,
+    overrides: &[(Name, Relation)],
+    branch: &Branch,
+    rec_positions: &[usize],
+    delta_pos: usize,
+    delta_rel: Relation,
+) -> Result<BranchTask, EvalError> {
+    let mut branch = branch.clone();
+    let mut extra_overrides: Vec<(Name, Relation)> = Vec::new();
+    let mut cur_markers: Vec<(String, usize)> = Vec::new();
+    let mut preload_indexes: Vec<(Name, Arc<HashIndex>)> = Vec::new();
+    let mut preload_stats: Vec<(Name, Arc<RelationStats>)> = Vec::new();
+    let weight = delta_rel.len();
+
+    // Distinct marker namespace (`Δdelta` + `b` + position) so a warm
+    // task can never collide with the round-loop's recursive-delta
+    // markers.
+    let marker = format!("{DELTA_MARKER}b{delta_pos}");
+    branch.bindings[delta_pos].1 = RangeExpr::Rel(marker.clone());
+    extra_overrides.push((marker, delta_rel));
+
+    for &pos in rec_positions {
+        let app = resolve_recursive_app(catalog, eq_idx, branch_idx, overrides, &branch, pos)?;
+        let st = catalog.state.borrow();
+        let marker = format!("{CURRENT_MARKER}{pos}");
+        let rel = st.current[app].clone();
+        for idx in st.current_indexes[app].values() {
+            preload_indexes.push((marker.clone(), idx.clone()));
+        }
+        preload_stats.push((marker.clone(), Arc::new(st.current_stats[app].snapshot())));
+        drop(st);
+        branch.bindings[pos].1 = RangeExpr::Rel(marker.clone());
+        extra_overrides.push((marker.clone(), rel));
+        cur_markers.push((marker, app));
+    }
+
+    let mut all_overrides = overrides.to_vec();
+    all_overrides.extend(extra_overrides);
+    Ok(BranchTask {
+        eq: eq_idx,
+        branch_idx: Some(branch_idx),
+        body: SetFormer {
+            branches: vec![branch],
+        },
+        overrides: all_overrides,
+        preload_indexes,
+        preload_stats,
+        cur_markers,
+        weight,
+    })
+}
+
 /// Evaluate one prepared task against the frozen snapshot. Runs on a
 /// worker thread when the round batch-dispatches, inline on the solver
 /// thread otherwise — identical code either way, which is what keeps
@@ -1456,7 +2138,7 @@ fn replay_effects(
                     if st.index.contains_key(&key) {
                         None
                     } else {
-                        Some(st.register(source, key, base, args, scalar_args)?)
+                        Some(st.register(source, key, base, args, scalar_args, None)?)
                     }
                 };
                 if let Some(j) = fresh {
@@ -1584,7 +2266,21 @@ fn resolve_recursive_app(
     let mut st = catalog.state.borrow_mut();
     let resolved = match st.index.get(&key) {
         Some(&idx) => idx,
-        None => st.register(catalog.source, key, base_val, arg_vals, scalar_vals)?,
+        None => {
+            let parent_prov = st.equations[eq_idx].provenance.clone();
+            let slots = std::iter::once(&**base)
+                .chain(args.iter())
+                .map(|r| provenance_slot(r, parent_prov.as_ref(), overrides))
+                .collect::<Vec<_>>();
+            st.register(
+                catalog.source,
+                key,
+                base_val,
+                arg_vals,
+                scalar_vals,
+                Some(slots),
+            )?
+        }
     };
     st.equations[eq_idx]
         .resolved_apps
@@ -2159,5 +2855,227 @@ mod tests {
             AppKey::new("c", &r1, &[], &[]),
             AppKey::new("c", &r2, &[], &[])
         );
+    }
+
+    /// One edge as an insert delta.
+    fn edge(a: &str, b: &str) -> Relation {
+        Relation::from_tuples(infrontrel(), vec![tuple![a, b]]).unwrap()
+    }
+
+    #[test]
+    fn warm_start_matches_cold_resolve() {
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead()],
+        };
+        let cfg = cfg(Strategy::SemiNaive);
+        let (v0, sys, _) = solve_tracked(
+            &src,
+            "ahead",
+            chain(12),
+            vec![],
+            vec![],
+            "Infront",
+            &[],
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(v0.len(), 12 * 13 / 2);
+
+        // Extend the chain by one edge at the tail.
+        let mut base = chain(12);
+        base.insert(tuple!["o12", "o13"]).unwrap();
+        let deltas = vec![("Infront".to_string(), edge("o12", "o13"))];
+        let outcome = solve_warm(
+            &src,
+            "ahead",
+            base.clone(),
+            vec![],
+            vec![],
+            "Infront",
+            &[],
+            &sys,
+            &deltas,
+            &cfg,
+        )
+        .unwrap();
+        let WarmOutcome::Solved {
+            value,
+            added,
+            system,
+            ..
+        } = outcome
+        else {
+            panic!("warm start unexpectedly refused");
+        };
+        let (cold, _) = solve(&src, "ahead", base, vec![], vec![], &cfg).unwrap();
+        assert_eq!(value, cold);
+        // The exact output delta: every (oi, o13).
+        assert_eq!(added.len(), 13);
+        assert_eq!(
+            algebra::union(&v0, &added).unwrap(),
+            value,
+            "prev ∪ added reconstructs the new result"
+        );
+        assert_eq!(system.value(), &value);
+    }
+
+    #[test]
+    fn warm_start_chains_across_commits() {
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead()],
+        };
+        let cfg = cfg(Strategy::SemiNaive);
+        let mut base = chain(4);
+        let (mut val, mut sys, _) = solve_tracked(
+            &src,
+            "ahead",
+            base.clone(),
+            vec![],
+            vec![],
+            "Infront",
+            &[],
+            &cfg,
+        )
+        .unwrap();
+        // Grow the chain one edge per "commit", warm each time.
+        for k in 5..12 {
+            let e = edge(&format!("o{}", k - 1), &format!("o{k}"));
+            base.insert(tuple![format!("o{}", k - 1), format!("o{k}")])
+                .unwrap();
+            let outcome = solve_warm(
+                &src,
+                "ahead",
+                base.clone(),
+                vec![],
+                vec![],
+                "Infront",
+                &[],
+                &sys,
+                &[("Infront".to_string(), e)],
+                &cfg,
+            )
+            .unwrap();
+            let WarmOutcome::Solved {
+                value,
+                added,
+                system,
+                ..
+            } = outcome
+            else {
+                panic!("refused at k={k}");
+            };
+            assert_eq!(algebra::union(&val, &added).unwrap(), value);
+            val = value;
+            sys = system;
+        }
+        let (cold, _) = solve(&src, "ahead", base, vec![], vec![], &cfg).unwrap();
+        assert_eq!(val, cold);
+        assert_eq!(val.len(), 11 * 12 / 2);
+    }
+
+    #[test]
+    fn warm_start_refuses_naive_strategy_and_shape_changes() {
+        let src = TestSource {
+            catalog: MapCatalog::new(),
+            ctors: vec![ahead()],
+        };
+        let semi = cfg(Strategy::SemiNaive);
+        let (_, sys, _) = solve_tracked(
+            &src,
+            "ahead",
+            chain(3),
+            vec![],
+            vec![],
+            "Infront",
+            &[],
+            &semi,
+        )
+        .unwrap();
+        let outcome = solve_warm(
+            &src,
+            "ahead",
+            chain(4),
+            vec![],
+            vec![],
+            "Infront",
+            &[],
+            &sys,
+            &[("Infront".to_string(), edge("o3", "o4"))],
+            &cfg(Strategy::Naive),
+        )
+        .unwrap();
+        assert!(matches!(outcome, WarmOutcome::Refused { .. }));
+    }
+
+    #[test]
+    fn warm_start_refuses_touched_predicate_relation() {
+        // ahead-with-filter: the join predicate also requires the pair
+        // NOT to be in `Blocked` — non-monotone in `Blocked`.
+        let filtered = Constructor {
+            name: "ahead_ok".into(),
+            base_param: ("Rel".into(), infrontrel()),
+            rel_params: vec![],
+            scalar_params: vec![],
+            result: aheadrel(),
+            body: SetFormer {
+                branches: vec![Branch::each(
+                    "r",
+                    rel("Rel"),
+                    not(member("r", rel("Blocked"))),
+                )],
+            },
+        };
+        let blocked = Relation::new(infrontrel());
+        let src = TestSource {
+            catalog: MapCatalog::new().with_relation("Blocked", blocked),
+            ctors: vec![filtered],
+        };
+        let cfg = cfg(Strategy::SemiNaive);
+        let (_, sys, _) = solve_tracked(
+            &src,
+            "ahead_ok",
+            chain(3),
+            vec![],
+            vec![],
+            "Infront",
+            &[],
+            &cfg,
+        )
+        .unwrap();
+        // Touching only the base is warm-safe (the predicate reads
+        // `Blocked`, which is untouched).
+        let mut base = chain(3);
+        base.insert(tuple!["o3", "o4"]).unwrap();
+        let ok = solve_warm(
+            &src,
+            "ahead_ok",
+            base.clone(),
+            vec![],
+            vec![],
+            "Infront",
+            &[],
+            &sys,
+            &[("Infront".to_string(), edge("o3", "o4"))],
+            &cfg,
+        )
+        .unwrap();
+        assert!(matches!(ok, WarmOutcome::Solved { .. }));
+        // Touching `Blocked` is not.
+        let refused = solve_warm(
+            &src,
+            "ahead_ok",
+            base,
+            vec![],
+            vec![],
+            "Infront",
+            &[],
+            &sys,
+            &[("Blocked".to_string(), edge("o0", "o1"))],
+            &cfg,
+        )
+        .unwrap();
+        assert!(matches!(refused, WarmOutcome::Refused { .. }));
     }
 }

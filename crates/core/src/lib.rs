@@ -38,5 +38,5 @@ pub mod selector;
 pub use constructor::Constructor;
 pub use database::{Database, DatabaseParts};
 pub use error::CoreError;
-pub use fixpoint::{FixpointStats, Strategy};
+pub use fixpoint::{FixpointStats, SolvedSystem, Strategy, WarmOutcome};
 pub use selector::Selector;

@@ -49,10 +49,16 @@ pub enum Site {
     /// Entry of the serving layer's commit path (`session_commit`).
     /// Fires before any batch op is applied.
     SessionCommit = 5,
+    /// A standing-query refresh about to run its warm (incremental)
+    /// maintenance (`view_refresh`). Fires after the commit's snapshot
+    /// is published, so an injected fault must leave the commit
+    /// successful and force the subscription onto its cold re-solve
+    /// path without corrupting subscriber state.
+    ViewRefresh = 6,
 }
 
 /// Number of sites (the registry is a fixed-size table).
-const SITE_COUNT: usize = 6;
+const SITE_COUNT: usize = 7;
 
 /// All sites, for iteration in tests and parsers.
 pub const SITES: [Site; SITE_COUNT] = [
@@ -62,6 +68,7 @@ pub const SITES: [Site; SITE_COUNT] = [
     Site::DecorrBuild,
     Site::SnapshotPublish,
     Site::SessionCommit,
+    Site::ViewRefresh,
 ];
 
 impl Site {
@@ -74,6 +81,7 @@ impl Site {
             Site::DecorrBuild => "decorr_build",
             Site::SnapshotPublish => "snapshot_publish",
             Site::SessionCommit => "session_commit",
+            Site::ViewRefresh => "view_refresh",
         }
     }
 

@@ -48,6 +48,7 @@ impl fmt::Display for SolveDiag {
 /// atomic (the database is left at its pre-solve snapshot), so the
 /// diagnostics are the *only* trace the solve leaves behind.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SolveError {
     /// The wall-clock deadline passed.
     DeadlineExceeded {

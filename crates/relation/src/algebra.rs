@@ -59,6 +59,36 @@ pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, Relatio
     Ok(out)
 }
 
+/// Two-way delta between an old and a new version of a relation:
+/// `(new ∖ old, old ∖ new)` in a single pass over each side, with a
+/// digest short-circuit for the (common) unchanged case. This is the
+/// output-delta representation of standing-query maintenance: `added`
+/// carries the result's new tuples, `removed` the retracted ones, and
+/// `old ∪ added ∖ removed = new` by construction.
+pub fn delta(new: &Relation, old: &Relation) -> Result<(Relation, Relation), RelationError> {
+    if !new.schema().union_compatible(old.schema()) {
+        return Err(RelationError::Incompatible {
+            context: "delta".into(),
+        });
+    }
+    let mut added = Relation::new(new.schema().clone());
+    let mut removed = Relation::new(old.schema().clone());
+    if new.len() == old.len() && new.digest() == old.digest() {
+        return Ok((added, removed));
+    }
+    for t in new.iter() {
+        if !old.contains(t) {
+            added.insert_unchecked(t.clone())?;
+        }
+    }
+    for t in old.iter() {
+        if !new.contains(t) {
+            removed.insert_unchecked(t.clone())?;
+        }
+    }
+    Ok((added, removed))
+}
+
 /// `left ∩ right` (intersection).
 pub fn intersection(left: &Relation, right: &Relation) -> Result<Relation, RelationError> {
     if !left.schema().union_compatible(right.schema()) {
@@ -181,5 +211,21 @@ mod tests {
         let b = pairs(&[("c", "d")]);
         assert_eq!(union(&a, &b).unwrap(), union(&b, &a).unwrap());
         assert_eq!(union(&a, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn delta_reconstructs_new_from_old() {
+        let old = pairs(&[("a", "b"), ("b", "c")]);
+        let new = pairs(&[("b", "c"), ("c", "d")]);
+        let (added, removed) = delta(&new, &old).unwrap();
+        assert_eq!(added, pairs(&[("c", "d")]));
+        assert_eq!(removed, pairs(&[("a", "b")]));
+        // old ∪ added ∖ removed = new
+        let patched = difference(&union(&old, &added).unwrap(), &removed).unwrap();
+        assert_eq!(patched, new);
+
+        let (added, removed) = delta(&old, &old).unwrap();
+        assert!(added.is_empty() && removed.is_empty());
+        assert!(delta(&new, &Relation::new(Schema::of(&[("n", Domain::Int)]))).is_err());
     }
 }

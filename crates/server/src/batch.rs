@@ -52,6 +52,28 @@ impl WriteBatch {
         self
     }
 
+    /// Queue an insert on a batch held by reference — the loop-friendly
+    /// form of [`WriteBatch::insert`].
+    pub fn push_insert(&mut self, rel: impl Into<Name>, tuple: Tuple) {
+        self.ops.push((rel.into(), WriteOp::Insert(tuple)));
+    }
+
+    /// Queue a delete on a batch held by reference.
+    pub fn push_delete(&mut self, rel: impl Into<Name>, tuple: Tuple) {
+        self.ops.push((rel.into(), WriteOp::Delete(tuple)));
+    }
+
+    /// Queue a whole-relation replacement on a batch held by reference.
+    pub fn push_replace(&mut self, rel: impl Into<Name>, tuples: Vec<Tuple>) {
+        self.ops.push((rel.into(), WriteOp::Replace(tuples)));
+    }
+
+    /// Append every op of `other`, preserving its order after this
+    /// batch's existing ops.
+    pub fn extend(&mut self, other: WriteBatch) {
+        self.ops.extend(other.ops);
+    }
+
     /// Number of queued ops.
     pub fn len(&self) -> usize {
         self.ops.len()

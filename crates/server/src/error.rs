@@ -4,12 +4,17 @@ use std::fmt;
 
 use dc_calculus::EvalError;
 use dc_governor::fail::InjectedFault;
+use dc_governor::{SolveDiag, SolveError};
 use dc_relation::RelationError;
 
 /// Errors surfaced by the serving layer: commit-path failures (which
 /// are always *atomic* — the published snapshot chain is never
 /// advanced by a failed commit) and session-side evaluation errors.
+///
+/// Non-exhaustive: the serving layer may grow failure modes; match with
+/// a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServerError {
     /// A name did not resolve against the snapshot's catalog.
     Unknown {
@@ -88,4 +93,21 @@ impl From<InjectedFault> for ServerError {
     fn from(e: InjectedFault) -> Self {
         ServerError::Eval(e.into())
     }
+}
+
+/// Render a caught panic payload as a structured `WorkerPanic`: the
+/// shared tail of every panic-isolation boundary in the serving layer
+/// (commit body, session solves, standing-query refreshes).
+pub(crate) fn panic_to_eval(payload: Box<dyn std::any::Any + Send>) -> EvalError {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    };
+    EvalError::Solve(SolveError::WorkerPanic {
+        message,
+        diag: SolveDiag::default(),
+    })
 }

@@ -28,6 +28,14 @@
 //! validation, completing the begin-snapshot / read / batched-write /
 //! commit-or-conflict transaction API.
 //!
+//! [`Server::prepare`] / [`Server::prepare_solve`] compile a query once
+//! into a reusable [`PreparedQuery`] (type-checked, read-profile
+//! analysed), accepted by [`Session::query`] on any session and by
+//! [`Server::subscribe`] — the **standing query** entry point: one
+//! epoch-stamped output delta per commit, maintained incrementally
+//! (warm semi-naive re-entry) when sound and by cold re-solve
+//! otherwise. See [`subscribe`] for the delivery contract.
+//!
 //! [`Relation::snapshot_handle`]: dc_relation::Relation::snapshot_handle
 
 // The serving layer sits directly under user-shaped traffic: failures
@@ -38,20 +46,25 @@
 
 pub mod batch;
 pub mod error;
+pub mod prepare;
 pub mod server;
 pub mod session;
 pub mod snapshot;
+pub mod subscribe;
 
 pub use batch::{WriteBatch, WriteOp};
 pub use error::ServerError;
+pub use prepare::PreparedQuery;
 pub use server::Server;
-pub use session::Session;
+pub use session::{Queryable, Session};
 pub use snapshot::Snapshot;
+pub use subscribe::{Subscription, SubscriptionUpdate};
 
 // The whole point of the crate: the server and its snapshots cross
 // thread boundaries freely. Sessions are Send (begin on one thread,
 // serve on another) but deliberately not Sync — one session, one
-// isolation scope.
+// isolation scope. Subscriptions are Send (consume updates on a worker
+// thread) but not Sync — one subscriber, one stream.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     const fn assert_send<T: Send>() {}
@@ -59,7 +72,10 @@ const _: () = {
     assert_send_sync::<Snapshot>();
     assert_send_sync::<WriteBatch>();
     assert_send_sync::<ServerError>();
+    assert_send_sync::<PreparedQuery>();
+    assert_send_sync::<SubscriptionUpdate>();
     assert_send::<Session>();
+    assert_send::<Subscription>();
 };
 
 #[cfg(test)]

@@ -1,0 +1,125 @@
+//! Prepared queries: the single compiled entry point for ad-hoc
+//! queries, solves, and standing-query subscriptions.
+//!
+//! [`Server::prepare`](crate::Server::prepare) and
+//! [`Server::prepare_solve`](crate::Server::prepare_solve) type-check a
+//! query once against the frozen catalog definitions and compute its
+//! **read profile** — which base relations the result depends on, and
+//! which of those occurrences are safe for delta-monotone maintenance
+//! (`dc_calculus::joinplan::base_relations`). The resulting
+//! [`PreparedQuery`] is a cheap, clonable, `Send + Sync` handle:
+//!
+//! * [`Session::query`](crate::Session::query) accepts it (alongside a
+//!   raw [`RangeExpr`]) and evaluates against the session's pinned
+//!   snapshot;
+//! * [`Server::subscribe`](crate::Server::subscribe) accepts it and
+//!   registers a standing query whose read profile drives the O(1)
+//!   disjoint-commit filter and the warm/cold maintenance decision.
+//!
+//! Definitions (selectors, constructors, schemas) are frozen for the
+//! server's lifetime, so a prepared handle never goes stale — only the
+//! *data* under it moves, which is exactly what the profile is for.
+
+use std::sync::Arc;
+
+use dc_calculus::ast::{Formula, Name, SetFormer};
+use dc_calculus::joinplan::ReadProfile;
+use dc_calculus::RangeExpr;
+use dc_value::Value;
+
+use crate::snapshot::Defs;
+
+/// Bridge the snapshot's frozen definitions into the calculus-level
+/// [`DefLookup`](dc_calculus::joinplan::DefLookup) so read-profile
+/// analysis can chase selector predicates and constructor bodies.
+pub(crate) struct DefsLookup<'a>(pub(crate) &'a Defs);
+
+impl dc_calculus::joinplan::DefLookup for DefsLookup<'_> {
+    fn selector_body(&self, name: &str) -> Option<&Formula> {
+        self.0.selectors.get(name).map(|s| &s.def().predicate)
+    }
+
+    fn constructor_parts(&self, name: &str) -> Option<(&SetFormer, Vec<Name>)> {
+        self.0.constructors.get(name).map(|c| {
+            let formals: Vec<Name> = std::iter::once(c.base_param.0.clone())
+                .chain(c.rel_params.iter().map(|(n, _)| n.clone()))
+                .collect();
+            (&c.body, formals)
+        })
+    }
+}
+
+/// What a prepared handle executes.
+pub(crate) enum PreparedKind {
+    /// An arbitrary range expression, evaluated by the session's query
+    /// evaluator.
+    Query {
+        /// The type-checked expression.
+        ast: RangeExpr,
+    },
+    /// A constructor application `base{constructor(args; scalars)}`
+    /// named by catalog relations — the shape standing queries can
+    /// maintain incrementally (the names give the fixpoint its
+    /// base-delta provenance).
+    Solve {
+        /// Base relation name.
+        base: Name,
+        /// Constructor name.
+        constructor: Name,
+        /// Relation argument names.
+        args: Vec<Name>,
+        /// Scalar argument values.
+        scalar_args: Vec<Value>,
+    },
+}
+
+/// The shared, immutable compiled form behind [`PreparedQuery`].
+pub(crate) struct Prepared {
+    pub(crate) kind: PreparedKind,
+    pub(crate) profile: ReadProfile,
+}
+
+/// A compiled, reusable query handle.
+///
+/// Produced by [`Server::prepare`](crate::Server::prepare) (range
+/// expressions) or [`Server::prepare_solve`](crate::Server::prepare_solve)
+/// (constructor applications over named catalog relations). Type
+/// checking and read-profile analysis are paid once, here; every
+/// execution — [`Session::query`](crate::Session::query) on any
+/// session, or a standing [`Server::subscribe`](crate::Server::subscribe)
+/// — reuses the compiled form. Handles are `Send + Sync` and cheap to
+/// clone (one `Arc` bump).
+#[derive(Clone)]
+pub struct PreparedQuery {
+    pub(crate) inner: Arc<Prepared>,
+}
+
+impl PreparedQuery {
+    /// The base relations the query's result depends on, sorted. Empty
+    /// when the profile is unresolved (see
+    /// [`PreparedQuery::is_resolved`]).
+    pub fn reads(&self) -> Vec<&str> {
+        self.inner.profile.reads.iter().map(Name::as_str).collect()
+    }
+
+    /// False when the read profile could not be fully resolved (an
+    /// unknown selector or constructor was encountered): the serving
+    /// layer then treats the query as depending on *everything*, so a
+    /// subscription on it refreshes on every commit, always cold.
+    pub fn is_resolved(&self) -> bool {
+        !self.inner.profile.unresolved
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.inner.kind {
+            PreparedKind::Query { .. } => "query",
+            PreparedKind::Solve { constructor, .. } => constructor.as_str(),
+        };
+        f.debug_struct("PreparedQuery")
+            .field("kind", &kind)
+            .field("reads", &self.inner.profile.reads)
+            .finish()
+    }
+}

@@ -6,14 +6,18 @@ use std::sync::Arc;
 use dc_calculus::ast::{Name, SelectorDef};
 use dc_calculus::typeck::{self, ConstructorSig, SchemaCatalog};
 use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator, RangeExpr};
-use dc_core::fixpoint::{self, AppKey, ConstructorSource, FixpointStats, Strategy};
+use dc_core::fixpoint::{
+    self, AppKey, ConstructorSource, FixpointConfig, FixpointStats, SolvedSystem, Strategy,
+    WarmOutcome,
+};
 use dc_core::Constructor;
-use dc_governor::{Budget, CancelToken, SolveDiag, SolveError};
+use dc_governor::{Budget, CancelToken};
 use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
 use dc_value::{FxHashMap, FxHashSet, Schema, Tuple, Value};
 
-use crate::error::ServerError;
+use crate::error::{panic_to_eval, ServerError};
+use crate::prepare::{Prepared, PreparedKind, PreparedQuery};
 use crate::snapshot::Snapshot;
 
 /// Base-relation index cache: (relation name, indexed positions) →
@@ -108,10 +112,16 @@ impl Session {
         v
     }
 
-    /// Type-check and evaluate a query against the pinned snapshot.
-    pub fn query(&self, query: &RangeExpr) -> Result<Relation, ServerError> {
-        typeck::check_range(query, self)?;
-        Ok(self.evaluator().eval(query)?)
+    /// Evaluate a query against the pinned snapshot.
+    ///
+    /// Accepts either a raw [`RangeExpr`] (type-checked here, each
+    /// call) or a [`PreparedQuery`] from
+    /// [`Server::prepare`](crate::Server::prepare) /
+    /// [`Server::prepare_solve`](crate::Server::prepare_solve), whose
+    /// checking was paid once at prepare time and which is reusable
+    /// across sessions and epochs.
+    pub fn query<Q: Queryable + ?Sized>(&self, query: &Q) -> Result<Relation, ServerError> {
+        query.run(self)
     }
 
     /// Solve `base{constructor(args…)}` against the pinned snapshot: a
@@ -137,6 +147,111 @@ impl Session {
         )?)
     }
 
+    /// Execute a compiled handle: the one entry point both
+    /// [`Session::query`] (via [`Queryable`]) and the standing-query
+    /// refresh path funnel through.
+    pub(crate) fn run_prepared(&self, prepared: &Prepared) -> Result<Relation, ServerError> {
+        match &prepared.kind {
+            // Checked at prepare time against the same frozen
+            // definitions every snapshot shares; evaluate directly.
+            PreparedKind::Query { ast } => Ok(self.evaluator().eval(ast)?),
+            PreparedKind::Solve {
+                base,
+                constructor,
+                args,
+                scalar_args,
+            } => {
+                let arg_refs: Vec<&str> = args.iter().map(Name::as_str).collect();
+                self.solve(base, constructor, &arg_refs, scalar_args.clone())
+            }
+        }
+    }
+
+    /// The fixpoint configuration a solve in this session runs under:
+    /// the frozen catalog config, metered by the session budget, with
+    /// positivity-unchecked constructors pinned to the naive strategy.
+    fn fixpoint_cfg(&self, constructor: &str) -> FixpointConfig {
+        let mut cfg = self.snap.defs().config.clone();
+        cfg.budget = Some(self.budget.clone());
+        if self.snap.defs().unchecked.contains(constructor) {
+            cfg.strategy = Strategy::Naive;
+        }
+        cfg
+    }
+
+    /// Cold solve that additionally captures the converged system's
+    /// materialised state, seeding future warm refreshes. Standing
+    /// queries use this for their initial evaluation and their cold
+    /// fallback.
+    pub(crate) fn solve_tracked(
+        &self,
+        base: &str,
+        constructor: &str,
+        args: &[Name],
+        scalar_args: Vec<Value>,
+    ) -> Result<(Relation, SolvedSystem), ServerError> {
+        let b = self.read(base)?;
+        let a: Vec<Relation> = args
+            .iter()
+            .map(|n| self.read(n))
+            .collect::<Result<_, _>>()?;
+        let key = AppKey::new(constructor, &b, &a, &scalar_args);
+        let cfg = self.fixpoint_cfg(constructor);
+        let arg_refs: Vec<&str> = args.iter().map(Name::as_str).collect();
+        // Same panic-isolation boundary as `apply_constructor`.
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fixpoint::solve_tracked(self, constructor, b, a, scalar_args, base, &arg_refs, &cfg)
+        }));
+        let (value, system, stats) = match solved {
+            Ok(result) => result?,
+            Err(payload) => return Err(panic_to_eval(payload).into()),
+        };
+        *self.last_stats.borrow_mut() = Some(stats);
+        self.snap.warm().donate_solved(key.clone(), value.clone());
+        self.solved.borrow_mut().insert(key, value.clone());
+        Ok((value, system))
+    }
+
+    /// Warm re-solve from a previously captured system plus base-delta
+    /// insertions. Panics are *not* caught here — the standing-query
+    /// refresh wraps the whole warm attempt (including the
+    /// `view_refresh` failpoint) in its own isolation boundary.
+    pub(crate) fn solve_warm(
+        &self,
+        base: &str,
+        constructor: &str,
+        args: &[Name],
+        scalar_args: Vec<Value>,
+        prev: &SolvedSystem,
+        deltas: &[(Name, Relation)],
+    ) -> Result<WarmOutcome, ServerError> {
+        let b = self.read(base)?;
+        let a: Vec<Relation> = args
+            .iter()
+            .map(|n| self.read(n))
+            .collect::<Result<_, _>>()?;
+        let key = AppKey::new(constructor, &b, &a, &scalar_args);
+        let cfg = self.fixpoint_cfg(constructor);
+        let arg_refs: Vec<&str> = args.iter().map(Name::as_str).collect();
+        let outcome = fixpoint::solve_warm(
+            self,
+            constructor,
+            b,
+            a,
+            scalar_args,
+            base,
+            &arg_refs,
+            prev,
+            deltas,
+            &cfg,
+        )?;
+        if let WarmOutcome::Solved { value, stats, .. } = &outcome {
+            *self.last_stats.borrow_mut() = Some(stats.clone());
+            self.snap.warm().donate_solved(key, value.clone());
+        }
+        Ok(outcome)
+    }
+
     /// Statistics of the session's most recent fixpoint run, if any.
     pub fn last_fixpoint_stats(&self) -> Option<FixpointStats> {
         self.last_stats.borrow().clone()
@@ -155,6 +270,35 @@ impl Session {
         } else {
             ev.force_nested_loop()
         }
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for dc_calculus::RangeExpr {}
+    impl Sealed for crate::prepare::PreparedQuery {}
+}
+
+/// The query forms [`Session::query`] accepts: a raw [`RangeExpr`]
+/// (checked per call) or a compiled [`PreparedQuery`] (checked once at
+/// prepare time). Sealed — the set of forms is the serving layer's to
+/// define.
+pub trait Queryable: sealed::Sealed {
+    /// Execute against `session`'s pinned snapshot.
+    #[doc(hidden)]
+    fn run(&self, session: &Session) -> Result<Relation, ServerError>;
+}
+
+impl Queryable for RangeExpr {
+    fn run(&self, session: &Session) -> Result<Relation, ServerError> {
+        typeck::check_range(self, session)?;
+        Ok(session.evaluator().eval(self)?)
+    }
+}
+
+impl Queryable for PreparedQuery {
+    fn run(&self, session: &Session) -> Result<Relation, ServerError> {
+        session.run_prepared(&self.inner)
     }
 }
 
@@ -267,11 +411,7 @@ impl Catalog for Session {
             self.solved.borrow_mut().insert(key, hit.clone());
             return Ok(hit);
         }
-        let mut cfg = self.snap.defs().config.clone();
-        cfg.budget = Some(self.budget.clone());
-        if self.snap.defs().unchecked.contains(name) {
-            cfg.strategy = Strategy::Naive;
-        }
+        let cfg = self.fixpoint_cfg(name);
         // Same panic-isolation boundary as `Database::apply_constructor`:
         // a panic inside the solve becomes a structured `WorkerPanic`.
         // `AssertUnwindSafe` is sound because the snapshot is immutable
@@ -282,19 +422,7 @@ impl Catalog for Session {
         }));
         let (value, stats) = match solved {
             Ok(result) => result?,
-            Err(payload) => {
-                let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "opaque panic payload".to_string()
-                };
-                return Err(EvalError::Solve(SolveError::WorkerPanic {
-                    message,
-                    diag: SolveDiag::default(),
-                }));
-            }
+            Err(payload) => return Err(panic_to_eval(payload)),
         };
         *self.last_stats.borrow_mut() = Some(stats);
         self.snap.warm().donate_solved(key.clone(), value.clone());

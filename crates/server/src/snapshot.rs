@@ -13,13 +13,15 @@ use std::sync::{Arc, PoisonError, RwLock};
 
 use dc_calculus::ast::Name;
 use dc_calculus::typeck::ConstructorSig;
-use dc_calculus::{DecorrCached, RangeExpr};
+use dc_calculus::{joinplan, DecorrCached, RangeExpr};
 use dc_core::database::DatabaseParts;
 use dc_core::fixpoint::{AppKey, FixpointConfig};
 use dc_core::{Constructor, Selector};
 use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
 use dc_value::{FxHashMap, FxHashSet};
+
+use crate::prepare::DefsLookup;
 
 /// Base-relation index cache: (relation name, indexed positions) →
 /// index.
@@ -179,10 +181,25 @@ impl Snapshot {
                     .map(|(k, v)| (k.clone(), v.clone()))
                     .collect(),
             ),
-            // Decorrelation entries embed materialised joins whose
-            // source relations are not tracked per entry; dropped
-            // wholesale, like the database does on mutation.
-            decorr: RwLock::new(FxHashMap::default()),
+            // Decorrelation entries embed materialised joins; an entry
+            // survives the commit iff read-profile analysis of its
+            // range fully resolves and proves it disjoint from every
+            // touched relation (selector predicates chased through the
+            // frozen definitions). Unresolvable or overlapping entries
+            // are dropped — staleness is never risked.
+            decorr: RwLock::new(
+                self.warm
+                    .decorr
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .iter()
+                    .filter(|(range, _)| {
+                        joinplan::base_relations(range, &DefsLookup(&self.defs))
+                            .disjoint_from(touched.iter())
+                    })
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+            ),
             solved: RwLock::new(
                 self.warm
                     .solved
