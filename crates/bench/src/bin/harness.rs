@@ -32,6 +32,19 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Splice the owning registry's snapshot into a finished JSON row as a
+/// `"metrics"` object, so every `BENCH_*.json` row carries the engine
+/// counters behind its timings (rounds, delta tuples, probe/scan
+/// decisions, warm-map hits, latencies). The snapshot JSON is
+/// single-line and bracket-free, so `baseline::parse_rows` still reads
+/// the row's `workload`/`speedup` probes unchanged.
+fn row_with_metrics(row: String, snap: &dc_trace::metrics::MetricsSnapshot) -> String {
+    let body = row
+        .strip_suffix('}')
+        .expect("bench rows are one-line JSON objects");
+    format!("{body}, \"metrics\": {}}}", snap.to_json())
+}
+
 fn eval_ms(db: &mut Database, q: &dc_calculus::RangeExpr) -> (usize, f64) {
     // Optional resource governance for unattended runs: a budget from
     // `DC_DEADLINE_MS` / `DC_MAX_TUPLES` is installed into the fixpoint
@@ -81,6 +94,31 @@ fn harness_budget() -> Option<Budget> {
         .clone()
 }
 
+/// `DC_BENCH_ONLY=e1` restricts the run to the E1 family. The CI
+/// perf-smoke job uses it for the trace-armed comparison run (E1
+/// disabled-vs-enabled within the baseline band) without paying for
+/// the full battery twice. Unset runs everything; any other value
+/// warns once (via [`dc_governor::envcfg`]) and runs everything,
+/// consistent with the other harness flags.
+fn bench_only() -> Option<&'static str> {
+    static ONLY: OnceLock<Option<String>> = OnceLock::new();
+    ONLY.get_or_init(|| match std::env::var("DC_BENCH_ONLY") {
+        Ok(v) if v == "e1" => Some(v),
+        Ok(v) => {
+            envcfg::warn_once(
+                "DC_BENCH_ONLY",
+                &format!(
+                    "ignoring DC_BENCH_ONLY={v:?}: the only supported filter is \
+                     \"e1\"; running the full battery"
+                ),
+            );
+            None
+        }
+        Err(_) => None,
+    })
+    .as_deref()
+}
+
 fn main() {
     println!("Data Constructors (VLDB 1985) — experiment harness");
     println!("===================================================\n");
@@ -111,6 +149,10 @@ fn main() {
             "  (E1c/E1d ≥2× bounds not asserted: only {cores} core(s) available — \
              a 4-worker pool cannot beat sequential without hardware parallelism)\n"
         );
+    }
+    if bench_only() == Some("e1") {
+        println!("  (DC_BENCH_ONLY=e1: skipping E2–E7)\n");
+        return;
     }
     e2();
     let (e2b_rows, e2b_speedup) = e2b();
@@ -205,21 +247,24 @@ fn e1b() -> Vec<String> {
             "  {label:<20} {nodes:>6} {:>6} {idx_len:>8} {idx_ms:>12.2} {scan_ms:>11.2} {speedup:>7.1}x",
             base.len()
         );
-        rows.push(format!(
-            concat!(
-                "  {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"closure\": {}, ",
-                "\"rounds\": {}, \"maintained_indexes\": {}, ",
-                "\"semi_indexed_ms\": {:.3}, \"semi_nested_loop_ms\": {:.3}, \"speedup\": {:.2}}}"
+        rows.push(row_with_metrics(
+            format!(
+                concat!(
+                    "  {{\"workload\": \"{}\", \"nodes\": {}, \"edges\": {}, \"closure\": {}, ",
+                    "\"rounds\": {}, \"maintained_indexes\": {}, ",
+                    "\"semi_indexed_ms\": {:.3}, \"semi_nested_loop_ms\": {:.3}, \"speedup\": {:.2}}}"
+                ),
+                label,
+                nodes,
+                base.len(),
+                idx_len,
+                stats.iterations,
+                stats.maintained_indexes,
+                idx_ms,
+                scan_ms,
+                speedup
             ),
-            label,
-            nodes,
-            base.len(),
-            idx_len,
-            stats.iterations,
-            stats.maintained_indexes,
-            idx_ms,
-            scan_ms,
-            speedup
+            &db_idx.metrics().snapshot(),
         ));
         if label.contains("tree") {
             assert!(
@@ -276,19 +321,22 @@ fn e1c() -> (Vec<String>, f64, usize) {
             edges.len(),
             seq_rel.len(),
         );
-        rows_out.push(format!(
-            concat!(
-                "  {{\"workload\": \"{}\", \"edges\": {}, \"matches\": {}, ",
-                "\"threads\": 4, \"cores\": {}, ",
-                "\"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.2}}}"
+        rows_out.push(row_with_metrics(
+            format!(
+                concat!(
+                    "  {{\"workload\": \"{}\", \"edges\": {}, \"matches\": {}, ",
+                    "\"threads\": 4, \"cores\": {}, ",
+                    "\"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.2}}}"
+                ),
+                label,
+                edges.len(),
+                seq_rel.len(),
+                cores,
+                seq_ms,
+                par_ms,
+                speedup
             ),
-            label,
-            edges.len(),
-            seq_rel.len(),
-            cores,
-            seq_ms,
-            par_ms,
-            speedup
+            &db_par.metrics().snapshot(),
         ));
     }
     println!();
@@ -311,7 +359,7 @@ fn e1d(cores: usize) -> (Vec<String>, f64) {
     println!(
         "E1d cross-equation parallel fixpoint rounds: 4 workers vs sequential ({cores} core(s))"
     );
-    println!("  workload                eqs  tuples  par-br  seq-br  par-eqs  seq(ms)  par4(ms)  speedup");
+    println!("  workload                eqs  tuples  seq(ms)  par4(ms)  speedup");
     enum Sys {
         Ring(Relation),
         Mutual(dc_workload::Scene),
@@ -391,32 +439,37 @@ fn e1d(cores: usize) -> (Vec<String>, f64) {
         );
         let speedup = seq_ms / par_ms;
         best = best.max(speedup);
+        let snap = db_par.metrics().snapshot();
         println!(
-            "  {label:<22} {:>4} {:>7} {:>7} {:>7} {:>8} {seq_ms:>8.2} {par_ms:>9.2} {speedup:>7.2}x",
+            "  {label:<22} {:>4} {:>7} {seq_ms:>8.2} {par_ms:>9.2} {speedup:>7.2}x",
             stats.equations,
             seq_rel.len(),
-            stats.parallel_branches,
-            stats.sequential_branches,
-            stats.parallel_equations,
         );
-        rows_out.push(format!(
-            concat!(
-                "  {{\"workload\": \"E1d {}\", \"equations\": {}, \"tuples\": {}, ",
-                "\"threads\": 4, \"cores\": {}, ",
-                "\"parallel_branches\": {}, \"sequential_branches\": {}, ",
-                "\"parallel_equations\": {}, ",
-                "\"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.2}}}"
+        // The scheduler's branch counters now live in the unified
+        // metrics registry; print the whole snapshot once instead of
+        // cherry-picking FixpointStats fields into ad-hoc columns.
+        println!("    metrics: {}", snap.to_json());
+        rows_out.push(row_with_metrics(
+            format!(
+                concat!(
+                    "  {{\"workload\": \"E1d {}\", \"equations\": {}, \"tuples\": {}, ",
+                    "\"threads\": 4, \"cores\": {}, ",
+                    "\"parallel_branches\": {}, \"sequential_branches\": {}, ",
+                    "\"parallel_equations\": {}, ",
+                    "\"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {:.2}}}"
+                ),
+                label,
+                stats.equations,
+                seq_rel.len(),
+                cores,
+                stats.parallel_branches,
+                stats.sequential_branches,
+                stats.parallel_equations,
+                seq_ms,
+                par_ms,
+                speedup
             ),
-            label,
-            stats.equations,
-            seq_rel.len(),
-            cores,
-            stats.parallel_branches,
-            stats.sequential_branches,
-            stats.parallel_equations,
-            seq_ms,
-            par_ms,
-            speedup
+            &snap,
         ));
     }
     println!();
@@ -547,21 +600,24 @@ fn e2b() -> (Vec<String>, f64) {
             scene.infront.len(),
             scene.ontop.len(),
         );
-        rows_out.push(format!(
-            concat!(
-                "  {{\"workload\": \"scene {}\", \"objects\": {}, \"infront\": {}, ",
-                "\"ontop\": {}, \"visible\": {}, \"front_row\": {}, ",
-                "\"probe_ms\": {:.3}, \"scan_ms\": {:.3}, \"speedup\": {:.2}}}"
+        rows_out.push(row_with_metrics(
+            format!(
+                concat!(
+                    "  {{\"workload\": \"scene {}\", \"objects\": {}, \"infront\": {}, ",
+                    "\"ontop\": {}, \"visible\": {}, \"front_row\": {}, ",
+                    "\"probe_ms\": {:.3}, \"scan_ms\": {:.3}, \"speedup\": {:.2}}}"
+                ),
+                label,
+                scene.objects.len(),
+                scene.infront.len(),
+                scene.ontop.len(),
+                vis_len,
+                front_len,
+                probe_ms,
+                scan_ms,
+                speedup
             ),
-            label,
-            scene.objects.len(),
-            scene.infront.len(),
-            scene.ontop.len(),
-            vis_len,
-            front_len,
-            probe_ms,
-            scan_ms,
-            speedup
+            &db.metrics().snapshot(),
         ));
         if i == largest {
             largest_speedup = speedup;
@@ -616,20 +672,23 @@ fn e2c() -> (Vec<String>, f64) {
             scene.infront.len(),
             scene.ontop.len(),
         );
-        rows_out.push(format!(
-            concat!(
-                "  {{\"workload\": \"scene {}\", \"infront\": {}, \"ontop\": {}, ",
-                "\"stacked_back\": {}, \"bare_front\": {}, ",
-                "\"probe_ms\": {:.3}, \"scan_ms\": {:.3}, \"speedup\": {:.2}}}"
+        rows_out.push(row_with_metrics(
+            format!(
+                concat!(
+                    "  {{\"workload\": \"scene {}\", \"infront\": {}, \"ontop\": {}, ",
+                    "\"stacked_back\": {}, \"bare_front\": {}, ",
+                    "\"probe_ms\": {:.3}, \"scan_ms\": {:.3}, \"speedup\": {:.2}}}"
+                ),
+                label,
+                scene.infront.len(),
+                scene.ontop.len(),
+                sel_len,
+                imp_len,
+                probe_ms,
+                scan_ms,
+                speedup
             ),
-            label,
-            scene.infront.len(),
-            scene.ontop.len(),
-            sel_len,
-            imp_len,
-            probe_ms,
-            scan_ms,
-            speedup
+            &db.metrics().snapshot(),
         ));
         if i == largest {
             largest_speedup = speedup;
@@ -701,21 +760,24 @@ fn e2d() -> (Vec<String>, f64) {
             s.skill.len(),
             s.requests.len(),
         );
-        rows_out.push(format!(
-            concat!(
-                "  {{\"workload\": \"{}\", \"assign\": {}, \"skill\": {}, ",
-                "\"requests\": {}, \"servable\": {}, \"avoids_w0\": {}, ",
-                "\"probe_ms\": {:.3}, \"scan_ms\": {:.3}, \"speedup\": {:.2}}}"
+        rows_out.push(row_with_metrics(
+            format!(
+                concat!(
+                    "  {{\"workload\": \"{}\", \"assign\": {}, \"skill\": {}, ",
+                    "\"requests\": {}, \"servable\": {}, \"avoids_w0\": {}, ",
+                    "\"probe_ms\": {:.3}, \"scan_ms\": {:.3}, \"speedup\": {:.2}}}"
+                ),
+                label,
+                s.assign.len(),
+                s.skill.len(),
+                s.requests.len(),
+                some_len,
+                all_len,
+                probe_ms,
+                scan_ms,
+                speedup
             ),
-            label,
-            s.assign.len(),
-            s.skill.len(),
-            s.requests.len(),
-            some_len,
-            all_len,
-            probe_ms,
-            scan_ms,
-            speedup
+            &db.metrics().snapshot(),
         ));
         if i == largest {
             largest_speedup = speedup;
@@ -869,13 +931,16 @@ fn e3b(cores: usize) -> (Vec<String>, f64) {
         println!(
             "  {readers:>7} {total:>8} {commits:>8} {epochs:>7} {qps:>8.0} {p99:>8.2} {speedup:>7.2}x"
         );
-        rows_out.push(format!(
-            concat!(
-                "  {{\"workload\": \"mixed rw readers={}\", \"queries\": {}, ",
-                "\"commits\": {}, \"cores\": {}, ",
-                "\"qps\": {:.1}, \"p99_ms\": {:.3}, \"speedup\": {:.2}}}"
+        rows_out.push(row_with_metrics(
+            format!(
+                concat!(
+                    "  {{\"workload\": \"mixed rw readers={}\", \"queries\": {}, ",
+                    "\"commits\": {}, \"cores\": {}, ",
+                    "\"qps\": {:.1}, \"p99_ms\": {:.3}, \"speedup\": {:.2}}}"
+                ),
+                readers, total, commits, cores, qps, p99, speedup
             ),
-            readers, total, commits, cores, qps, p99, speedup
+            &server.metrics().snapshot(),
         ));
     }
     println!();
@@ -990,13 +1055,16 @@ fn e4b(cores: usize) -> (Vec<String>, f64) {
             "  {k:>5}x{depth:<7} {COMMITS:>7} {closure:>8} {warm_updates:>5} {inc_ms:>8.2} \
              {scratch_ms:>11.2} {speedup:>7.2}x"
         );
-        rows_out.push(format!(
-            concat!(
-                "  {{\"workload\": \"standing ahead k={} depth={}\", \"commits\": {}, ",
-                "\"closure\": {}, \"warm\": {}, \"cores\": {}, ",
-                "\"incremental_ms\": {:.3}, \"scratch_ms\": {:.3}, \"speedup\": {:.2}}}"
+        rows_out.push(row_with_metrics(
+            format!(
+                concat!(
+                    "  {{\"workload\": \"standing ahead k={} depth={}\", \"commits\": {}, ",
+                    "\"closure\": {}, \"warm\": {}, \"cores\": {}, ",
+                    "\"incremental_ms\": {:.3}, \"scratch_ms\": {:.3}, \"speedup\": {:.2}}}"
+                ),
+                k, depth, COMMITS, closure, warm_updates, cores, inc_ms, scratch_ms, speedup
             ),
-            k, depth, COMMITS, closure, warm_updates, cores, inc_ms, scratch_ms, speedup
+            &server.metrics().snapshot(),
         ));
     }
     println!();

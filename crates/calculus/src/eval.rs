@@ -80,10 +80,14 @@ use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
 use dc_value::{Attribute, Domain, FxHashMap, FxHashSet, Schema, Tuple, Value};
 
+use dc_trace::metrics::{Counter, MetricsRegistry};
+use dc_trace::SpanKind;
+
 use crate::ast::{Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SetFormer, Target, Var};
 use crate::env::{Catalog, DecorrCached};
 use crate::error::EvalError;
-use crate::joinplan::{self, Access, BranchPlan, KeySource};
+use crate::joinplan::{self, Access, BranchPlan, KeySource, StepRationale};
+use crate::plan_event::{DecorrRefusalReason, PlanEvent, QuantDemotionReason};
 use crate::rewrite;
 
 /// Reserved attribute-name prefix for the joint-key columns of a
@@ -182,6 +186,16 @@ pub struct Evaluator<'a> {
     /// emitted on per-combination paths — checked before any string is
     /// built, so each distinct demotion site is reported exactly once.
     noted_keys: Vec<(String, u8, u64)>,
+    /// Typed planner trace: every demotion note's [`PlanEvent`] plus
+    /// one access-path event per planned branch site (the latter never
+    /// enter `plan_notes`, which stays a fallback-only trace).
+    plan_events: Vec<PlanEvent>,
+    /// Branch fingerprints whose access path was already recorded, so
+    /// per-combination re-plans (nested set-formers) report once.
+    access_sites: Vec<u64>,
+    /// Metrics registry to count planner decisions into, if the owner
+    /// (database, solver, session) threads one through.
+    metrics: Option<std::sync::Arc<MetricsRegistry>>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -204,6 +218,9 @@ impl<'a> Evaluator<'a> {
             plan_notes: Vec::new(),
             noted: FxHashSet::default(),
             noted_keys: Vec::new(),
+            plan_events: Vec::new(),
+            access_sites: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -250,6 +267,16 @@ impl<'a> Evaluator<'a> {
         self.budget.as_ref()
     }
 
+    /// Count planner decisions (probe/scan plans, quantifier probes,
+    /// decorrelation builds and refusals) into `metrics`. The owner —
+    /// database, solver task, session — threads its registry through
+    /// so the counts land in one place regardless of which evaluator
+    /// did the planning.
+    pub fn with_metrics(mut self, metrics: std::sync::Arc<MetricsRegistry>) -> Evaluator<'a> {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// The planner trace: one line per demotion or abandoned rewrite
     /// (deduplicated), in first-occurrence order. Empty when every
     /// planned access path was realised as planned.
@@ -264,25 +291,47 @@ impl<'a> Evaluator<'a> {
         std::mem::take(&mut self.plan_notes)
     }
 
-    /// Record a planner trace note (deduplicated by content).
-    fn plan_note(&mut self, note: String) {
+    /// The typed planner trace: every demotion/refusal in
+    /// [`Evaluator::plan_notes`] as a structured [`PlanEvent`], plus
+    /// one [`PlanEvent::AccessPath`] per planned branch site (access
+    /// paths are decisions, not fallbacks, so they do not appear in
+    /// the string notes).
+    pub fn plan_events(&self) -> &[PlanEvent] {
+        &self.plan_events
+    }
+
+    /// Drain the typed planner trace — see [`Evaluator::plan_events`].
+    pub fn take_plan_events(&mut self) -> Vec<PlanEvent> {
+        self.access_sites.clear();
+        std::mem::take(&mut self.plan_events)
+    }
+
+    /// Record a demotion/refusal event: deduplicated by rendered
+    /// content (which keys the legacy string notes), mirrored into the
+    /// string trace, and emitted as a `plan` trace event when a trace
+    /// sink is armed.
+    fn plan_event(&mut self, ev: PlanEvent) {
+        let note = ev.to_string();
         if self.noted.insert(note.clone()) {
+            dc_trace::event(SpanKind::Plan, || (note.clone(), Vec::new()));
             self.plan_notes.push(note);
+            self.plan_events.push(ev);
         }
     }
 
-    /// Record a demotion note from a per-combination path: dedup on
-    /// (attr, reason kind, site) *before* building the string, so a
+    /// Record a demotion event from a per-combination path: dedup on
+    /// (attr, reason kind, site) *before* building any string, so a
     /// demotion repeated across thousands of outer combinations costs a
     /// scan of a tiny vec instead of a format per probe, while distinct
     /// sites (see [`site_fingerprint`]) still report individually.
-    fn plan_note_keyed(
+    fn plan_event_keyed(
         &mut self,
         attr: &str,
-        reason: u8,
+        reason: QuantDemotionReason,
         site: u64,
-        make: impl FnOnce() -> String,
+        make: impl FnOnce() -> PlanEvent,
     ) {
+        let reason = reason as u8;
         if self
             .noted_keys
             .iter()
@@ -291,7 +340,47 @@ impl<'a> Evaluator<'a> {
             return;
         }
         self.noted_keys.push((attr.to_string(), reason, site));
-        self.plan_note(make());
+        self.plan_event(make());
+    }
+
+    /// Record a decorrelation refusal (typed event + metrics counter).
+    fn decorr_refused(&mut self, reason: DecorrRefusalReason, range: &RangeExpr) {
+        if let Some(m) = &self.metrics {
+            m.inc(Counter::DecorrRefusals);
+        }
+        self.plan_event(PlanEvent::DecorrRefusal {
+            reason,
+            range: range.to_string(),
+        });
+    }
+
+    /// Record the access path chosen for one planned branch — once per
+    /// distinct branch site, so per-combination re-plans (set-formers
+    /// nested under quantifiers) pay a fingerprint lookup, not an
+    /// event build.
+    fn note_access_path(
+        &mut self,
+        branch: &Branch,
+        plan: &BranchPlan,
+        rationale: &[StepRationale],
+        schemas: &[&Schema],
+        stats: &[RelationStats],
+    ) {
+        let site = branch_fingerprint(branch);
+        if self.access_sites.contains(&site) {
+            return;
+        }
+        self.access_sites.push(site);
+        if let Some(m) = &self.metrics {
+            m.inc(if plan.has_probe() {
+                Counter::ProbePlans
+            } else {
+                Counter::ScanPlans
+            });
+        }
+        let ev = PlanEvent::access_path_for(branch, plan, rationale, schemas, stats);
+        dc_trace::event(SpanKind::Plan, || (ev.to_string(), Vec::new()));
+        self.plan_events.push(ev);
     }
 
     /// Drop every syntax-keyed cache if the catalog's data version moved
@@ -503,7 +592,8 @@ impl<'a> Evaluator<'a> {
                         }
                     })
                     .collect();
-                let plan = joinplan::plan_branch(branch, &schemas, &stats);
+                let (plan, rationale) = joinplan::plan_branch_traced(branch, &schemas, &stats);
+                self.note_access_path(branch, &plan, &rationale, &schemas, &stats);
                 if plan.has_probe() {
                     if let Some(steps) = self.compile_plan(branch, &plan, ranges, bindings)? {
                         if let Some(job) =
@@ -527,10 +617,9 @@ impl<'a> Evaluator<'a> {
                                     if let Some(m) = &self.budget {
                                         m.note_retried();
                                     }
-                                    self.plan_note(format!(
-                                        "parallel dispatch: worker panicked ({message}) — \
-                                         branch degraded to the sequential path"
-                                    ));
+                                    self.plan_event(PlanEvent::ParallelDegraded {
+                                        message: message.clone(),
+                                    });
                                     let r =
                                         self.exec_plan(branch, &steps, ranges, 0, bindings, out);
                                     if r.is_ok() {
@@ -940,33 +1029,45 @@ impl<'a> Evaluator<'a> {
             let Ok(pos) = schema.position(&atom.attr) else {
                 // E.g. the range is a selector/set-former view that no
                 // longer carries the referenced field.
-                self.plan_note_keyed(&atom.attr, 0, site_fingerprint(range), || {
-                    format!(
-                        "quantifier probe: atom on `{}` demoted to residual — \
-                         attribute not in range schema ({range})",
-                        atom.attr
-                    )
-                });
+                self.plan_event_keyed(
+                    &atom.attr,
+                    QuantDemotionReason::AttrNotInSchema,
+                    site_fingerprint(range),
+                    || PlanEvent::QuantDemotion {
+                        attr: atom.attr.clone(),
+                        reason: QuantDemotionReason::AttrNotInSchema,
+                        range: range.to_string(),
+                        key: String::new(),
+                    },
+                );
                 continue;
             };
             let Ok(v) = self.eval_scalar(&atom.key, bindings) else {
-                self.plan_note_keyed(&atom.attr, 1, site_fingerprint(range), || {
-                    format!(
-                        "quantifier probe: atom on `{}` demoted to residual — \
-                         key expression `{}` unresolvable in enclosing scope",
-                        atom.attr, atom.key
-                    )
-                });
+                self.plan_event_keyed(
+                    &atom.attr,
+                    QuantDemotionReason::KeyUnresolvable,
+                    site_fingerprint(range),
+                    || PlanEvent::QuantDemotion {
+                        attr: atom.attr.clone(),
+                        reason: QuantDemotionReason::KeyUnresolvable,
+                        range: range.to_string(),
+                        key: atom.key.to_string(),
+                    },
+                );
                 continue;
             };
             if value_domain(&v) != schema.domain(pos).base() {
-                self.plan_note_keyed(&atom.attr, 2, site_fingerprint(range), || {
-                    format!(
-                        "quantifier probe: atom on `{}` demoted to residual — \
-                         key type does not match probed column",
-                        atom.attr
-                    )
-                });
+                self.plan_event_keyed(
+                    &atom.attr,
+                    QuantDemotionReason::KeyTypeMismatch,
+                    site_fingerprint(range),
+                    || PlanEvent::QuantDemotion {
+                        attr: atom.attr.clone(),
+                        reason: QuantDemotionReason::KeyTypeMismatch,
+                        range: range.to_string(),
+                        key: String::new(),
+                    },
+                );
                 continue;
             }
             positions.push(pos);
@@ -1020,6 +1121,15 @@ impl<'a> Evaluator<'a> {
             return plan.clone();
         }
         let plan = joinplan::plan_quant_probe(var, body, existential).map(Arc::new);
+        // Counted here, once per quantifier site (the plan-cache fill),
+        // not per outer combination.
+        if let Some(m) = &self.metrics {
+            m.inc(if plan.is_some() {
+                Counter::QuantProbes
+            } else {
+                Counter::QuantScans
+            });
+        }
         self.quant_plan_cache
             .push((var.clone(), existential, body.clone(), plan.clone()));
         plan
@@ -1133,10 +1243,10 @@ impl<'a> Evaluator<'a> {
                         // refusal would otherwise scan silently. Noted
                         // once per evaluator (this arm only runs on the
                         // local-cache miss).
-                        self.plan_note(format!(
-                            "decorrelation: cached refusal served from catalog \
-                             — residual scan ({range})"
-                        ));
+                        self.plan_event(PlanEvent::DecorrRefusal {
+                            reason: DecorrRefusalReason::CachedRefusal,
+                            range: range.to_string(),
+                        });
                         None
                     }
                     None => {
@@ -1225,23 +1335,20 @@ impl<'a> Evaluator<'a> {
         range: &RangeExpr,
     ) -> Result<Option<Arc<DecorrEntry>>, EvalError> {
         fail::check(Site::DecorrBuild)?;
+        let mut span = dc_trace::span(SpanKind::DecorrBuild);
+        if span.recording() {
+            span.field_with("range", || range.to_string());
+        }
         let Some((branch, arg_checks)) = self.as_correlated_branch(range) else {
-            self.plan_note(format!(
-                "decorrelation: unsupported range shape — residual scan ({range})"
-            ));
+            self.decorr_refused(DecorrRefusalReason::UnsupportedShape, range);
             return Ok(None);
         };
         if branch.bindings.iter().any(|(_, r)| !is_binding_free(r)) {
-            self.plan_note(format!(
-                "decorrelation: inner range itself correlated — residual scan ({range})"
-            ));
+            self.decorr_refused(DecorrRefusalReason::InnerCorrelated, range);
             return Ok(None);
         }
         let Some(split) = joinplan::decorrelate_branch(&branch) else {
-            self.plan_note(format!(
-                "decorrelation: predicate not splittable into correlation \
-                 atoms + local residual — residual scan ({range})"
-            ));
+            self.decorr_refused(DecorrRefusalReason::NotSplittable, range);
             return Ok(None);
         };
         // Evaluate the binding ranges (binding-free, so the reference
@@ -1270,11 +1377,12 @@ impl<'a> Evaluator<'a> {
                     keys.push(atom.key.clone());
                 }
                 Err(_) => {
-                    self.plan_note(format!(
-                        "decorrelation: correlation atom on `{}` demoted to \
-                         residual — attribute not in range schema ({range})",
-                        atom.attr
-                    ));
+                    self.decorr_refused(
+                        DecorrRefusalReason::AttrNotInSchema {
+                            attr: atom.attr.clone(),
+                        },
+                        range,
+                    );
                     return Ok(None);
                 }
             }
@@ -1296,10 +1404,7 @@ impl<'a> Evaluator<'a> {
             .map(|&(b, p)| stats[b].eq_selectivity(p))
             .product();
         if ranges.iter().any(|r| !r.is_empty()) && selectivity >= 1.0 {
-            self.plan_note(format!(
-                "decorrelation: correlation columns not selective \
-                 (single-valued) — residual scan ({range})"
-            ));
+            self.decorr_refused(DecorrRefusalReason::NotSelective, range);
             return Ok(None);
         }
         // Synthetic inner-join branch: the original bindings, the local
@@ -1332,10 +1437,12 @@ impl<'a> Evaluator<'a> {
             let est = joinplan::estimate_branch_rows(&synth, &schemas, &stats);
             let total: usize = ranges.iter().map(Relation::len).sum();
             if est > (DECORR_JOIN_BLOWUP * (total + 1)) as f64 {
-                self.plan_note(format!(
-                    "decorrelation: estimated inner join too large \
-                     ({est:.0} rows) — residual scan ({range})"
-                ));
+                self.decorr_refused(
+                    DecorrRefusalReason::JoinTooLarge {
+                        estimated_rows: est,
+                    },
+                    range,
+                );
                 return Ok(None);
             }
         }
@@ -1366,10 +1473,7 @@ impl<'a> Evaluator<'a> {
             if matches!(e, EvalError::Solve(_) | EvalError::FaultInjected { .. }) {
                 return Err(e);
             }
-            self.plan_note(format!(
-                "decorrelation: residual evaluation errored — \
-                 abandoned, residual scan ({range})"
-            ));
+            self.decorr_refused(DecorrRefusalReason::ResidualError, range);
             return Ok(None);
         }
         // Bucket the join on the joint key: key values → element set.
@@ -1393,10 +1497,7 @@ impl<'a> Evaluator<'a> {
                 .insert_unchecked(elem)
                 .is_err()
             {
-                self.plan_note(format!(
-                    "decorrelation: bucket constraint violation — \
-                     abandoned, residual scan ({range})"
-                ));
+                self.decorr_refused(DecorrRefusalReason::BucketConstraint, range);
                 return Ok(None);
             }
         }
@@ -1404,6 +1505,10 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|key| arg_checks.iter().position(|(a, _)| a == key))
             .collect();
+        if let Some(m) = &self.metrics {
+            m.inc(Counter::DecorrBuilds);
+        }
+        span.field("buckets", buckets.len());
         Ok(Some(Arc::new(DecorrEntry {
             element_schema,
             buckets,
@@ -1927,6 +2032,15 @@ fn site_fingerprint(range: &RangeExpr) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = dc_value::FxHasher::default();
     range.hash(&mut h);
+    h.finish()
+}
+
+/// Fingerprint of a planned branch site, used to record its access
+/// path once even when the branch re-plans per outer combination.
+fn branch_fingerprint(branch: &Branch) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = dc_value::FxHasher::default();
+    branch.hash(&mut h);
     h.finish()
 }
 

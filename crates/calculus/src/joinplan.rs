@@ -737,15 +737,49 @@ pub fn estimate_branch_rows(branch: &Branch, schemas: &[&Schema], stats: &[Relat
 /// assert!(matches!(plan.steps[1].access, Access::Probe(_)));
 /// ```
 pub fn plan_branch(branch: &Branch, schemas: &[&Schema], stats: &[RelationStats]) -> BranchPlan {
+    plan_branch_traced(branch, schemas, stats).0
+}
+
+/// The System-R numbers behind one [`plan_branch_traced`] ordering
+/// decision, captured at the moment the position was picked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRationale {
+    /// The picked binding position.
+    pub position: usize,
+    /// Range cardinality from statistics.
+    pub cardinality: usize,
+    /// Product of usable equality-atom selectivities (1.0 for scans).
+    pub selectivity: f64,
+    /// `cardinality × selectivity` — the ordering key that won.
+    pub estimate: f64,
+}
+
+/// [`plan_branch`] plus the per-step ordering rationale, in step
+/// order. The rationale is what `EXPLAIN` and the planner trace
+/// report; `plan_branch` discards it.
+pub fn plan_branch_traced(
+    branch: &Branch,
+    schemas: &[&Schema],
+    stats: &[RelationStats],
+) -> (BranchPlan, Vec<StepRationale>) {
     let n = branch.bindings.len();
     debug_assert_eq!(schemas.len(), n);
     debug_assert_eq!(stats.len(), n);
     let atoms = extract_eq_atoms(branch);
     if atoms.is_empty() {
-        return BranchPlan::all_scans(n);
+        let rationale = (0..n)
+            .map(|p| StepRationale {
+                position: p,
+                cardinality: stats[p].cardinality,
+                selectivity: 1.0,
+                estimate: stats[p].cardinality as f64,
+            })
+            .collect();
+        return (BranchPlan::all_scans(n), rationale);
     }
     let mut bound = vec![false; n];
     let mut steps = Vec::with_capacity(n);
+    let mut rationale = Vec::with_capacity(n);
     while steps.len() < n {
         let mut best: Option<(f64, usize, Vec<EqAtom>)> = None;
         for p in 0..n {
@@ -785,7 +819,7 @@ pub fn plan_branch(branch: &Branch, schemas: &[&Schema], stats: &[RelationStats]
         // so the inner loop always proposes a candidate. If the
         // invariant were ever violated, fall back to scanning the
         // remaining positions rather than panicking in the planner.
-        let Some((_, p, usable)) = best else {
+        let Some((est, p, usable)) = best else {
             debug_assert!(false, "an unbound position always exists");
             for (p, b) in bound.iter().enumerate() {
                 if !b {
@@ -793,11 +827,28 @@ pub fn plan_branch(branch: &Branch, schemas: &[&Schema], stats: &[RelationStats]
                         position: p,
                         access: Access::Scan,
                     });
+                    rationale.push(StepRationale {
+                        position: p,
+                        cardinality: stats[p].cardinality,
+                        selectivity: 1.0,
+                        estimate: stats[p].cardinality as f64,
+                    });
                 }
             }
             break;
         };
         bound[p] = true;
+        let cardinality = stats[p].cardinality;
+        rationale.push(StepRationale {
+            position: p,
+            cardinality,
+            selectivity: if cardinality == 0 {
+                1.0
+            } else {
+                est / cardinality as f64
+            },
+            estimate: est,
+        });
         let access = if usable.is_empty() {
             Access::Scan
         } else {
@@ -808,7 +859,7 @@ pub fn plan_branch(branch: &Branch, schemas: &[&Schema], stats: &[RelationStats]
             access,
         });
     }
-    BranchPlan { steps }
+    (BranchPlan { steps }, rationale)
 }
 
 /// Definition lookup for [`base_relations`]: resolves the *bodies*

@@ -32,6 +32,10 @@
 //!   join views ([`joinplan::decorrelate_branch`]; the single-variable
 //!   wrapper [`joinplan::decorrelate_filter`] remains for callers of
 //!   the filter shape).
+//! * [`plan_event`] — the typed planner trace: [`plan_event::PlanEvent`]
+//!   values (chosen access paths with their ordering rationale,
+//!   demotion and refusal reasons) behind the string notes, plus the
+//!   rendered [`plan_event::Explanation`] report used by `EXPLAIN`.
 //! * [`positivity`] — §3.3's positivity constraint, implemented exactly
 //!   as defined (parity of enclosing `NOT`s and `ALL`-range positions).
 //! * [`rewrite`] — the one-sorted/De Morgan normalisation used in the
@@ -51,6 +55,7 @@ pub mod env;
 pub mod error;
 pub mod eval;
 pub mod joinplan;
+pub mod plan_event;
 pub mod positivity;
 pub mod rewrite;
 pub mod typeck;
@@ -59,3 +64,6 @@ pub use ast::{Branch, CmpOp, Formula, RangeExpr, ScalarExpr, SelectorDef, SetFor
 pub use env::{Catalog, DecorrCached};
 pub use error::EvalError;
 pub use eval::{DecorrEntry, Evaluator, PARALLEL_SCAN_THRESHOLD};
+pub use plan_event::{
+    AccessStep, DecorrRefusalReason, Explanation, PlanEvent, QuantDemotionReason,
+};

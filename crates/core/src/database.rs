@@ -12,10 +12,11 @@ use std::sync::Arc;
 
 use dc_calculus::ast::{Name, SelectorDef};
 use dc_calculus::typeck::{self, ConstructorSig, SchemaCatalog};
-use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator, RangeExpr};
+use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator, Explanation, RangeExpr};
 use dc_governor::{Budget, SolveDiag, SolveError};
 use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
+use dc_trace::metrics::MetricsRegistry;
 use dc_value::{FxHashMap, FxHashSet, Schema, Tuple, Value};
 
 use crate::constructor::Constructor;
@@ -54,6 +55,10 @@ pub struct Database {
     decorr: RefCell<FxHashMap<RangeExpr, DecorrCached>>,
     /// Statistics of the most recent fixpoint run.
     last_stats: RefCell<Option<FixpointStats>>,
+    /// The metrics registry every solve and query evaluation records
+    /// into; also threaded through `config.metrics` so solver-spawned
+    /// evaluators (on any thread) count planner decisions here.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Default for Database {
@@ -65,18 +70,24 @@ impl Default for Database {
 impl Database {
     /// An empty database with the default (semi-naive) configuration.
     pub fn new() -> Database {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let config = FixpointConfig {
+            metrics: Some(metrics.clone()),
+            ..FixpointConfig::default()
+        };
         Database {
             relations: FxHashMap::default(),
             selectors: FxHashMap::default(),
             constructors: FxHashMap::default(),
             signatures: FxHashMap::default(),
             unchecked: FxHashSet::default(),
-            config: FixpointConfig::default(),
+            config,
             solved: RefCell::new(FxHashMap::default()),
             indexes: RefCell::new(FxHashMap::default()),
             stats: RefCell::new(FxHashMap::default()),
             decorr: RefCell::new(FxHashMap::default()),
             last_stats: RefCell::new(None),
+            metrics,
         }
     }
 
@@ -384,7 +395,7 @@ impl Database {
     /// An evaluator over this database honouring the index and
     /// parallel-execution configuration.
     pub fn evaluator(&self) -> Evaluator<'_> {
-        let mut ev = Evaluator::new(self);
+        let mut ev = Evaluator::new(self).with_metrics(self.metrics.clone());
         if let Some(budget) = &self.config.budget {
             // Top-level query governance: arm the configured budget for
             // this evaluation. (Constructor applications dispatched
@@ -399,6 +410,31 @@ impl Database {
         } else {
             ev.force_nested_loop()
         }
+    }
+
+    /// Type-check and evaluate a query, returning the planner's typed
+    /// decision trace rendered as an `EXPLAIN` tree instead of the
+    /// result relation: the chosen access path per branch (probe vs.
+    /// scan, with the statistics behind the ordering), quantifier-plan
+    /// demotions, and decorrelation refusals, each with its reason.
+    pub fn explain(&self, query: &RangeExpr) -> Result<Explanation, CoreError> {
+        typeck::check_range(query, self)?;
+        let mut ev = self.evaluator();
+        let rel = ev.eval(query)?;
+        let events = ev.take_plan_events();
+        Ok(Explanation::new(
+            &query.to_string(),
+            Some(rel.len()),
+            events,
+        ))
+    }
+
+    /// The database's metrics registry — counters for solves, rounds,
+    /// delta tuples, and planner decisions, recorded across every query
+    /// and solve since creation. Snapshot with
+    /// [`dc_trace::metrics::MetricsRegistry::snapshot`].
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.metrics.clone()
     }
 
     /// Statistics of the most recent fixpoint run, if any.

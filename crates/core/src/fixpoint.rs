@@ -63,6 +63,8 @@ use dc_governor::fail::{self, Site};
 use dc_governor::{Budget, Meter, SolveDiag, SolveError};
 use dc_index::{HashIndex, RelationStats, StatsBuilder};
 use dc_relation::{algebra, Relation};
+use dc_trace::metrics::{Counter, Histogram, MetricsRegistry};
+use dc_trace::SpanKind;
 use dc_value::{FxHashMap, FxHashSet, Value};
 
 use crate::constructor::Constructor;
@@ -115,6 +117,13 @@ pub struct FixpointConfig {
     /// [`dc_governor::SolveError`]; `None` means unlimited (counters
     /// are still kept and reported through [`FixpointStats`]).
     pub budget: Option<Budget>,
+    /// Metrics registry solve-level counters (rounds, delta tuples,
+    /// branch dispatch decisions, planner decisions) are recorded
+    /// into, if the owner threads one through. `Database` and the
+    /// serving layer each install their own; `None` keeps the solver
+    /// metric-free (per-solve stats are still returned through
+    /// [`FixpointStats`]).
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for FixpointConfig {
@@ -126,6 +135,7 @@ impl Default for FixpointConfig {
             threads: 0,
             parallel_threshold: dc_calculus::PARALLEL_SCAN_THRESHOLD,
             budget: None,
+            metrics: None,
         }
     }
 }
@@ -510,6 +520,9 @@ struct ExecKnobs {
     /// worker shard. Always armed — an unlimited meter never trips but
     /// keeps the governance counters [`FixpointStats`] reports.
     budget: Meter,
+    /// See [`FixpointConfig::metrics`] — handed to every evaluator so
+    /// planner decisions are counted no matter which thread plans.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ExecKnobs {
@@ -519,6 +532,7 @@ impl ExecKnobs {
             threads: dc_exec::thread_count(cfg.threads),
             parallel_threshold: cfg.parallel_threshold,
             budget: cfg.budget.clone().unwrap_or_default().meter(),
+            metrics: cfg.metrics.clone(),
         }
     }
 }
@@ -539,7 +553,10 @@ impl SolverCatalog<'_> {
     /// nested-loop evaluator never builds plans, so handing it workers
     /// would be dead configuration.
     fn evaluator<'e>(&self, overlay: &'e Overlay<'_>) -> Evaluator<'e> {
-        let ev = Evaluator::new(overlay).with_meter(self.knobs.budget.clone());
+        let mut ev = Evaluator::new(overlay).with_meter(self.knobs.budget.clone());
+        if let Some(m) = &self.knobs.metrics {
+            ev = ev.with_metrics(m.clone());
+        }
         if self.knobs.use_indexes {
             ev.with_threads(self.knobs.threads)
                 .with_parallel_threshold(self.knobs.parallel_threshold)
@@ -975,6 +992,12 @@ fn root_slots(base_name: &str, arg_names: &[&str]) -> Vec<Option<Name>> {
         .collect()
 }
 
+/// A `Phase` span for one of the round's four stages ("prep",
+/// "freeze", "evaluate", "replay+commit").
+fn phase_span(name: &'static str) -> dc_trace::Span {
+    dc_trace::span(SpanKind::Phase).name_with(|| name.to_string())
+}
+
 /// The shared solve loop. `root_names` carries base-catalog provenance
 /// for the root actuals; `warm` requests a warm start (`Err(reason)` in
 /// the outer `Ok` = refused, caller falls back to cold). The system is
@@ -991,6 +1014,10 @@ fn solve_inner(
     cfg: &FixpointConfig,
 ) -> Result<Result<SolveRun, String>, EvalError> {
     let track = root_names.is_some();
+    let solve_t0 = std::time::Instant::now();
+    // Open for the whole solve; rounds, phases, and branch tasks nest
+    // under it (branch tasks via an explicit parent when dispatched).
+    let mut solve_span = dc_trace::span(SpanKind::Solve).name_with(|| constructor.to_string());
     let state = RefCell::new(State {
         equations: Vec::new(),
         index: FxHashMap::default(),
@@ -1043,6 +1070,7 @@ fn solve_inner(
     }
 
     let mut iterations = 0usize;
+    let mut delta_tuples: u64 = 0;
     let mut prev: Option<Vec<Relation>> = None;
     let mut prev2: Option<Vec<Relation>> = None;
 
@@ -1064,6 +1092,9 @@ fn solve_inner(
                 ),
             }));
         }
+        let mut round_span = dc_trace::span(SpanKind::Round);
+        round_span.field("round", iterations);
+        let prep_span = phase_span("prep");
         let n = state.borrow().equations.len();
         // ---- Prep (solver thread). Snapshot each equation's
         // accumulated value and result schema, resolve recursive
@@ -1091,10 +1122,14 @@ fn solve_inner(
                     .map_err(|e| enrich_solve_error(e, &state, &meter, i, iterations - 1))?;
             }
         }
+        drop(prep_span);
         // ---- Freeze. Everything a branch task reads, at one epoch;
         // equations registered during prep are visible (at ∅), exactly
         // as a mid-round registration is on the sequential path.
-        let snap = state.borrow().freeze();
+        let snap = {
+            let _freeze_span = phase_span("freeze");
+            state.borrow().freeze()
+        };
         // ---- Dispatch. Batch the round's tasks onto workers when the
         // parallelism can pay — at least two tasks whose scan side
         // clears the parallel threshold — otherwise run them inline in
@@ -1107,6 +1142,8 @@ fn solve_inner(
             .filter(|t| t.weight >= catalog.knobs.parallel_threshold)
             .count();
         let dispatch = catalog.knobs.threads > 1 && tasks.len() >= 2 && eligible >= 2;
+        let eval_span = phase_span("evaluate");
+        let eval_parent = eval_span.id();
         let results = if dispatch {
             meter.add_parallel_branches(tasks.len() as u64);
             let mut eqs: Vec<usize> = tasks.iter().map(|t| t.eq).collect();
@@ -1117,14 +1154,16 @@ fn solve_inner(
             }
             let inner = (catalog.knobs.threads / tasks.len()).max(1);
             dc_exec::run_tasks(&tasks, catalog.knobs.threads, |_, t| {
-                run_task(&snap, &catalog.knobs, inner, t)
+                run_task(&snap, &catalog.knobs, inner, t, Some(eval_parent))
             })
         } else {
             meter.add_sequential_branches(tasks.len() as u64);
             dc_exec::run_tasks(&tasks, 1, |_, t| {
-                run_task(&snap, &catalog.knobs, catalog.knobs.threads, t)
+                run_task(&snap, &catalog.knobs, catalog.knobs.threads, t, None)
             })
         };
+        drop(eval_span);
+        let commit_span = phase_span("replay+commit");
         // ---- Process (solver thread, task order — the sequential
         // evaluation order). Replay each task's effect log, then absorb
         // its value; a worker panic degrades that one task to an inline
@@ -1150,7 +1189,7 @@ fn solve_inner(
                 }
                 Err(dc_exec::ExecError::WorkerPanic { .. }) => {
                     meter.note_retried();
-                    match run_task(&snap, &catalog.knobs, 1, task) {
+                    match run_task(&snap, &catalog.knobs, 1, task, None) {
                         Ok(o) => {
                             meter.note_degraded();
                             o
@@ -1263,6 +1302,7 @@ fn solve_inner(
                         // per-round O(|relation|) rebuild.
                         let added = algebra::difference(&new_val, &st.current[i])
                             .map_err(EvalError::from)?;
+                        delta_tuples += added.len() as u64;
                         if st.current[i] != new_val {
                             changed = true;
                             st.current_indexes[i].clear();
@@ -1277,6 +1317,7 @@ fn solve_inner(
                         // its maintained indexes, and its maintained
                         // statistics all absorb the same delta here —
                         // O(|delta|), no rebuild, no re-diff.
+                        delta_tuples += added.len() as u64;
                         if !added.is_empty() {
                             changed = true;
                         }
@@ -1306,6 +1347,7 @@ fn solve_inner(
                 st.epoch += 1;
             }
         }
+        drop(commit_span);
         let grew = state.borrow().equations.len() > n;
         if !changed && !grew {
             break;
@@ -1357,6 +1399,23 @@ fn solve_inner(
         sequential_branches: meter.sequential_branches(),
         parallel_equations: meter.parallel_equations(),
     };
+    if let Some(m) = &cfg.metrics {
+        m.inc(Counter::SolveRuns);
+        m.add(Counter::SolveRounds, iterations as u64);
+        m.add(Counter::DeltaTuples, delta_tuples);
+        m.add(Counter::ParallelBranches, stats.parallel_branches);
+        m.add(Counter::SequentialBranches, stats.sequential_branches);
+        m.add(Counter::DegradedBranches, stats.degraded_branches);
+        m.observe_us(
+            Histogram::SolveLatencyUs,
+            solve_t0.elapsed().as_micros() as u64,
+        );
+    }
+    if solve_span.recording() {
+        solve_span.field("rounds", iterations);
+        solve_span.field("equations", stats.equations);
+        solve_span.field("tuples", stats.total_tuples);
+    }
     let system = track.then(|| SolvedSystem {
         equations: st
             .equations
@@ -2069,7 +2128,23 @@ fn run_task(
     knobs: &ExecKnobs,
     inner_threads: usize,
     task: &BranchTask,
+    parent: Option<dc_trace::SpanId>,
 ) -> Result<TaskOutcome, EvalError> {
+    // Dispatched tasks run on worker threads where the solver's span
+    // stack is invisible, so the dispatch site passes the evaluate
+    // phase's id explicitly; inline runs (and panic retries) parent
+    // off this thread's stack.
+    let mut task_span = match parent {
+        Some(p) => dc_trace::span_under(p, SpanKind::BranchTask),
+        None => dc_trace::span(SpanKind::BranchTask),
+    };
+    if task_span.recording() {
+        task_span.field("eq", task.eq);
+        if let Some(b) = task.branch_idx {
+            task_span.field("branch", b);
+        }
+        task_span.field("weight", task.weight);
+    }
     let cat = SnapshotCatalog::new(snap.clone());
     let mut overlay = Overlay::new(&cat, task.overrides.clone());
     for (name, idx) in &task.preload_indexes {
@@ -2080,7 +2155,10 @@ fn run_task(
     }
     // Mirror `SolverCatalog::evaluator`, with the thread budget the
     // dispatch decision assigned to this task's inner scans.
-    let ev = Evaluator::new(&overlay).with_meter(knobs.budget.clone());
+    let mut ev = Evaluator::new(&overlay).with_meter(knobs.budget.clone());
+    if let Some(m) = &knobs.metrics {
+        ev = ev.with_metrics(m.clone());
+    }
     let mut ev = if knobs.use_indexes {
         ev.with_threads(inner_threads)
             .with_parallel_threshold(knobs.parallel_threshold)

@@ -27,9 +27,14 @@ pub fn parse_positive(v: &str) -> Result<usize, String> {
 
 static WARNED: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
-/// Emit `msg` to stderr, at most once per `key` for the process
-/// lifetime. Keys are env-variable names; the message should state the
-/// rejected value, the reason, and the fallback taken.
+/// Emit `msg`, at most once per `key` for the process lifetime. Keys
+/// are env-variable names; the message should state the rejected value,
+/// the reason, and the fallback taken.
+///
+/// When tracing is armed (`DC_TRACE`), the warning is delivered to the
+/// trace sink as a `warning` event — so tests install a
+/// [`dc_trace::Collector`] and assert on it — and stderr stays quiet.
+/// Otherwise it goes to stderr, the historical default.
 pub fn warn_once(key: &str, msg: &str) {
     let mut warned = match WARNED.lock() {
         Ok(g) => g,
@@ -39,7 +44,9 @@ pub fn warn_once(key: &str, msg: &str) {
         return;
     }
     warned.push(key.to_string());
-    eprintln!("warning: {msg}");
+    if !dc_trace::warn(key, msg) {
+        eprintln!("warning: {msg}");
+    }
 }
 
 /// Test hook: has `key` warned already? (Warn-once state is global, so

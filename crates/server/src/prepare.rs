@@ -22,11 +22,14 @@
 
 use std::sync::Arc;
 
-use dc_calculus::ast::{Formula, Name, SetFormer};
-use dc_calculus::joinplan::ReadProfile;
-use dc_calculus::RangeExpr;
-use dc_value::Value;
+use dc_calculus::ast::{Formula, Name, ScalarExpr, SetFormer};
+use dc_calculus::joinplan::{self, ReadProfile};
+use dc_calculus::{rewrite, typeck, Catalog, Explanation, PlanEvent, RangeExpr};
+use dc_index::RelationStats;
+use dc_value::{FxHashMap, Schema, Value};
 
+use crate::error::ServerError;
+use crate::session::Session;
 use crate::snapshot::Defs;
 
 /// Bridge the snapshot's frozen definitions into the calculus-level
@@ -109,6 +112,111 @@ impl PreparedQuery {
     pub fn is_resolved(&self) -> bool {
         !self.inner.profile.unresolved
     }
+
+    /// The planner's typed decision trace for this prepared handle
+    /// against `session`'s pinned snapshot, rendered as an `EXPLAIN`
+    /// tree.
+    ///
+    /// Query-kind handles are evaluated (like [`Session::explain`]), so
+    /// the trace is exactly what execution did — access paths chosen,
+    /// demotions, refusals — plus the result cardinality. Solve-kind
+    /// handles get a **static preview** instead: each branch of the
+    /// constructor body is planned against the snapshot's current
+    /// statistics (formals substituted by their actual catalog
+    /// relations; recursive applications plan with their declared
+    /// schema and no statistics), without running the fixpoint.
+    pub fn explain(&self, session: &Session) -> Result<Explanation, ServerError> {
+        match &self.inner.kind {
+            PreparedKind::Query { ast } => session.explain(ast),
+            PreparedKind::Solve {
+                base,
+                constructor,
+                args,
+                scalar_args,
+            } => explain_solve(session, base, constructor, args, scalar_args),
+        }
+    }
+}
+
+/// Static plan preview of a prepared solve: plan every branch of the
+/// constructor body against the pinned snapshot's statistics.
+fn explain_solve(
+    session: &Session,
+    base: &Name,
+    constructor: &Name,
+    args: &[Name],
+    scalar_args: &[Value],
+) -> Result<Explanation, ServerError> {
+    let snap = session.snapshot().clone();
+    let ctor = snap
+        .defs()
+        .constructors
+        .get(constructor)
+        .cloned()
+        .ok_or_else(|| ServerError::Unknown {
+            kind: "constructor",
+            name: constructor.clone(),
+        })?;
+    // Formal parameter names → the actual catalog relations of this
+    // prepared application.
+    let mut map: FxHashMap<Name, RangeExpr> = FxHashMap::default();
+    map.insert(ctor.base_param.0.clone(), RangeExpr::rel(base.as_str()));
+    for ((formal, _), actual) in ctor.rel_params.iter().zip(args) {
+        map.insert(formal.clone(), RangeExpr::rel(actual.as_str()));
+    }
+    let mut events = Vec::new();
+    for branch in &ctor.body.branches {
+        if branch.bindings.is_empty() {
+            continue;
+        }
+        let mut schemas: Vec<Schema> = Vec::with_capacity(branch.bindings.len());
+        let mut stats: Vec<RelationStats> = Vec::with_capacity(branch.bindings.len());
+        for (_, range) in &branch.bindings {
+            let sub = rewrite::substitute_rel(range, &map);
+            match &sub {
+                // A named catalog relation: real schema, real (warm-map
+                // served) statistics.
+                RangeExpr::Rel(name) if snap.relation(name).is_some() => {
+                    // Guarded by the match arm; the snapshot is pinned.
+                    let Some(rel) = snap.relation(name) else {
+                        continue;
+                    };
+                    schemas.push(rel.schema().clone());
+                    stats.push(match Catalog::stats(session, name) {
+                        Some(s) => (*s).clone(),
+                        None => RelationStats::collect(rel),
+                    });
+                }
+                // Anything else (recursive application, nested
+                // set-former): the checked result schema with no
+                // statistics — the preview's honest "unknown".
+                _ => {
+                    let schema = typeck::check_range(&sub, session)?;
+                    schemas.push(schema);
+                    stats.push(RelationStats {
+                        cardinality: 0,
+                        distinct: Vec::new(),
+                    });
+                }
+            }
+        }
+        let schema_refs: Vec<&Schema> = schemas.iter().collect();
+        let (plan, rationale) = joinplan::plan_branch_traced(branch, &schema_refs, &stats);
+        events.push(PlanEvent::access_path_for(
+            branch,
+            &plan,
+            &rationale,
+            &schema_refs,
+            &stats,
+        ));
+    }
+    // Header: the equivalent applied-constructor expression.
+    let ast = RangeExpr::rel(base.as_str()).construct_with(
+        constructor,
+        args.iter().map(|n| RangeExpr::rel(n.as_str())).collect(),
+        scalar_args.iter().cloned().map(ScalarExpr::Const).collect(),
+    );
+    Ok(Explanation::new(&ast.to_string(), None, events))
 }
 
 impl std::fmt::Debug for PreparedQuery {

@@ -3,6 +3,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError, RwLock};
+use std::time::Instant;
 
 use dc_calculus::ast::{Name, ScalarExpr};
 use dc_calculus::{joinplan, typeck, RangeExpr};
@@ -11,6 +12,8 @@ use dc_core::Database;
 use dc_governor::fail::{self, Site};
 use dc_governor::{Budget, CancelToken};
 use dc_relation::{algebra, Relation};
+use dc_trace::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use dc_trace::SpanKind;
 use dc_value::{FxHashMap, FxHashSet, Value};
 
 use crate::batch::{WriteBatch, WriteOp};
@@ -76,6 +79,11 @@ pub struct Server {
     session_budget: Budget,
     commits: AtomicU64,
     conflicts: AtomicU64,
+    /// The serving layer's metrics registry: commit/conflict counters,
+    /// refresh outcomes, warm-map hit rates, and latency histograms.
+    /// Threaded through every snapshot's `FixpointConfig` so session
+    /// evaluators and solver workers record here too.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Server {
@@ -83,7 +91,13 @@ impl Server {
     /// 0. Definitions (relations declared, selectors, constructors) are
     /// frozen from here on; data evolves through [`Server::commit`].
     pub fn new(db: Database) -> Server {
-        let snapshot = Snapshot::initial(db.into_parts());
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut parts = db.into_parts();
+        // The server owns its registry: every session evaluator and
+        // solver spawned off a snapshot records here, not into the
+        // handed-over database's.
+        parts.config.metrics = Some(metrics.clone());
+        let snapshot = Snapshot::initial(parts);
         Server {
             current: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(WriterState {
@@ -94,7 +108,17 @@ impl Server {
             session_budget: Budget::unlimited(),
             commits: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
+            metrics,
         }
+    }
+
+    /// The server's metrics registry — commit and conflict counts,
+    /// refresh outcomes (warm/cold/skipped), warm-map hit/miss rates,
+    /// solver counters from every session, and the commit/refresh/query
+    /// latency histograms. Snapshot with
+    /// [`dc_trace::metrics::MetricsRegistry::snapshot`].
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.metrics.clone()
     }
 
     /// Set the server-level allowance every session's budget is drawn
@@ -113,6 +137,7 @@ impl Server {
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .clone();
+        self.metrics.inc(Counter::Sessions);
         Session::new(snap, &self.session_budget, &self.shutdown)
     }
 
@@ -219,15 +244,18 @@ impl Server {
         };
         // The receiver is in hand below; this send cannot fail.
         let _ = tx.send(Ok(initial));
-        self.subs
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(SubEntry {
+        let live = {
+            let mut subs = self.subs.lock().unwrap_or_else(PoisonError::into_inner);
+            subs.push(SubEntry {
                 prepared,
                 tx,
                 result,
                 system,
             });
+            subs.len() as u64
+        };
+        self.metrics.inc(Counter::SubscriptionUpdates);
+        self.metrics.set_gauge(Gauge::LiveSubscriptions, live);
         Ok(Subscription { rx })
     }
 
@@ -302,6 +330,9 @@ impl Server {
         if self.shutdown.is_cancelled() {
             return Err(ServerError::ShuttingDown);
         }
+        let commit_t0 = Instant::now();
+        let mut commit_span = dc_trace::span(SpanKind::ServerCommit);
+        commit_span.field("ops", batch.ops().len());
         fail::check(Site::SessionCommit)?;
         let cur = self.current_snapshot();
         // Optimistic-concurrency validation: first-committer-wins on
@@ -311,6 +342,7 @@ impl Server {
                 if let Some(&committed) = writer.last_modified.get(&name) {
                     if committed > s.epoch() {
                         self.conflicts.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.inc(Counter::Conflicts);
                         return Err(ServerError::Conflict {
                             relation: name,
                             read_epoch: s.epoch(),
@@ -351,16 +383,26 @@ impl Server {
         fail::check(Site::SnapshotPublish)?;
         let epoch = next.epoch();
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = next.clone();
+        let published_at = Instant::now();
         for name in &touched {
             writer.last_modified.insert(name.clone(), epoch);
         }
         self.commits.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc(Counter::Commits);
+        self.metrics.set_gauge(Gauge::PublishedEpoch, epoch);
+        commit_span.field("epoch", epoch);
         // The commit is complete — the snapshot is published. Standing
         // queries refresh now, still on the writer thread (updates are
         // delivered in commit order, one per epoch, gap-free), but
         // nothing below can affect the commit's outcome: a refresh
         // failure terminates only the subscription it belongs to.
-        self.refresh_subscriptions(&next, batch, &touched);
+        // Refreshes run inside the commit span — one commit yields one
+        // correlated tree: commit → refresh → solve → rounds → tasks.
+        self.refresh_subscriptions(&next, batch, &touched, published_at);
+        self.metrics.observe_us(
+            Histogram::CommitLatencyUs,
+            commit_t0.elapsed().as_micros() as u64,
+        );
         Ok(epoch)
     }
 
@@ -371,6 +413,7 @@ impl Server {
         snap: &Arc<Snapshot>,
         batch: &WriteBatch,
         touched: &FxHashSet<Name>,
+        published_at: Instant,
     ) {
         let mut subs = self.subs.lock().unwrap_or_else(PoisonError::into_inner);
         if subs.is_empty() {
@@ -378,6 +421,14 @@ impl Server {
         }
         let epoch = snap.epoch();
         subs.retain_mut(|entry| {
+            let mut span = dc_trace::span(SpanKind::SubscriptionRefresh);
+            let delivered = |m: &MetricsRegistry| {
+                m.inc(Counter::SubscriptionUpdates);
+                m.observe_us(
+                    Histogram::RefreshLagUs,
+                    published_at.elapsed().as_micros() as u64,
+                );
+            };
             // O(1) filter: the commit touched nothing the query reads,
             // so the result is unchanged. The empty update keeps the
             // subscriber's epoch sequence gap-free.
@@ -388,18 +439,37 @@ impl Server {
                     removed: Relation::new(entry.result.schema().clone()),
                     warm: true,
                 };
+                self.metrics.inc(Counter::RefreshSkipped);
+                delivered(&self.metrics);
+                span.field("outcome", "skipped");
                 return entry.tx.send(Ok(update)).is_ok();
             }
             match self.refresh_entry(entry, snap, batch, touched, epoch) {
-                Ok(update) => entry.tx.send(Ok(update)).is_ok(),
+                Ok(update) => {
+                    self.metrics.inc(if update.warm {
+                        Counter::RefreshWarm
+                    } else {
+                        Counter::RefreshCold
+                    });
+                    delivered(&self.metrics);
+                    if span.recording() {
+                        span.field("outcome", if update.warm { "warm" } else { "cold" });
+                        span.field("added", update.added.len());
+                        span.field("removed", update.removed.len());
+                    }
+                    entry.tx.send(Ok(update)).is_ok()
+                }
                 // Terminal: deliver the failure and unregister. The
                 // commit itself already succeeded.
                 Err(e) => {
+                    span.field("outcome", "error");
                     let _ = entry.tx.send(Err(e));
                     false
                 }
             }
         });
+        self.metrics
+            .set_gauge(Gauge::LiveSubscriptions, subs.len() as u64);
     }
 
     /// Refresh one standing query against the new snapshot: warm
@@ -566,6 +636,7 @@ impl Server {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clear();
+        self.metrics.set_gauge(Gauge::LiveSubscriptions, 0);
     }
 
     /// Has shutdown been requested?

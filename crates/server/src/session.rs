@@ -2,10 +2,11 @@
 
 use std::cell::RefCell;
 use std::sync::Arc;
+use std::time::Instant;
 
 use dc_calculus::ast::{Name, SelectorDef};
 use dc_calculus::typeck::{self, ConstructorSig, SchemaCatalog};
-use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator, RangeExpr};
+use dc_calculus::{Catalog, DecorrCached, EvalError, Evaluator, Explanation, RangeExpr};
 use dc_core::fixpoint::{
     self, AppKey, ConstructorSource, FixpointConfig, FixpointStats, SolvedSystem, Strategy,
     WarmOutcome,
@@ -14,6 +15,8 @@ use dc_core::Constructor;
 use dc_governor::{Budget, CancelToken};
 use dc_index::{HashIndex, RelationStats};
 use dc_relation::Relation;
+use dc_trace::metrics::{Counter, Histogram, MetricsRegistry};
+use dc_trace::SpanKind;
 use dc_value::{FxHashMap, FxHashSet, Schema, Tuple, Value};
 
 use crate::error::{panic_to_eval, ServerError};
@@ -121,7 +124,47 @@ impl Session {
     /// checking was paid once at prepare time and which is reusable
     /// across sessions and epochs.
     pub fn query<Q: Queryable + ?Sized>(&self, query: &Q) -> Result<Relation, ServerError> {
-        query.run(self)
+        let t0 = Instant::now();
+        let mut span = dc_trace::span(SpanKind::SessionQuery);
+        span.field("epoch", self.epoch());
+        let out = query.run(self);
+        if let Some(m) = self.registry() {
+            m.inc(Counter::Queries);
+            m.observe_us(Histogram::QueryLatencyUs, t0.elapsed().as_micros() as u64);
+        }
+        if let Ok(rel) = &out {
+            span.field("rows", rel.len());
+        }
+        out
+    }
+
+    /// Evaluate `query` against the pinned snapshot and return the
+    /// planner's typed decision trace rendered as an `EXPLAIN` tree:
+    /// the chosen access path per branch, quantifier-plan demotions,
+    /// and decorrelation refusals, each with the statistics behind it.
+    pub fn explain(&self, query: &RangeExpr) -> Result<Explanation, ServerError> {
+        typeck::check_range(query, self)?;
+        let mut ev = self.evaluator();
+        let rel = ev.eval(query)?;
+        let events = ev.take_plan_events();
+        Ok(Explanation::new(
+            &query.to_string(),
+            Some(rel.len()),
+            events,
+        ))
+    }
+
+    /// The serving layer's metrics registry, reached through the frozen
+    /// snapshot config (always present under a `Server`).
+    fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.snap.defs().config.metrics.as_ref()
+    }
+
+    /// Bump one counter on the serving registry (no-op without one).
+    fn count(&self, c: Counter) {
+        if let Some(m) = self.registry() {
+            m.inc(c);
+        }
     }
 
     /// Solve `base{constructor(args…)}` against the pinned snapshot: a
@@ -264,6 +307,9 @@ impl Session {
         let config = &self.snap.defs().config;
         let mut ev = Evaluator::new(self);
         ev = ev.with_meter(self.budget.meter());
+        if let Some(m) = &config.metrics {
+            ev = ev.with_metrics(m.clone());
+        }
         if config.use_indexes {
             ev.with_threads(dc_exec::thread_count(config.threads))
                 .with_parallel_threshold(config.parallel_threshold)
@@ -337,8 +383,12 @@ impl Catalog for Session {
             return Some(idx.clone());
         }
         let idx = match self.snap.warm().index(&key) {
-            Some(idx) => idx,
+            Some(idx) => {
+                self.count(Counter::WarmIndexHits);
+                idx
+            }
             None => {
+                self.count(Counter::WarmIndexMisses);
                 let rel = self.snap.relation(name)?;
                 let idx = Arc::new(HashIndex::build(rel, positions.to_vec()));
                 self.snap.warm().donate_index(key.clone(), idx.clone());
@@ -355,8 +405,12 @@ impl Catalog for Session {
             return Some(s.clone());
         }
         let s = match self.snap.warm().stats(name) {
-            Some(s) => s,
+            Some(s) => {
+                self.count(Counter::WarmStatsHits);
+                s
+            }
             None => {
+                self.count(Counter::WarmStatsMisses);
                 let rel = self.snap.relation(name)?;
                 let s = Arc::new(RelationStats::collect(rel));
                 self.snap.warm().donate_stats(name.to_string(), s.clone());
@@ -383,9 +437,19 @@ impl Catalog for Session {
         if let Some(e) = self.decorr.borrow().get(range) {
             return Some(e.clone());
         }
-        let e = self.snap.warm().decorr(range)?;
-        self.decorr.borrow_mut().insert(range.clone(), e.clone());
-        Some(e)
+        match self.snap.warm().decorr(range) {
+            Some(e) => {
+                self.count(Counter::WarmDecorrHits);
+                self.decorr.borrow_mut().insert(range.clone(), e.clone());
+                Some(e)
+            }
+            None => {
+                // The evaluator builds the entry and donates it back
+                // through `cache_decorr_entry`.
+                self.count(Counter::WarmDecorrMisses);
+                None
+            }
+        }
     }
 
     fn cache_decorr_entry(&self, range: &RangeExpr, entry: DecorrCached) {
@@ -408,9 +472,11 @@ impl Catalog for Session {
             return Ok(hit.clone());
         }
         if let Some(hit) = self.snap.warm().solved(&key) {
+            self.count(Counter::WarmSolvedHits);
             self.solved.borrow_mut().insert(key, hit.clone());
             return Ok(hit);
         }
+        self.count(Counter::WarmSolvedMisses);
         let cfg = self.fixpoint_cfg(name);
         // Same panic-isolation boundary as `Database::apply_constructor`:
         // a panic inside the solve becomes a structured `WorkerPanic`.

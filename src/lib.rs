@@ -25,6 +25,7 @@ pub use dc_lang as lang;
 pub use dc_optimizer as optimizer;
 pub use dc_prolog as prolog;
 pub use dc_relation as relation;
+pub use dc_trace as trace;
 pub use dc_value as value;
 pub use dc_workload as workload;
 

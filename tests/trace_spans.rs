@@ -1,0 +1,359 @@
+//! Observability battery: correlated span trees, typed planner events,
+//! the `EXPLAIN` surface, and the metrics registry.
+//!
+//! What must hold, and is asserted here:
+//!
+//! * **One commit, one tree**: a server commit with a live standing
+//!   query yields a single correlated span tree — `server_commit` →
+//!   `subscription_refresh` → solve rounds → branch tasks — captured by
+//!   the in-memory [`Collector`], well-formed (no dangling parents, no
+//!   time-interval escapes), under both one solver thread and four.
+//! * **Typed planner traces**: a known probe demotion and a known
+//!   decorrelation refusal surface as structured [`PlanEvent`]s with
+//!   their reasons, not just rendered strings; chosen access paths
+//!   carry the System-R numbers that ranked them.
+//! * **`EXPLAIN`**: `Database::explain` and `PreparedQuery::explain`
+//!   render the plan tree (header, cardinality, events) for both
+//!   executed queries and the static solve preview.
+//! * **Warm/cold refresh observability**: the subscription-refresh
+//!   spans and the registry's refresh counters agree with the
+//!   warm/cold/skipped routing the standing-query battery proves.
+//! * **Warn-once capture**: `envcfg::warn_once` lands in the trace
+//!   sink as a `warning` event and in every metrics snapshot.
+//!
+//! Tests that install a collector serialise on the tracer's install
+//! lock, so the suite runs under the default parallel test runner and
+//! under CI's `DC_TRACE=1` leg alike.
+
+use dc_calculus::ast::Branch;
+use dc_calculus::builder::*;
+use dc_calculus::{DecorrRefusalReason, PlanEvent, QuantDemotionReason};
+use dc_core::{Database, Strategy};
+use dc_server::{Server, WriteBatch};
+use dc_trace::metrics::Counter;
+use dc_trace::{Collector, FieldValue, SpanKind};
+use dc_value::tuple;
+
+/// Chain-closure database under the `ahead` constructor, plus one
+/// relation the closure never reads (for the disjoint-skip refresh).
+fn graph_db(threads: usize) -> Database {
+    let mut db = dc_bench::ahead_db(&dc_bench::many_chains(2, 4), Strategy::SemiNaive);
+    db.create_relation("Unrelated", dc_workload::graphs::edge_schema())
+        .unwrap();
+    db.set_threads(threads);
+    db
+}
+
+/// CAD-scene database (Objects / Infront / Ontop) for planner tests.
+fn scene_db() -> Database {
+    dc_bench::scene_db(&dc_workload::scene(4, 6, 2, 11))
+}
+
+fn str_field<'r>(rec: &'r dc_trace::TraceRecord, key: &str) -> Option<&'r str> {
+    match rec.field(key) {
+        Some(FieldValue::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// One commit with a live subscription produces a single correlated
+/// tree: commit → refresh → solve → rounds → branch tasks. Exercised
+/// at one and four solver threads — the four-thread run proves the
+/// cross-thread `span_under` parenting (branch tasks recorded on pool
+/// workers still reach the evaluate phase of the round that dispatched
+/// them).
+#[test]
+fn commit_with_subscription_yields_one_correlated_tree() {
+    for threads in [1usize, 4] {
+        let guard = Collector::install();
+        let server = Server::new(graph_db(threads));
+        let prepared = server
+            .prepare_solve("Infront", "ahead", &[], vec![])
+            .unwrap();
+        let sub = server.subscribe(&prepared).unwrap();
+        sub.recv()
+            .expect("subscription alive")
+            .expect("initial eval");
+
+        let epoch = server
+            .commit(&WriteBatch::new().insert("Infront", tuple!["c0_4", "x0"]))
+            .unwrap();
+        let up = sub.recv().expect("subscription alive").expect("refresh");
+        assert_eq!(up.epoch, epoch);
+        dc_trace::flush();
+
+        let records = guard.records();
+        let commits: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == SpanKind::ServerCommit)
+            .collect();
+        assert_eq!(commits.len(), 1, "one commit, one commit span");
+        let commit = commits[0];
+        assert_eq!(
+            commit.field("epoch"),
+            Some(&FieldValue::U64(epoch)),
+            "commit span carries the published epoch"
+        );
+
+        let tree = guard.subtree(commit.id);
+        let kind_count = |k: SpanKind| tree.iter().filter(|r| r.kind == k).count();
+        assert_eq!(
+            kind_count(SpanKind::SubscriptionRefresh),
+            1,
+            "the refresh nests under the commit ({threads} threads)"
+        );
+        assert!(
+            kind_count(SpanKind::Solve) >= 1,
+            "the refresh solve nests under the commit ({threads} threads)"
+        );
+        assert!(
+            kind_count(SpanKind::Round) >= 1,
+            "solve rounds nest under the commit ({threads} threads)"
+        );
+        assert!(
+            kind_count(SpanKind::BranchTask) >= 1,
+            "branch tasks nest under the commit ({threads} threads)"
+        );
+        // Structural soundness of everything captured — including the
+        // subscribe-time initial evaluation outside the commit tree.
+        assert_eq!(
+            guard.well_formedness_violations(),
+            Vec::<String>::new(),
+            "span tree is well-formed ({threads} threads)"
+        );
+        drop(sub);
+        server.shutdown();
+    }
+}
+
+/// Warm, cold, and skipped refreshes are visible both as span fields
+/// and as registry counters.
+#[test]
+fn refresh_outcomes_are_observable() {
+    let guard = Collector::install();
+    let server = Server::new(graph_db(1));
+    let prepared = server
+        .prepare_solve("Infront", "ahead", &[], vec![])
+        .unwrap();
+    let sub = server.subscribe(&prepared).unwrap();
+    sub.recv().expect("alive").expect("initial eval");
+
+    // Insert-only into a read relation: warm. Disjoint commit:
+    // skipped. Deletion from a read relation: cold.
+    let script = [
+        WriteBatch::new().insert("Infront", tuple!["c0_4", "w0"]),
+        WriteBatch::new().insert("Unrelated", tuple!["a", "b"]),
+        WriteBatch::new().delete("Infront", tuple!["c0_1", "c0_2"]),
+    ];
+    let mut outcomes = Vec::new();
+    for batch in &script {
+        server.commit(batch).unwrap();
+        let up = sub.recv().expect("alive").expect("refresh");
+        outcomes.push(up.warm);
+    }
+    assert_eq!(outcomes, vec![true, true, false]);
+    dc_trace::flush();
+
+    let spans = guard.of_kind(SpanKind::SubscriptionRefresh);
+    let span_outcomes: Vec<_> = spans
+        .iter()
+        .filter_map(|r| str_field(r, "outcome"))
+        .collect();
+    assert_eq!(
+        span_outcomes,
+        vec!["warm", "skipped", "cold"],
+        "refresh spans label the maintenance route taken"
+    );
+
+    let m = server.metrics();
+    assert_eq!(m.get(Counter::RefreshWarm), 1);
+    assert_eq!(m.get(Counter::RefreshSkipped), 1);
+    assert_eq!(m.get(Counter::RefreshCold), 1);
+    assert_eq!(
+        m.get(Counter::SubscriptionUpdates),
+        3 + 1,
+        "3 commits + subscribe seed"
+    );
+    assert_eq!(m.get(Counter::Commits), 3);
+    let snap = m.snapshot();
+    assert_eq!(snap.refresh_lag_us.count, 3);
+    assert!(snap.commit_latency_us.count >= 3);
+}
+
+/// `Database::explain` renders the plan tree for an executed query:
+/// header, result cardinality, and the chosen access path with its
+/// probe/scan steps and System-R estimates.
+#[test]
+fn database_explain_renders_access_path() {
+    let db = scene_db();
+    // Two-binding join: t.base = r.front — the planner should probe
+    // `Ontop` on `base` rather than scanning the product.
+    let q = set_former(vec![Branch::projecting(
+        vec![attr("r", "front"), attr("t", "top")],
+        vec![("r".into(), rel("Infront")), ("t".into(), rel("Ontop"))],
+        eq(attr("t", "base"), attr("r", "front")),
+    )]);
+    let expl = db.explain(&q).unwrap();
+    assert!(expl.text().starts_with("EXPLAIN {"), "{}", expl.text());
+    assert!(expl.text().contains("rows:"), "{}", expl.text());
+
+    let paths: Vec<_> = expl.access_paths().collect();
+    assert_eq!(paths.len(), 1, "one planned branch: {}", expl.text());
+    let PlanEvent::AccessPath {
+        steps,
+        estimated_rows,
+    } = paths[0]
+    else {
+        unreachable!("access_paths filters on the variant");
+    };
+    assert_eq!(steps.len(), 2);
+    // One side scans, the other probes the equality key; the planner
+    // picks the cheaper orientation from statistics.
+    assert!(
+        steps.iter().any(|s| s.is_probe()),
+        "expected one probe step: {steps:?}"
+    );
+    assert!(
+        steps.iter().any(|s| !s.is_probe()),
+        "expected one scan step: {steps:?}"
+    );
+    assert!(*estimated_rows >= 0.0);
+    // Cross-check: the registry saw the probe-plan decision.
+    assert!(db.metrics().get(Counter::ProbePlans) >= 1);
+}
+
+/// A known probe demotion surfaces as a typed event: the quantified
+/// range is a view projecting `top` away while the body probes it —
+/// the planner demotes to the residual scan and records why.
+#[test]
+fn probe_demotion_is_a_typed_event() {
+    let db = scene_db();
+    let view = set_former(vec![Branch::projecting(
+        vec![attr("o", "base")],
+        vec![("o".into(), rel("Ontop"))],
+        tru(),
+    )]);
+    let q = set_former(vec![Branch::each(
+        "r",
+        rel("Infront"),
+        some("t", view, eq(attr("t", "top"), attr("r", "front"))),
+    )]);
+    // The body genuinely references the projected-away field, so
+    // evaluation errors on both paths; the demotion event is recorded
+    // before the scan raises.
+    let mut ev = db.evaluator();
+    assert!(ev.eval(&q).is_err());
+    let events = ev.take_plan_events();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            PlanEvent::QuantDemotion {
+                attr,
+                reason: QuantDemotionReason::AttrNotInSchema,
+                ..
+            } if attr == "top"
+        )),
+        "expected a typed AttrNotInSchema demotion, got {events:?}"
+    );
+}
+
+/// A known decorrelation refusal surfaces as a typed event with its
+/// reason — correlation through an inequality is not splittable into
+/// correlation atoms plus a local residual.
+#[test]
+fn decorrelation_refusal_is_a_typed_event() {
+    let db = scene_db();
+    let inner = set_former(vec![Branch::each(
+        "o",
+        rel("Ontop"),
+        lt(attr("o", "base"), attr("r", "front")),
+    )]);
+    let q = set_former(vec![Branch::each(
+        "r",
+        rel("Infront"),
+        some("t", inner, tru()),
+    )]);
+    let expl = db.explain(&q).unwrap();
+    assert!(
+        expl.events().iter().any(|e| matches!(
+            e,
+            PlanEvent::DecorrRefusal {
+                reason: DecorrRefusalReason::NotSplittable,
+                ..
+            }
+        )),
+        "expected a typed NotSplittable refusal, got: {}",
+        expl.text()
+    );
+    assert!(db.metrics().get(Counter::DecorrRefusals) >= 1);
+}
+
+/// `PreparedQuery::explain` renders the executed trace for query-kind
+/// handles and a static per-branch plan preview for solve-kind handles
+/// (no fixpoint run, planned against the pinned snapshot's stats).
+#[test]
+fn prepared_query_explain_covers_both_kinds() {
+    let server = Server::new(graph_db(1));
+    let session = server.begin();
+
+    let solve = server
+        .prepare_solve("Infront", "ahead", &[], vec![])
+        .unwrap();
+    let preview = solve.explain(&session).unwrap();
+    assert!(preview.text().starts_with("EXPLAIN"), "{}", preview.text());
+    assert!(
+        !preview.text().contains("rows:"),
+        "the static preview must not claim a result cardinality: {}",
+        preview.text()
+    );
+    assert!(
+        preview.access_paths().count() >= 1,
+        "every non-empty constructor branch is planned: {}",
+        preview.text()
+    );
+
+    let q = set_former(vec![Branch::each(
+        "r",
+        rel("Infront"),
+        some(
+            "t",
+            rel("Infront"),
+            eq(attr("t", "front"), attr("r", "back")),
+        ),
+    )]);
+    let query = server.prepare(&q).unwrap();
+    let executed = query.explain(&session).unwrap();
+    assert!(
+        executed.text().contains("rows:"),
+        "query-kind explain is evaluated: {}",
+        executed.text()
+    );
+    // The session's explain agrees with the prepared handle's.
+    assert_eq!(session.explain(&q).unwrap().text(), executed.text());
+}
+
+/// `envcfg::warn_once` routes through the trace sink when a collector
+/// is installed (stderr stays the fallback) and is folded into every
+/// metrics snapshot.
+#[test]
+fn warn_once_lands_in_sink_and_snapshot() {
+    let guard = Collector::install();
+    dc_governor::envcfg::warn_once("DC_TRACE_SPANS_TEST", "synthetic misconfiguration");
+    dc_governor::envcfg::warn_once("DC_TRACE_SPANS_TEST", "suppressed repeat");
+    assert!(dc_governor::envcfg::has_warned("DC_TRACE_SPANS_TEST"));
+
+    let warnings = guard.of_kind(SpanKind::Warning);
+    assert_eq!(warnings.len(), 1, "warn-once delivers one event per key");
+    assert_eq!(warnings[0].name, "synthetic misconfiguration");
+    assert_eq!(
+        str_field(&warnings[0], "key"),
+        Some("DC_TRACE_SPANS_TEST"),
+        "the event carries the env-variable key"
+    );
+
+    let db = Database::new();
+    assert!(
+        db.metrics().snapshot().warnings >= 1,
+        "snapshots fold in the process-global warn count"
+    );
+}
